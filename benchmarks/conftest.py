@@ -1,0 +1,139 @@
+"""Shared fixtures for the benchmark suite.
+
+Scale knobs (env vars, see :class:`repro.bench.harness.BenchSettings`):
+``ENCDBDB_BENCH_ROWS`` (default 20 000; paper full scale: 10 900 000),
+``ENCDBDB_BENCH_QUERIES`` (default 25; paper: 500), ``ENCDBDB_BENCH_SIZES``.
+
+Every report benchmark writes its regenerated table/figure to
+``benchmarks/results/*.txt`` so EXPERIMENTS.md can quote the measured
+numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.bench.engines import (
+    EncDbdbColumnEngine,
+    MonetDbColumnEngine,
+    PlainDbdbColumnEngine,
+)
+from repro.bench.harness import BenchSettings
+from repro.columnstore.types import VarcharType
+from repro.crypto.drbg import HmacDrbg
+from repro.encdict.options import kind_by_name
+from repro.workloads.generator import C1_SPEC, C2_SPEC, generate_bw_column
+from repro.workloads.queries import random_range_queries
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: bsmax used by the Figure 8b experiments ("bsmax = 10 in our experiments").
+FIG8_BSMAX = 10
+
+
+@pytest.fixture(scope="session")
+def settings() -> BenchSettings:
+    return BenchSettings.from_env()
+
+
+class ColumnWorkbench:
+    """Lazily generated columns, engines, and query workloads (cached)."""
+
+    def __init__(self, settings: BenchSettings) -> None:
+        self.settings = settings
+        self._columns: dict[tuple[str, int], list[str]] = {}
+        self._engines: dict[tuple, object] = {}
+        self._queries: dict[tuple[str, int, int], list] = {}
+
+    def spec(self, name: str):
+        return {"C1": C1_SPEC, "C2": C2_SPEC}[name]
+
+    def column(self, name: str, rows: int | None = None) -> list[str]:
+        rows = rows if rows is not None else self.settings.rows
+        key = (name, rows)
+        if key not in self._columns:
+            self._columns[key] = generate_bw_column(
+                self.spec(name), rows, HmacDrbg(f"bench-{name}-{rows}")
+            )
+        return self._columns[key]
+
+    def queries(self, name: str, range_size: int, rows: int | None = None):
+        rows = rows if rows is not None else self.settings.rows
+        key = (name, range_size, rows)
+        if key not in self._queries:
+            self._queries[key] = random_range_queries(
+                self.column(name, rows),
+                range_size,
+                self.settings.queries,
+                HmacDrbg(f"queries-{name}-{range_size}-{rows}"),
+            )
+        return self._queries[key]
+
+    def engine(
+        self,
+        engine_name: str,
+        column_name: str,
+        kind_name: str | None = None,
+        *,
+        bsmax: int = FIG8_BSMAX,
+        rows: int | None = None,
+    ):
+        rows = rows if rows is not None else self.settings.rows
+        key = (engine_name, column_name, kind_name, bsmax, rows)
+        if key not in self._engines:
+            values = self.column(column_name, rows)
+            value_type = VarcharType(self.spec(column_name).string_length)
+            seed = HmacDrbg(f"engine-{key}")
+            if engine_name == "MonetDB":
+                engine = MonetDbColumnEngine(values)
+            elif engine_name == "PlainDBDB":
+                engine = PlainDbdbColumnEngine(
+                    values, kind_by_name(kind_name), value_type=value_type,
+                    bsmax=bsmax, rng=seed,
+                )
+            elif engine_name == "EncDBDB":
+                engine = EncDbdbColumnEngine(
+                    values, kind_by_name(kind_name), value_type=value_type,
+                    bsmax=bsmax, rng=seed,
+                )
+            else:
+                raise ValueError(engine_name)
+            self._engines[key] = engine
+        return self._engines[key]
+
+
+@pytest.fixture(scope="session")
+def workbench(settings: BenchSettings) -> ColumnWorkbench:
+    return ColumnWorkbench(settings)
+
+
+def write_result(name: str, text: str) -> Path:
+    """Persist a regenerated table/figure under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def result_writer():
+    """Fixture handing tests the result-file writer."""
+    return write_result
+
+
+@pytest.fixture
+def shape(benchmark):
+    """Make a shape-assertion test run under ``--benchmark-only``.
+
+    pytest-benchmark skips tests that never use the ``benchmark`` fixture
+    in that mode; the tables/figures regenerated here are validated by
+    assertion tests that must run alongside the timing tests, so they
+    register a no-op timing round.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    return benchmark

@@ -1,0 +1,74 @@
+"""Shared driver for the Figure 8 latency benchmarks.
+
+Each Figure 8 cell compares MonetDB, PlainDBDB, and EncDBDB on the same
+column and query workload for one encrypted dictionary. The driver measures
+per-query latency with 95% CIs (the paper's reporting convention), renders
+the cell table, and returns the stats for shape assertions.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import LatencyStats, measure_query_latency
+from repro.bench.report import format_table
+
+ENGINES = ("MonetDB", "PlainDBDB", "EncDBDB")
+
+
+def measure_cell(
+    workbench, kind_name: str, column_name: str, range_size: int, *, bsmax: int = 10
+) -> dict[str, LatencyStats]:
+    """Latency stats of all three engines for one Figure 8 cell."""
+    queries = workbench.queries(column_name, range_size)
+    stats = {}
+    for engine_name in ENGINES:
+        engine = workbench.engine(engine_name, column_name, kind_name, bsmax=bsmax)
+        stats[engine_name] = measure_query_latency(engine.run, queries)
+    return stats
+
+
+def render_figure(
+    title: str, cells: dict[tuple[str, str, int], dict[str, LatencyStats]]
+) -> str:
+    """One text table for a whole Figure 8 panel."""
+    rows = []
+    for (kind_name, column_name, range_size), stats in sorted(cells.items()):
+        for engine_name in ENGINES:
+            cell_stats = stats[engine_name]
+            rows.append(
+                (
+                    kind_name,
+                    column_name,
+                    f"RS={range_size}",
+                    engine_name,
+                    f"{cell_stats.mean_ms:10.3f}",
+                    f"{cell_stats.ci95_ms:8.3f}",
+                    cell_stats.total_results,
+                )
+            )
+    return format_table(
+        title,
+        ["kind", "column", "RS", "engine", "mean ms", "ci95 ms", "rows returned"],
+        rows,
+    )
+
+
+def assert_monetdb_loses_to_dictionary_search(
+    stats: dict[str, LatencyStats], *, rows: int
+) -> None:
+    """Paper Figure 8a observation 1: EncDBDB and PlainDBDB outperform
+    MonetDB (log string comparisons + int scan vs linear string scan).
+
+    MonetDB's disadvantage grows linearly with the dataset while EncDBDB's
+    per-query fixed cost (one ecall plus a handful of decryptions) does not,
+    so at very small scales the two nearly tie; below 50k rows the check
+    allows measurement-noise-level slack, above it the strict paper ordering
+    must hold (see ``test_monetdb_gap_grows_with_scale``).
+    """
+    assert stats["PlainDBDB"].mean < stats["MonetDB"].mean
+    slack = 2.0 if rows < 50_000 else 1.0
+    assert stats["EncDBDB"].mean < slack * stats["MonetDB"].mean
+
+
+def encryption_overhead(stats: dict[str, LatencyStats]) -> float:
+    """EncDBDB-vs-PlainDBDB overhead in seconds (paper: ~0.36 ms avg)."""
+    return stats["EncDBDB"].mean - stats["PlainDBDB"].mean

@@ -1,0 +1,92 @@
+"""Ablation: pure-Python AES-GCM vs library AES-GCM inside EnclDictSearch.
+
+The paper attributes part of its tiny encryption overhead to
+hardware-supported AES-GCM (§6.3 observation 3). This ablation swaps the
+PAE backend under the identical enclave search path and quantifies how much
+of EncDBDB's latency is decryption cost: the from-scratch backend is the
+auditable reference, the library backend the performance twin of AES-NI.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.bench.engines import EncDbdbColumnEngine
+from repro.bench.harness import measure_query_latency
+from repro.bench.report import format_table
+from repro.columnstore.types import VarcharType
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.pae import LibraryPae, PurePythonPae
+from repro.encdict.options import ED1, ED3
+
+
+def _engine(workbench, pae_class, kind, rows=4000):
+    values = workbench.column("C2", rows)
+    rng = HmacDrbg(f"ablation-{pae_class.__name__}-{kind.name}")
+    return EncDbdbColumnEngine(
+        values,
+        kind,
+        value_type=VarcharType(workbench.spec("C2").string_length),
+        rng=rng,
+        pae=pae_class(rng=rng.fork("pae")),
+    )
+
+
+@pytest.fixture(scope="module")
+def measurements(workbench):
+    rows = 4000
+    queries = workbench.queries("C2", 2, rows)[:10]
+    stats = {}
+    for pae_class in (LibraryPae, PurePythonPae):
+        for kind in (ED1, ED3):
+            engine = _engine(workbench, pae_class, kind, rows)
+            stats[(pae_class.__name__, kind.name)] = measure_query_latency(
+                engine.run, queries
+            )
+    return queries, stats
+
+
+@pytest.mark.parametrize("backend", ["library", "pure"])
+def test_benchmark_backend_on_linear_scan(benchmark, workbench, backend):
+    """ED3's linear scan maximizes decryption count: the worst case."""
+    pae_class = LibraryPae if backend == "library" else PurePythonPae
+    engine = _engine(workbench, pae_class, ED3)
+    query = workbench.queries("C2", 2, 4000)[0]
+    benchmark.pedantic(lambda: engine.run(query), rounds=2, iterations=1)
+
+
+def test_report_ablation(benchmark, measurements):
+    queries, stats = measurements
+    rows = [
+        (backend, kind, f"{latency.mean_ms:10.3f}", f"{latency.ci95_ms:8.3f}")
+        for (backend, kind), latency in sorted(stats.items())
+    ]
+    text = format_table(
+        "Ablation: PAE backend inside EnclDictSearch (C2 sample, "
+        f"{len(queries)} queries)",
+        ["backend", "kind", "mean ms", "ci95 ms"],
+        rows,
+    )
+    write_result("ablation_pae_backend", text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(rows) == 4
+
+
+def test_backends_agree_on_results(shape, workbench):
+    queries = workbench.queries("C2", 2, 4000)[:5]
+    library_engine = _engine(workbench, LibraryPae, ED1)
+    pure_engine = _engine(workbench, PurePythonPae, ED1)
+    assert [library_engine.run(q) for q in queries] == [
+        pure_engine.run(q) for q in queries
+    ]
+
+
+def test_pure_python_pays_most_on_linear_scan(shape, measurements):
+    """The backend gap scales with decryption count: larger for ED3 than
+    for ED1's logarithmic probe pattern."""
+    _, stats = measurements
+    ed1_gap = stats[("PurePythonPae", "ED1")].mean - stats[("LibraryPae", "ED1")].mean
+    ed3_gap = stats[("PurePythonPae", "ED3")].mean - stats[("LibraryPae", "ED3")].mean
+    assert ed3_gap > ed1_gap
+    assert stats[("PurePythonPae", "ED3")].mean > stats[("LibraryPae", "ED3")].mean

@@ -1,0 +1,106 @@
+"""Figure 7: average number of results of random range queries.
+
+The paper plots, for C1 and C2 and RS in {2, 100}, the average number of
+rows returned by 500 random range queries across dataset sizes. The shape to
+reproduce: result counts grow with the dataset, RS=100 returns more than
+RS=2, and C2 (few uniques, many repetitions) returns orders of magnitude
+more rows than C1 — e.g. the paper's 65 067 average rows for full-scale C2
+at RS=100.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.bench.harness import latency_stats
+from repro.bench.report import format_table
+from repro.workloads.datasets import dataset_sizes
+from repro.workloads.queries import expected_result_rows
+
+
+def _average_results(workbench, column_name: str, range_size: int, rows: int) -> float:
+    values = workbench.column(column_name, rows)
+    queries = workbench.queries(column_name, range_size, rows)
+    sizes = [expected_result_rows(values, query) for query in queries]
+    return sum(sizes) / len(sizes)
+
+
+@pytest.fixture(scope="module")
+def figure7(workbench):
+    sizes = dataset_sizes(
+        workbench.settings.rows, steps=workbench.settings.size_steps,
+        minimum=max(1000, workbench.settings.rows // 10),
+    )
+    data = {}
+    for column_name in ("C1", "C2"):
+        for range_size in (2, 100):
+            for rows in sizes:
+                data[(column_name, range_size, rows)] = _average_results(
+                    workbench, column_name, range_size, rows
+                )
+    return sizes, data
+
+
+def test_benchmark_result_counting(benchmark, workbench):
+    values = workbench.column("C2")
+    queries = workbench.queries("C2", 100)
+
+    def count_all():
+        return [expected_result_rows(values, query) for query in queries]
+
+    sizes = benchmark.pedantic(count_all, rounds=1, iterations=1)
+    assert all(size >= 100 for size in sizes)
+
+
+def test_report_figure7(benchmark, figure7, workbench):
+    sizes, data = figure7
+    rows = []
+    for column_name in ("C1", "C2"):
+        for range_size in (2, 100):
+            for dataset_rows in sizes:
+                rows.append(
+                    (
+                        column_name,
+                        f"RS={range_size}",
+                        dataset_rows,
+                        f"{data[(column_name, range_size, dataset_rows)]:10.1f}",
+                    )
+                )
+    text = format_table(
+        f"Figure 7: avg #results of {workbench.settings.queries} random range "
+        "queries (paper: 500)",
+        ["column", "range size", "dataset rows", "avg results"],
+        rows,
+    )
+    write_result("figure7_result_counts", text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert rows
+
+
+def test_rs100_returns_more_than_rs2(shape, figure7):
+    sizes, data = figure7
+    for column_name in ("C1", "C2"):
+        for rows in sizes:
+            assert data[(column_name, 100, rows)] > data[(column_name, 2, rows)]
+
+
+def test_c2_returns_far_more_than_c1(shape, figure7):
+    """C2's repetitions multiply the result count (paper: ~65k vs ~150)."""
+    sizes, data = figure7
+    largest = sizes[-1]
+    assert data[("C2", 100, largest)] > 10 * data[("C1", 100, largest)]
+
+
+def test_results_grow_with_dataset_size(shape, figure7):
+    sizes, data = figure7
+    if len(sizes) < 2:
+        pytest.skip("single dataset size configured")
+    assert data[("C2", 100, sizes[-1])] > data[("C2", 100, sizes[0])]
+
+
+def test_results_at_least_rs_when_all_uniques_present(shape, figure7, workbench):
+    sizes, data = figure7
+    largest = sizes[-1]
+    assert data[("C1", 2, largest)] >= 2
+    assert data[("C2", 100, largest)] >= 100

@@ -1,0 +1,99 @@
+"""Figure 8's x-axis: latency as a function of dataset size.
+
+The paper plots latencies for datasets from 1 M to 10.9 M rows. This sweep
+reproduces the growth *shapes* on scaled sizes:
+
+- MonetDB grows linearly (linear string scan over the whole column);
+- EncDBDB on ED1 stays near-flat in the dictionary search and grows only
+  through the (vectorized) attribute-vector scan and result size;
+- EncDBDB on ED9 grows linearly with a large constant (|D| = |AV| linear
+  scan of decryptions) — the paper's worst case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.bench.harness import measure_query_latency
+from repro.bench.report import format_table
+from repro.workloads.datasets import dataset_sizes
+
+
+def _sizes(settings) -> list[int]:
+    return dataset_sizes(
+        settings.rows,
+        steps=max(3, settings.size_steps),
+        minimum=max(2000, settings.rows // 8),
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep(workbench):
+    sizes = _sizes(workbench.settings)
+    series: dict[tuple[str, str], list[tuple[int, float]]] = {}
+    for engine_name, kind_name in (
+        ("MonetDB", None), ("EncDBDB", "ED1"), ("EncDBDB", "ED9"),
+    ):
+        label = engine_name if kind_name is None else f"{engine_name}/{kind_name}"
+        for rows in sizes:
+            queries = workbench.queries("C1", 2, rows)[:10]
+            engine = workbench.engine(engine_name, "C1", kind_name, rows=rows)
+            stats = measure_query_latency(engine.run, queries)
+            series.setdefault((label, "C1"), []).append((rows, stats.mean))
+    return sizes, series
+
+
+def test_report_size_sweep(benchmark, sweep, workbench):
+    sizes, series = sweep
+    rows = []
+    for (label, column_name), points in sorted(series.items()):
+        for dataset_rows, mean in points:
+            rows.append(
+                (label, column_name, dataset_rows, f"{mean * 1e3:9.3f}")
+            )
+    text = format_table(
+        "Figure 8 x-axis: mean latency vs dataset size (RS=2, C1)",
+        ["engine", "column", "rows", "mean ms"],
+        rows,
+    )
+    write_result("figure8_size_sweep", text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert rows
+
+
+def test_monetdb_grows_roughly_linearly(shape, sweep):
+    sizes, series = sweep
+    points = dict(series[("MonetDB", "C1")])
+    small, large = sizes[0], sizes[-1]
+    growth = points[large] / points[small]
+    size_ratio = large / small
+    assert growth > size_ratio / 4  # clearly scale-dependent
+
+
+def test_encdbdb_ed1_grows_sublinearly(shape, sweep):
+    """The log dictionary search + vectorized scan grows far slower than
+    the data (the reason EncDBDB wins at warehouse scale)."""
+    sizes, series = sweep
+    points = dict(series[("EncDBDB/ED1", "C1")])
+    small, large = sizes[0], sizes[-1]
+    growth = points[large] / points[small]
+    size_ratio = large / small
+    assert growth < size_ratio / 2
+
+
+def test_ed9_grows_linearly_and_dominates(shape, sweep):
+    sizes, series = sweep
+    ed9 = dict(series[("EncDBDB/ED9", "C1")])
+    ed1 = dict(series[("EncDBDB/ED1", "C1")])
+    small, large = sizes[0], sizes[-1]
+    assert ed9[large] / ed9[small] > (large / small) / 3  # ~linear decrypts
+    assert ed9[large] > 10 * ed1[large]  # worst case by a wide margin
+
+
+def test_gap_to_monetdb_widens_with_scale(shape, sweep):
+    sizes, series = sweep
+    monetdb = dict(series[("MonetDB", "C1")])
+    encdbdb = dict(series[("EncDBDB/ED1", "C1")])
+    small, large = sizes[0], sizes[-1]
+    assert encdbdb[large] / monetdb[large] < encdbdb[small] / monetdb[small]

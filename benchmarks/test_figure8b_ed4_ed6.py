@@ -1,0 +1,107 @@
+"""Figure 8b: latencies of the frequency-smoothing kinds ED4-ED6 (bsmax=10).
+
+Shape expectations from the paper:
+
+1. ED4/ED5 cost barely more than ED1/ED2 — the smoothing duplicates grow
+   |D|, but binary searches only slow logarithmically (paper: +0.002 ms and
+   +0.11 ms average).
+2. ED6 degrades sharply: the linear dictionary scan covers a larger |D| and
+   returns more ValueIDs, and each of them multiplies the attribute-vector
+   scan (paper: seconds at full scale for RS=100).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import FIG8_BSMAX, write_result
+from fig8_common import measure_cell, render_figure
+
+
+@pytest.fixture(scope="module")
+def cells(workbench):
+    measured = {}
+    for kind_name in ("ED4", "ED5", "ED6"):
+        for column_name in ("C1", "C2"):
+            for range_size in (2, 100):
+                measured[(kind_name, column_name, range_size)] = measure_cell(
+                    workbench, kind_name, column_name, range_size, bsmax=FIG8_BSMAX
+                )
+    return measured
+
+
+@pytest.fixture(scope="module")
+def reference_cells(workbench):
+    """ED1/ED2/ED3 counterparts for the overhead comparisons."""
+    measured = {}
+    for kind_name in ("ED1", "ED2", "ED3"):
+        for column_name in ("C1", "C2"):
+            measured[(kind_name, column_name)] = measure_cell(
+                workbench, kind_name, column_name, 100
+            )
+    return measured
+
+
+@pytest.mark.parametrize("kind_name", ["ED4", "ED5", "ED6"])
+def test_benchmark_encdbdb_query(benchmark, workbench, kind_name):
+    engine = workbench.engine("EncDBDB", "C2", kind_name, bsmax=FIG8_BSMAX)
+    query = workbench.queries("C2", 100)[0]
+    benchmark.pedantic(lambda: engine.run(query), rounds=3, iterations=1)
+
+
+def test_report_figure8b(benchmark, cells, workbench):
+    text = render_figure(
+        f"Figure 8b (ED4-ED6, bsmax={FIG8_BSMAX}): mean latency of "
+        f"{workbench.settings.queries} random range queries over "
+        f"{workbench.settings.rows} rows",
+        cells,
+    )
+    write_result("figure8b_ed4_ed6", text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(cells) == 12
+
+
+def test_smoothing_overhead_tiny_for_binary_search_kinds(
+    shape, cells, reference_cells
+):
+    """ED4 vs ED1 and ED5 vs ED2: logarithmic slowdown only."""
+    for smoothing_kind, revealing_kind in (("ED4", "ED1"), ("ED5", "ED2")):
+        for column_name in ("C1", "C2"):
+            smoothing = cells[(smoothing_kind, column_name, 100)]["EncDBDB"].mean
+            revealing = reference_cells[(revealing_kind, column_name)]["EncDBDB"].mean
+            assert smoothing < 2.5 * revealing + 2e-3, (smoothing_kind, column_name)
+
+
+def test_ed6_slower_than_ed3(shape, cells, reference_cells):
+    """Smoothing severely impacts the linear-scan kind (paper §6.3).
+
+    The degradation is driven by the duplicates smoothing adds, so it is
+    pronounced on the low-cardinality C2 (many occurrences per value) and
+    disappears into noise on C1, whose values are already nearly unique
+    (|D| barely grows). The strict ordering is asserted where the effect
+    exists; C1 only checks ED6 does not get mysteriously faster.
+    """
+    ed6_c2 = cells[("ED6", "C2", 100)]["EncDBDB"].mean
+    ed3_c2 = reference_cells[("ED3", "C2")]["EncDBDB"].mean
+    assert ed6_c2 > 2 * ed3_c2
+    ed6_c1 = cells[("ED6", "C1", 100)]["EncDBDB"].mean
+    ed3_c1 = reference_cells[("ED3", "C1")]["EncDBDB"].mean
+    assert ed6_c1 > 0.8 * ed3_c1
+
+
+def test_ed6_is_the_slowest_smoothing_kind(shape, cells):
+    for column_name in ("C1", "C2"):
+        for range_size in (2, 100):
+            ed4 = cells[("ED4", column_name, range_size)]["EncDBDB"].mean
+            ed5 = cells[("ED5", column_name, range_size)]["EncDBDB"].mean
+            ed6 = cells[("ED6", column_name, range_size)]["EncDBDB"].mean
+            assert ed6 > ed4
+            assert ed6 > ed5
+
+
+def test_dictionary_grew_from_smoothing(shape, workbench):
+    """|D| for ED4 exceeds |un(C)| but stays below |AV| (Table 3)."""
+    engine = workbench.engine("EncDBDB", "C2", "ED4", bsmax=FIG8_BSMAX)
+    unique_count = len(set(workbench.column("C2")))
+    entries = len(engine.build.dictionary)
+    assert unique_count < entries < len(engine.build.attribute_vector)

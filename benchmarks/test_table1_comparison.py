@@ -1,0 +1,153 @@
+"""Table 1: EncDBDB's row in the TEE-database comparison.
+
+The paper compares EnclaveDB, ObliDB, StealthDB, and EncDBDB on workload,
+protection object, compression, storage/performance overhead, and enclave
+LOC. The other systems' numbers are quoted from the paper; this benchmark
+*measures* the reproduction's own row:
+
+- **storage overhead** of the best compressed encrypted dictionary (ED1-3)
+  vs the plaintext file — the paper reports < 100% (negative on C2);
+- **performance overhead** of EncDBDB vs PlainDBDB (paper: ~8.9%);
+- **enclave LOC** of the reproduction's trusted computing base (paper:
+  1129 C LOC).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from conftest import write_result
+from fig8_common import measure_cell
+from repro.bench.report import format_table
+from repro.bench.storage import plaintext_file_bytes, storage_table_for_column
+from repro.columnstore.types import VarcharType
+
+#: The reproduction's trusted computing base (DESIGN.md §5): everything
+#: that executes inside the simulated enclave.
+TCB_FILES = (
+    "encdict/enclave_app.py",
+    "encdict/search.py",
+    "encdict/encode.py",
+    "encdict/builder.py",  # rebuild_for_merge runs EncDB inside the enclave
+    "encdict/buckets.py",
+    "crypto/pae.py",
+    "crypto/gcm.py",
+    "crypto/aes.py",
+    "crypto/kdf.py",
+)
+
+
+def count_tcb_loc() -> dict[str, int]:
+    """Non-blank, non-comment lines of the trusted modules."""
+    package_root = Path(__import__("repro").__file__).parent
+    counts = {}
+    for relative in TCB_FILES:
+        lines = (package_root / relative).read_text().splitlines()
+        code_lines = 0
+        in_docstring = False
+        for line in lines:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            quote_count = stripped.count('"""') + stripped.count("'''")
+            if in_docstring:
+                if quote_count % 2 == 1:
+                    in_docstring = False
+                continue
+            if quote_count == 1 and (
+                stripped.startswith('"""') or stripped.startswith("'''")
+            ):
+                in_docstring = True
+                continue
+            if quote_count == 2 and (
+                stripped.startswith('"""') or stripped.startswith("'''")
+            ):
+                continue  # one-line docstring
+            code_lines += 1
+        counts[relative] = code_lines
+    return counts
+
+
+@pytest.fixture(scope="module")
+def encdbdb_row(workbench):
+    values = workbench.column("C2")
+    storage = storage_table_for_column(
+        values, string_length=workbench.spec("C2").string_length,
+        bsmax_values=(10,),
+    )
+    plaintext = plaintext_file_bytes(
+        values, VarcharType(workbench.spec("C2").string_length)
+    )
+    storage_overhead = storage["ED1/ED2/ED3"] / plaintext - 1.0
+
+    stats = measure_cell(workbench, "ED1", "C2", 100)
+    perf_overhead = stats["EncDBDB"].mean / stats["PlainDBDB"].mean - 1.0
+
+    loc = count_tcb_loc()
+    return storage_overhead, perf_overhead, loc
+
+
+def test_report_table1(benchmark, encdbdb_row):
+    storage_overhead, perf_overhead, loc = encdbdb_row
+    published = [
+        ("EnclaveDB [71]", "OLTP", "storage+query engine", "no", "N/A",
+         "> 20 %", "~235,000"),
+        ("ObliDB [31]", "OLTP & OLAP", "array or B+-tree", "no", "> 100 %",
+         "> 200 %", "~10,000"),
+        ("StealthDB [39]", "OLTP", "primitive operators", "no", "> 300 %",
+         "> 20 %", "~1,500"),
+        ("EncDBDB (paper)", "OLAP", "dictionaries", "yes", "< 100 %",
+         "~8.9 %", "1,129"),
+        (
+            "EncDBDB (this repro)",
+            "OLAP",
+            "dictionaries",
+            "yes",
+            f"{storage_overhead * 100:+.1f} %",
+            f"{perf_overhead * 100:+.1f} %",
+            f"{sum(loc.values()):,} (Python)",
+        ),
+    ]
+    text = format_table(
+        "Table 1: TEE-database comparison (first four rows quoted from the "
+        "paper; last row measured by this reproduction on C2)",
+        ["approach", "workload", "protection object", "compression",
+         "storage ovh", "perf ovh", "enclave LOC"],
+        published,
+    )
+    text += "\n\nTrusted-computing-base LOC breakdown:\n" + "\n".join(
+        f"  {name:28s} {count:5d}" for name, count in encdbdb_row[2].items()
+    )
+    write_result("table1_comparison", text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(published) == 5
+
+
+def test_storage_overhead_below_100_percent(shape, encdbdb_row):
+    """ED1-3 on the compressible column beats even the plaintext file."""
+    storage_overhead, _, _ = encdbdb_row
+    assert storage_overhead < 1.0
+    assert storage_overhead < 0.0  # C2 compresses below plaintext size
+
+
+def test_performance_overhead_moderate(shape, encdbdb_row):
+    """EncDBDB vs PlainDBDB: same order of magnitude (paper: 8.9%).
+
+    Pure-Python decryption costs more per call than AES-NI, so the
+    tolerance is generous; the claim preserved is 'encryption does not
+    change the complexity class'.
+    """
+    _, perf_overhead, _ = encdbdb_row
+    assert perf_overhead < 4.0
+
+
+def test_enclave_tcb_is_small(shape, encdbdb_row):
+    """The trusted code stays in the low thousands of lines — the paper's
+    small-TCB argument (1,129 C LOC; this reproduction implements AES/GCM
+    from scratch inside the TCB, which the paper delegates to hardware)."""
+    _, _, loc = encdbdb_row
+    total = sum(loc.values())
+    assert total < 2500, loc
+    assert loc["encdict/search.py"] < 400

@@ -1,0 +1,42 @@
+"""Table 2: the 3x3 grid of encrypted dictionaries.
+
+Structural regeneration: the registry must contain exactly the nine kinds
+the paper defines, arranged by repetition option (rows) and order option
+(columns).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+from repro.bench.report import format_table
+from repro.encdict.options import ALL_KINDS, OrderOption, RepetitionOption, kind_for
+
+
+def test_report_table2(benchmark):
+    order_columns = [OrderOption.SORTED, OrderOption.ROTATED, OrderOption.UNSORTED]
+    rows = []
+    for repetition in (
+        RepetitionOption.REVEALING,
+        RepetitionOption.SMOOTHING,
+        RepetitionOption.HIDING,
+    ):
+        rows.append(
+            [repetition.value]
+            + [kind_for(repetition, order).name for order in order_columns]
+        )
+    text = format_table(
+        "Table 2: characteristics of encrypted dictionaries",
+        ["repetition \\ order"] + [order.value for order in order_columns],
+        rows,
+    )
+    write_result("table2_grid", text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert rows[0][1:] == ["ED1", "ED2", "ED3"]
+    assert rows[1][1:] == ["ED4", "ED5", "ED6"]
+    assert rows[2][1:] == ["ED7", "ED8", "ED9"]
+
+
+def test_grid_is_complete_and_unique(shape):
+    combinations = {(kind.repetition, kind.order) for kind in ALL_KINDS}
+    assert len(combinations) == 9
+    assert len(ALL_KINDS) == 9

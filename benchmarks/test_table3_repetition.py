@@ -1,0 +1,125 @@
+"""Table 3: frequency leakage and dictionary size per repetition option.
+
+Measures |D| for all three repetition options on the C2 column (whose
+duplication makes the differences visible) and checks the published
+formulas: |un(C)| for revealing, ~ sum_v 2|oc(C,v)|/(1+bsmax) for
+smoothing, |AV| for hiding — plus the frequency-leakage guarantees.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from conftest import write_result
+from repro.bench.report import format_table
+from repro.columnstore.types import VarcharType
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.pae import default_pae, pae_gen
+from repro.encdict.buckets import expected_bucket_count
+from repro.encdict.builder import encdb_build
+from repro.encdict.options import ED1, ED4, ED7
+from repro.security.leakage import max_frequency
+
+BSMAX = 10
+
+
+@pytest.fixture(scope="module")
+def builds(workbench):
+    values = workbench.column("C2")
+    value_type = VarcharType(workbench.spec("C2").string_length)
+    rng = HmacDrbg(b"table3")
+    pae = default_pae(rng=rng.fork("pae"))
+    key = pae_gen(rng=rng.fork("key"))
+    result = {}
+    for label, kind, bsmax in (
+        ("frequency revealing", ED1, 1),
+        ("frequency smoothing", ED4, BSMAX),
+        ("frequency hiding", ED7, 1),
+    ):
+        result[label] = encdb_build(
+            values, kind, value_type=value_type, key=key, pae=pae,
+            rng=rng.fork(label), bsmax=bsmax,
+        )
+    return values, result
+
+
+def test_benchmark_build_per_repetition_option(benchmark, workbench):
+    """Benchmark: EncDB build cost of the most expensive option (hiding)."""
+    values = workbench.column("C2")[:5000]
+    value_type = VarcharType(workbench.spec("C2").string_length)
+    rng = HmacDrbg(b"bench-build")
+    pae = default_pae(rng=rng.fork("pae"))
+    key = pae_gen(rng=rng.fork("key"))
+
+    def build():
+        return encdb_build(
+            values, ED7, value_type=value_type, key=key, pae=pae,
+            rng=rng.fork("b"), bsmax=1,
+        )
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert result.stats.dictionary_entries == len(values)
+
+
+def test_report_table3(benchmark, builds, workbench):
+    values, result = builds
+    rows = []
+    for label, build in result.items():
+        rows.append(
+            (
+                label,
+                build.stats.kind.repetition.frequency_leakage,
+                build.stats.dictionary_entries,
+                max_frequency(build.attribute_vector),
+            )
+        )
+    text = format_table(
+        f"Table 3: repetition options on C2 ({len(values)} rows, "
+        f"{len(set(values))} uniques, bsmax={BSMAX} for smoothing)",
+        ["repetition option", "freq. leakage", "|D|", "max ValueID freq"],
+        rows,
+    )
+    write_result("table3_repetition", text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(rows) == 3
+
+
+def test_revealing_size_is_unique_count(shape, builds):
+    values, result = builds
+    assert result["frequency revealing"].stats.dictionary_entries == len(set(values))
+
+
+def test_hiding_size_is_column_length(shape, builds):
+    values, result = builds
+    assert result["frequency hiding"].stats.dictionary_entries == len(values)
+
+
+def test_smoothing_size_matches_formula(shape, builds):
+    """|D| ~ sum_v 2*|oc(C,v)|/(1+bsmax) (Table 3), within sampling noise."""
+    values, result = builds
+    expected = sum(
+        expected_bucket_count(count, BSMAX)
+        for count in Counter(values).values()
+    )
+    measured = result["frequency smoothing"].stats.dictionary_entries
+    assert measured == pytest.approx(expected, rel=0.25)
+
+
+def test_frequency_bounds(shape, builds):
+    values, result = builds
+    assert max_frequency(result["frequency revealing"].attribute_vector) == max(
+        Counter(values).values()
+    )
+    assert max_frequency(result["frequency smoothing"].attribute_vector) <= BSMAX
+    assert max_frequency(result["frequency hiding"].attribute_vector) == 1
+
+
+def test_sizes_strictly_ordered(shape, builds):
+    values, result = builds
+    assert (
+        result["frequency revealing"].stats.dictionary_entries
+        < result["frequency smoothing"].stats.dictionary_entries
+        < result["frequency hiding"].stats.dictionary_entries
+    )

@@ -1,0 +1,154 @@
+"""Table 4: order leakage and search time per order option.
+
+Uses the enclave cost model to *count* the architectural operations the
+complexity column of Table 4 describes: dictionary probes/decryptions
+(O(log|D|) for sorted and rotated, O(|D|) for unsorted) and attribute-
+vector comparisons (O(|AV|) for range results, O(|AV|*|vid|) for ValueID
+lists), alongside wall-clock timings of the dictionary search alone.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import write_result
+from repro.bench.report import format_table
+from repro.encdict.attrvect import attr_vect_search
+from repro.encdict.enclave_app import encrypt_search_range
+from repro.encdict.search import OrdinalRange
+from repro.sgx.costs import CostModel
+
+
+def _measure_operation_counts(workbench, kind_name: str, range_size: int):
+    """(decryptions, av_comparisons, |D|, |AV|) for one query."""
+    engine = workbench.engine("EncDBDB", "C2", kind_name)
+    query = workbench.queries("C2", range_size)[0]
+    tau = encrypt_search_range(
+        engine._pae,
+        engine._column_key,
+        OrdinalRange(
+            engine._value_type.ordinal(query.low),
+            engine._value_type.ordinal(query.high),
+        ),
+    )
+    cost: CostModel = engine.host.cost_model
+    before = cost.snapshot()
+    result = engine.host.ecall("dict_search", engine.build.dictionary, tau)
+    search_delta = cost.diff(before)
+    before = cost.snapshot()
+    attr_vect_search(engine.build.attribute_vector, result, cost_model=cost)
+    scan_delta = cost.diff(before)
+    return (
+        search_delta["decryptions"],
+        scan_delta["comparisons"],
+        len(engine.build.dictionary),
+        len(engine.build.attribute_vector),
+        result,
+    )
+
+
+@pytest.fixture(scope="module")
+def counts(workbench):
+    measured = {}
+    for kind_name, order_label in (("ED1", "sorted"), ("ED2", "rotated"),
+                                   ("ED3", "unsorted")):
+        measured[order_label] = {
+            range_size: _measure_operation_counts(workbench, kind_name, range_size)
+            for range_size in (2, 100)
+        }
+    return measured
+
+
+@pytest.mark.parametrize("kind_name", ["ED1", "ED2", "ED3"])
+def test_benchmark_dictionary_search_only(benchmark, workbench, kind_name):
+    """Wall-clock of EnclDictSearch alone (no attribute-vector scan)."""
+    engine = workbench.engine("EncDBDB", "C2", kind_name)
+    query = workbench.queries("C2", 2)[0]
+    tau = encrypt_search_range(
+        engine._pae,
+        engine._column_key,
+        OrdinalRange(
+            engine._value_type.ordinal(query.low),
+            engine._value_type.ordinal(query.high),
+        ),
+    )
+    benchmark.pedantic(
+        lambda: engine.host.ecall("dict_search", engine.build.dictionary, tau),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_report_table4(benchmark, counts):
+    rows = []
+    leakage = {"sorted": "full", "rotated": "bounded", "unsorted": "none"}
+    for order_label, per_rs in counts.items():
+        for range_size, (decryptions, comparisons, dict_size, av_size, _) in (
+            per_rs.items()
+        ):
+            rows.append(
+                (
+                    order_label,
+                    leakage[order_label],
+                    f"RS={range_size}",
+                    dict_size,
+                    decryptions,
+                    comparisons,
+                )
+            )
+    text = format_table(
+        "Table 4: order options -- measured dictionary decryptions and "
+        "attribute-vector comparisons per query (column C2)",
+        ["order option", "order leakage", "RS", "|D|", "dict decrypts",
+         "AV comparisons"],
+        rows,
+    )
+    write_result("table4_order", text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(rows) == 6
+
+
+def test_sorted_and_rotated_probe_logarithmically(shape, counts):
+    """Decryptions ~ O(log|D|): two binary searches plus constant extras."""
+    for order_label in ("sorted", "rotated"):
+        for range_size in (2, 100):
+            decryptions, _, dict_size, _, _ = counts[order_label][range_size]
+            budget = 3 * math.ceil(math.log2(dict_size)) + 8
+            assert decryptions <= budget, (order_label, range_size, decryptions)
+
+
+def test_unsorted_probes_linearly(shape, counts):
+    for range_size in (2, 100):
+        decryptions, _, dict_size, _, _ = counts["unsorted"][range_size]
+        assert decryptions == dict_size + 2  # every entry + the two bounds
+
+
+def test_range_results_scan_av_once_per_range(shape, counts):
+    """Sorted/rotated return ranges: comparisons = |AV| per non-dummy range."""
+    for order_label in ("sorted", "rotated"):
+        for range_size in (2, 100):
+            _, comparisons, _, av_size, result = counts[order_label][range_size]
+            live_ranges = sum(1 for r in result.ranges if r != (-1, -1))
+            assert comparisons == av_size * live_ranges
+
+
+def test_vid_lists_multiply_av_comparisons(shape, counts):
+    """Unsorted returns ValueID lists: comparisons = |AV| * |vid|."""
+    for range_size in (2, 100):
+        _, comparisons, _, av_size, result = counts["unsorted"][range_size]
+        assert comparisons == av_size * len(result.vids)
+        assert len(result.vids) >= range_size
+
+
+def test_all_orders_return_identical_records(shape, workbench):
+    """Security/performance options never change the answer."""
+    queries = workbench.queries("C2", 100)[:5]
+    reference = None
+    for kind_name in ("ED1", "ED2", "ED3"):
+        engine = workbench.engine("EncDBDB", "C2", kind_name)
+        totals = [engine.run(query) for query in queries]
+        if reference is None:
+            reference = totals
+        assert totals == reference, kind_name

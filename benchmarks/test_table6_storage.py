@@ -1,0 +1,106 @@
+"""Table 6: storage size of various variants for columns C1 and C2.
+
+Regenerates every row of the paper's storage table — plaintext file,
+encrypted file, MonetDB, ED1-3, ED4-6 at bsmax 100/10/2, ED7-9 — for the
+synthetic C1/C2 columns, and checks the orderings the paper reports:
+
+- sizes grow monotonically from ED1-3 through decreasing bsmax to ED7-9;
+- fewer unique values (C2) shrink every EncDBDB variant;
+- on C2, ED1-3 undercuts the *plaintext* file (compression beats the
+  encryption overhead — the paper's headline storage result).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import write_result
+from repro.bench.report import format_bytes, format_table
+from repro.bench.storage import storage_table_for_column
+
+
+@pytest.fixture(scope="module")
+def tables(workbench):
+    result = {}
+    for column_name in ("C1", "C2"):
+        values = workbench.column(column_name)
+        result[column_name] = storage_table_for_column(
+            values,
+            string_length=workbench.spec(column_name).string_length,
+            seed=f"storage-{column_name}".encode(),
+        )
+    return result
+
+
+def test_benchmark_storage_accounting(benchmark, workbench):
+    """Benchmark: measuring one full storage table for C2."""
+    values = workbench.column("C2")
+
+    def build_table():
+        return storage_table_for_column(
+            values, string_length=workbench.spec("C2").string_length
+        )
+
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    assert table["ED7/ED8/ED9"] > table["ED1/ED2/ED3"]
+
+
+def test_report_table6(benchmark, tables, workbench):
+    rows = []
+    variants = list(tables["C1"].keys())
+    for variant in variants:
+        rows.append(
+            (
+                variant,
+                format_bytes(tables["C1"][variant]),
+                format_bytes(tables["C2"][variant]),
+            )
+        )
+    text = format_table(
+        f"Table 6: storage size (synthetic C1/C2 at {workbench.settings.rows} rows; "
+        "paper ran 10.9M)",
+        ["variant", "size C1", "size C2"],
+        rows,
+    )
+    write_result("table6_storage", text)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(rows) == 8
+
+
+def test_encdbdb_sizes_monotone_in_bsmax(shape, tables):
+    """Smaller bsmax -> more duplicates -> more storage (paper §6.2)."""
+    for column_name in ("C1", "C2"):
+        table = tables[column_name]
+        assert table["ED1/ED2/ED3"] <= table["ED4/ED5/ED6, bsmax=100"]
+        assert (
+            table["ED4/ED5/ED6, bsmax=100"]
+            < table["ED4/ED5/ED6, bsmax=10"]
+            < table["ED4/ED5/ED6, bsmax=2"]
+            < table["ED7/ED8/ED9"]
+        )
+
+
+def test_fewer_uniques_need_less_space(shape, tables):
+    """C2 (13k uniques at full scale) compresses better than C1."""
+    assert tables["C2"]["ED1/ED2/ED3"] < tables["C1"]["ED1/ED2/ED3"]
+
+
+def test_compressed_encrypted_beats_plaintext_on_c2(shape, tables):
+    """The paper's headline: ED1-3 on C2 is smaller than the plaintext file."""
+    assert tables["C2"]["ED1/ED2/ED3"] < tables["C2"]["Plaintext file"]
+
+
+def test_encrypted_file_is_largest_naive_variant(shape, tables):
+    for column_name in ("C1", "C2"):
+        table = tables[column_name]
+        assert table["Encrypted file"] > table["Plaintext file"]
+        assert table["Encrypted file"] > table["MonetDB"]
+
+
+def test_hiding_close_to_encrypted_file(shape, tables):
+    """ED7-9 stores one PAE blob per row (plus head/AV overhead): it must be
+    the same order of magnitude as the encrypted file."""
+    for column_name in ("C1", "C2"):
+        table = tables[column_name]
+        ratio = table["ED7/ED8/ED9"] / table["Encrypted file"]
+        assert 0.9 < ratio < 1.6

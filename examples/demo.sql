@@ -1,0 +1,29 @@
+-- Demo script for the EncDBDB shell:
+--     python -m repro.cli --script examples/demo.sql
+CREATE TABLE employees (
+    name ED5 VARCHAR(30) BSMAX 4,
+    dept VARCHAR(12),
+    salary ED2 INTEGER,
+    hired ED1 DATE
+);
+
+INSERT INTO employees VALUES
+    ('Jessica', 'research', 7200, '2021-03-01'),
+    ('Archie',  'sales',    5100, '2023-11-15'),
+    ('Hans',    'research', 6800, '2019-06-20'),
+    ('Ella',    'sales',    5900, '2022-01-10'),
+    ('Noor',    'ops',      6100, '2024-05-02');
+
+SELECT name, salary FROM employees
+    WHERE salary BETWEEN 5500 AND 7000 ORDER BY salary DESC;
+
+SELECT dept, COUNT(*), AVG(salary) FROM employees
+    GROUP BY dept ORDER BY dept;
+
+SELECT name FROM employees WHERE hired >= '2022-01-01' AND name LIKE 'A%';
+
+UPDATE employees SET dept = 'platform' WHERE name = 'Noor';
+DELETE FROM employees WHERE salary < 5500;
+MERGE TABLE employees;
+
+SELECT COUNT(*) FROM employees;

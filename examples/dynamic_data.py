@@ -1,0 +1,97 @@
+"""Dynamic data: delta store, updates, deletes, merge, persistence (§4.3).
+
+EncDBDB's main store is read-optimized; inserts land in a write-optimized
+ED9 delta store after being re-encrypted inside the enclave (so neither
+order nor frequency leaks on insertion), deletes flip a validity bit, and a
+periodic MERGE rebuilds the main store — re-encrypting, re-rotating and
+re-shuffling so old and new stores cannot be linked. This example walks
+through the whole lifecycle and finishes with disk persistence.
+
+Run with::
+
+    python examples/dynamic_data.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import EncDBDBSystem
+from repro.client.proxy import Proxy
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.pae import default_pae
+from repro.server.dbms import EncDBDBServer
+
+
+def main() -> None:
+    system = EncDBDBSystem.create(seed=11)
+    system.execute(
+        "CREATE TABLE inventory (sku ED2 VARCHAR(12), stock ED1 INTEGER)"
+    )
+    system.bulk_load(
+        "inventory",
+        {
+            "sku": [f"SKU-{i:04d}" for i in range(200)],
+            "stock": [(i * 37) % 500 for i in range(200)],
+        },
+    )
+
+    table = system.server.catalog.table("inventory")
+    sku_column = table.column("sku")
+    print(f"after bulk load: main={sku_column.main_length} delta=0 rows")
+
+    # Inserts go to the ED9 delta store, re-encrypted inside the enclave.
+    system.execute(
+        "INSERT INTO inventory VALUES ('SKU-9001', 10), ('SKU-9002', 0)"
+    )
+    print(
+        f"after 2 inserts: main={sku_column.main_length} "
+        f"delta={len(sku_column.delta_blobs)} rows"
+    )
+
+    # Reads transparently merge both stores.
+    low_stock = system.query(
+        "SELECT sku, stock FROM inventory WHERE stock < 5 ORDER BY sku"
+    )
+    print(f"low-stock items (both stores): {low_stock.rows[:4]} ...")
+
+    # Updates are read + invalidate + re-insert; deletes flip validity bits.
+    updated = system.execute("UPDATE inventory SET stock = 99 WHERE sku = 'SKU-9002'")
+    deleted = system.execute("DELETE FROM inventory WHERE stock = 0")
+    print(f"updated {updated} row(s), deleted {deleted} row(s)")
+    print(
+        f"live rows: {table.live_row_count} of {table.row_count} "
+        "(deleted rows linger until the merge)"
+    )
+
+    # The periodic merge rebuilds the main store inside the enclave.
+    survivors = system.merge("inventory")
+    print(
+        f"after MERGE: {survivors} rows, main={sku_column.main_length}, "
+        f"delta={len(sku_column.delta_blobs)}"
+    )
+    assert system.query(
+        "SELECT stock FROM inventory WHERE sku = 'SKU-9002'"
+    ).scalar() == 99
+
+    # Persistence: the storage manager writes ciphertext structures to disk;
+    # a fresh server loads them and the owner re-attests its enclave.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "inventory.encdbdb"
+        system.save(path)
+        print(f"\npersisted database: {path.stat().st_size} bytes on disk")
+
+        fresh_server = EncDBDBServer(rng=HmacDrbg(b"restarted-server"))
+        fresh_server.load(path)
+        system.owner.attest_and_provision(fresh_server)
+        proxy = Proxy(
+            fresh_server, system.owner.master_key, default_pae(rng=HmacDrbg(b"p"))
+        )
+        proxy.register_schema(
+            "inventory", fresh_server.catalog.table("inventory").specs
+        )
+        count = proxy.execute("SELECT COUNT(*) FROM inventory").scalar()
+        print(f"fresh server answers after reload: {count} rows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""EncDBDB reproduction: searchable encrypted, compressed, in-memory database.
+
+This package reimplements, in pure Python, the complete system described in
+*EncDBDB: Searchable Encrypted, Fast, Compressed, In-Memory Database using
+Enclaves* (Fuhry, Jayanth Jain H A, Kerschbaum; DSN 2021), together with every
+substrate the paper depends on:
+
+- :mod:`repro.crypto` -- probabilistic authenticated encryption (AES-128-GCM,
+  both a from-scratch reference implementation and a fast library backend),
+  key derivation and deterministic randomness.
+- :mod:`repro.sgx` -- a simulated Intel SGX enclave runtime (isolation,
+  ecall/ocall boundary, EPC memory model, attestation, sealing, cost model).
+- :mod:`repro.columnstore` -- a column-oriented, dictionary-encoding based,
+  in-memory DBMS substrate with persistence and a delta store.
+- :mod:`repro.sql` -- a SQL subset front end (lexer, parser, planner,
+  executor).
+- :mod:`repro.encdict` -- the paper's core contribution: the nine encrypted
+  dictionaries ED1..ED9 with their EncDB / EnclDictSearch / AttrVectSearch
+  operations.
+- :mod:`repro.server` / :mod:`repro.client` -- the DBaaS server (EncDBDB and
+  the PlainDBDB baseline) and the trusted proxy / data-owner tooling.
+- :mod:`repro.security` -- leakage quantification and attack simulations.
+- :mod:`repro.workloads` -- synthetic business-warehouse data and query
+  workloads reproducing the published column statistics (C1 / C2).
+- :mod:`repro.bench` -- measurement harness used by the ``benchmarks/`` tree.
+
+Quickstart::
+
+    from repro import EncDBDBSystem
+
+    system = EncDBDBSystem.create(seed=7)
+    system.execute("CREATE TABLE people (name ED5 VARCHAR(30), age ED1 INTEGER)")
+    system.execute("INSERT INTO people VALUES ('Jessica', 31), ('Archie', 24)")
+    rows = system.query("SELECT name FROM people WHERE age >= 25")
+"""
+
+from repro.exceptions import (
+    AuthenticationError,
+    EncDBDBError,
+    EnclaveSecurityError,
+    QueryError,
+    StorageError,
+)
+
+__version__ = "1.0.0"
+
+# Heavier subsystems are exposed lazily so that importing `repro` stays cheap
+# and subpackages remain importable in isolation.
+_LAZY_EXPORTS = {
+    "EncDBDBSystem": ("repro.client.session", "EncDBDBSystem"),
+    "EncryptedDictionaryKind": ("repro.encdict.options", "EncryptedDictionaryKind"),
+    "RepetitionOption": ("repro.encdict.options", "RepetitionOption"),
+    "OrderOption": ("repro.encdict.options", "OrderOption"),
+    **{f"ED{i}": ("repro.encdict.options", f"ED{i}") for i in range(1, 10)},
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)
+
+__all__ = [
+    "EncDBDBSystem",
+    "EncryptedDictionaryKind",
+    "RepetitionOption",
+    "OrderOption",
+    "ED1",
+    "ED2",
+    "ED3",
+    "ED4",
+    "ED5",
+    "ED6",
+    "ED7",
+    "ED8",
+    "ED9",
+    "EncDBDBError",
+    "AuthenticationError",
+    "EnclaveSecurityError",
+    "QueryError",
+    "StorageError",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Measurement harness backing the ``benchmarks/`` tree.
+
+Provides the three engines of the paper's Figure 8 comparison (MonetDB
+model, PlainDBDB, EncDBDB) behind one interface, latency statistics with
+95% confidence intervals, the Table 6 storage accounting, and plain-text
+report rendering used to regenerate every table/figure of the evaluation.
+"""
+
+from repro.bench.engines import (
+    EncDbdbColumnEngine,
+    MonetDbColumnEngine,
+    PlainDbdbColumnEngine,
+    build_engines,
+)
+from repro.bench.harness import BenchSettings, LatencyStats, measure_query_latency
+from repro.bench.storage import storage_table_for_column
+from repro.bench.report import format_table
+
+__all__ = [
+    "MonetDbColumnEngine",
+    "PlainDbdbColumnEngine",
+    "EncDbdbColumnEngine",
+    "build_engines",
+    "BenchSettings",
+    "LatencyStats",
+    "measure_query_latency",
+    "storage_table_for_column",
+    "format_table",
+]

@@ -1,0 +1,93 @@
+"""Latency measurement with the paper's reporting conventions.
+
+The paper reports the average latency of 500 random range queries with a
+95% confidence interval, measured at the server excluding network and proxy
+time. ``measure_query_latency`` does the same (with a configurable query
+count so CI-scale runs stay fast); :class:`BenchSettings` centralizes the
+environment-variable scaling knobs.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.workloads.queries import RangeQuery
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    """Scaling knobs, overridable via environment variables.
+
+    - ``ENCDBDB_BENCH_ROWS``: rows per generated column (default 20 000;
+      the paper's full datasets are 10.9 M — pass e.g. 10900000 for a
+      full-scale run).
+    - ``ENCDBDB_BENCH_QUERIES``: random queries per cell (default 25;
+      paper: 500).
+    - ``ENCDBDB_BENCH_SIZES``: dataset-size steps for the Figure 8 x-axis
+      (default 3; paper: 10).
+    """
+
+    rows: int = 20_000
+    queries: int = 25
+    size_steps: int = 3
+
+    @classmethod
+    def from_env(cls) -> "BenchSettings":
+        return cls(
+            rows=int(os.environ.get("ENCDBDB_BENCH_ROWS", cls.rows)),
+            queries=int(os.environ.get("ENCDBDB_BENCH_QUERIES", cls.queries)),
+            size_steps=int(os.environ.get("ENCDBDB_BENCH_SIZES", cls.size_steps)),
+        )
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Mean latency with a 95% confidence interval, in seconds."""
+
+    mean: float
+    ci95: float
+    count: int
+    total_results: int
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean * 1e3
+
+    @property
+    def ci95_ms(self) -> float:
+        return self.ci95 * 1e3
+
+    def __str__(self) -> str:
+        return f"{self.mean_ms:9.3f} ms ±{self.ci95_ms:7.3f}"
+
+
+def latency_stats(samples: Sequence[float], total_results: int = 0) -> LatencyStats:
+    """Mean and normal-approximation 95% CI of latency samples."""
+    n = len(samples)
+    if n == 0:
+        raise ValueError("no samples")
+    mean = sum(samples) / n
+    if n > 1:
+        variance = sum((s - mean) ** 2 for s in samples) / (n - 1)
+        ci95 = 1.96 * math.sqrt(variance / n)
+    else:
+        ci95 = 0.0
+    return LatencyStats(mean=mean, ci95=ci95, count=n, total_results=total_results)
+
+
+def measure_query_latency(
+    run: Callable[[RangeQuery], int], queries: Sequence[RangeQuery]
+) -> LatencyStats:
+    """Time each query individually; returns aggregate statistics."""
+    samples = []
+    total_results = 0
+    for query in queries:
+        start = time.perf_counter()
+        result_count = run(query)
+        samples.append(time.perf_counter() - start)
+        total_results += int(result_count)
+    return latency_stats(samples, total_results)

@@ -1,0 +1,37 @@
+"""Plain-text rendering of the regenerated tables and figures."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence], *, indent: str = "  "
+) -> str:
+    """Render an aligned text table with a title line."""
+    columns = len(headers)
+    text_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(columns)
+    ]
+    lines = [title]
+    lines.append(
+        indent + "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    )
+    lines.append(indent + "  ".join("-" * width for width in widths))
+    for row in text_rows:
+        lines.append(
+            indent + "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_bytes(size: int) -> str:
+    """Human-readable size: keeps comparisons across rows obvious."""
+    if size >= 1024 * 1024:
+        return f"{size / (1024 * 1024):8.2f} MiB"
+    if size >= 1024:
+        return f"{size / 1024:8.2f} KiB"
+    return f"{size:8d} B"

@@ -1,0 +1,210 @@
+"""Command-line SQL shell for the EncDBDB reproduction.
+
+Usage::
+
+    python -m repro.cli                      # interactive shell
+    python -m repro.cli --script demo.sql    # run a ;-separated script
+    python -m repro.cli --seed 7 --save db.encdbdb --script load.sql
+
+The CLI stands up a complete deployment (server + enclave + data owner +
+proxy) on startup, optionally restores a persisted database, executes SQL
+through the trusted proxy, and pretty-prints results. Meta commands:
+``.help``, ``.tables``, ``.schema <table>``, ``.stats`` (enclave cost
+counters), ``.quit``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.client.session import EncDBDBSystem
+from repro.exceptions import EncDBDBError
+from repro.sql.result import QueryResult
+
+
+def format_result(result: QueryResult) -> str:
+    """Align a query result as a text table."""
+    headers = result.column_names
+    rows = [[str(cell) for cell in row] for row in result.rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    lines.append(f"({len(rows)} row{'s' if len(rows) != 1 else ''})")
+    return "\n".join(lines)
+
+
+def split_statements(text: str) -> list[str]:
+    """Split a SQL script on semicolons, respecting strings and comments."""
+    statements = []
+    current = []
+    in_string = False
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if not in_string and text.startswith("--", index):
+            newline = text.find("\n", index)
+            index = len(text) if newline == -1 else newline + 1
+            current.append(" ")
+            continue
+        if char == "'":
+            in_string = not in_string
+        if char == ";" and not in_string:
+            statement = "".join(current).strip()
+            if statement:
+                statements.append(statement)
+            current = []
+        else:
+            current.append(char)
+        index += 1
+    tail = "".join(current).strip()
+    if tail:
+        statements.append(tail)
+    return statements
+
+
+class Shell:
+    """Executes SQL statements and meta commands against one system."""
+
+    def __init__(self, system: EncDBDBSystem, out=None) -> None:
+        self.system = system
+        # Bound at call time so test harnesses that swap sys.stdout work.
+        self.out = out if out is not None else sys.stdout
+
+    def _print(self, text: str) -> None:
+        print(text, file=self.out)
+
+    def execute_line(self, line: str) -> bool:
+        """Run one input line; returns False when the shell should exit."""
+        line = line.strip()
+        if not line:
+            return True
+        if line.startswith("."):
+            return self._meta(line)
+        try:
+            result = self.system.execute(line.rstrip(";"))
+        except EncDBDBError as error:
+            self._print(f"error: {error}")
+            return True
+        if isinstance(result, QueryResult):
+            self._print(format_result(result))
+        else:
+            self._print(f"ok ({result} row{'s' if result != 1 else ''} affected)")
+        return True
+
+    def _meta(self, line: str) -> bool:
+        command, _, argument = line.partition(" ")
+        if command in (".quit", ".exit"):
+            return False
+        if command == ".help":
+            self._print(
+                "statements: CREATE TABLE / INSERT / SELECT / UPDATE / DELETE"
+                " / MERGE TABLE\n"
+                "meta: .tables  .schema <table>  .explain <sql>  .stats  "
+                ".save <path>  .quit"
+            )
+        elif command == ".tables":
+            names = self.system.server.catalog.table_names()
+            self._print("\n".join(names) if names else "(no tables)")
+        elif command == ".schema":
+            try:
+                table = self.system.server.catalog.table(argument.strip())
+            except EncDBDBError as error:
+                self._print(f"error: {error}")
+                return True
+            for spec in table.specs:
+                protection = spec.protection.name if spec.protection else "PLAIN"
+                bsmax = (
+                    f" BSMAX {spec.bsmax}"
+                    if spec.protection is not None
+                    and spec.protection.repetition.name == "SMOOTHING"
+                    else ""
+                )
+                self._print(
+                    f"  {spec.name} {protection} {spec.value_type.sql_name}{bsmax}"
+                )
+        elif command == ".stats":
+            cost = self.system.server.cost_model
+            self._print(
+                f"ecalls={cost.ecalls} decryptions={cost.decryptions} "
+                f"untrusted_loads={cost.untrusted_loads} "
+                f"modeled_cycles={cost.estimated_cycles():,}"
+            )
+        elif command == ".explain":
+            if not argument.strip():
+                self._print("usage: .explain <statement>")
+            else:
+                try:
+                    self._print(self.system.proxy.explain(argument.strip()))
+                except EncDBDBError as error:
+                    self._print(f"error: {error}")
+        elif command == ".save":
+            path = argument.strip()
+            if not path:
+                self._print("usage: .save <path>")
+            else:
+                self.system.save(path)
+                self._print(f"saved to {path}")
+        else:
+            self._print(f"unknown meta command {command!r} (try .help)")
+        return True
+
+    def run_script(self, text: str) -> None:
+        for statement in split_statements(text):
+            self.execute_line(statement)
+
+    def run_interactive(self, input_stream=sys.stdin) -> None:
+        self._print("EncDBDB reproduction shell — .help for commands")
+        buffered = ""
+        while True:
+            prompt = "encdbdb> " if not buffered else "     ...> "
+            print(prompt, end="", file=self.out, flush=True)
+            line = input_stream.readline()
+            if not line:
+                break
+            buffered += line
+            # Execute on a terminating semicolon or a meta command line.
+            if ";" in line or buffered.strip().startswith("."):
+                for statement in split_statements(buffered):
+                    if not self.execute_line(statement):
+                        return
+                buffered = ""
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="EncDBDB reproduction SQL shell"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="deployment seed")
+    parser.add_argument("--script", type=Path, help="run a SQL script and exit")
+    parser.add_argument("--load", type=Path, help="load a persisted database")
+    parser.add_argument("--save", type=Path, help="save the database on exit")
+    args = parser.parse_args(argv)
+
+    system = EncDBDBSystem.create(seed=args.seed)
+    if args.load:
+        # Loading replaces the catalog; re-register schemas with the proxy.
+        system.server.load(args.load)
+        for name in system.server.catalog.table_names():
+            system.proxy.register_schema(
+                name, system.server.catalog.table(name).specs
+            )
+    shell = Shell(system)
+    if args.script:
+        shell.run_script(args.script.read_text())
+    else:
+        shell.run_interactive()
+    if args.save:
+        system.save(args.save)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

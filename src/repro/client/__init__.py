@@ -1,0 +1,7 @@
+"""The trusted side of EncDBDB: data owner, proxy, and application session."""
+
+from repro.client.owner import DataOwner
+from repro.client.proxy import Proxy
+from repro.client.session import EncDBDBSystem
+
+__all__ = ["DataOwner", "Proxy", "EncDBDBSystem"]

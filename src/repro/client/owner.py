@@ -1,0 +1,103 @@
+"""The data owner: key generation, attestation, provisioning, EncDB.
+
+Implements the setup phase of paper §4.2: generate ``SKDB`` ( 1 ), attest
+the server enclave and deploy the key through the secure channel ( 2 ),
+split and encrypt every column locally so plaintext never leaves the
+trusted realm ( 3 ), and import the encrypted database at the provider
+( 4 ).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.columnstore.types import ColumnSpec
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.kdf import derive_column_key
+from repro.crypto.pae import Pae, default_pae, pae_gen
+from repro.encdict.builder import BuildResult, encdb_build
+from repro.exceptions import CatalogError
+from repro.server.dbms import EncDBDBServer
+from repro.sgx.channel import SecureChannel
+
+
+class DataOwner:
+    """Holds ``SKDB`` and prepares/provisions the encrypted database."""
+
+    def __init__(self, *, rng: HmacDrbg | None = None, pae: Pae | None = None) -> None:
+        self._rng = rng if rng is not None else HmacDrbg(b"data-owner")
+        self.pae = pae if pae is not None else default_pae(rng=self._rng.fork("pae"))
+        # Step 1: SKDB = PAE_Gen(1^λ)
+        self.master_key = pae_gen(rng=self._rng.fork("skdb"))
+
+    def attest_and_provision(
+        self, server: EncDBDBServer, *, expected_measurement: bytes | None = None
+    ) -> None:
+        """Step 2: attest the enclave, then push ``SKDB`` through the channel.
+
+        ``expected_measurement`` is the enclave identity the owner audited;
+        it defaults to the deployed enclave's advertised measurement (in a
+        real deployment the owner pins the value out of band).
+        """
+        expected = (
+            expected_measurement
+            if expected_measurement is not None
+            else server.measurement
+        )
+        offer = server.enclave_channel_offer()
+        channel, client_public = SecureChannel.connect(
+            offer,
+            server.attestation,
+            expected,
+            rng=self._rng.fork("channel"),
+            pae=self.pae,
+        )
+        server.enclave_channel_accept(client_public)
+        server.enclave_provision(channel.send(self.master_key))
+
+    # ------------------------------------------------------------------
+    # Step 3: EncDB on the owner's plaintext database
+    # ------------------------------------------------------------------
+    def column_key(self, table_name: str, column_name: str) -> bytes:
+        return derive_column_key(self.master_key, table_name, column_name)
+
+    def encrypt_column(
+        self, table_name: str, spec: ColumnSpec, values: Sequence
+    ) -> BuildResult:
+        """Run ``EncDB`` for one column according to its selected kind."""
+        if not spec.is_encrypted:
+            raise CatalogError(f"column {spec.name!r} is not encrypted")
+        return encdb_build(
+            list(values),
+            spec.protection,
+            value_type=spec.value_type,
+            key=self.column_key(table_name, spec.name),
+            pae=self.pae,
+            rng=self._rng.fork(f"encdb-{table_name}-{spec.name}"),
+            bsmax=spec.bsmax,
+            table_name=table_name,
+            column_name=spec.name,
+        )
+
+    def deploy_table(
+        self, server: EncDBDBServer, table_name: str, columns: dict[str, list]
+    ) -> int:
+        """Step 4: split/encrypt every column and bulk-import the table."""
+        table = server.catalog.table(table_name)
+        plain_columns: dict[str, list] = {}
+        encrypted_builds: dict[str, BuildResult] = {}
+        for spec in table.specs:
+            if spec.name not in columns:
+                raise CatalogError(f"no data provided for column {spec.name!r}")
+            values = columns[spec.name]
+            if spec.is_encrypted:
+                encrypted_builds[spec.name] = self.encrypt_column(
+                    table_name, spec, values
+                )
+            else:
+                plain_columns[spec.name] = list(values)
+        return server.bulk_load(
+            table_name,
+            plain_columns=plain_columns,
+            encrypted_builds=encrypted_builds,
+        )

@@ -1,0 +1,354 @@
+"""The trusted proxy (paper §3.1, §4.2 steps 5 and 14).
+
+Applications speak plain SQL to the proxy. The proxy parses and plans each
+statement against its schema mirror, converts every filter to a closed range
+in ordinal space, encrypts the range bounds per column key, forwards the
+plan to the server, and finally decrypts the returned columns — computing
+aggregates, grouping, ordering, and limits on the plaintext, since an
+untrusted server cannot do any of that on ciphertext. The whole process is
+transparent to the application.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.columnstore.catalog import Catalog
+from repro.columnstore.types import ColumnSpec, ValueType
+from repro.crypto.pae import Pae
+from repro.encdict.enclave_app import encrypt_search_range
+from repro.encdict.search import OrdinalRange
+from repro.exceptions import QueryError
+from repro.server.dbms import EncDBDBServer
+from repro.sql.ast_nodes import Aggregate
+from repro.sql.parser import parse
+from repro.sql.planner import (
+    CreatePlan,
+    DeletePlan,
+    EncryptedRangeFilter,
+    FilterNode,
+    FilterPlan,
+    InsertPlan,
+    JoinSelectPlan,
+    MergePlan,
+    Planner,
+    PostProcessing,
+    PrefixFilter,
+    RangeFilter,
+    SelectPlan,
+    UpdatePlan,
+)
+from repro.sql.result import QueryResult, ServerResult
+
+
+class Proxy:
+    """Trusted query gateway holding ``SKDB``."""
+
+    def __init__(self, server: EncDBDBServer, master_key: bytes, pae: Pae) -> None:
+        self._server = server
+        self._master_key = master_key
+        self._pae = pae
+        # Schema mirror: table definitions only, never any data.
+        self._schema = Catalog()
+        self._planner = Planner(self._schema)
+        from repro.crypto.drbg import HmacDrbg
+
+        self._salt_rng = HmacDrbg(master_key + b"proxy-join-salt")
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def execute(self, sql: str):
+        """Run one SQL statement; returns a QueryResult or affected count."""
+        plan = self._planner.plan(parse(sql))
+        if isinstance(plan, CreatePlan):
+            return self._execute_create(plan)
+        if isinstance(plan, InsertPlan):
+            return self._execute_insert(plan)
+        if isinstance(plan, SelectPlan):
+            return self._execute_select(plan)
+        if isinstance(plan, JoinSelectPlan):
+            return self._execute_join_select(plan)
+        if isinstance(plan, DeletePlan):
+            return self._server.execute_delete(
+                DeletePlan(plan.table, self._encrypt_filter(plan.table, plan.filter))
+            )
+        if isinstance(plan, UpdatePlan):
+            return self._execute_update(plan)
+        if isinstance(plan, MergePlan):
+            return self._server.execute_merge(plan)
+        raise QueryError(f"unsupported plan {type(plan).__name__}")
+
+    def explain(self, sql: str) -> str:
+        """Describe how a statement would execute, without executing it."""
+        from repro.sql.planner import describe_plan
+
+        plan = self._planner.plan(parse(sql))
+        return describe_plan(plan, self._schema)
+
+    def register_schema(self, table_name: str, specs: list[ColumnSpec]) -> None:
+        """Mirror an externally created table (bulk-load path)."""
+        table = self._schema.create_table(table_name, specs)
+        table.attach_columns(
+            {spec.name: _SchemaOnlyColumn(spec) for spec in specs}, 0
+        )
+
+    # ------------------------------------------------------------------
+    # Statement handling
+    # ------------------------------------------------------------------
+    def _execute_create(self, plan: CreatePlan) -> int:
+        self._server.create_table(plan)
+        self.register_schema(plan.table, list(plan.specs))
+        return 0
+
+    def _execute_insert(self, plan: InsertPlan) -> int:
+        prepared = [self._prepare_row(plan.table, row) for row in plan.rows]
+        return self._server.execute_insert(plan.table, prepared)
+
+    def _prepare_row(self, table_name: str, row: dict) -> dict:
+        table = self._schema.table(table_name)
+        prepared = {}
+        for name, value in row.items():
+            spec = table.spec(name)
+            if spec.is_encrypted:
+                key = self._column_key(table_name, name)
+                prepared[name] = self._pae.encrypt(
+                    key, spec.value_type.to_bytes(value)
+                )
+            else:
+                prepared[name] = value
+        return prepared
+
+    def _execute_select(self, plan: SelectPlan) -> QueryResult:
+        encrypted_plan = SelectPlan(
+            plan.table,
+            plan.needed_columns,
+            self._encrypt_filter(plan.table, plan.filter),
+            plan.post,
+        )
+        server_result = self._server.execute_select(encrypted_plan)
+        rows = self._decrypt_rows(plan.table, plan.needed_columns, server_result)
+        return self._post_process(plan.post, rows)
+
+    def _execute_join_select(self, plan: JoinSelectPlan) -> QueryResult:
+        encrypted_plan = JoinSelectPlan(
+            left_table=plan.left_table,
+            right_table=plan.right_table,
+            left_column=plan.left_column,
+            right_column=plan.right_column,
+            left_needed=plan.left_needed,
+            right_needed=plan.right_needed,
+            left_filter=self._encrypt_filter(plan.left_table, plan.left_filter),
+            right_filter=self._encrypt_filter(plan.right_table, plan.right_filter),
+            post=plan.post,
+        )
+        # Fresh per-query salt: join tokens are unlinkable across queries.
+        salt = self._salt_rng.random_bytes(16)
+        server_result = self._server.execute_join_select(encrypted_plan, salt)
+        decrypted = self._decrypt_result_columns(server_result)
+        names = list(decrypted)
+        rows = [
+            {name: decrypted[name][i] for name in names}
+            for i in range(server_result.row_count)
+        ]
+        return self._post_process(plan.post, rows)
+
+    def _execute_update(self, plan: UpdatePlan) -> int:
+        """UPDATE = read the matching rows, invalidate them, re-insert."""
+        table = self._schema.table(plan.table)
+        read_plan = SelectPlan(
+            plan.table,
+            tuple(table.column_names),
+            self._encrypt_filter(plan.table, plan.filter),
+            PostProcessing(items=tuple(table.column_names)),
+        )
+        server_result = self._server.execute_select(read_plan)
+        rows = self._decrypt_rows(plan.table, tuple(table.column_names), server_result)
+        if not rows:
+            return 0
+        self._server.delete_record_ids(
+            plan.table, server_result.record_ids
+        )
+        assignments = dict(plan.assignments)
+        new_rows = []
+        for row in rows:
+            updated = dict(row)
+            updated.update(assignments)
+            new_rows.append(self._prepare_row(plan.table, updated))
+        self._server.execute_insert(plan.table, new_rows)
+        return len(new_rows)
+
+    # ------------------------------------------------------------------
+    # Filter encryption (paper §4.2 step 5)
+    # ------------------------------------------------------------------
+    def _column_key(self, table_name: str, column_name: str) -> bytes:
+        from repro.crypto.kdf import derive_column_key
+
+        return derive_column_key(self._master_key, table_name, column_name)
+
+    def _encrypt_filter(
+        self, table_name: str, plan: FilterPlan | None
+    ) -> FilterPlan | None:
+        if plan is None:
+            return None
+        if isinstance(plan, FilterNode):
+            return FilterNode(
+                plan.operator,
+                tuple(
+                    self._encrypt_filter(table_name, child) for child in plan.children
+                ),
+            )
+        if isinstance(plan, RangeFilter):
+            spec = self._schema.table(table_name).spec(plan.column)
+            if not spec.is_encrypted:
+                return plan
+            search = self._to_ordinal_range(spec.value_type, plan)
+            tau = encrypt_search_range(
+                self._pae, self._column_key(table_name, plan.column), search
+            )
+            return EncryptedRangeFilter(plan.column, tau, negated=plan.negated)
+        if isinstance(plan, PrefixFilter):
+            spec = self._schema.table(table_name).spec(plan.column)
+            if not spec.is_encrypted:
+                return plan
+            # A LIKE-prefix is just another closed ordinal range: after
+            # encryption the server cannot tell it from any other filter.
+            low, high = spec.value_type.prefix_ordinal_range(plan.prefix)
+            tau = encrypt_search_range(
+                self._pae,
+                self._column_key(table_name, plan.column),
+                OrdinalRange(low, high),
+            )
+            return EncryptedRangeFilter(plan.column, tau, negated=plan.negated)
+        raise QueryError(f"cannot encrypt filter node {type(plan).__name__}")
+
+    @staticmethod
+    def _to_ordinal_range(value_type: ValueType, plan: RangeFilter) -> OrdinalRange:
+        """Normalize open/exclusive bounds to a closed ordinal interval.
+
+        Exploits that column domains are discrete: ``v > x`` equals
+        ``v >= succ(x)``. Open ends become the domain extrema — the
+        ``-inf``/``+inf`` placeholders of the paper.
+        """
+        if plan.low is None:
+            low = 0
+        else:
+            low = value_type.ordinal(plan.low) + (0 if plan.low_inclusive else 1)
+        if plan.high is None:
+            high = value_type.domain_size - 1
+        else:
+            high = value_type.ordinal(plan.high) - (0 if plan.high_inclusive else 1)
+        return OrdinalRange(low, high)
+
+    # ------------------------------------------------------------------
+    # Result decryption and rendering (paper §4.2 step 14)
+    # ------------------------------------------------------------------
+    def _decrypt_rows(
+        self, table_name: str, needed: tuple[str, ...], result: ServerResult
+    ) -> list[dict]:
+        decrypted = self._decrypt_result_columns(result)
+        return [
+            {name: decrypted[name][i] for name in needed}
+            for i in range(result.row_count)
+        ]
+
+    def _decrypt_result_columns(self, result: ServerResult) -> dict[str, list]:
+        """Decrypt every returned column using its attached metadata
+        (paper §4.2 step 14: the proxy derives each column's key from the
+        table/column names the result renderer attached)."""
+        decrypted: dict[str, list] = {}
+        for key_name, column in result.columns.items():
+            if column.encrypted:
+                key = self._column_key(column.table_name, column.column_name)
+                value_type = (
+                    self._schema.table(column.table_name)
+                    .spec(column.column_name)
+                    .value_type
+                )
+                decrypted[key_name] = [
+                    value_type.from_bytes(self._pae.decrypt(key, blob))
+                    for blob in column.data
+                ]
+            else:
+                decrypted[key_name] = list(column.data)
+        return decrypted
+
+    def _post_process(self, post: PostProcessing, rows: list[dict]) -> QueryResult:
+        if post.group_by:
+            rows = self._group(post, rows)
+        elif post.has_aggregates:
+            rows = [
+                {
+                    item.label: _aggregate(item, rows)
+                    for item in post.items
+                    if isinstance(item, Aggregate)
+                }
+            ]
+        if post.order_by:
+            for order in reversed(post.order_by):
+                rows = sorted(
+                    rows, key=lambda row: row[order.column], reverse=order.descending
+                )
+        column_names = [
+            item.label if isinstance(item, Aggregate) else item for item in post.items
+        ]
+        projected = [
+            tuple(row[name] for name in column_names) for row in rows
+        ]
+        if post.distinct:
+            seen = set()
+            unique_rows = []
+            for row in projected:
+                if row not in seen:
+                    seen.add(row)
+                    unique_rows.append(row)
+            projected = unique_rows
+        if post.limit is not None:
+            projected = projected[: post.limit]
+        return QueryResult(column_names, projected)
+
+    def _group(self, post: PostProcessing, rows: list[dict]) -> list[dict]:
+        groups: dict[tuple, list[dict]] = {}
+        order: list[tuple] = []
+        for row in rows:
+            group_key = tuple(row[name] for name in post.group_by)
+            if group_key not in groups:
+                groups[group_key] = []
+                order.append(group_key)
+            groups[group_key].append(row)
+        rendered = []
+        for group_key in order:
+            members = groups[group_key]
+            out: dict[str, Any] = dict(zip(post.group_by, group_key))
+            for item in post.items:
+                if isinstance(item, Aggregate):
+                    out[item.label] = _aggregate(item, members)
+            rendered.append(out)
+        return rendered
+
+
+def _aggregate(item: Aggregate, rows: list[dict]):
+    if item.function == "COUNT":
+        return len(rows)
+    values = [row[item.column] for row in rows]
+    if not values:
+        return None
+    if item.function == "SUM":
+        return sum(values)
+    if item.function == "AVG":
+        return sum(values) / len(values)
+    if item.function == "MIN":
+        return min(values)
+    if item.function == "MAX":
+        return max(values)
+    raise QueryError(f"unknown aggregate {item.function}")
+
+
+class _SchemaOnlyColumn:
+    """Placeholder column object for the proxy's schema mirror."""
+
+    def __init__(self, spec: ColumnSpec) -> None:
+        self.spec = spec
+
+    def __len__(self) -> int:
+        return 0

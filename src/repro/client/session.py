@@ -1,0 +1,63 @@
+"""The application-facing session: one call to stand up a whole deployment.
+
+:class:`EncDBDBSystem` wires together the DBaaS server (with its enclave),
+the data owner (key generation, attestation, provisioning), and the trusted
+proxy, reproducing the full setup of paper Figure 5. Applications then just
+issue SQL::
+
+    system = EncDBDBSystem.create(seed=7)
+    system.execute("CREATE TABLE t (name ED5 VARCHAR(30), age ED1 INTEGER)")
+    system.execute("INSERT INTO t VALUES ('Jessica', 31)")
+    result = system.query("SELECT name FROM t WHERE age >= 30")
+"""
+
+from __future__ import annotations
+
+from repro.client.owner import DataOwner
+from repro.client.proxy import Proxy
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.pae import default_pae
+from repro.server.dbms import EncDBDBServer
+from repro.sql.result import QueryResult
+
+
+class EncDBDBSystem:
+    """A fully provisioned EncDBDB deployment (server + owner + proxy)."""
+
+    def __init__(self, server: EncDBDBServer, owner: DataOwner, proxy: Proxy) -> None:
+        self.server = server
+        self.owner = owner
+        self.proxy = proxy
+
+    @classmethod
+    def create(cls, *, seed: int | bytes | str = 0) -> "EncDBDBSystem":
+        """Stand up a deployment: generate keys, attest, provision."""
+        rng = HmacDrbg(seed if isinstance(seed, (bytes, str)) else int(seed))
+        server = EncDBDBServer(rng=rng.fork("server"))
+        owner = DataOwner(rng=rng.fork("owner"))
+        owner.attest_and_provision(server)
+        proxy = Proxy(server, owner.master_key, default_pae(rng=rng.fork("proxy")))
+        return cls(server, owner, proxy)
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str):
+        """Run any supported SQL statement through the proxy."""
+        return self.proxy.execute(sql)
+
+    def query(self, sql: str) -> QueryResult:
+        """Run a SELECT and return its :class:`QueryResult`."""
+        result = self.proxy.execute(sql)
+        if not isinstance(result, QueryResult):
+            raise TypeError("query() is only for SELECT statements")
+        return result
+
+    def bulk_load(self, table_name: str, columns: dict[str, list]) -> int:
+        """Data-owner bulk import: EncDB locally, deploy ciphertext only."""
+        return self.owner.deploy_table(self.server, table_name, columns)
+
+    def merge(self, table_name: str) -> int:
+        """Trigger the delta-store merge for one table (paper §4.3)."""
+        return self.execute(f"MERGE TABLE {table_name}")
+
+    def save(self, path) -> None:
+        self.server.save(path)

@@ -1,0 +1,25 @@
+"""Column-oriented, dictionary-encoding based, in-memory DBMS substrate.
+
+This package is the reproduction's stand-in for MonetDB (paper §5): typed
+columns split into dictionary + attribute vector, a catalog of tables, binary
+persistence, a delta store for dynamic data, and a faithful model of
+MonetDB's own string-dictionary variant used as the plaintext baseline in the
+evaluation.
+"""
+
+from repro.columnstore.dictionary import DictionaryEncodedColumn, split_column
+from repro.columnstore.types import (
+    ColumnSpec,
+    IntegerType,
+    ValueType,
+    VarcharType,
+)
+
+__all__ = [
+    "ValueType",
+    "IntegerType",
+    "VarcharType",
+    "ColumnSpec",
+    "split_column",
+    "DictionaryEncodedColumn",
+]

@@ -1,0 +1,43 @@
+"""The database catalog: table schemas and their column stores."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.columnstore.table import Table
+from repro.columnstore.types import ColumnSpec
+from repro.exceptions import CatalogError
+
+
+class Catalog:
+    """Name -> table mapping with schema validation."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, specs: Sequence[ColumnSpec]) -> Table:
+        if name in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name, specs)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def drop_table(self, name: str) -> None:
+        if name not in self._tables:
+            raise CatalogError(f"unknown table {name!r}")
+        del self._tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)

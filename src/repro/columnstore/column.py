@@ -1,0 +1,264 @@
+"""Stored columns: main store + write-optimized delta store (paper §4.3).
+
+Each column of a table is split into a read-optimized *main store* (any
+dictionary kind) and an append-only *delta store*. For encrypted columns the
+delta store is always ED9 — one probabilistically encrypted dictionary entry
+per inserted value, searched with the linear ``EnclDictSearch 9`` — so
+neither order nor frequency leaks on insertion. RecordIDs are global: main
+rows first, delta rows after; deletions flip a validity bit at table level
+and rows are physically dropped at the periodic merge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.columnstore.dictionary import DictionaryEncodedColumn
+from repro.columnstore.types import ColumnSpec
+from repro.encdict.attrvect import attr_vect_search
+from repro.encdict.builder import BuildResult
+from repro.encdict.dictionary import EncryptedDictionary
+from repro.encdict.options import ED9
+from repro.encdict.search import OrdinalRange, SearchResult
+from repro.exceptions import CatalogError, QueryError
+from repro.sgx.enclave import EnclaveHost
+
+
+class PlainStoredColumn:
+    """An unprotected column: plaintext dictionary encoding + delta list."""
+
+    def __init__(self, spec: ColumnSpec, values: Sequence[Any] = ()) -> None:
+        if spec.is_encrypted:
+            raise CatalogError(f"column {spec.name} is declared encrypted")
+        self.spec = spec
+        for value in values:
+            spec.value_type.validate(value)
+        self.main = (
+            DictionaryEncodedColumn.from_values(list(values))
+            if len(values)
+            else DictionaryEncodedColumn([], np.empty(0, dtype=np.int64))
+        )
+        self.delta_values: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self.main) + len(self.delta_values)
+
+    @property
+    def main_length(self) -> int:
+        return len(self.main)
+
+    def append(self, value: Any) -> int:
+        """Insert into the delta store; returns the new global RecordID."""
+        self.spec.value_type.validate(value)
+        self.delta_values.append(value)
+        return len(self) - 1
+
+    def search_range(self, low: Any, high: Any) -> np.ndarray:
+        """Global RecordIDs with ``low <= value <= high`` (both stores)."""
+        return self.search_filter(low, True, high, True)
+
+    def search_filter(
+        self,
+        low: Any | None,
+        low_inclusive: bool,
+        high: Any | None,
+        high_inclusive: bool,
+    ) -> np.ndarray:
+        """Range search with optional open ends and exclusive bounds."""
+
+        def matches(value: Any) -> bool:
+            if low is not None:
+                if low_inclusive and value < low:
+                    return False
+                if not low_inclusive and value <= low:
+                    return False
+            if high is not None:
+                if high_inclusive and value > high:
+                    return False
+                if not high_inclusive and value >= high:
+                    return False
+            return True
+
+        import bisect
+
+        dictionary = self.main.dictionary
+        if low is None:
+            vid_min = 0
+        elif low_inclusive:
+            vid_min = bisect.bisect_left(dictionary, low)
+        else:
+            vid_min = bisect.bisect_right(dictionary, low)
+        if high is None:
+            vid_max = len(dictionary) - 1
+        elif high_inclusive:
+            vid_max = bisect.bisect_right(dictionary, high) - 1
+        else:
+            vid_max = bisect.bisect_left(dictionary, high) - 1
+        main_rids = self.main.attribute_vector_search(vid_min, vid_max)
+        delta_rids = [
+            self.main_length + i
+            for i, value in enumerate(self.delta_values)
+            if matches(value)
+        ]
+        return np.concatenate(
+            [main_rids, np.asarray(delta_rids, dtype=np.int64)]
+        )
+
+    def value_at(self, record_id: int) -> Any:
+        if record_id < self.main_length:
+            return self.main.value_at(record_id)
+        return self.delta_values[record_id - self.main_length]
+
+    def rebuild(self, values: Sequence[Any]) -> None:
+        """Merge: rebuild the main store from the surviving values."""
+        self.main = DictionaryEncodedColumn.from_values(list(values))
+        self.delta_values = []
+
+    def search_prefix(self, prefix: str) -> np.ndarray:
+        """Global RecordIDs whose value starts with ``prefix``.
+
+        Prefix matches are contiguous in the sorted dictionary, so the scan
+        starts at ``bisect_left(prefix)`` and stops at the first
+        non-matching entry.
+        """
+        import bisect
+
+        dictionary = self.main.dictionary
+        start = bisect.bisect_left(dictionary, prefix)
+        end = start
+        while end < len(dictionary) and str(dictionary[end]).startswith(prefix):
+            end += 1
+        main_rids = self.main.attribute_vector_search(start, end - 1)
+        delta_rids = [
+            self.main_length + i
+            for i, value in enumerate(self.delta_values)
+            if str(value).startswith(prefix)
+        ]
+        return np.concatenate(
+            [main_rids, np.asarray(delta_rids, dtype=np.int64)]
+        )
+
+    def join_keys(self) -> list[Any]:
+        """Per-row join keys: for a plaintext column, the values themselves."""
+        return [self.value_at(record_id) for record_id in range(len(self))]
+
+
+class EncryptedStoredColumn:
+    """An encrypted column: main-store encrypted dictionary + ED9 delta.
+
+    The server holds only ciphertext; searches go through the enclave host
+    and value reconstruction returns PAE blobs for the proxy to decrypt.
+    """
+
+    def __init__(self, spec: ColumnSpec, build: BuildResult | None) -> None:
+        if not spec.is_encrypted:
+            raise CatalogError(f"column {spec.name} is not declared encrypted")
+        self.spec = spec
+        self.main_build = build
+        self.delta_blobs: list[bytes] = []
+        self._table_name = build.dictionary.table_name if build else ""
+
+    def __len__(self) -> int:
+        main = len(self.main_build.attribute_vector) if self.main_build else 0
+        return main + len(self.delta_blobs)
+
+    @property
+    def main_length(self) -> int:
+        return len(self.main_build.attribute_vector) if self.main_build else 0
+
+    def bind(self, table_name: str) -> None:
+        self._table_name = table_name
+
+    def append_transit_blob(self, transit_blob: bytes, host: EnclaveHost) -> int:
+        """Insert one proxy-encrypted value: re-encrypted in the enclave,
+        appended to the ED9 delta store (paper §4.3)."""
+        stored = host.ecall(
+            "reencrypt_for_delta", self._table_name, self.spec.name, transit_blob
+        )
+        self.delta_blobs.append(stored)
+        return len(self) - 1
+
+    def _delta_dictionary(self) -> EncryptedDictionary:
+        """The delta store viewed as an ED9 encrypted dictionary."""
+        return EncryptedDictionary.from_blobs(
+            self.delta_blobs,
+            kind=ED9,
+            value_type=self.spec.value_type,
+            table_name=self._table_name,
+            column_name=self.spec.name,
+        )
+
+    def search_tau(self, tau: tuple[bytes, bytes], host: EnclaveHost) -> np.ndarray:
+        """Global RecordIDs matching the encrypted range ``τ``."""
+        parts = []
+        if self.main_build is not None and self.main_length:
+            result: SearchResult = host.ecall(
+                "dict_search", self.main_build.dictionary, tau
+            )
+            parts.append(
+                attr_vect_search(
+                    self.main_build.attribute_vector, result,
+                    cost_model=host.cost_model,
+                )
+            )
+        if self.delta_blobs:
+            delta_result: SearchResult = host.ecall(
+                "dict_search", self._delta_dictionary(), tau
+            )
+            # The ED9 delta attribute vector is the identity: entry i of the
+            # delta dictionary belongs to delta row i.
+            delta_rids = np.asarray(delta_result.vids, dtype=np.int64)
+            parts.append(delta_rids + self.main_length)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def blob_at(self, record_id: int) -> bytes:
+        """Tuple reconstruction: the PAE blob of one global RecordID."""
+        if record_id < self.main_length:
+            build = self.main_build
+            vid = int(build.attribute_vector[record_id])
+            return build.dictionary.entry(vid)
+        delta_index = record_id - self.main_length
+        if delta_index >= len(self.delta_blobs):
+            raise QueryError(f"RecordID {record_id} out of range")
+        return self.delta_blobs[delta_index]
+
+    def all_blobs_in_row_order(self, valid: np.ndarray) -> list[bytes]:
+        """Surviving row blobs, for the enclave's merge rebuild."""
+        return [
+            self.blob_at(record_id)
+            for record_id in range(len(self))
+            if valid[record_id]
+        ]
+
+    def replace_main(self, build: BuildResult) -> None:
+        """Install the enclave's merge output and clear the delta store."""
+        self.main_build = build
+        self.delta_blobs = []
+
+    def join_tokens(self, host: EnclaveHost, salt: bytes) -> list[bytes]:
+        """Per-row join tokens issued by the enclave (one per global rid)."""
+        tokens: list[bytes] = []
+        if self.main_build is not None and self.main_length:
+            entry_tokens = host.ecall(
+                "join_tokens", self.main_build.dictionary, salt
+            )
+            tokens.extend(
+                entry_tokens[int(vid)] for vid in self.main_build.attribute_vector
+            )
+        if self.delta_blobs:
+            tokens.extend(host.ecall("join_tokens", self._delta_dictionary(), salt))
+        return tokens
+
+    def storage_bytes(self) -> int:
+        """Table 6 accounting: head + tail + packed AV (+ delta blobs)."""
+        total = sum(len(blob) for blob in self.delta_blobs)
+        total += 8 * len(self.delta_blobs)  # delta head offsets
+        if self.main_build is not None:
+            dictionary = self.main_build.dictionary
+            total += dictionary.storage_bytes()
+            total += dictionary.attribute_vector_bytes(self.main_length)
+        return total

@@ -1,0 +1,102 @@
+"""Delta-merge policies (paper §4.3, citing Hübner et al. [48]).
+
+"The delta store should be kept orders of magnitude smaller than the main
+store to efficiently handle read queries. This is done by periodically
+merging the data of the delta store into the main store." A merge is
+expensive (the enclave re-encrypts every value), so *when* to merge is a
+cost tradeoff — Hübner et al. describe several strategies. This module
+implements the two standard ones plus a composite:
+
+- :class:`RatioMergePolicy` — merge when the delta exceeds a fraction of
+  the main store (keeps reads fast, amortizes merge cost over growth);
+- :class:`AbsoluteMergePolicy` — merge when the delta exceeds a fixed row
+  count (bounds the worst-case linear ED9 delta scan);
+- :class:`CompositeMergePolicy` — merge when any sub-policy fires.
+
+``EncDBDBServer.enable_auto_merge`` installs a policy; the executor then
+checks it after every insert and delete.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.columnstore.column import EncryptedStoredColumn, PlainStoredColumn
+from repro.columnstore.table import Table
+
+
+def delta_row_count(table: Table) -> int:
+    """Rows currently in the delta stores (identical across columns)."""
+    for name in table.column_names:
+        column = table.columns[name]
+        if isinstance(column, PlainStoredColumn):
+            return len(column.delta_values)
+        if isinstance(column, EncryptedStoredColumn):
+            return len(column.delta_blobs)
+    return 0
+
+
+def main_row_count(table: Table) -> int:
+    for name in table.column_names:
+        return table.columns[name].main_length
+    return 0
+
+
+def invalid_row_count(table: Table) -> int:
+    return table.row_count - table.live_row_count
+
+
+class MergePolicy(ABC):
+    """Decides whether a table's delta store should be merged now."""
+
+    @abstractmethod
+    def should_merge(self, table: Table) -> bool:
+        """True when the table has accumulated enough delta/garbage."""
+
+
+class RatioMergePolicy(MergePolicy):
+    """Merge when delta + deleted rows exceed ``ratio`` of the main store.
+
+    A small minimum keeps tiny tables from merging on every insert.
+    """
+
+    def __init__(self, ratio: float = 0.1, minimum_rows: int = 64) -> None:
+        if ratio <= 0:
+            raise ValueError("ratio must be positive")
+        self.ratio = ratio
+        self.minimum_rows = minimum_rows
+
+    def should_merge(self, table: Table) -> bool:
+        pending = delta_row_count(table) + invalid_row_count(table)
+        if pending < self.minimum_rows:
+            return False
+        main_rows = max(1, main_row_count(table))
+        return pending / main_rows >= self.ratio
+
+
+class AbsoluteMergePolicy(MergePolicy):
+    """Merge when the delta store alone exceeds ``max_delta_rows``.
+
+    Bounds the linear ED9 delta scan every encrypted read pays (§4.3:
+    "periodic merges mitigate" ED9's low performance).
+    """
+
+    def __init__(self, max_delta_rows: int = 10_000) -> None:
+        if max_delta_rows < 1:
+            raise ValueError("max_delta_rows must be >= 1")
+        self.max_delta_rows = max_delta_rows
+
+    def should_merge(self, table: Table) -> bool:
+        return delta_row_count(table) >= self.max_delta_rows
+
+
+class CompositeMergePolicy(MergePolicy):
+    """Merge when any of the sub-policies says so."""
+
+    def __init__(self, *policies: MergePolicy) -> None:
+        if not policies:
+            raise ValueError("at least one sub-policy required")
+        self.policies = policies
+
+    def should_merge(self, table: Table) -> bool:
+        return any(policy.should_merge(table) for policy in self.policies)

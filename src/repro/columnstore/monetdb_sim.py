@@ -1,0 +1,85 @@
+"""A faithful model of MonetDB's string-dictionary columns (paper §5, §6.3).
+
+MonetDB stores string columns as an insertion-ordered dictionary addressed by
+byte offsets: the attribute vector holds offsets into the string heap, the
+dictionary deduplicates values only while it is small (below 64 kB, via a
+hash table with collision lists), and afterwards appends duplicates. Because
+the heap is neither sorted nor duplicate-free, a range select cannot binary
+search — it scans the attribute vector and performs **one string comparison
+per row**, which is exactly why the paper's Figure 8 shows MonetDB losing to
+EncDBDB's logarithmic dictionary search plus integer scan.
+
+This model reproduces that algorithmic profile. The per-row comparisons are
+vectorized with numpy's fixed-width Unicode kernels — the honest Python
+analogue of MonetDB's tight C scan loop; the *linear-in-rows string
+comparison* behaviour the evaluation depends on is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: MonetDB deduplicates string dictionaries only below this heap size.
+DEDUP_THRESHOLD_BYTES = 64 * 1024
+
+#: MonetDB's offset width for small string heaps.
+OFFSET_BYTES = 4
+
+
+class MonetDBStringColumn:
+    """Insertion-ordered, threshold-deduplicated string column."""
+
+    def __init__(self, values: Sequence[str]) -> None:
+        self._heap: list[str] = []
+        self._heap_bytes = 0
+        self._dedup_index: dict[str, int] | None = {}
+        offsets = np.empty(len(values), dtype=np.int64)
+        for row, value in enumerate(values):
+            offsets[row] = self._intern(value)
+        self.attribute_vector = offsets
+        # Materialized per-row view used by the scan (MonetDB reads the heap
+        # through the offsets; numpy's fixed-width array plays the heap).
+        heap_array = np.asarray(self._heap, dtype="U")
+        self._row_values = heap_array[self.attribute_vector]
+
+    def _intern(self, value: str) -> int:
+        if self._dedup_index is not None:
+            existing = self._dedup_index.get(value)
+            if existing is not None:
+                return existing
+        index = len(self._heap)
+        self._heap.append(value)
+        self._heap_bytes += len(value.encode("utf-8"))
+        if self._dedup_index is not None:
+            self._dedup_index[value] = index
+            if self._heap_bytes > DEDUP_THRESHOLD_BYTES:
+                # Past the threshold MonetDB stops consulting the collision
+                # lists: later values are appended even if duplicated.
+                self._dedup_index = None
+        return index
+
+    def __len__(self) -> int:
+        return len(self.attribute_vector)
+
+    @property
+    def dictionary_entries(self) -> int:
+        return len(self._heap)
+
+    @property
+    def deduplicating(self) -> bool:
+        return self._dedup_index is not None
+
+    def range_search(self, low: str, high: str) -> np.ndarray:
+        """RecordIDs with ``low <= value <= high`` via a linear string scan."""
+        mask = (self._row_values >= low) & (self._row_values <= high)
+        return np.nonzero(mask)[0].astype(np.int64)
+
+    def string_comparisons_per_query(self) -> int:
+        """The per-query comparison count of this engine: 2 per row."""
+        return 2 * len(self)
+
+    def storage_bytes(self) -> int:
+        """Heap bytes plus one fixed-width offset per row."""
+        return self._heap_bytes + OFFSET_BYTES * len(self)

@@ -1,0 +1,51 @@
+"""Cryptographic substrate of the EncDBDB reproduction.
+
+The paper encrypts every dictionary value with probabilistic authenticated
+encryption (PAE), instantiated as AES-128 in GCM mode (paper §2.3 / §5). This
+package provides:
+
+- :mod:`repro.crypto.aes` -- AES-128 block cipher written from scratch.
+- :mod:`repro.crypto.gcm` -- GCM mode (CTR + GHASH) on top of any block
+  cipher, written from scratch.
+- :mod:`repro.crypto.pae` -- the PAE interface (``Gen`` / ``Enc`` / ``Dec``)
+  with two interchangeable backends: the pure-Python reference and an
+  optional fast backend over the ``cryptography`` library.
+- :mod:`repro.crypto.kdf` -- HMAC-SHA256 based key derivation used to derive
+  per-column keys ``SKD`` from the data owner's ``SKDB`` (paper §4.2).
+- :mod:`repro.crypto.drbg` -- a deterministic HMAC-DRBG so every experiment
+  in the repository is reproducible from a seed.
+"""
+
+from repro.crypto.aes import Aes128
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.gcm import AesGcm, ghash
+from repro.crypto.kdf import derive_column_key, hkdf_sha256
+from repro.crypto.pae import (
+    PAE_KEY_BYTES,
+    PAE_NONCE_BYTES,
+    PAE_OVERHEAD_BYTES,
+    PAE_TAG_BYTES,
+    LibraryPae,
+    Pae,
+    PurePythonPae,
+    pae_gen,
+    default_pae,
+)
+
+__all__ = [
+    "Aes128",
+    "AesGcm",
+    "ghash",
+    "HmacDrbg",
+    "hkdf_sha256",
+    "derive_column_key",
+    "Pae",
+    "PurePythonPae",
+    "LibraryPae",
+    "default_pae",
+    "pae_gen",
+    "PAE_KEY_BYTES",
+    "PAE_NONCE_BYTES",
+    "PAE_TAG_BYTES",
+    "PAE_OVERHEAD_BYTES",
+]

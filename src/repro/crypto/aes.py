@@ -1,0 +1,132 @@
+"""AES-128 block cipher implemented from scratch (FIPS 197).
+
+This is the reference implementation backing :class:`repro.crypto.pae.
+PurePythonPae`. It exists so that no part of the paper's trusted computing
+base hides behind a third-party library: the whole cipher is ~200 lines that
+can be audited alongside the enclave code, mirroring the paper's small-TCB
+argument (§6.1).
+
+Only encryption is implemented because GCM (the only mode used by EncDBDB)
+needs the forward cipher for both directions. The implementation favours
+clarity over speed; the benchmark harness uses the library backend by default
+and the pure-Python one in the ablation bench.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import CryptoError
+
+_SBOX = (
+    0x63, 0x7C, 0x77, 0x7B, 0xF2, 0x6B, 0x6F, 0xC5, 0x30, 0x01, 0x67, 0x2B,
+    0xFE, 0xD7, 0xAB, 0x76, 0xCA, 0x82, 0xC9, 0x7D, 0xFA, 0x59, 0x47, 0xF0,
+    0xAD, 0xD4, 0xA2, 0xAF, 0x9C, 0xA4, 0x72, 0xC0, 0xB7, 0xFD, 0x93, 0x26,
+    0x36, 0x3F, 0xF7, 0xCC, 0x34, 0xA5, 0xE5, 0xF1, 0x71, 0xD8, 0x31, 0x15,
+    0x04, 0xC7, 0x23, 0xC3, 0x18, 0x96, 0x05, 0x9A, 0x07, 0x12, 0x80, 0xE2,
+    0xEB, 0x27, 0xB2, 0x75, 0x09, 0x83, 0x2C, 0x1A, 0x1B, 0x6E, 0x5A, 0xA0,
+    0x52, 0x3B, 0xD6, 0xB3, 0x29, 0xE3, 0x2F, 0x84, 0x53, 0xD1, 0x00, 0xED,
+    0x20, 0xFC, 0xB1, 0x5B, 0x6A, 0xCB, 0xBE, 0x39, 0x4A, 0x4C, 0x58, 0xCF,
+    0xD0, 0xEF, 0xAA, 0xFB, 0x43, 0x4D, 0x33, 0x85, 0x45, 0xF9, 0x02, 0x7F,
+    0x50, 0x3C, 0x9F, 0xA8, 0x51, 0xA3, 0x40, 0x8F, 0x92, 0x9D, 0x38, 0xF5,
+    0xBC, 0xB6, 0xDA, 0x21, 0x10, 0xFF, 0xF3, 0xD2, 0xCD, 0x0C, 0x13, 0xEC,
+    0x5F, 0x97, 0x44, 0x17, 0xC4, 0xA7, 0x7E, 0x3D, 0x64, 0x5D, 0x19, 0x73,
+    0x60, 0x81, 0x4F, 0xDC, 0x22, 0x2A, 0x90, 0x88, 0x46, 0xEE, 0xB8, 0x14,
+    0xDE, 0x5E, 0x0B, 0xDB, 0xE0, 0x32, 0x3A, 0x0A, 0x49, 0x06, 0x24, 0x5C,
+    0xC2, 0xD3, 0xAC, 0x62, 0x91, 0x95, 0xE4, 0x79, 0xE7, 0xC8, 0x37, 0x6D,
+    0x8D, 0xD5, 0x4E, 0xA9, 0x6C, 0x56, 0xF4, 0xEA, 0x65, 0x7A, 0xAE, 0x08,
+    0xBA, 0x78, 0x25, 0x2E, 0x1C, 0xA6, 0xB4, 0xC6, 0xE8, 0xDD, 0x74, 0x1F,
+    0x4B, 0xBD, 0x8B, 0x8A, 0x70, 0x3E, 0xB5, 0x66, 0x48, 0x03, 0xF6, 0x0E,
+    0x61, 0x35, 0x57, 0xB9, 0x86, 0xC1, 0x1D, 0x9E, 0xE1, 0xF8, 0x98, 0x11,
+    0x69, 0xD9, 0x8E, 0x94, 0x9B, 0x1E, 0x87, 0xE9, 0xCE, 0x55, 0x28, 0xDF,
+    0x8C, 0xA1, 0x89, 0x0D, 0xBF, 0xE6, 0x42, 0x68, 0x41, 0x99, 0x2D, 0x0F,
+    0xB0, 0x54, 0xBB, 0x16,
+)
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def _xtime(a: int) -> int:
+    """Multiply by x in GF(2^8) modulo the AES polynomial."""
+    a <<= 1
+    if a & 0x100:
+        a ^= 0x11B
+    return a
+
+
+# Precomputed GF(2^8) multiplication tables for MixColumns.
+_MUL2 = tuple(_xtime(a) for a in range(256))
+_MUL3 = tuple(_MUL2[a] ^ a for a in range(256))
+
+
+class Aes128:
+    """AES with a 128-bit key operating on 16-byte blocks.
+
+    >>> key = bytes(range(16))
+    >>> Aes128(key).encrypt_block(bytes(16)) == Aes128(key).encrypt_block(bytes(16))
+    True
+    """
+
+    BLOCK_BYTES = 16
+    KEY_BYTES = 16
+    ROUNDS = 10
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != self.KEY_BYTES:
+            raise CryptoError(
+                f"AES-128 requires a {self.KEY_BYTES}-byte key, got {len(key)}"
+            )
+        self._round_keys = self._expand_key(key)
+
+    @staticmethod
+    def _expand_key(key: bytes) -> list[list[int]]:
+        """FIPS 197 §5.2 key expansion into 11 round keys of 16 bytes each."""
+        words = [list(key[i : i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 4 * (Aes128.ROUNDS + 1)):
+            word = list(words[i - 1])
+            if i % 4 == 0:
+                word = word[1:] + word[:1]
+                word = [_SBOX[b] for b in word]
+                word[0] ^= _RCON[i // 4 - 1]
+            words.append([a ^ b for a, b in zip(word, words[i - 4])])
+        return [
+            [b for word in words[r : r + 4] for b in word]
+            for r in range(0, len(words), 4)
+        ]
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt one 16-byte block and return the 16-byte ciphertext."""
+        if len(block) != self.BLOCK_BYTES:
+            raise CryptoError(f"AES block must be 16 bytes, got {len(block)}")
+        state = [b ^ k for b, k in zip(block, self._round_keys[0])]
+        for round_number in range(1, self.ROUNDS):
+            state = self._round(state, self._round_keys[round_number])
+        return bytes(self._final_round(state, self._round_keys[self.ROUNDS]))
+
+    @staticmethod
+    def _sub_shift(state: list[int]) -> list[int]:
+        """SubBytes followed by ShiftRows on a column-major 16-byte state."""
+        s = _SBOX
+        return [
+            s[state[0]], s[state[5]], s[state[10]], s[state[15]],
+            s[state[4]], s[state[9]], s[state[14]], s[state[3]],
+            s[state[8]], s[state[13]], s[state[2]], s[state[7]],
+            s[state[12]], s[state[1]], s[state[6]], s[state[11]],
+        ]
+
+    @classmethod
+    def _round(cls, state: list[int], round_key: list[int]) -> list[int]:
+        """One full AES round: SubBytes, ShiftRows, MixColumns, AddRoundKey."""
+        t = cls._sub_shift(state)
+        out = [0] * 16
+        for c in range(0, 16, 4):
+            a0, a1, a2, a3 = t[c], t[c + 1], t[c + 2], t[c + 3]
+            out[c] = _MUL2[a0] ^ _MUL3[a1] ^ a2 ^ a3 ^ round_key[c]
+            out[c + 1] = a0 ^ _MUL2[a1] ^ _MUL3[a2] ^ a3 ^ round_key[c + 1]
+            out[c + 2] = a0 ^ a1 ^ _MUL2[a2] ^ _MUL3[a3] ^ round_key[c + 2]
+            out[c + 3] = _MUL3[a0] ^ a1 ^ a2 ^ _MUL2[a3] ^ round_key[c + 3]
+        return out
+
+    @classmethod
+    def _final_round(cls, state: list[int], round_key: list[int]) -> list[int]:
+        """The last round omits MixColumns (FIPS 197 §5.1.4)."""
+        t = cls._sub_shift(state)
+        return [a ^ k for a, k in zip(t, round_key)]

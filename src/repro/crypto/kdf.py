@@ -1,0 +1,61 @@
+"""Key derivation used by EncDBDB.
+
+The paper derives one key per encrypted column: ``SKD = DeriveKey(SKDB,
+table name, column name)`` (§4.1, Algorithm 1 line 1). We instantiate
+``DeriveKey`` with HKDF-SHA256 (RFC 5869), a standard extract-and-expand
+construction, binding the table and column names into the ``info`` field so
+distinct columns always receive independent keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.exceptions import CryptoError
+
+
+def _hmac_sha256(key: bytes, data: bytes) -> bytes:
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+def hkdf_sha256(
+    input_key: bytes, *, salt: bytes = b"", info: bytes = b"", length: int = 16
+) -> bytes:
+    """RFC 5869 HKDF with SHA-256.
+
+    >>> len(hkdf_sha256(b"ikm", info=b"ctx", length=16))
+    16
+    """
+    if length <= 0 or length > 255 * 32:
+        raise CryptoError(f"invalid HKDF output length {length}")
+    pseudo_random_key = _hmac_sha256(salt or b"\x00" * 32, input_key)
+    blocks = b""
+    previous = b""
+    counter = 1
+    while len(blocks) < length:
+        previous = _hmac_sha256(pseudo_random_key, previous + info + bytes([counter]))
+        blocks += previous
+        counter += 1
+    return blocks[:length]
+
+
+def derive_column_key(master_key: bytes, table_name: str, column_name: str) -> bytes:
+    """Derive the per-column key ``SKD`` from the data owner's ``SKDB``.
+
+    The encoding length-prefixes both names so no two distinct
+    ``(table, column)`` pairs can collide (e.g. ``("ab", "c")`` vs
+    ``("a", "bc")``).
+    """
+    if not master_key:
+        raise CryptoError("master key must not be empty")
+    table_bytes = table_name.encode("utf-8")
+    column_bytes = column_name.encode("utf-8")
+    info = (
+        b"EncDBDB-column-key\x00"
+        + len(table_bytes).to_bytes(4, "big")
+        + table_bytes
+        + len(column_bytes).to_bytes(4, "big")
+        + column_bytes
+    )
+    return hkdf_sha256(master_key, info=info, length=16)

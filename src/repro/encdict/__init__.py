@@ -1,0 +1,64 @@
+"""The paper's core contribution: nine encrypted dictionaries.
+
+An encrypted dictionary is defined by a *repetition option* (how often each
+plaintext value appears in the dictionary: frequency revealing / smoothing /
+hiding) and an *order option* (how dictionary entries are arranged: sorted /
+rotated / unsorted), giving the 3x3 grid ED1..ED9 of paper Table 2.
+
+The three operations of §4.1 map to:
+
+- ``EncDB``      -> :mod:`repro.encdict.builder` (data-owner side splits and
+  encrypts a column),
+- ``EnclDictSearch`` -> :mod:`repro.encdict.search` (runs inside the
+  enclave; see :mod:`repro.encdict.enclave_app` for the enclave program),
+- ``AttrVectSearch`` -> :mod:`repro.encdict.attrvect` (untrusted, vectorized
+  scan over the attribute vector).
+"""
+
+from repro.encdict.builder import BuildResult, encdb_build
+from repro.encdict.dictionary import EncryptedDictionary
+from repro.encdict.enclave_app import EncDBDBEnclave
+from repro.encdict.options import (
+    ALL_KINDS,
+    ED1,
+    ED2,
+    ED3,
+    ED4,
+    ED5,
+    ED6,
+    ED7,
+    ED8,
+    ED9,
+    EncryptedDictionaryKind,
+    OrderOption,
+    RepetitionOption,
+    kind_by_name,
+    kind_for,
+)
+from repro.encdict.search import DictionarySearcher, SearchResult
+from repro.encdict.attrvect import attr_vect_search
+
+__all__ = [
+    "RepetitionOption",
+    "OrderOption",
+    "EncryptedDictionaryKind",
+    "ALL_KINDS",
+    "kind_for",
+    "kind_by_name",
+    "ED1",
+    "ED2",
+    "ED3",
+    "ED4",
+    "ED5",
+    "ED6",
+    "ED7",
+    "ED8",
+    "ED9",
+    "EncryptedDictionary",
+    "encdb_build",
+    "BuildResult",
+    "DictionarySearcher",
+    "SearchResult",
+    "attr_vect_search",
+    "EncDBDBEnclave",
+]

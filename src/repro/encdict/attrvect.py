@@ -1,0 +1,48 @@
+"""``AttrVectSearch``: the untrusted attribute-vector scan.
+
+Runs entirely outside the enclave (paper §3.1): given the ValueID ranges or
+list produced by ``EnclDictSearch``, it linearly scans the attribute vector
+and returns the matching RecordIDs. Only integers are compared, which the
+paper highlights as highly optimized and easily parallelizable — here the
+scan is vectorized with numpy, the Python equivalent of that observation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encdict.search import DUMMY_RANGE, SearchResult
+from repro.sgx.costs import CostModel
+
+
+def attr_vect_search(
+    attribute_vector: np.ndarray,
+    result: SearchResult,
+    *,
+    cost_model: CostModel | None = None,
+) -> np.ndarray:
+    """RecordIDs whose ValueID matches the dictionary-search result.
+
+    For range results (sorted/rotated dictionaries) each attribute-vector
+    entry is compared against up to two ``[low, high]`` ranges; for explicit
+    ValueID lists (unsorted dictionaries) every entry is compared against
+    every returned ValueID — the ``O(|AV| * |vid|)`` cost of Table 4.
+    """
+    if len(attribute_vector) == 0:
+        return np.empty(0, dtype=np.int64)
+
+    mask = np.zeros(len(attribute_vector), dtype=bool)
+    comparisons = 0
+    for low, high in result.ranges:
+        if (low, high) == DUMMY_RANGE or low > high:
+            continue
+        mask |= (attribute_vector >= low) & (attribute_vector <= high)
+        comparisons += len(attribute_vector)
+    if result.vids:
+        vids = np.asarray(result.vids, dtype=attribute_vector.dtype)
+        mask |= np.isin(attribute_vector, vids)
+        comparisons += len(attribute_vector) * len(result.vids)
+
+    if cost_model is not None:
+        cost_model.record_comparison(comparisons)
+    return np.nonzero(mask)[0].astype(np.int64)

@@ -1,0 +1,248 @@
+"""The EncDBDB enclave program.
+
+This is the complete trusted interface of the system — the reproduction's
+analogue of the paper's 1129-LOC C enclave. Its ecalls are:
+
+- the secure-provisioning handshake (``channel_offer`` / ``channel_accept``
+  / ``provision_master_key``), through which the data owner deploys
+  ``SKDB`` after attesting the enclave (paper §4.2 step 2);
+- ``seal_master_key`` / ``restore_master_key`` for persistence across
+  enclave restarts without a new attestation round trip;
+- ``dict_search``, the per-query entry point (§4.2 step 8): derives the
+  per-column key, decrypts the encrypted range ``τ``, and runs the
+  ``EnclDictSearch`` matching the dictionary's kind. One ecall per query;
+  dictionary entries are pulled from untrusted memory one at a time, so
+  enclave memory use is constant and independent of ``|D|`` (§5);
+- ``reencrypt_for_delta`` and ``rebuild_for_merge`` for dynamic data
+  (§4.3): inserts are re-encrypted under a fresh IV inside the enclave, and
+  the periodic delta merge re-encrypts, re-rotates and re-shuffles so old
+  and new main stores cannot be linked.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.kdf import derive_column_key
+from repro.crypto.pae import Pae, default_pae
+from repro.encdict.builder import BuildResult, encdb_build
+from repro.encdict.dictionary import EncryptedDictionary
+from repro.encdict.options import EncryptedDictionaryKind
+from repro.encdict.search import (
+    DictionarySearcher,
+    OrdinalRange,
+    SearchResult,
+)
+from repro.exceptions import EnclaveSecurityError, QueryError
+from repro.sgx.attestation import AttestationService
+from repro.sgx.channel import ChannelOffer, SecureChannelListener
+from repro.sgx.enclave import Enclave, ecall
+from repro.sgx.sealing import seal, unseal
+
+_MASTER_KEY = "SKDB"
+_CHANNEL = "provisioning-channel"
+_LISTENER = "channel-listener"
+
+
+def encrypt_search_range(pae: Pae, key: bytes, search: OrdinalRange) -> tuple[bytes, bytes]:
+    """Proxy-side helper: build the encrypted range ``τ = (τ_s, τ_e)``.
+
+    Start and end are encrypted individually with fresh random IVs, so the
+    server cannot tell whether two queries touch the same bounds (§4.2
+    step 5).
+    """
+    payload = search.to_bytes()
+    return pae.encrypt(key, payload[:40]), pae.encrypt(key, payload[40:])
+
+
+class EncDBDBEnclave(Enclave):
+    """The DBMS-side enclave holding ``SKDB`` and running dictionary searches."""
+
+    def __init__(
+        self,
+        *,
+        attestation: AttestationService | None = None,
+        pae: Pae | None = None,
+        rng: HmacDrbg | None = None,
+    ) -> None:
+        super().__init__(rng=rng)
+        self._attestation = attestation if attestation is not None else AttestationService()
+        self._pae = pae if pae is not None else default_pae()
+        self._searcher = DictionarySearcher(self._pae, self.cost_model)
+
+    # ------------------------------------------------------------------
+    # Provisioning (paper §4.2, steps 1-2)
+    # ------------------------------------------------------------------
+    @ecall
+    def channel_offer(self) -> ChannelOffer:
+        """Start an attested handshake: quote over a fresh DH public value."""
+        listener = SecureChannelListener(self._attestation, self._rng.fork("channel"))
+        self.protected_set(_LISTENER, listener)
+        return listener.offer(self)
+
+    @ecall
+    def channel_accept(self, client_public: int) -> None:
+        """Finish the handshake with the data owner's DH public value."""
+        if not self.protected_has(_LISTENER):
+            raise EnclaveSecurityError("channel_accept before channel_offer")
+        listener: SecureChannelListener = self.protected_get(_LISTENER)
+        self.protected_set(_CHANNEL, listener.accept(client_public))
+
+    @ecall
+    def provision_master_key(self, wire_blob: bytes) -> None:
+        """Receive ``SKDB`` through the established secure channel."""
+        if not self.protected_has(_CHANNEL):
+            raise EnclaveSecurityError("no secure channel established")
+        channel = self.protected_get(_CHANNEL)
+        self.protected_set(_MASTER_KEY, channel.receive(wire_blob))
+
+    @ecall
+    def seal_master_key(self) -> bytes:
+        """Seal ``SKDB`` to this enclave identity for persistence."""
+        return seal(self.measurement, self.protected_get(_MASTER_KEY), pae=self._pae)
+
+    @ecall
+    def restore_master_key(self, sealed_blob: bytes) -> None:
+        """Restore ``SKDB`` from a sealed blob (same enclave identity only)."""
+        self.protected_set(
+            _MASTER_KEY, unseal(self.measurement, sealed_blob, pae=self._pae)
+        )
+
+    def _column_key(self, table_name: str, column_name: str) -> bytes:
+        """``SKD = DeriveKey(SKDB, tabName, colName)`` (Algorithm 1 line 1)."""
+        if not self.protected_has(_MASTER_KEY):
+            raise EnclaveSecurityError("master key has not been provisioned")
+        return derive_column_key(self.protected_get(_MASTER_KEY), table_name, column_name)
+
+    # ------------------------------------------------------------------
+    # Query processing (paper §4.2, step 8)
+    # ------------------------------------------------------------------
+    @ecall
+    def dict_search(
+        self, dictionary: EncryptedDictionary, tau: tuple[bytes, bytes]
+    ) -> SearchResult:
+        """``EnclDictSearch`` on one encrypted dictionary.
+
+        ``dictionary`` is a *reference* into untrusted memory enriched with
+        the table/column metadata; ``tau`` is the PAE-encrypted range.
+        """
+        key = self._column_key(dictionary.table_name, dictionary.column_name)
+        low_blob, high_blob = tau
+        search = OrdinalRange.from_bytes(
+            self._pae.decrypt(key, low_blob) + self._pae.decrypt(key, high_blob)
+        )
+        self.cost_model.record_decryption(len(low_blob))
+        self.cost_model.record_decryption(len(high_blob))
+        return self._searcher.search(dictionary, search, key=key)
+
+    @ecall
+    def join_tokens(self, dictionary: EncryptedDictionary, salt: bytes) -> list[bytes]:
+        """Equi-join support (paper §4.2 names joins as future work).
+
+        Returns one opaque token per dictionary entry, ``HMAC(k_join,
+        plaintext)`` under a per-query join key derived from ``SKDB`` and a
+        fresh salt. Equal plaintexts — across *different* columns and their
+        different ``SKD`` keys — map to equal tokens, so the untrusted side
+        can hash-join attribute vectors on tokens.
+
+        Leakage: within one query, the equality pattern of the two join
+        columns' dictionary entries (comparable to CryptDB's deterministic
+        join keys). The fresh salt prevents linking tokens across queries.
+        """
+        if len(salt) < 16:
+            raise EnclaveSecurityError("join salt must be at least 16 bytes")
+        from repro.crypto.kdf import hkdf_sha256
+        import hashlib
+        import hmac as hmac_module
+
+        key = self._column_key(dictionary.table_name, dictionary.column_name)
+        join_key = hkdf_sha256(
+            self.protected_get(_MASTER_KEY),
+            info=b"EncDBDB-join\x00" + salt,
+            length=16,
+        )
+        tokens = []
+        for blob in dictionary.entries():
+            plaintext = self._pae.decrypt(key, blob)
+            self.cost_model.record_decryption(len(blob))
+            tokens.append(
+                hmac_module.new(join_key, plaintext, hashlib.sha256).digest()[:16]
+            )
+        return tokens
+
+    # ------------------------------------------------------------------
+    # Dynamic data (paper §4.3)
+    # ------------------------------------------------------------------
+    @ecall
+    def reencrypt_for_delta(
+        self, table_name: str, column_name: str, transit_blob: bytes
+    ) -> bytes:
+        """Re-encrypt an inserted value with a fresh IV for the delta store.
+
+        The stored ciphertext is unlinkable to the one that travelled over
+        the network, so neither order nor frequency leaks on insertion.
+        """
+        key = self._column_key(table_name, column_name)
+        plaintext = self._pae.decrypt(key, transit_blob)
+        self.cost_model.record_decryption(len(transit_blob))
+        return self._pae.encrypt(key, plaintext)
+
+    @ecall
+    def rebuild_for_merge(
+        self,
+        table_name: str,
+        column_name: str,
+        kind: EncryptedDictionaryKind,
+        value_type,
+        value_blobs: Sequence[bytes],
+        *,
+        bsmax: int = 10,
+    ) -> BuildResult:
+        """Merge delta values into a fresh main store.
+
+        ``value_blobs`` is the merged column in row order, as ciphertext
+        references collected by the untrusted side. Every value is decrypted
+        here and the whole column rebuilt with fresh IVs, a fresh rotation,
+        and a fresh shuffle, breaking any linkage between old and new stores
+        (the oblivious-merge requirement of §4.3).
+        """
+        if not value_blobs:
+            raise QueryError("rebuild_for_merge requires at least one value")
+        from repro.sgx.oblivious import oblivious_shuffle
+
+        key = self._column_key(table_name, column_name)
+        plaintexts = []
+        for blob in value_blobs:
+            plaintext = self._pae.decrypt(key, blob)
+            self.cost_model.record_decryption(len(blob))
+            plaintexts.append(value_type.from_bytes(plaintext))
+        # Obliviously permute row order before rebuilding: with the fresh
+        # IVs/rotation/shuffle of the rebuild this breaks any positional
+        # linkage between old and new stores, and the shuffle's own memory
+        # trace is data-independent (§4.3's oblivious-primitives requirement).
+        order = oblivious_shuffle(
+            list(range(len(plaintexts))), self._rng.fork("merge-shuffle")
+        )
+        shuffled = [plaintexts[i] for i in order]
+        build = encdb_build(
+            shuffled,
+            kind,
+            value_type=value_type,
+            key=key,
+            pae=self._pae,
+            rng=self._rng.fork(f"merge-{table_name}-{column_name}"),
+            bsmax=bsmax,
+            table_name=table_name,
+            column_name=column_name,
+            encrypted=True,
+        )
+        # Realign the attribute vector to the caller's row order (all columns
+        # of a table must stay row-aligned); the dictionaries themselves were
+        # constructed from the shuffled stream.
+        import numpy as np
+
+        realigned = np.empty_like(build.attribute_vector)
+        realigned[np.asarray(order, dtype=np.int64)] = build.attribute_vector
+        build.attribute_vector = realigned
+        return build

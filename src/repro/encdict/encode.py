@@ -1,0 +1,34 @@
+"""The ``ENCODE`` order-preserving embedding of Algorithm 3.
+
+``ENCODE`` converts each column value into an integer in ``[0, N)`` — where
+``N`` is the size of the column's value domain — such that the plaintext
+order equals the integer order. The rotated dictionary search then works in
+the *shifted* space ``(ENCODE(v) - ENCODE(D[0])) mod N``, which makes the
+rotated sequence monotone and the binary-search probe sequence independent
+of the secret rotation offset.
+
+The embedding itself lives on :class:`~repro.columnstore.types.ValueType`
+(``ordinal``); this module adds the modular-shift helpers used inside the
+enclave.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.columnstore.types import ValueType
+
+
+def encode(value_type: ValueType, value: Any) -> int:
+    """``ENCODE``: order-preserving integer of ``value`` in ``[0, N)``."""
+    return value_type.ordinal(value)
+
+
+def modulus(value_type: ValueType) -> int:
+    """``N``: the ``ENCODE`` of the column maximum plus one (domain size)."""
+    return value_type.domain_size
+
+
+def shifted(value_type: ValueType, value: Any, reference_ordinal: int) -> int:
+    """``(ENCODE(value) - r) mod N``: position in the rotation-shifted space."""
+    return (value_type.ordinal(value) - reference_ordinal) % value_type.domain_size

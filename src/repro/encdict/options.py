@@ -1,0 +1,122 @@
+"""The 3x3 grid of encrypted dictionaries (paper Table 2).
+
+Repetition options control how many times a plaintext value appears in the
+dictionary, which fixes the frequency leakage and the dictionary size
+(Table 3). Order options control the arrangement of entries, which fixes the
+order leakage and the search complexity (Table 4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RepetitionOption(enum.Enum):
+    """How often each unique plaintext value is repeated in the dictionary."""
+
+    REVEALING = "frequency revealing"  # each unique value once: full leakage
+    SMOOTHING = "frequency smoothing"  # bucketized: leakage bounded by bsmax
+    HIDING = "frequency hiding"  # one entry per column value: no leakage
+
+    @property
+    def frequency_leakage(self) -> str:
+        return {  # Table 3
+            RepetitionOption.REVEALING: "full",
+            RepetitionOption.SMOOTHING: "bounded",
+            RepetitionOption.HIDING: "none",
+        }[self]
+
+
+class OrderOption(enum.Enum):
+    """Arrangement of the (encrypted) dictionary entries."""
+
+    SORTED = "sorted"  # lexicographic: full order leakage, O(log|D|) search
+    ROTATED = "rotated"  # sorted + random rotation: bounded leakage
+    UNSORTED = "unsorted"  # random shuffle: no order leakage, O(|D|) search
+
+    @property
+    def order_leakage(self) -> str:
+        return {  # Table 4
+            OrderOption.SORTED: "full",
+            OrderOption.ROTATED: "bounded",
+            OrderOption.UNSORTED: "none",
+        }[self]
+
+    @property
+    def dictionary_search_complexity(self) -> str:
+        return (
+            "O(|D|)" if self is OrderOption.UNSORTED else "O(log|D|)"
+        )
+
+
+@dataclass(frozen=True)
+class EncryptedDictionaryKind:
+    """One cell of Table 2: a (repetition, order) combination, e.g. ED5."""
+
+    number: int
+    repetition: RepetitionOption
+    order: OrderOption
+
+    @property
+    def name(self) -> str:
+        return f"ED{self.number}"
+
+    @property
+    def comparable_security(self) -> str | None:
+        """The known scheme of Table 5 this kind's leakage profile matches."""
+        return _COMPARABLE_SECURITY.get(self.number)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return (
+            f"EncryptedDictionaryKind({self.name}: "
+            f"{self.repetition.value}, {self.order.value})"
+        )
+
+
+_ORDER_BY_COLUMN = (OrderOption.SORTED, OrderOption.ROTATED, OrderOption.UNSORTED)
+_REPETITION_BY_ROW = (
+    RepetitionOption.REVEALING,
+    RepetitionOption.SMOOTHING,
+    RepetitionOption.HIDING,
+)
+
+# Table 2 layout: ED number = 3*row + column + 1.
+ALL_KINDS: tuple[EncryptedDictionaryKind, ...] = tuple(
+    EncryptedDictionaryKind(3 * row + column + 1, repetition, order)
+    for row, repetition in enumerate(_REPETITION_BY_ROW)
+    for column, order in enumerate(_ORDER_BY_COLUMN)
+)
+
+ED1, ED2, ED3, ED4, ED5, ED6, ED7, ED8, ED9 = ALL_KINDS
+
+_COMPARABLE_SECURITY = {  # Table 5
+    1: "ideal deterministic ORE [17]",
+    2: "MOPE [13]",
+    3: "DET [10]",
+    7: "IND-FAOCPA [53]",
+    8: "IND-CPA-DS [55]",
+    9: "RPE [60]",
+}
+
+
+def kind_for(
+    repetition: RepetitionOption, order: OrderOption
+) -> EncryptedDictionaryKind:
+    """Look up the ED kind for a (repetition, order) combination."""
+    for kind in ALL_KINDS:
+        if kind.repetition is repetition and kind.order is order:
+            return kind
+    raise ValueError(f"no kind for {repetition}, {order}")  # pragma: no cover
+
+
+def kind_by_name(name: str) -> EncryptedDictionaryKind:
+    """Look up an ED kind from its SQL spelling (``"ED5"``)."""
+    text = name.strip().upper()
+    for kind in ALL_KINDS:
+        if kind.name == text:
+            return kind
+    raise ValueError(f"unknown encrypted dictionary {name!r}")

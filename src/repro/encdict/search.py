@@ -1,0 +1,328 @@
+"""``EnclDictSearch``: the dictionary searches that run inside the enclave.
+
+This module is part of the reproduction's trusted computing base (see
+DESIGN.md §5). It deliberately contains *only* the search logic; the enclave
+program in :mod:`repro.encdict.enclave_app` wires it to ecalls and key
+material.
+
+Three search families correspond to the order options:
+
+- **sorted** (ED1/ED4/ED7): one leftmost and one rightmost binary search
+  (Algorithm 1), returning a single ValueID range.
+- **rotated** (ED2/ED5/ED8): the special binary search of Algorithm 3 in the
+  ``(ENCODE(v) - ENCODE(D[0])) mod N`` shifted space, whose probe sequence
+  does not trivially reveal the rotation offset, followed by the
+  postprocessing of Algorithm 2. Up to two ValueID ranges are returned; a
+  single range is padded with a ``(-1, -1)`` dummy so the attribute-vector
+  search always sees two (as the paper does). The published pseudocode
+  leaves two corner cases open ("special handling for brevity"): a rotation
+  offset of 0, and duplicates of ``D[0]``'s value wrapping around the array
+  end for the smoothing/hiding kinds (the ED5 corner case of §4.1). Both are
+  handled here; the duplicate-wrap case needs ``rndOffset`` to classify
+  zero-shift probes, which is exactly why Algorithm 2 decrypts
+  ``encRndOffset`` inside the enclave.
+- **unsorted** (ED3/ED6/ED9): a linear scan over all entries (Algorithm 4),
+  returning an explicit ValueID list.
+
+All comparisons happen on order-preserving ordinals
+(:meth:`~repro.columnstore.types.ValueType.ordinal`), so one code path
+serves VARCHAR and INTEGER columns. Every entry access decrypts one blob
+loaded from untrusted memory and is charged to the cost model; enclave
+memory use is constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.columnstore.types import ValueType
+from repro.crypto.pae import Pae
+from repro.encdict.dictionary import EncryptedDictionary
+from repro.encdict.options import EncryptedDictionaryKind, OrderOption
+from repro.exceptions import QueryError
+from repro.sgx.costs import CostModel
+
+#: The dummy range the rotated search uses to pad single-range results.
+DUMMY_RANGE = (-1, -1)
+
+
+@dataclass(frozen=True)
+class OrdinalRange:
+    """A closed search range in ordinal space.
+
+    The proxy normalizes every filter (equality, open/half-open/closed
+    ranges, exclusive bounds) to a closed ordinal interval before
+    encryption, exploiting that column domains are finite and discrete:
+    ``v > x`` is ``v >= x + 1`` in ordinal space.
+    """
+
+    low: int
+    high: int
+
+    @property
+    def is_empty(self) -> bool:
+        return self.low > self.high
+
+    def to_bytes(self) -> bytes:
+        low = self.low.to_bytes(40, "big", signed=True)
+        high = self.high.to_bytes(40, "big", signed=True)
+        return low + high
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "OrdinalRange":
+        if len(data) != 80:
+            raise QueryError("malformed search-range payload")
+        return cls(
+            int.from_bytes(data[:40], "big", signed=True),
+            int.from_bytes(data[40:], "big", signed=True),
+        )
+
+
+@dataclass
+class SearchResult:
+    """Outcome of ``EnclDictSearch``: ValueID ranges or an explicit list."""
+
+    ranges: tuple[tuple[int, int], ...] = ()
+    vids: tuple[int, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.vids and all(r == DUMMY_RANGE for r in self.ranges)
+
+    def matched_vid_count(self) -> int:
+        from_ranges = sum(
+            high - low + 1 for low, high in self.ranges if (low, high) != DUMMY_RANGE
+        )
+        return from_ranges + len(self.vids)
+
+
+class DictionaryAccessor:
+    """Loads, authenticates and decodes dictionary entries for the searches.
+
+    For an encrypted dictionary this decrypts with the per-column key; for
+    the PlainDBDB baseline (``encrypted=False``) it only deserializes. Every
+    access is charged to the cost model, and the probe sequence is recorded
+    so tests can assert access-pattern properties.
+    """
+
+    def __init__(
+        self,
+        dictionary: EncryptedDictionary,
+        *,
+        key: bytes | None,
+        pae: Pae | None,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        if dictionary.encrypted and (key is None or pae is None):
+            raise QueryError("encrypted dictionary requires a key and PAE backend")
+        self._dictionary = dictionary
+        self._key = key
+        self._pae = pae
+        self._cost = cost_model
+        self.probes: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._dictionary)
+
+    @property
+    def value_type(self) -> ValueType:
+        return self._dictionary.value_type
+
+    def raw_value(self, index: int):
+        """Load entry ``index`` from untrusted memory and decode it."""
+        self.probes.append(index)
+        blob = self._dictionary.entry(index)
+        if self._cost is not None:
+            self._cost.record_untrusted_load()
+        if self._dictionary.encrypted:
+            plaintext = self._pae.decrypt(self._key, blob)
+            if self._cost is not None:
+                self._cost.record_decryption(len(blob))
+        else:
+            plaintext = blob
+        return self._dictionary.value_type.from_bytes(plaintext)
+
+    def ordinal(self, index: int) -> int:
+        """``ENCODE`` of entry ``index`` (one comparison-ready integer)."""
+        value = self.raw_value(index)
+        if self._cost is not None:
+            self._cost.record_comparison()
+        return self._dictionary.value_type.ordinal(value)
+
+    def rotation_offset(self) -> int:
+        """Decrypt ``encRndOffset`` (Algorithm 2 line 3)."""
+        blob = self._dictionary.enc_rnd_offset
+        if blob is None:
+            raise QueryError("dictionary carries no rotation offset")
+        if not self._dictionary.encrypted:
+            return int.from_bytes(blob, "big")
+        plaintext = self._pae.decrypt(self._key, blob)
+        if self._cost is not None:
+            self._cost.record_decryption(len(blob))
+        return int.from_bytes(plaintext, "big")
+
+
+# ----------------------------------------------------------------------
+# Shared binary-search helpers (half-open interval [low, high))
+# ----------------------------------------------------------------------
+
+
+def _leftmost(low: int, high: int, below_target: Callable[[int], bool]) -> int:
+    """First index in ``[low, high)`` where ``below_target`` turns False."""
+    while low < high:
+        mid = (low + high) // 2
+        if below_target(mid):
+            low = mid + 1
+        else:
+            high = mid
+    return low
+
+
+def search_sorted(accessor: DictionaryAccessor, search: OrdinalRange) -> SearchResult:
+    """``EnclDictSearch`` for ED1/ED4/ED7 (Algorithm 1).
+
+    A leftmost binary search locates where the range starts, a rightmost
+    one where it ends; duplicates from frequency smoothing/hiding are
+    handled inherently.
+    """
+    n = len(accessor)
+    if n == 0 or search.is_empty:
+        return SearchResult(ranges=(DUMMY_RANGE, DUMMY_RANGE))
+    vid_min = _leftmost(0, n, lambda i: accessor.ordinal(i) < search.low)
+    vid_max = _leftmost(0, n, lambda i: accessor.ordinal(i) <= search.high) - 1
+    if vid_min > vid_max:
+        return SearchResult(ranges=(DUMMY_RANGE, DUMMY_RANGE))
+    return SearchResult(ranges=((vid_min, vid_max), DUMMY_RANGE))
+
+
+def search_unsorted(accessor: DictionaryAccessor, search: OrdinalRange) -> SearchResult:
+    """``EnclDictSearch`` for ED3/ED6/ED9 (Algorithm 4): linear scan."""
+    if search.is_empty:
+        return SearchResult(vids=())
+    vids = tuple(
+        index
+        for index in range(len(accessor))
+        if search.low <= accessor.ordinal(index) <= search.high
+    )
+    return SearchResult(vids=vids)
+
+
+def search_rotated(accessor: DictionaryAccessor, search: OrdinalRange) -> SearchResult:
+    """``EnclDictSearch`` for ED2/ED5/ED8 (Algorithms 2 and 3).
+
+    Works in the shifted ordinal space ``c(i) = (ENCODE(D[i]) - r) mod N``
+    with ``r = ENCODE(D[0])``, in which the rotated dictionary is sorted
+    except for a possible run of ``D[0]``-duplicates wrapped to the array
+    end. The plaintext matches are exactly the entries whose shifted ordinal
+    lies in the circular interval ``[t_s, t_e]`` (the mod-N shift is a
+    bijection preserving circular intervals), yielding one or two physical
+    ValueID ranges.
+    """
+    n = len(accessor)
+    if n == 0 or search.is_empty:
+        return SearchResult(ranges=(DUMMY_RANGE, DUMMY_RANGE))
+
+    modulus = accessor.value_type.domain_size
+    # Algorithm 2 line 3: the rotation offset is decrypted inside the
+    # enclave on every query (it is needed for the duplicate-wrap corner
+    # case below, and decrypting unconditionally keeps the access pattern
+    # query-independent and authenticates the stored offset).
+    rnd_offset = accessor.rotation_offset()
+    reference = accessor.ordinal(0)  # r = ENCODE(PAE_Dec(SKD, eD[0]))
+    t_start_value = (search.low - reference) % modulus
+    t_end_value = (search.high - reference) % modulus
+
+    def shifted(index: int) -> int:
+        return (accessor.ordinal(index) - reference) % modulus
+
+    # Locate the trailing run of D[0]-duplicates wrapped past the rotation
+    # point (the ED5/ED8 corner case). It exists only when the last entry
+    # equals D[0]'s value, and then starts within [rndOffset, n).
+    trailing_start = n
+    if n > 1:
+        # Probe the last entry unconditionally so the probe prefix stays
+        # independent of the secret offset.
+        last_entry_wraps = shifted(n - 1) == 0
+        if rnd_offset > 0 and last_entry_wraps:
+            trailing_start = _leftmost(rnd_offset, n, lambda i: shifted(i) != 0)
+
+    # Within [0, trailing_start) the shifted sequence is non-decreasing:
+    # zeros (D[0]-duplicates), then strictly greater shifted ordinals.
+    sorted_end = trailing_start
+    first_at_or_above_start = _leftmost(
+        0, sorted_end, lambda i: shifted(i) < t_start_value
+    )
+    last_at_or_below_end = (
+        _leftmost(0, sorted_end, lambda i: shifted(i) <= t_end_value) - 1
+    )
+
+    ranges: list[tuple[int, int]] = []
+    has_trailing = trailing_start < n
+    if t_start_value == 0:
+        # The range starts exactly at D[0]'s value: the leading duplicates
+        # (and any prefix of larger matches) match, plus the whole trailing
+        # run.
+        ranges.append((0, last_at_or_below_end))
+        if has_trailing:
+            ranges.append((trailing_start, n - 1))
+    elif t_start_value <= t_end_value:
+        # No wrap in shifted space: at most one contiguous physical range.
+        if first_at_or_above_start <= last_at_or_below_end:
+            ranges.append((first_at_or_above_start, last_at_or_below_end))
+    else:
+        # Wrap: the plaintext range contains D[0]'s value, so the lower part
+        # always matches from index 0; the upper part (values >= range
+        # start) runs to the end of the array if it exists.
+        ranges.append((0, last_at_or_below_end))
+        if first_at_or_above_start < sorted_end:
+            ranges.append((first_at_or_above_start, n - 1))
+        elif has_trailing:
+            ranges.append((trailing_start, n - 1))
+
+    while len(ranges) < 2:
+        ranges.append(DUMMY_RANGE)
+    return SearchResult(ranges=tuple(ranges[:2]))
+
+
+_SEARCHERS = {
+    OrderOption.SORTED: search_sorted,
+    OrderOption.ROTATED: search_rotated,
+    OrderOption.UNSORTED: search_unsorted,
+}
+
+
+class DictionarySearcher:
+    """Dispatches ``EnclDictSearch`` by encrypted-dictionary kind."""
+
+    def __init__(self, pae: Pae, cost_model: CostModel | None = None) -> None:
+        self._pae = pae
+        self._cost = cost_model
+
+    def search(
+        self,
+        dictionary: EncryptedDictionary,
+        search: OrdinalRange,
+        *,
+        key: bytes | None,
+    ) -> SearchResult:
+        kind = dictionary.kind
+        order = kind.order if kind is not None else OrderOption.SORTED
+        accessor = DictionaryAccessor(
+            dictionary, key=key, pae=self._pae, cost_model=self._cost
+        )
+        return _SEARCHERS[order](accessor, search)
+
+
+def plain_search(
+    dictionary: EncryptedDictionary,
+    search: OrdinalRange,
+    *,
+    kind: EncryptedDictionaryKind | None = None,
+    cost_model: CostModel | None = None,
+) -> SearchResult:
+    """PlainDBDB's dictionary search: same algorithms, no enclave, no PAE."""
+    accessor = DictionaryAccessor(dictionary, key=None, pae=None, cost_model=cost_model)
+    effective_kind = kind if kind is not None else dictionary.kind
+    order = effective_kind.order if effective_kind is not None else OrderOption.SORTED
+    return _SEARCHERS[order](accessor, search)

@@ -1,0 +1,57 @@
+"""Exception hierarchy shared by the whole EncDBDB reproduction.
+
+All errors raised by this package derive from :class:`EncDBDBError` so callers
+can catch one base class. Subsystems raise the most specific subclass that
+applies; messages never contain plaintext values from encrypted columns.
+"""
+
+from __future__ import annotations
+
+
+class EncDBDBError(Exception):
+    """Base class of every error raised by the ``repro`` package."""
+
+
+class CryptoError(EncDBDBError):
+    """A cryptographic operation failed (bad key sizes, malformed input...)."""
+
+
+class AuthenticationError(CryptoError):
+    """Authenticated decryption failed: the ciphertext or tag was tampered."""
+
+
+class EnclaveSecurityError(EncDBDBError):
+    """The simulated SGX trust boundary was violated.
+
+    Raised, for example, when untrusted code tries to read enclave memory
+    directly, call an unregistered ecall, or provision a key without a
+    successfully attested secure channel.
+    """
+
+
+class AttestationError(EnclaveSecurityError):
+    """Remote attestation failed: quote signature or measurement mismatch."""
+
+
+class EnclaveMemoryError(EnclaveSecurityError):
+    """The EPC model rejected an allocation (over the usable-EPC budget)."""
+
+
+class StorageError(EncDBDBError):
+    """Persistence-layer failure (corrupt file, unknown format version...)."""
+
+
+class CatalogError(EncDBDBError):
+    """Schema-level failure: unknown/duplicate table or column, bad type."""
+
+
+class QueryError(EncDBDBError):
+    """A query could not be parsed, planned, or executed."""
+
+
+class SqlSyntaxError(QueryError):
+    """The SQL text is not part of the supported grammar."""
+
+
+class PlanError(QueryError):
+    """The planner could not produce an executable plan for a valid AST."""

@@ -1,0 +1,56 @@
+"""Security evaluation tooling (paper §6.1, Tables 3-5, Figure 6).
+
+The attacker model is the paper's honest-but-curious DBaaS observer: she
+sees the encrypted dictionary ``eD`` and the attribute vector ``AV`` of each
+column (and knows which encrypted dictionary is in use) but holds no keys.
+This package quantifies what such an observer learns:
+
+- :mod:`repro.security.leakage` -- structural leakage measures: observed
+  ValueID frequency histograms, the smoothing bound, order-information
+  content.
+- :mod:`repro.security.attacks` -- concrete attack simulations: frequency
+  analysis with auxiliary data (Naveed et al. [66] style) and sorted/rotated
+  order reconstruction (leakage-abuse style [41]).
+- :mod:`repro.security.classify` -- the relative security lattice of
+  Figure 6 and its empirical verification hooks.
+"""
+
+from repro.security.attacks import (
+    frequency_analysis_attack,
+    order_reconstruction_attack,
+    rotation_boundary_attack,
+)
+from repro.security.guideline import (
+    ColumnProfile,
+    LeakageTolerance,
+    Recommendation,
+    recommend,
+)
+from repro.security.classify import (
+    LEVEL_BY_LABEL,
+    leakage_profile,
+    no_less_secure,
+    security_lattice_edges,
+)
+from repro.security.leakage import (
+    frequency_histogram,
+    max_frequency,
+    normalized_frequency_entropy,
+)
+
+__all__ = [
+    "frequency_histogram",
+    "max_frequency",
+    "normalized_frequency_entropy",
+    "frequency_analysis_attack",
+    "order_reconstruction_attack",
+    "rotation_boundary_attack",
+    "ColumnProfile",
+    "LeakageTolerance",
+    "Recommendation",
+    "recommend",
+    "leakage_profile",
+    "no_less_secure",
+    "security_lattice_edges",
+    "LEVEL_BY_LABEL",
+]

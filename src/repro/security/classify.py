@@ -1,0 +1,54 @@
+"""The relative security classification of Figure 6.
+
+``EDX <= EDY`` means EDY provides the same or better security than EDX. The
+lattice is the componentwise order on the two leakage dimensions
+(frequency, order), each graded none < bounded < full leakage.
+"""
+
+from __future__ import annotations
+
+from repro.encdict.options import ALL_KINDS, EncryptedDictionaryKind
+
+#: Numeric leakage grades: higher = more leakage = less secure.
+LEVEL_BY_LABEL = {"none": 0, "bounded": 1, "full": 2}
+
+
+def leakage_profile(kind: EncryptedDictionaryKind) -> tuple[int, int]:
+    """``(frequency_leakage, order_leakage)`` grades of one kind."""
+    return (
+        LEVEL_BY_LABEL[kind.repetition.frequency_leakage],
+        LEVEL_BY_LABEL[kind.order.order_leakage],
+    )
+
+
+def no_less_secure(
+    stronger: EncryptedDictionaryKind, weaker: EncryptedDictionaryKind
+) -> bool:
+    """True iff ``weaker <= stronger`` in the Figure 6 sense."""
+    strong_frequency, strong_order = leakage_profile(stronger)
+    weak_frequency, weak_order = leakage_profile(weaker)
+    return strong_frequency <= weak_frequency and strong_order <= weak_order
+
+
+def security_lattice_edges() -> set[tuple[str, str]]:
+    """All direct ``(weaker, stronger)`` edges of Figure 6.
+
+    An edge is emitted when exactly one leakage dimension improves by one
+    grade — the covering relation of the product order, which is what the
+    figure draws (vertical edges: repetition improves; horizontal edges:
+    order improves).
+    """
+    edges = set()
+    for weaker in ALL_KINDS:
+        for stronger in ALL_KINDS:
+            if weaker is stronger:
+                continue
+            weak_profile = leakage_profile(weaker)
+            strong_profile = leakage_profile(stronger)
+            deltas = (
+                weak_profile[0] - strong_profile[0],
+                weak_profile[1] - strong_profile[1],
+            )
+            if sorted(deltas) == [0, 1]:
+                edges.add((weaker.name, stronger.name))
+    return edges

@@ -1,0 +1,157 @@
+"""The §6.4 usage guideline as an executable advisor.
+
+The paper closes its evaluation with guidance on choosing an encrypted
+dictionary per column. This module codifies that guidance: given the data
+owner's security requirements and the column's statistics, it recommends a
+kind and explains why — the programmatic counterpart of:
+
+- plaintext acceptable -> no protection;
+- weakest acceptable level -> **ED1** (small, almost as fast as PlainDBDB);
+- reduce order leakage at minor cost -> **ED2**;
+- no order leakage, few uniques, small ranges -> **ED3**;
+- bounded frequency leakage at minor cost -> **ED5** ("in many cases the
+  best security, latency and storage tradeoff");
+- security and latency critical, storage not -> **ED8**;
+- security the main objective -> **ED9**.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.encdict.options import (
+    ED1,
+    ED2,
+    ED3,
+    ED5,
+    ED8,
+    ED9,
+    EncryptedDictionaryKind,
+)
+
+
+class LeakageTolerance(enum.Enum):
+    """How much of one leakage dimension the data owner accepts."""
+
+    FULL = "full leakage acceptable"
+    BOUNDED = "bounded leakage acceptable"
+    NONE = "no leakage acceptable"
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """The statistics §6.4 conditions its advice on."""
+
+    rows: int
+    unique_values: int
+    typical_range_size: int = 10
+
+    @classmethod
+    def from_values(
+        cls, values: Sequence, typical_range_size: int = 10
+    ) -> "ColumnProfile":
+        return cls(
+            rows=len(values),
+            unique_values=len(Counter(values)),
+            typical_range_size=typical_range_size,
+        )
+
+    @property
+    def unique_ratio(self) -> float:
+        return self.unique_values / max(1, self.rows)
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    kind: EncryptedDictionaryKind
+    rationale: str
+    warnings: tuple[str, ...] = ()
+
+
+def recommend(
+    profile: ColumnProfile,
+    *,
+    order_tolerance: LeakageTolerance,
+    frequency_tolerance: LeakageTolerance,
+    storage_critical: bool = False,
+) -> Recommendation:
+    """Apply the §6.4 guideline to one column."""
+    warnings: list[str] = []
+    low_cardinality = profile.unique_ratio < 0.05 or profile.unique_values < 10_000
+    small_ranges = profile.typical_range_size <= 10
+
+    if frequency_tolerance is LeakageTolerance.FULL:
+        if order_tolerance is LeakageTolerance.FULL:
+            return Recommendation(
+                ED1,
+                "weakest acceptable level: small storage, almost as fast as "
+                "PlainDBDB (§6.4)",
+            )
+        if order_tolerance is LeakageTolerance.BOUNDED:
+            return Recommendation(
+                ED2,
+                "reduced order leakage for a minor performance overhead over "
+                "ED1 (§6.4)",
+                tuple(warnings),
+            )
+        # no order leakage tolerated
+        if low_cardinality and small_ranges:
+            return Recommendation(
+                ED3,
+                "no order leakage; practical because the column has few "
+                "unique values and ranges are small (§6.4)",
+            )
+        warnings.append(
+            "ED3's linear dictionary scan degrades with many unique values "
+            "or large ranges; consider whether bounded order leakage (ED2) "
+            "is acceptable"
+        )
+        return Recommendation(ED3, "no order leakage tolerated", tuple(warnings))
+
+    if frequency_tolerance is LeakageTolerance.BOUNDED:
+        if order_tolerance is LeakageTolerance.NONE:
+            warnings.append(
+                "ED6 pays a heavy latency price (larger linear scan, more "
+                "ValueIDs in the attribute-vector pass)"
+            )
+            from repro.encdict.options import ED6
+
+            return Recommendation(
+                ED6, "bounded frequency and no order leakage", tuple(warnings)
+            )
+        return Recommendation(
+            ED5,
+            "bounded frequency leakage at minor performance and storage "
+            "overhead over ED2 — in many cases the best security, latency "
+            "and storage tradeoff (§6.4)",
+        )
+
+    # frequency hiding required
+    if order_tolerance is LeakageTolerance.NONE:
+        warnings.append(
+            "ED9 is the most expensive kind: linear scan over a dictionary "
+            "as large as the column"
+        )
+        return Recommendation(
+            ED9, "security is the main objective (§6.4)", tuple(warnings)
+        )
+    if storage_critical:
+        warnings.append(
+            "frequency hiding stores one encrypted entry per row "
+            "(|D| = |AV|); storage-critical columns may prefer ED5"
+        )
+    if order_tolerance is LeakageTolerance.FULL:
+        from repro.encdict.options import ED7
+
+        return Recommendation(
+            ED7, "no frequency leakage with the fastest (sorted) search",
+            tuple(warnings),
+        )
+    return Recommendation(
+        ED8,
+        "security and latency critical, storage size is not (§6.4)",
+        tuple(warnings),
+    )

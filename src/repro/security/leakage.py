@@ -1,0 +1,70 @@
+"""Structural leakage measures over the observable ``(eD, AV)`` pair.
+
+Everything here uses only what the honest-but-curious server sees: ValueID
+occurrence counts in the attribute vector and the arrangement of the
+(opaque) dictionary entries. No keys, no plaintexts.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+
+def frequency_histogram(attribute_vector: np.ndarray) -> dict[int, int]:
+    """Observed occurrences of each ValueID — the attacker's direct view."""
+    counts = Counter(np.asarray(attribute_vector).tolist())
+    return dict(counts)
+
+
+def max_frequency(attribute_vector: np.ndarray) -> int:
+    """The largest observed ValueID count.
+
+    For frequency smoothing this is guaranteed to be at most ``bsmax``
+    (Table 3); for frequency hiding it is exactly 1.
+    """
+    histogram = frequency_histogram(attribute_vector)
+    return max(histogram.values()) if histogram else 0
+
+
+def normalized_frequency_entropy(attribute_vector: np.ndarray) -> float:
+    """Entropy of the observed ValueID distribution, normalized to [0, 1].
+
+    1.0 means the observed frequencies are perfectly uniform (the attacker
+    learns nothing from them, as with frequency hiding); lower values mean
+    the histogram is informative.
+    """
+    histogram = frequency_histogram(attribute_vector)
+    total = sum(histogram.values())
+    if total == 0 or len(histogram) <= 1:
+        return 1.0
+    entropy = -sum(
+        (count / total) * math.log2(count / total) for count in histogram.values()
+    )
+    return entropy / math.log2(len(histogram))
+
+
+def frequency_multiset_distance(
+    true_values: Sequence, attribute_vector: np.ndarray
+) -> float:
+    """Total-variation distance between the *shape* of the true value
+    frequency distribution and the observed ValueID distribution.
+
+    0 means the observed histogram reproduces the plaintext histogram
+    exactly (full frequency leakage, as with frequency revealing); values
+    near the maximum mean the histogram shape was destroyed.
+    """
+    true_counts = sorted(Counter(true_values).values(), reverse=True)
+    observed_counts = sorted(
+        frequency_histogram(attribute_vector).values(), reverse=True
+    )
+    total = float(sum(true_counts))
+    length = max(len(true_counts), len(observed_counts))
+    true_padded = true_counts + [0] * (length - len(true_counts))
+    observed_padded = observed_counts + [0] * (length - len(observed_counts))
+    return 0.5 * sum(
+        abs(t / total - o / total) for t, o in zip(true_padded, observed_padded)
+    )

@@ -1,0 +1,5 @@
+"""The DBaaS-provider side of EncDBDB: DBMS + enclave."""
+
+from repro.server.dbms import EncDBDBServer
+
+__all__ = ["EncDBDBServer"]

@@ -1,0 +1,200 @@
+"""The EncDBDB server: untrusted DBMS hosting a small trusted enclave.
+
+Everything in this module is *untrusted* (it runs at the DBaaS provider):
+catalog, storage, planner-output execution, result rendering. The only
+trusted component is the :class:`~repro.encdict.enclave_app.EncDBDBEnclave`
+reached through its :class:`~repro.sgx.enclave.EnclaveHost`. The server
+never sees plaintext values of encrypted columns, the master key, or a
+rotation offset — tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.columnstore.catalog import Catalog
+from repro.columnstore.column import EncryptedStoredColumn, PlainStoredColumn
+from repro.columnstore.storage import load_database, save_database
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.pae import Pae, default_pae
+from repro.encdict.builder import BuildResult
+from repro.encdict.enclave_app import EncDBDBEnclave
+from repro.exceptions import CatalogError, QueryError
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import EnclaveHost
+from repro.sql.executor import Executor
+from repro.sql.planner import (
+    CreatePlan,
+    DeletePlan,
+    JoinSelectPlan,
+    MergePlan,
+    SelectPlan,
+)
+from repro.sql.result import ServerResult
+
+
+class EncDBDBServer:
+    """One DBaaS deployment: catalog + executor + loaded enclave."""
+
+    def __init__(
+        self,
+        *,
+        attestation: AttestationService | None = None,
+        pae: Pae | None = None,
+        rng: HmacDrbg | None = None,
+    ) -> None:
+        rng = rng if rng is not None else HmacDrbg(b"encdbdb-server")
+        self.attestation = attestation if attestation is not None else AttestationService()
+        self.catalog = Catalog()
+        self._enclave = EncDBDBEnclave(
+            attestation=self.attestation,
+            pae=pae if pae is not None else default_pae(rng=rng.fork("enclave-pae")),
+            rng=rng.fork("enclave"),
+        )
+        self.enclave_host = EnclaveHost(self._enclave)
+        self.executor = Executor(self.catalog, self.enclave_host)
+
+    # ------------------------------------------------------------------
+    # Enclave surface exposed to the network (provisioning passthrough)
+    # ------------------------------------------------------------------
+    @property
+    def measurement(self) -> bytes:
+        return self.enclave_host.measurement
+
+    @property
+    def cost_model(self):
+        return self.enclave_host.cost_model
+
+    def enclave_channel_offer(self):
+        return self.enclave_host.ecall("channel_offer")
+
+    def enclave_channel_accept(self, client_public: int) -> None:
+        self.enclave_host.ecall("channel_accept", client_public)
+
+    def enclave_provision(self, wire_blob: bytes) -> None:
+        self.enclave_host.ecall("provision_master_key", wire_blob)
+
+    # ------------------------------------------------------------------
+    # DDL and bulk import (paper §4.2 steps 3-4)
+    # ------------------------------------------------------------------
+    def create_table(self, plan: CreatePlan) -> None:
+        table = self.catalog.create_table(plan.table, plan.specs)
+        columns = {}
+        for spec in plan.specs:
+            if spec.is_encrypted:
+                column = EncryptedStoredColumn(spec, None)
+                column.bind(table.name)
+                columns[spec.name] = column
+            else:
+                columns[spec.name] = PlainStoredColumn(spec)
+        table.attach_columns(columns, 0)
+
+    def bulk_load(
+        self,
+        table_name: str,
+        *,
+        plain_columns: dict[str, list] | None = None,
+        encrypted_builds: dict[str, BuildResult] | None = None,
+    ) -> int:
+        """Import a prepared dataset (the data owner's ``EncDB`` output)."""
+        table = self.catalog.table(table_name)
+        if table.row_count:
+            raise CatalogError(f"table {table_name!r} already holds data")
+        plain_columns = plain_columns or {}
+        encrypted_builds = encrypted_builds or {}
+        provided = set(plain_columns) | set(encrypted_builds)
+        if provided != set(table.column_names):
+            raise CatalogError(
+                f"bulk load must cover exactly the columns of {table_name!r}"
+            )
+        lengths = {len(v) for v in plain_columns.values()} | {
+            len(b.attribute_vector) for b in encrypted_builds.values()
+        }
+        if len(lengths) != 1:
+            raise CatalogError("bulk-loaded columns have inconsistent lengths")
+        (row_count,) = lengths
+
+        columns = {}
+        for name, values in plain_columns.items():
+            spec = table.spec(name)
+            if spec.is_encrypted:
+                raise CatalogError(f"column {name!r} requires an encrypted build")
+            columns[name] = PlainStoredColumn(spec, values)
+        for name, build in encrypted_builds.items():
+            spec = table.spec(name)
+            if not spec.is_encrypted:
+                raise CatalogError(f"column {name!r} is not encrypted")
+            if build.dictionary.kind != spec.protection:
+                raise CatalogError(
+                    f"column {name!r} was built as "
+                    f"{build.dictionary.kind} but is declared {spec.protection}"
+                )
+            column = EncryptedStoredColumn(spec, build)
+            column.bind(table.name)
+            columns[name] = column
+        table.attach_columns(columns, row_count)
+        return row_count
+
+    def drop_table(self, table_name: str) -> None:
+        self.catalog.drop_table(table_name)
+
+    # ------------------------------------------------------------------
+    # Query execution (proxy-facing)
+    # ------------------------------------------------------------------
+    def execute_select(self, plan: SelectPlan) -> ServerResult:
+        return self.executor.select(plan)
+
+    def execute_join_select(self, plan: JoinSelectPlan, salt: bytes) -> ServerResult:
+        return self.executor.select_join(plan, salt)
+
+    def execute_insert(self, table_name: str, prepared_rows: list[dict]) -> int:
+        inserted = self.executor.insert_prepared(table_name, prepared_rows)
+        self._maybe_auto_merge(table_name)
+        return inserted
+
+    def execute_delete(self, plan: DeletePlan) -> int:
+        deleted = self.executor.delete(plan)
+        self._maybe_auto_merge(plan.table)
+        return deleted
+
+    def delete_record_ids(self, table_name: str, record_ids) -> int:
+        """Targeted delete by RecordID (used by the proxy's UPDATE flow)."""
+        table = self.catalog.table(table_name)
+        return table.delete_rows(np.asarray(record_ids, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # Automatic delta merging (paper §4.3, Hübner et al. strategies)
+    # ------------------------------------------------------------------
+    def enable_auto_merge(self, policy) -> None:
+        """Install a :class:`~repro.columnstore.merge_policy.MergePolicy`;
+        the server then merges tables whose delta stores grew past it."""
+        self._merge_policy = policy
+
+    def disable_auto_merge(self) -> None:
+        self._merge_policy = None
+
+    def _maybe_auto_merge(self, table_name: str) -> None:
+        policy = getattr(self, "_merge_policy", None)
+        if policy is None:
+            return
+        table = self.catalog.table(table_name)
+        if policy.should_merge(table):
+            self.executor.merge(MergePlan(table_name))
+
+    def execute_merge(self, plan: MergePlan) -> int:
+        return self.executor.merge(plan)
+
+    # ------------------------------------------------------------------
+    # Persistence (the storage-management box of Figure 5)
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        save_database(self.catalog, path)
+
+    def load(self, path: str | Path) -> None:
+        loaded = load_database(path)
+        if self.catalog.table_names():
+            raise QueryError("load() requires an empty server catalog")
+        self.catalog = loaded
+        self.executor = Executor(self.catalog, self.enclave_host)

@@ -1,0 +1,46 @@
+"""Simulated Intel SGX runtime.
+
+The paper runs its dictionary search inside an SGX enclave. Real SGX hardware
+(and its SDK) is unavailable to this reproduction, so this package simulates
+the enclave *interface and cost structure* that the paper's design relies on
+(see DESIGN.md §1 for the substitution argument):
+
+- :mod:`repro.sgx.enclave` -- enclave programs with a measured code identity,
+  a narrow registered-ecall surface, and software-enforced isolation of
+  enclave state from untrusted callers.
+- :mod:`repro.sgx.memory` -- the EPC model: 128 MiB processor-reserved
+  memory of which ~96 MiB is usable, with paging penalties beyond that.
+- :mod:`repro.sgx.attestation` -- measurements, quotes, and a simulated
+  attestation service so key provisioning can be gated on code identity.
+- :mod:`repro.sgx.sealing` -- sealed storage bound to the measurement.
+- :mod:`repro.sgx.channel` -- an attested secure channel (finite-field DH +
+  HKDF + PAE transport) used to deploy ``SKDB`` into the enclave.
+- :mod:`repro.sgx.costs` -- a cycle-cost accounting model for boundary
+  crossings, in-enclave decryptions and EPC paging, backing the performance
+  discussion of Tables 1 and 4.
+"""
+
+from repro.sgx.attestation import AttestationService, Quote, measure_code
+from repro.sgx.channel import SecureChannel, SecureChannelListener
+from repro.sgx.costs import CostModel, CostParameters
+from repro.sgx.enclave import Enclave, EnclaveHost, ecall
+from repro.sgx.memory import EPC_TOTAL_BYTES, EPC_USABLE_BYTES, EpcModel
+from repro.sgx.sealing import seal, unseal
+
+__all__ = [
+    "Enclave",
+    "EnclaveHost",
+    "ecall",
+    "EpcModel",
+    "EPC_TOTAL_BYTES",
+    "EPC_USABLE_BYTES",
+    "AttestationService",
+    "Quote",
+    "measure_code",
+    "SecureChannel",
+    "SecureChannelListener",
+    "seal",
+    "unseal",
+    "CostModel",
+    "CostParameters",
+]

@@ -1,0 +1,148 @@
+"""Attested secure channel between a remote party and an enclave.
+
+Implements the provisioning step of paper §4.2 ( 2 ): the data owner
+attests the DBaaS enclave and pushes ``SKDB`` through a secure channel that
+terminates *inside* the enclave. The channel is a real key exchange:
+
+1. the enclave generates an ephemeral finite-field Diffie-Hellman keypair
+   (RFC 3526 group 14, 2048-bit MODP) inside an ecall;
+2. the platform quotes the enclave with the DH public value as report data;
+3. the remote party verifies the quote (signature + expected measurement),
+   contributes its own ephemeral public value, and both sides derive a
+   session key with HKDF over the shared secret and the full transcript;
+4. application messages are protected with PAE under the session key.
+
+Untrusted code relaying the messages sees only public values and PAE blobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.kdf import hkdf_sha256
+from repro.crypto.pae import Pae, default_pae
+from repro.exceptions import AttestationError, EnclaveSecurityError
+from repro.sgx.attestation import AttestationService, Quote
+
+# RFC 3526, group 14: 2048-bit MODP prime with generator 2.
+MODP_2048_PRIME = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9"
+    "DE2BCBF6955817183995497CEA956AE515D2261898FA0510"
+    "15728E5A8AACAA68FFFFFFFFFFFFFFFF",
+    16,
+)
+MODP_2048_GENERATOR = 2
+
+
+def _dh_keypair(rng: HmacDrbg) -> tuple[int, int]:
+    private = int.from_bytes(rng.random_bytes(32), "big") | 1
+    public = pow(MODP_2048_GENERATOR, private, MODP_2048_PRIME)
+    return private, public
+
+
+def _session_key(shared: int, transcript: bytes) -> bytes:
+    shared_bytes = shared.to_bytes(256, "big")
+    return hkdf_sha256(
+        shared_bytes,
+        salt=hashlib.sha256(transcript).digest(),
+        info=b"EncDBDB-secure-channel",
+        length=16,
+    )
+
+
+@dataclass(frozen=True)
+class ChannelOffer:
+    """What the enclave publishes to start a handshake: quote over its DH key."""
+
+    quote: Quote
+
+    @property
+    def enclave_public(self) -> int:
+        return int.from_bytes(self.quote.report_data, "big")
+
+
+class SecureChannelListener:
+    """The enclave side of the handshake.
+
+    This object lives conceptually *inside* the enclave program; the
+    EncDBDB enclave exposes its methods via ecalls. It is a separate class so
+    the handshake logic is unit-testable without a full enclave.
+    """
+
+    def __init__(self, attestation: AttestationService, rng: HmacDrbg) -> None:
+        self._attestation = attestation
+        self._rng = rng
+        self._private: int | None = None
+        self._offer: ChannelOffer | None = None
+
+    def offer(self, enclave) -> ChannelOffer:
+        """Generate an ephemeral keypair and quote the public value."""
+        self._private, public = _dh_keypair(self._rng)
+        report_data = public.to_bytes(256, "big")
+        self._offer = ChannelOffer(self._attestation.quote(enclave, report_data))
+        return self._offer
+
+    def accept(self, peer_public: int) -> "SecureChannel":
+        """Complete the handshake with the remote party's public value."""
+        if self._private is None or self._offer is None:
+            raise EnclaveSecurityError("accept() before offer()")
+        if not 1 < peer_public < MODP_2048_PRIME - 1:
+            raise EnclaveSecurityError("invalid peer DH public value")
+        shared = pow(peer_public, self._private, MODP_2048_PRIME)
+        transcript = self._offer.quote.report_data + peer_public.to_bytes(256, "big")
+        key = _session_key(shared, transcript)
+        self._private = None  # ephemeral: forward secrecy
+        return SecureChannel(key)
+
+
+class SecureChannel:
+    """A PAE-protected duplex channel under an established session key."""
+
+    def __init__(self, session_key: bytes, *, pae: Pae | None = None) -> None:
+        self._key = session_key
+        self._pae = pae if pae is not None else default_pae()
+
+    def send(self, plaintext: bytes) -> bytes:
+        """Protect an outgoing message; the return value goes over the wire."""
+        return self._pae.encrypt(self._key, plaintext, aad=b"channel")
+
+    def receive(self, wire_blob: bytes) -> bytes:
+        """Open an incoming message; raises on tampering."""
+        return self._pae.decrypt(self._key, wire_blob, aad=b"channel")
+
+    @classmethod
+    def connect(
+        cls,
+        offer: ChannelOffer,
+        attestation: AttestationService,
+        expected_measurement: bytes,
+        *,
+        rng: HmacDrbg,
+        pae: Pae | None = None,
+    ) -> tuple["SecureChannel", int]:
+        """Client side: verify the attested offer and derive the channel.
+
+        Returns ``(channel, client_public)``; the caller forwards
+        ``client_public`` to the enclave's ``accept`` ecall.
+
+        Raises :class:`AttestationError` if the quote does not verify or the
+        measurement is not the expected enclave.
+        """
+        attestation.verify(offer.quote, expected_measurement=expected_measurement)
+        enclave_public = offer.enclave_public
+        if not 1 < enclave_public < MODP_2048_PRIME - 1:
+            raise AttestationError("attested DH public value out of range")
+        private, public = _dh_keypair(rng)
+        shared = pow(enclave_public, private, MODP_2048_PRIME)
+        transcript = offer.quote.report_data + public.to_bytes(256, "big")
+        return cls(_session_key(shared, transcript), pae=pae), public

@@ -1,0 +1,119 @@
+"""EPC (Enclave Page Cache) memory model.
+
+SGX v2 reserves 128 MiB of RAM (the PRM) of which roughly 96 MiB is usable
+for enclave pages (paper §2.2). Enclave data beyond that is swapped by the OS
+with integrity/confidentiality/freshness protection, at a large performance
+penalty. The model tracks per-enclave allocations at 4 KiB page granularity,
+simulates an LRU-resident set limited to the usable EPC, and reports page
+faults to the cost model.
+
+EncDBDB's design point — only constant enclave memory, dictionaries stay in
+untrusted memory — means the model mostly *proves a negative* here: tests
+assert that searches never allocate EPC proportional to |D|, which is exactly
+the paper's argument that the restricted enclave space is not a limitation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.exceptions import EnclaveMemoryError
+from repro.sgx.costs import CostModel
+
+PAGE_BYTES = 4096
+EPC_TOTAL_BYTES = 128 * 1024 * 1024
+EPC_USABLE_BYTES = 96 * 1024 * 1024
+
+
+@dataclass
+class _Allocation:
+    allocation_id: int
+    nbytes: int
+    pages: int
+
+
+class EpcModel:
+    """Tracks enclave page usage with an LRU resident set.
+
+    ``strict`` mode refuses allocations past the usable EPC instead of
+    swapping; EncDBDB never needs swapping, so the default enclave runs
+    strict to surface design regressions, while tests of the paging penalty
+    turn it off.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel | None = None,
+        *,
+        usable_bytes: int = EPC_USABLE_BYTES,
+        strict: bool = False,
+    ) -> None:
+        self._cost_model = cost_model if cost_model is not None else CostModel()
+        self._usable_pages = usable_bytes // PAGE_BYTES
+        self._strict = strict
+        self._next_id = 1
+        self._allocations: dict[int, _Allocation] = {}
+        # Resident tracking: (allocation_id, page_index) -> None, in LRU order.
+        self._resident: OrderedDict[tuple[int, int], None] = OrderedDict()
+        self.peak_pages = 0
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(a.nbytes for a in self._allocations.values())
+
+    @property
+    def allocated_pages(self) -> int:
+        return sum(a.pages for a in self._allocations.values())
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._resident)
+
+    def allocate(self, nbytes: int) -> int:
+        """Reserve enclave memory; returns an allocation id."""
+        if nbytes < 0:
+            raise EnclaveMemoryError("negative allocation")
+        pages = max(1, -(-nbytes // PAGE_BYTES))
+        if self._strict and self.allocated_pages + pages > self._usable_pages:
+            raise EnclaveMemoryError(
+                f"allocation of {nbytes} bytes exceeds usable EPC "
+                f"({self.allocated_pages + pages} > {self._usable_pages} pages)"
+            )
+        allocation = _Allocation(self._next_id, nbytes, pages)
+        self._next_id += 1
+        self._allocations[allocation.allocation_id] = allocation
+        for page_index in range(pages):
+            self._touch(allocation.allocation_id, page_index, faulting=False)
+        self.peak_pages = max(self.peak_pages, self.allocated_pages)
+        return allocation.allocation_id
+
+    def free(self, allocation_id: int) -> None:
+        allocation = self._allocations.pop(allocation_id, None)
+        if allocation is None:
+            raise EnclaveMemoryError(f"unknown allocation {allocation_id}")
+        for page_index in range(allocation.pages):
+            self._resident.pop((allocation_id, page_index), None)
+
+    def touch(self, allocation_id: int, offset: int = 0) -> None:
+        """Record an access; faults if the page is not EPC-resident."""
+        allocation = self._allocations.get(allocation_id)
+        if allocation is None:
+            raise EnclaveMemoryError(f"unknown allocation {allocation_id}")
+        page_index = offset // PAGE_BYTES
+        if page_index >= allocation.pages:
+            raise EnclaveMemoryError(
+                f"offset {offset} outside allocation of {allocation.nbytes} bytes"
+            )
+        self._touch(allocation_id, page_index, faulting=True)
+
+    def _touch(self, allocation_id: int, page_index: int, *, faulting: bool) -> None:
+        key = (allocation_id, page_index)
+        if key in self._resident:
+            self._resident.move_to_end(key)
+            return
+        if faulting:
+            self._cost_model.record_page_fault()
+        self._resident[key] = None
+        while len(self._resident) > self._usable_pages:
+            self._resident.popitem(last=False)

@@ -1,0 +1,55 @@
+"""Sealed storage: persist enclave secrets bound to the code identity.
+
+SGX's sealing derives a key from the enclave measurement and a platform
+fuse key, so only the *same* enclave on the *same* platform can unseal. The
+simulation derives the sealing key with HKDF from a platform secret and the
+measurement (MRENCLAVE policy), and protects the blob with PAE. EncDBDB uses
+sealing to persist ``SKDB`` across enclave restarts without another
+attestation round trip.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.crypto.kdf import hkdf_sha256
+from repro.crypto.pae import Pae, default_pae
+from repro.exceptions import AuthenticationError
+
+_DEFAULT_PLATFORM_SECRET = hashlib.sha256(b"simulated-sgx-fuse-key").digest()
+
+
+def _sealing_key(measurement: bytes, platform_secret: bytes) -> bytes:
+    return hkdf_sha256(
+        platform_secret, info=b"EncDBDB-sealing\x00" + measurement, length=16
+    )
+
+
+def seal(
+    measurement: bytes,
+    plaintext: bytes,
+    *,
+    platform_secret: bytes = _DEFAULT_PLATFORM_SECRET,
+    pae: Pae | None = None,
+) -> bytes:
+    """Seal ``plaintext`` to the enclave identity ``measurement``."""
+    pae = pae if pae is not None else default_pae()
+    return pae.encrypt(_sealing_key(measurement, platform_secret), plaintext, aad=measurement)
+
+
+def unseal(
+    measurement: bytes,
+    blob: bytes,
+    *,
+    platform_secret: bytes = _DEFAULT_PLATFORM_SECRET,
+    pae: Pae | None = None,
+) -> bytes:
+    """Unseal a blob; fails with :class:`AuthenticationError` for any other
+    enclave identity or platform."""
+    pae = pae if pae is not None else default_pae()
+    try:
+        return pae.decrypt(_sealing_key(measurement, platform_secret), blob, aad=measurement)
+    except AuthenticationError:
+        raise AuthenticationError(
+            "unsealing failed: wrong enclave identity, wrong platform, or tampered blob"
+        ) from None

@@ -1,0 +1,54 @@
+"""SQL subset front end.
+
+EncDBDB keeps MonetDB's SQL front end (paper §5); this package provides the
+reproduction's equivalent: a lexer, a recursive-descent parser producing a
+small AST, a planner that decomposes WHERE clauses into per-column range
+filters (the ``(eD, AV, τ)`` tuples of §4.2 step 6), and an executor that
+evaluates plans against the column store, going through the enclave for
+encrypted columns.
+
+Supported statements::
+
+    CREATE TABLE t (name ED5 VARCHAR(30) BSMAX 8, age INTEGER, ...)
+    INSERT INTO t [(cols)] VALUES (...), (...)
+    SELECT cols | aggregates FROM t [WHERE ...] [GROUP BY ...]
+        [ORDER BY col [ASC|DESC], ...] [LIMIT n]
+    UPDATE t SET col = value, ... [WHERE ...]
+    DELETE FROM t [WHERE ...]
+    MERGE TABLE t            -- delta-store merge (paper §4.3)
+
+WHERE supports =, !=, <, <=, >, >=, BETWEEN, AND, OR, and parentheses; the
+proxy converts every predicate into (encrypted) closed range filters, so the
+DBaaS provider cannot distinguish query types (§4.2 step 5).
+"""
+
+from repro.sql.ast_nodes import (
+    Aggregate,
+    ColumnDef,
+    Comparison,
+    CreateTable,
+    Delete,
+    Insert,
+    Logical,
+    MergeTable,
+    Select,
+    Update,
+)
+from repro.sql.lexer import Token, tokenize
+from repro.sql.parser import parse
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "parse",
+    "CreateTable",
+    "ColumnDef",
+    "Insert",
+    "Select",
+    "Aggregate",
+    "Delete",
+    "Update",
+    "MergeTable",
+    "Comparison",
+    "Logical",
+]

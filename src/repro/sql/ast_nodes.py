@@ -1,0 +1,113 @@
+"""AST node definitions for the supported SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """One column in a CREATE TABLE: name, type text, protection, bsmax."""
+
+    name: str
+    type_sql: str
+    protection: str | None = None  # "ED1".."ED9" or None for plaintext
+    bsmax: int | None = None
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    table: str
+    columns: tuple[ColumnDef, ...]
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: tuple[str, ...] | None  # None = schema order
+    rows: tuple[tuple[Any, ...], ...]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``column op literal`` or ``column BETWEEN low AND high``."""
+
+    column: str
+    operator: str  # one of =, !=, <, <=, >, >=, BETWEEN
+    value: Any
+    high_value: Any = None  # only for BETWEEN
+
+
+@dataclass(frozen=True)
+class Logical:
+    """AND/OR combination of predicate subtrees."""
+
+    operator: str  # AND | OR
+    operands: tuple[Any, ...]  # Comparison | Logical
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``FUNC(column)`` or ``COUNT(*)`` in a select list."""
+
+    function: str  # COUNT, SUM, AVG, MIN, MAX
+    column: str | None  # None = '*' (COUNT only)
+
+    @property
+    def label(self) -> str:
+        return f"{self.function}({self.column or '*'})"
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    column: str
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Join:
+    """``JOIN right_table ON left_column = right_column`` (inner equi-join).
+
+    The column references are qualified (``table.column``).
+    """
+
+    right_table: str
+    left_column: str
+    right_column: str
+
+
+@dataclass(frozen=True)
+class Select:
+    table: str
+    items: tuple[Any, ...]  # str column names and/or Aggregate; ("*",) = all
+    where: Comparison | Logical | None = None
+    group_by: tuple[str, ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    join: Join | None = None
+    distinct: bool = False
+
+    @property
+    def is_star(self) -> bool:
+        return self.items == ("*",)
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Comparison | Logical | None = None
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: tuple[tuple[str, Any], ...]
+    where: Comparison | Logical | None = None
+
+
+@dataclass(frozen=True)
+class MergeTable:
+    """Trigger the delta-store merge of paper §4.3 for one table."""
+
+    table: str

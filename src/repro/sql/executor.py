@@ -1,0 +1,262 @@
+"""The query evaluation engine that runs at the (untrusted) DBaaS provider.
+
+Evaluates plans against the column store: every range filter becomes a
+dictionary search — through the enclave for encrypted columns, locally for
+plaintext ones — followed by the untrusted attribute-vector search; AND/OR
+nodes intersect/unite the RecordID sets; validity bits drop deleted rows;
+and the result renderer reconstructs the requested columns (paper §4.2
+steps 6-13).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.columnstore.catalog import Catalog
+from repro.columnstore.column import EncryptedStoredColumn, PlainStoredColumn
+from repro.columnstore.table import Table
+from repro.exceptions import QueryError
+from repro.sgx.enclave import EnclaveHost
+from repro.sql.planner import (
+    DeletePlan,
+    EncryptedRangeFilter,
+    FilterNode,
+    FilterPlan,
+    JoinSelectPlan,
+    MergePlan,
+    PrefixFilter,
+    RangeFilter,
+    SelectPlan,
+)
+from repro.sql.result import ResultColumn, ServerResult
+
+
+class Executor:
+    """Evaluates (already proxy-encrypted) plans on the column store."""
+
+    def __init__(self, catalog: Catalog, enclave_host: EnclaveHost | None) -> None:
+        self._catalog = catalog
+        self._host = enclave_host
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+    def filter_record_ids(self, table: Table, plan: FilterPlan | None) -> np.ndarray:
+        """Evaluate a filter tree to the set of matching, valid RecordIDs."""
+        if plan is None:
+            return table.all_valid_rids()
+        return table.filter_valid(self._evaluate(table, plan))
+
+    def _evaluate(self, table: Table, plan: FilterPlan) -> np.ndarray:
+        if isinstance(plan, FilterNode):
+            child_sets = [self._evaluate(table, child) for child in plan.children]
+            if plan.operator == "NOT":
+                if len(child_sets) != 1:
+                    raise QueryError("NOT takes exactly one operand")
+                return self._complement(table, child_sets[0])
+            if plan.operator == "AND":
+                combined = child_sets[0]
+                for rids in child_sets[1:]:
+                    combined = np.intersect1d(combined, rids, assume_unique=True)
+                return combined
+            if plan.operator == "OR":
+                return np.union1d(
+                    child_sets[0],
+                    child_sets[1]
+                    if len(child_sets) == 2
+                    else np.concatenate(child_sets[1:]),
+                )
+            raise QueryError(f"unknown filter operator {plan.operator!r}")
+        if isinstance(plan, RangeFilter):
+            return self._evaluate_plain(table, plan)
+        if isinstance(plan, PrefixFilter):
+            return self._evaluate_prefix(table, plan)
+        if isinstance(plan, EncryptedRangeFilter):
+            return self._evaluate_encrypted(table, plan)
+        raise QueryError(f"unknown filter node {type(plan).__name__}")
+
+    def _evaluate_plain(self, table: Table, plan: RangeFilter) -> np.ndarray:
+        column = table.column(plan.column)
+        if not isinstance(column, PlainStoredColumn):
+            raise QueryError(
+                f"plaintext filter reached encrypted column {plan.column!r}; "
+                "the proxy must encrypt it first"
+            )
+        matches = column.search_filter(
+            plan.low, plan.low_inclusive, plan.high, plan.high_inclusive
+        )
+        if plan.negated:
+            return self._complement(table, matches)
+        return matches
+
+    def _evaluate_prefix(self, table: Table, plan: PrefixFilter) -> np.ndarray:
+        column = table.column(plan.column)
+        if not isinstance(column, PlainStoredColumn):
+            raise QueryError(
+                f"plaintext prefix filter reached encrypted column "
+                f"{plan.column!r}; the proxy must encrypt it first"
+            )
+        matches = column.search_prefix(plan.prefix)
+        if plan.negated:
+            return self._complement(table, matches)
+        return matches
+
+    def _evaluate_encrypted(
+        self, table: Table, plan: EncryptedRangeFilter
+    ) -> np.ndarray:
+        column = table.column(plan.column)
+        if not isinstance(column, EncryptedStoredColumn):
+            raise QueryError(
+                f"encrypted filter for plaintext column {plan.column!r}"
+            )
+        if self._host is None:
+            raise QueryError("no enclave available for encrypted columns")
+        matches = column.search_tau(plan.tau, self._host)
+        if plan.negated:
+            return self._complement(table, matches)
+        return matches
+
+    @staticmethod
+    def _complement(table: Table, matches: np.ndarray) -> np.ndarray:
+        universe = np.arange(table.row_count, dtype=np.int64)
+        return np.setdiff1d(universe, matches, assume_unique=False)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def select(self, plan: SelectPlan) -> ServerResult:
+        table = self._catalog.table(plan.table)
+        record_ids = self.filter_record_ids(table, plan.filter)
+        result = ServerResult(table_name=table.name, record_ids=record_ids)
+        for name in plan.needed_columns:
+            result.columns[name] = self._render_column(table, name, record_ids)
+        return result
+
+    def _render_column(
+        self, table: Table, name: str, record_ids: np.ndarray
+    ) -> ResultColumn:
+        column = table.column(name)
+        if isinstance(column, PlainStoredColumn):
+            data: list[Any] = [column.value_at(int(rid)) for rid in record_ids]
+            return ResultColumn(table.name, name, encrypted=False, data=data)
+        blobs = [column.blob_at(int(rid)) for rid in record_ids]
+        return ResultColumn(table.name, name, encrypted=True, data=blobs)
+
+    def select_join(self, plan: JoinSelectPlan, salt: bytes) -> ServerResult:
+        """Inner equi-join on enclave-issued join tokens.
+
+        Filters run per table first; the surviving rows are matched by the
+        opaque tokens the enclave derives for the two join columns under the
+        per-query ``salt``, and the requested columns of both sides are
+        rendered for every matched pair.
+        """
+        left_table = self._catalog.table(plan.left_table)
+        right_table = self._catalog.table(plan.right_table)
+        left_rids = self.filter_record_ids(left_table, plan.left_filter)
+        right_rids = self.filter_record_ids(right_table, plan.right_filter)
+
+        left_keys = self._join_keys(left_table, plan.left_column, salt)
+        right_keys = self._join_keys(right_table, plan.right_column, salt)
+
+        matches_by_key: dict = {}
+        for rid in right_rids:
+            matches_by_key.setdefault(right_keys[int(rid)], []).append(int(rid))
+
+        left_pairs: list[int] = []
+        right_pairs: list[int] = []
+        for rid in left_rids:
+            for right_rid in matches_by_key.get(left_keys[int(rid)], ()):
+                left_pairs.append(int(rid))
+                right_pairs.append(right_rid)
+
+        result = ServerResult(
+            table_name=plan.left_table,
+            record_ids=np.asarray(left_pairs, dtype=np.int64),
+        )
+        for table, needed, pair_rids in (
+            (left_table, plan.left_needed, left_pairs),
+            (right_table, plan.right_needed, right_pairs),
+        ):
+            rid_array = np.asarray(pair_rids, dtype=np.int64)
+            for name in needed:
+                rendered = self._render_column(table, name, rid_array)
+                result.columns[f"{table.name}.{name}"] = rendered
+        return result
+
+    def _join_keys(self, table: Table, column_name: str, salt: bytes) -> list:
+        column = table.column(column_name)
+        if isinstance(column, PlainStoredColumn):
+            return column.join_keys()
+        if self._host is None:
+            raise QueryError("no enclave available for encrypted joins")
+        return column.join_tokens(self._host, salt)
+
+    def insert_prepared(self, table_name: str, prepared_rows: list[dict]) -> int:
+        """Append proxy-prepared rows (encrypted columns carry transit blobs).
+
+        Returns the number of inserted rows.
+        """
+        table = self._catalog.table(table_name)
+        for prepared in prepared_rows:
+            if set(prepared) != set(table.column_names):
+                raise QueryError("prepared row does not cover every column")
+            for name in table.column_names:
+                column = table.column(name)
+                payload = prepared[name]
+                if isinstance(column, PlainStoredColumn):
+                    column.append(payload)
+                else:
+                    if self._host is None:
+                        raise QueryError("no enclave available for inserts")
+                    column.append_transit_blob(payload, self._host)
+            table.register_insert()
+        return len(prepared_rows)
+
+    def delete(self, plan: DeletePlan) -> int:
+        table = self._catalog.table(plan.table)
+        record_ids = self.filter_record_ids(table, plan.filter)
+        return table.delete_rows(record_ids)
+
+    # ------------------------------------------------------------------
+    # Delta merge (paper §4.3)
+    # ------------------------------------------------------------------
+    def merge(self, plan: MergePlan) -> int:
+        """Rebuild every column's main store from the surviving rows."""
+        table = self._catalog.table(plan.table)
+        valid = table.validity
+        survivors = int(valid.sum())
+        for name in table.column_names:
+            column = table.column(name)
+            if isinstance(column, PlainStoredColumn):
+                values = [
+                    column.value_at(rid)
+                    for rid in range(len(column))
+                    if valid[rid]
+                ]
+                if values:
+                    column.rebuild(values)
+                else:
+                    column.main = type(column.main)([], np.empty(0, dtype=np.int64))
+                    column.delta_values = []
+            else:
+                if self._host is None:
+                    raise QueryError("no enclave available for merge")
+                blobs = column.all_blobs_in_row_order(valid)
+                if not blobs:
+                    column.main_build = None
+                    column.delta_blobs = []
+                    continue
+                build = self._host.ecall(
+                    "rebuild_for_merge",
+                    table.name,
+                    name,
+                    column.spec.protection,
+                    column.spec.value_type,
+                    blobs,
+                    bsmax=column.spec.bsmax,
+                )
+                column.replace_main(build)
+        table.reset_validity(survivors)
+        return survivors

@@ -1,0 +1,92 @@
+"""Tokenizer for the supported SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import SqlSyntaxError
+
+KEYWORDS = {
+    "CREATE", "TABLE", "INSERT", "INTO", "VALUES", "SELECT", "FROM", "WHERE",
+    "AND", "OR", "BETWEEN", "ORDER", "GROUP", "BY", "ASC", "DESC", "LIMIT",
+    "DELETE", "UPDATE", "SET", "MERGE", "COUNT", "SUM", "AVG", "MIN", "MAX",
+    "BSMAX", "NOT", "JOIN", "ON", "INNER", "IN", "LIKE", "DISTINCT",
+}
+
+_SYMBOLS = ("<=", ">=", "!=", "<>", "(", ")", ",", "*", "=", "<", ">", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: kind is KEYWORD, IDENT, INT, STRING, or SYMBOL."""
+
+    kind: str
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: str | None = None) -> bool:
+        return self.kind == kind and (value is None or self.value == value)
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Lex ``sql`` into tokens; raises :class:`SqlSyntaxError` on junk."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(sql)
+    while position < length:
+        char = sql[position]
+        if char.isspace():
+            position += 1
+            continue
+        if sql.startswith("--", position):
+            newline = sql.find("\n", position)
+            position = len(sql) if newline == -1 else newline + 1
+            continue
+        if char == "'":
+            end = sql.find("'", position + 1)
+            # Support '' escaping inside string literals.
+            pieces = []
+            start = position + 1
+            while True:
+                if end == -1:
+                    raise SqlSyntaxError(f"unterminated string at offset {position}")
+                pieces.append(sql[start:end])
+                if end + 1 < length and sql[end + 1] == "'":
+                    pieces.append("'")
+                    start = end + 2
+                    end = sql.find("'", start)
+                    continue
+                break
+            tokens.append(Token("STRING", "".join(pieces), position))
+            position = end + 1
+            continue
+        if char.isdigit() or (
+            char == "-" and position + 1 < length and sql[position + 1].isdigit()
+        ):
+            end = position + 1
+            while end < length and sql[end].isdigit():
+                end += 1
+            tokens.append(Token("INT", sql[position:end], position))
+            position = end
+            continue
+        if char.isalpha() or char == "_":
+            end = position + 1
+            while end < length and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            word = sql[position:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, position))
+            else:
+                tokens.append(Token("IDENT", word, position))
+            position = end
+            continue
+        for symbol in _SYMBOLS:
+            if sql.startswith(symbol, position):
+                tokens.append(Token("SYMBOL", symbol, position))
+                position += len(symbol)
+                break
+        else:
+            raise SqlSyntaxError(f"unexpected character {char!r} at offset {position}")
+    tokens.append(Token("EOF", "", length))
+    return tokens

@@ -1,0 +1,357 @@
+"""Recursive-descent parser for the supported SQL subset."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import SqlSyntaxError
+from repro.sql.ast_nodes import (
+    Aggregate,
+    Join,
+    ColumnDef,
+    Comparison,
+    CreateTable,
+    Delete,
+    Insert,
+    Logical,
+    MergeTable,
+    OrderItem,
+    Select,
+    Update,
+)
+from repro.sql.lexer import Token, tokenize
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+_ED_NAMES = {f"ED{i}" for i in range(1, 10)}
+
+
+class _Parser:
+    def __init__(self, sql: str) -> None:
+        self._tokens = tokenize(sql)
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _error(self, expected: str) -> SqlSyntaxError:
+        token = self._peek()
+        shown = token.value or "end of input"
+        return SqlSyntaxError(
+            f"expected {expected}, found {shown!r} at offset {token.position}"
+        )
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._peek().matches("KEYWORD", word):
+            raise self._error(word)
+        self._advance()
+
+    def _expect_symbol(self, symbol: str) -> None:
+        if not self._peek().matches("SYMBOL", symbol):
+            raise self._error(f"{symbol!r}")
+        self._advance()
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().matches("KEYWORD", word):
+            self._advance()
+            return True
+        return False
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        if self._peek().matches("SYMBOL", symbol):
+            self._advance()
+            return True
+        return False
+
+    def _identifier(self) -> str:
+        token = self._peek()
+        if token.kind != "IDENT":
+            raise self._error("an identifier")
+        self._advance()
+        return token.value
+
+    def _column_reference(self) -> str:
+        """A column name, optionally qualified: ``col`` or ``table.col``."""
+        name = self._identifier()
+        if self._accept_symbol("."):
+            return f"{name}.{self._identifier()}"
+        return name
+
+    def _integer(self) -> int:
+        token = self._peek()
+        if token.kind != "INT":
+            raise self._error("an integer")
+        self._advance()
+        return int(token.value)
+
+    def _literal(self) -> Any:
+        token = self._peek()
+        if token.kind == "INT":
+            self._advance()
+            return int(token.value)
+        if token.kind == "STRING":
+            self._advance()
+            return token.value
+        raise self._error("a literal")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse(self):
+        token = self._peek()
+        if token.matches("KEYWORD", "CREATE"):
+            statement = self._create()
+        elif token.matches("KEYWORD", "INSERT"):
+            statement = self._insert()
+        elif token.matches("KEYWORD", "SELECT"):
+            statement = self._select()
+        elif token.matches("KEYWORD", "DELETE"):
+            statement = self._delete()
+        elif token.matches("KEYWORD", "UPDATE"):
+            statement = self._update()
+        elif token.matches("KEYWORD", "MERGE"):
+            statement = self._merge()
+        else:
+            raise self._error("a statement keyword")
+        if not self._peek().matches("EOF"):
+            raise self._error("end of statement")
+        return statement
+
+    def _create(self) -> CreateTable:
+        self._expect_keyword("CREATE")
+        self._expect_keyword("TABLE")
+        table = self._identifier()
+        self._expect_symbol("(")
+        columns = [self._column_def()]
+        while self._accept_symbol(","):
+            columns.append(self._column_def())
+        self._expect_symbol(")")
+        return CreateTable(table, tuple(columns))
+
+    def _column_def(self) -> ColumnDef:
+        name = self._identifier()
+        protection: str | None = None
+        # Both orders are accepted: `c ED5 VARCHAR(30)` and `c VARCHAR(30) ED5`.
+        if self._peek().kind == "IDENT" and self._peek().value.upper() in _ED_NAMES:
+            protection = self._advance().value.upper()
+        type_sql = self._type_sql()
+        if (
+            protection is None
+            and self._peek().kind == "IDENT"
+            and self._peek().value.upper() in _ED_NAMES
+        ):
+            protection = self._advance().value.upper()
+        bsmax = None
+        if self._accept_keyword("BSMAX"):
+            bsmax = self._integer()
+        return ColumnDef(name, type_sql, protection, bsmax)
+
+    def _type_sql(self) -> str:
+        token = self._peek()
+        if token.kind != "IDENT":
+            raise self._error("a column type")
+        type_name = self._advance().value.upper()
+        if type_name in ("INTEGER", "INT"):
+            return "INTEGER"
+        if type_name == "DATE":
+            return "DATE"
+        if type_name == "VARCHAR":
+            self._expect_symbol("(")
+            length = self._integer()
+            self._expect_symbol(")")
+            return f"VARCHAR({length})"
+        raise SqlSyntaxError(f"unsupported column type {type_name!r}")
+
+    def _insert(self) -> Insert:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._identifier()
+        columns = None
+        if self._accept_symbol("("):
+            names = [self._identifier()]
+            while self._accept_symbol(","):
+                names.append(self._identifier())
+            self._expect_symbol(")")
+            columns = tuple(names)
+        self._expect_keyword("VALUES")
+        rows = [self._value_tuple()]
+        while self._accept_symbol(","):
+            rows.append(self._value_tuple())
+        return Insert(table, columns, tuple(rows))
+
+    def _value_tuple(self) -> tuple:
+        self._expect_symbol("(")
+        values = [self._literal()]
+        while self._accept_symbol(","):
+            values.append(self._literal())
+        self._expect_symbol(")")
+        return tuple(values)
+
+    def _select(self) -> Select:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        if self._accept_symbol("*"):
+            items: tuple = ("*",)
+        else:
+            parsed = [self._select_item()]
+            while self._accept_symbol(","):
+                parsed.append(self._select_item())
+            items = tuple(parsed)
+        self._expect_keyword("FROM")
+        table = self._identifier()
+        join = None
+        if self._accept_keyword("INNER"):
+            self._expect_keyword("JOIN")
+            join = self._join_clause()
+        elif self._accept_keyword("JOIN"):
+            join = self._join_clause()
+        where = self._where_clause()
+        group_by: tuple[str, ...] = ()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            names = [self._column_reference()]
+            while self._accept_symbol(","):
+                names.append(self._column_reference())
+            group_by = tuple(names)
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self._accept_symbol(","):
+                order_by.append(self._order_item())
+        limit = None
+        if self._accept_keyword("LIMIT"):
+            limit = self._integer()
+            if limit < 0:
+                raise SqlSyntaxError("LIMIT must be non-negative")
+        return Select(
+            table, items, where, group_by, tuple(order_by), limit, join, distinct
+        )
+
+    def _join_clause(self) -> Join:
+        right_table = self._identifier()
+        self._expect_keyword("ON")
+        left_column = self._column_reference()
+        self._expect_symbol("=")
+        right_column = self._column_reference()
+        if "." not in left_column or "." not in right_column:
+            raise SqlSyntaxError("JOIN ... ON requires qualified column names")
+        return Join(right_table, left_column, right_column)
+
+    def _select_item(self):
+        token = self._peek()
+        if token.kind == "KEYWORD" and token.value in _AGGREGATES:
+            function = self._advance().value
+            self._expect_symbol("(")
+            if self._accept_symbol("*"):
+                if function != "COUNT":
+                    raise SqlSyntaxError(f"{function}(*) is not supported")
+                column = None
+            else:
+                column = self._column_reference()
+            self._expect_symbol(")")
+            return Aggregate(function, column)
+        return self._column_reference()
+
+    def _order_item(self) -> OrderItem:
+        column = self._column_reference()
+        descending = False
+        if self._accept_keyword("DESC"):
+            descending = True
+        else:
+            self._accept_keyword("ASC")
+        return OrderItem(column, descending)
+
+    def _where_clause(self):
+        if self._accept_keyword("WHERE"):
+            return self._or_expression()
+        return None
+
+    def _or_expression(self):
+        operands = [self._and_expression()]
+        while self._accept_keyword("OR"):
+            operands.append(self._and_expression())
+        if len(operands) == 1:
+            return operands[0]
+        return Logical("OR", tuple(operands))
+
+    def _and_expression(self):
+        operands = [self._predicate()]
+        while self._accept_keyword("AND"):
+            operands.append(self._predicate())
+        if len(operands) == 1:
+            return operands[0]
+        return Logical("AND", tuple(operands))
+
+    def _predicate(self):
+        if self._accept_keyword("NOT"):
+            return Logical("NOT", (self._predicate(),))
+        if self._accept_symbol("("):
+            inner = self._or_expression()
+            self._expect_symbol(")")
+            return inner
+        column = self._column_reference()
+        if self._accept_keyword("BETWEEN"):
+            low = self._literal()
+            self._expect_keyword("AND")
+            high = self._literal()
+            return Comparison(column, "BETWEEN", low, high)
+        if self._accept_keyword("IN"):
+            self._expect_symbol("(")
+            members = [self._literal()]
+            while self._accept_symbol(","):
+                members.append(self._literal())
+            self._expect_symbol(")")
+            return Comparison(column, "IN", tuple(members))
+        if self._accept_keyword("LIKE"):
+            token = self._peek()
+            if token.kind != "STRING":
+                raise self._error("a string pattern")
+            self._advance()
+            return Comparison(column, "LIKE", token.value)
+        token = self._peek()
+        if token.kind != "SYMBOL" or token.value not in (
+            "=", "!=", "<>", "<", "<=", ">", ">=",
+        ):
+            raise self._error("a comparison operator")
+        operator = self._advance().value
+        if operator == "<>":
+            operator = "!="
+        return Comparison(column, operator, self._literal())
+
+    def _delete(self) -> Delete:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._identifier()
+        return Delete(table, self._where_clause())
+
+    def _update(self) -> Update:
+        self._expect_keyword("UPDATE")
+        table = self._identifier()
+        self._expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self._accept_symbol(","):
+            assignments.append(self._assignment())
+        return Update(table, tuple(assignments), self._where_clause())
+
+    def _assignment(self) -> tuple[str, Any]:
+        column = self._identifier()
+        self._expect_symbol("=")
+        return column, self._literal()
+
+    def _merge(self) -> MergeTable:
+        self._expect_keyword("MERGE")
+        self._expect_keyword("TABLE")
+        return MergeTable(self._identifier())
+
+
+def parse(sql: str):
+    """Parse one SQL statement into its AST node."""
+    return _Parser(sql).parse()

@@ -1,0 +1,715 @@
+"""Query decomposition and planning (paper §4.2 step 6).
+
+The planner turns a parsed statement plus the catalog schema into an
+executable plan. Its central job is the paper's *query conversion*: every
+filter — equality, inequality, greater/less than (inclusive or exclusive),
+BETWEEN — becomes a **range filter** with optional open ends, so that after
+the proxy encrypts the bounds the DBaaS provider cannot distinguish query
+types. ``!=`` becomes a negated equality range (complement of the matching
+RecordIDs).
+
+Plans separate what the *server* executes (filtering and tuple
+reconstruction of the needed columns) from what the *proxy* computes after
+decryption (aggregates, GROUP BY, ORDER BY, LIMIT): an untrusted server
+cannot aggregate or order ciphertexts, so the result renderer ships the
+filtered encrypted columns back and the trusted side finishes the job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.columnstore.catalog import Catalog
+from repro.columnstore.types import ColumnSpec, IntegerType, VarcharType, parse_type
+from repro.encdict.options import kind_by_name
+from repro.exceptions import PlanError
+from repro.sql.ast_nodes import (
+    Aggregate,
+    Comparison,
+    CreateTable,
+    Delete,
+    Insert,
+    Logical,
+    MergeTable,
+    OrderItem,
+    Select,
+    Update,
+)
+
+
+# ----------------------------------------------------------------------
+# Filter plan nodes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RangeFilter:
+    """A per-column range condition in plaintext value space.
+
+    ``low``/``high`` of ``None`` mean the domain minimum/maximum (the
+    ``-inf``/``+inf`` placeholders of §4.2). For encrypted columns the proxy
+    replaces this node with an :class:`EncryptedRangeFilter` before the plan
+    leaves the trusted realm.
+    """
+
+    column: str
+    low: Any | None = None
+    low_inclusive: bool = True
+    high: Any | None = None
+    high_inclusive: bool = True
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class EncryptedRangeFilter:
+    """A range filter whose bounds are PAE-encrypted (``τ``)."""
+
+    column: str
+    tau: tuple[bytes, bytes]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class PrefixFilter:
+    """A LIKE-'prefix%' condition.
+
+    On encrypted columns the proxy turns it into an ordinary encrypted
+    range over the prefix's ordinal interval (indistinguishable from any
+    other range filter); on plaintext columns the executor matches by
+    ``startswith``.
+    """
+
+    column: str
+    prefix: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class FilterNode:
+    """AND/OR/NOT combination of filters (NOT has a single child)."""
+
+    operator: str  # AND | OR | NOT
+    children: tuple[Any, ...]
+
+
+FilterPlan = RangeFilter | EncryptedRangeFilter | PrefixFilter | FilterNode
+
+
+# ----------------------------------------------------------------------
+# Statement plans
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PostProcessing:
+    """The trusted-side rendering the proxy applies after decryption."""
+
+    items: tuple[Any, ...]  # column names and/or Aggregate
+    group_by: tuple[str, ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+    distinct: bool = False
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(isinstance(item, Aggregate) for item in self.items)
+
+
+@dataclass(frozen=True)
+class SelectPlan:
+    table: str
+    needed_columns: tuple[str, ...]  # server-side projection
+    filter: FilterPlan | None
+    post: PostProcessing
+
+
+@dataclass(frozen=True)
+class JoinSelectPlan:
+    """An inner equi-join of two tables (paper §4.2 future work).
+
+    WHERE conjuncts have been split per table; columns in ``post`` and the
+    ``needed`` projections are qualified (``table.column``). The join itself
+    is executed on enclave-issued join tokens, so it works across encrypted
+    and plaintext join columns alike.
+    """
+
+    left_table: str
+    right_table: str
+    left_column: str  # unqualified join columns
+    right_column: str
+    left_needed: tuple[str, ...]  # unqualified, per table
+    right_needed: tuple[str, ...]
+    left_filter: FilterPlan | None
+    right_filter: FilterPlan | None
+    post: PostProcessing
+
+
+@dataclass(frozen=True)
+class InsertPlan:
+    table: str
+    rows: tuple[dict, ...]  # column name -> plaintext value
+
+
+@dataclass(frozen=True)
+class DeletePlan:
+    table: str
+    filter: FilterPlan | None
+
+
+@dataclass(frozen=True)
+class UpdatePlan:
+    """Executed by the proxy as read + delete + re-insert (paper §4.3)."""
+
+    table: str
+    assignments: tuple[tuple[str, Any], ...]
+    filter: FilterPlan | None
+
+
+@dataclass(frozen=True)
+class CreatePlan:
+    table: str
+    specs: tuple[ColumnSpec, ...]
+
+
+@dataclass(frozen=True)
+class MergePlan:
+    table: str
+
+
+class Planner:
+    """Validates statements against the catalog and emits plans."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+
+    # ------------------------------------------------------------------
+    def plan(self, statement):
+        if isinstance(statement, CreateTable):
+            return self._plan_create(statement)
+        if isinstance(statement, Insert):
+            return self._plan_insert(statement)
+        if isinstance(statement, Select):
+            return self._plan_select(statement)
+        if isinstance(statement, Delete):
+            return DeletePlan(
+                statement.table,
+                self._plan_filter(statement.table, statement.where),
+            )
+        if isinstance(statement, Update):
+            return self._plan_update(statement)
+        if isinstance(statement, MergeTable):
+            self._catalog.table(statement.table)  # validates existence
+            return MergePlan(statement.table)
+        raise PlanError(f"no plan for statement {type(statement).__name__}")
+
+    # ------------------------------------------------------------------
+    def _plan_create(self, statement: CreateTable) -> CreatePlan:
+        specs = []
+        for column in statement.columns:
+            value_type = parse_type(column.type_sql)
+            protection = (
+                kind_by_name(column.protection) if column.protection else None
+            )
+            if column.bsmax is not None and protection is None:
+                raise PlanError(
+                    f"BSMAX given for unprotected column {column.name!r}"
+                )
+            specs.append(
+                ColumnSpec(
+                    column.name,
+                    value_type,
+                    protection=protection,
+                    bsmax=column.bsmax if column.bsmax is not None else 10,
+                )
+            )
+        return CreatePlan(statement.table, tuple(specs))
+
+    def _plan_insert(self, statement: Insert) -> InsertPlan:
+        table = self._catalog.table(statement.table)
+        column_names = (
+            list(statement.columns)
+            if statement.columns is not None
+            else table.column_names
+        )
+        for name in column_names:
+            table.spec(name)
+        if set(column_names) != set(table.column_names):
+            raise PlanError(
+                "INSERT must provide a value for every column "
+                f"of table {statement.table!r}"
+            )
+        rows = []
+        for row in statement.rows:
+            if len(row) != len(column_names):
+                raise PlanError(
+                    f"row has {len(row)} values for {len(column_names)} columns"
+                )
+            named = {}
+            for name, value in zip(column_names, row):
+                value_type = table.spec(name).value_type
+                coerced = self._coerce_literal(value_type, value, name)
+                value_type.validate(coerced)
+                named[name] = coerced
+            rows.append(named)
+        return InsertPlan(statement.table, tuple(rows))
+
+    def _plan_select(self, statement: Select):
+        if statement.join is not None:
+            return self._plan_join_select(statement)
+        table = self._catalog.table(statement.table)
+        if statement.is_star:
+            items: tuple = tuple(table.column_names)
+        else:
+            items = statement.items
+        needed: list[str] = []
+
+        def need(name: str) -> None:
+            table.spec(name)  # validates
+            if name not in needed:
+                needed.append(name)
+
+        has_aggregate = any(isinstance(item, Aggregate) for item in items)
+        has_plain_column = any(isinstance(item, str) for item in items)
+        if has_aggregate and has_plain_column and not statement.group_by:
+            raise PlanError(
+                "mixing columns and aggregates requires GROUP BY"
+            )
+        for item in items:
+            if isinstance(item, Aggregate):
+                if item.column is not None:
+                    need(item.column)
+                    if item.function in ("SUM", "AVG") and not isinstance(
+                        table.spec(item.column).value_type, IntegerType
+                    ):
+                        raise PlanError(
+                            f"{item.function} needs an INTEGER column"
+                        )
+            else:
+                need(item)
+        for name in statement.group_by:
+            need(name)
+        for order in statement.order_by:
+            need(order.column)
+        if statement.group_by:
+            for item in items:
+                if isinstance(item, str) and item not in statement.group_by:
+                    raise PlanError(
+                        f"column {item!r} must appear in GROUP BY or an aggregate"
+                    )
+        post = PostProcessing(
+            items=items,
+            group_by=statement.group_by,
+            order_by=statement.order_by,
+            limit=statement.limit,
+            distinct=statement.distinct,
+        )
+        return SelectPlan(
+            statement.table,
+            tuple(needed),
+            self._plan_filter(statement.table, statement.where),
+            post,
+        )
+
+    def _plan_join_select(self, statement: Select) -> JoinSelectPlan:
+        join = statement.join
+        left_name, right_name = statement.table, join.right_table
+        if left_name == right_name:
+            raise PlanError("self-joins are not supported")
+        tables = {name: self._catalog.table(name) for name in (left_name, right_name)}
+
+        def resolve(qualified: str) -> tuple[str, str]:
+            if "." not in qualified:
+                raise PlanError(
+                    f"join queries require qualified column names, got {qualified!r}"
+                )
+            table_name, _, column = qualified.partition(".")
+            if table_name not in tables:
+                raise PlanError(f"unknown table {table_name!r} in {qualified!r}")
+            tables[table_name].spec(column)  # validates the column
+            return table_name, column
+
+        left_join_table, left_join_column = resolve(join.left_column)
+        right_join_table, right_join_column = resolve(join.right_column)
+        if left_join_table == right_join_table:
+            raise PlanError("JOIN ... ON must reference both tables")
+        if left_join_table == right_name:  # ON right.x = left.y: normalize
+            left_join_column, right_join_column = right_join_column, left_join_column
+        left_type = tables[left_name].spec(left_join_column).value_type
+        right_type = tables[right_name].spec(right_join_column).value_type
+        if type(left_type) is not type(right_type):
+            raise PlanError(
+                f"join columns have incompatible types "
+                f"{left_type.sql_name} and {right_type.sql_name}"
+            )
+        left_encrypted = tables[left_name].spec(left_join_column).is_encrypted
+        right_encrypted = tables[right_name].spec(right_join_column).is_encrypted
+        if left_encrypted != right_encrypted:
+            raise PlanError(
+                "join columns must both be encrypted or both plaintext "
+                "(tokens and raw values cannot be matched)"
+            )
+
+        if statement.is_star:
+            items: tuple = tuple(
+                f"{name}.{column}"
+                for name in (left_name, right_name)
+                for column in tables[name].column_names
+            )
+        else:
+            items = statement.items
+
+        needed: dict[str, list[str]] = {left_name: [], right_name: []}
+
+        def need(qualified: str) -> None:
+            table_name, column = resolve(qualified)
+            if column not in needed[table_name]:
+                needed[table_name].append(column)
+
+        has_aggregate = any(isinstance(item, Aggregate) for item in items)
+        has_plain_column = any(isinstance(item, str) for item in items)
+        if has_aggregate and has_plain_column and not statement.group_by:
+            raise PlanError("mixing columns and aggregates requires GROUP BY")
+        for item in items:
+            if isinstance(item, Aggregate):
+                if item.column is not None:
+                    need(item.column)
+            else:
+                need(item)
+        for qualified in statement.group_by:
+            need(qualified)
+        for order in statement.order_by:
+            need(order.column)
+        if statement.group_by:
+            for item in items:
+                if isinstance(item, str) and item not in statement.group_by:
+                    raise PlanError(
+                        f"column {item!r} must appear in GROUP BY or an aggregate"
+                    )
+
+        left_filter, right_filter = self._split_join_filter(
+            statement.where, tables, left_name, right_name
+        )
+        post = PostProcessing(
+            items=items,
+            group_by=statement.group_by,
+            order_by=statement.order_by,
+            limit=statement.limit,
+            distinct=statement.distinct,
+        )
+        return JoinSelectPlan(
+            left_table=left_name,
+            right_table=right_name,
+            left_column=left_join_column,
+            right_column=right_join_column,
+            left_needed=tuple(needed[left_name]),
+            right_needed=tuple(needed[right_name]),
+            left_filter=left_filter,
+            right_filter=right_filter,
+            post=post,
+        )
+
+    def _split_join_filter(self, where, tables, left_name, right_name):
+        """Split a WHERE tree into per-table filters (top-level AND only)."""
+        if where is None:
+            return None, None
+        conjuncts = (
+            list(where.operands)
+            if isinstance(where, Logical) and where.operator == "AND"
+            else [where]
+        )
+        per_table: dict[str, list] = {left_name: [], right_name: []}
+        for conjunct in conjuncts:
+            owner = self._predicate_table(conjunct, tables)
+            per_table[owner].append(conjunct)
+
+        def build(table_name: str):
+            predicates = per_table[table_name]
+            if not predicates:
+                return None
+            planned = [
+                self._plan_qualified_predicate(table_name, tables[table_name], p)
+                for p in predicates
+            ]
+            if len(planned) == 1:
+                return planned[0]
+            return FilterNode("AND", tuple(planned))
+
+        return build(left_name), build(right_name)
+
+    def _predicate_table(self, predicate, tables) -> str:
+        """The single table a predicate subtree references."""
+        if isinstance(predicate, Comparison):
+            if "." not in predicate.column:
+                raise PlanError(
+                    f"join queries require qualified column names, got "
+                    f"{predicate.column!r}"
+                )
+            table_name = predicate.column.partition(".")[0]
+            if table_name not in tables:
+                raise PlanError(f"unknown table {table_name!r} in WHERE")
+            return table_name
+        if isinstance(predicate, Logical):
+            owners = {
+                self._predicate_table(operand, tables)
+                for operand in predicate.operands
+            }
+            if len(owners) != 1:
+                raise PlanError(
+                    "OR across tables is not supported in join queries; "
+                    "only top-level AND may mix tables"
+                )
+            return owners.pop()
+        raise PlanError(f"unsupported predicate {type(predicate).__name__}")
+
+    def _plan_qualified_predicate(self, table_name, table, predicate):
+        """Plan a per-table predicate subtree, stripping qualifications."""
+        if isinstance(predicate, Comparison):
+            unqualified = Comparison(
+                predicate.column.partition(".")[2],
+                predicate.operator,
+                predicate.value,
+                predicate.high_value,
+            )
+            return self._plan_comparison(table, unqualified)
+        children = tuple(
+            self._plan_qualified_predicate(table_name, table, operand)
+            for operand in predicate.operands
+        )
+        return FilterNode(predicate.operator, children)
+
+    def _plan_update(self, statement: Update) -> UpdatePlan:
+        table = self._catalog.table(statement.table)
+        assignments = []
+        for column, value in statement.assignments:
+            value_type = table.spec(column).value_type
+            coerced = self._coerce_literal(value_type, value, column)
+            value_type.validate(coerced)
+            assignments.append((column, coerced))
+        return UpdatePlan(
+            statement.table,
+            tuple(assignments),
+            self._plan_filter(statement.table, statement.where),
+        )
+
+    # ------------------------------------------------------------------
+    def _plan_filter(self, table_name: str, where) -> FilterPlan | None:
+        if where is None:
+            return None
+        table = self._catalog.table(table_name)
+        if isinstance(where, Comparison):
+            return self._plan_comparison(table, where)
+        if isinstance(where, Logical):
+            children = tuple(
+                self._plan_filter(table_name, operand) for operand in where.operands
+            )
+            return FilterNode(where.operator, children)
+        raise PlanError(f"unsupported predicate {type(where).__name__}")
+
+    def _plan_comparison(self, table, comparison: Comparison):
+        spec = table.spec(comparison.column)
+        value_type = spec.value_type
+        if comparison.operator not in ("IN", "LIKE"):
+            coerced = self._coerce_literal(
+                value_type, comparison.value, comparison.column
+            )
+            self._check_literal(value_type, coerced, comparison.column)
+            comparison = Comparison(
+                comparison.column, comparison.operator, coerced, comparison.high_value
+            )
+        operator = comparison.operator
+        if operator == "=":
+            return RangeFilter(
+                comparison.column, low=comparison.value, high=comparison.value
+            )
+        if operator == "!=":
+            return RangeFilter(
+                comparison.column,
+                low=comparison.value,
+                high=comparison.value,
+                negated=True,
+            )
+        if operator == "<":
+            return RangeFilter(
+                comparison.column, high=comparison.value, high_inclusive=False
+            )
+        if operator == "<=":
+            return RangeFilter(comparison.column, high=comparison.value)
+        if operator == ">":
+            return RangeFilter(
+                comparison.column, low=comparison.value, low_inclusive=False
+            )
+        if operator == ">=":
+            return RangeFilter(comparison.column, low=comparison.value)
+        if operator == "IN":
+            members = []
+            for member in comparison.value:
+                coerced_member = self._coerce_literal(
+                    value_type, member, comparison.column
+                )
+                self._check_literal(value_type, coerced_member, comparison.column)
+                members.append(
+                    RangeFilter(
+                        comparison.column, low=coerced_member, high=coerced_member
+                    )
+                )
+            if len(members) == 1:
+                return members[0]
+            return FilterNode("OR", tuple(members))
+        if operator == "LIKE":
+            return self._plan_like(spec, comparison)
+        if operator == "BETWEEN":
+            high = self._coerce_literal(
+                value_type, comparison.high_value, comparison.column
+            )
+            self._check_literal(value_type, high, comparison.column)
+            return RangeFilter(comparison.column, low=comparison.value, high=high)
+        raise PlanError(f"unsupported operator {operator!r}")
+
+    def _plan_like(self, spec, comparison: Comparison):
+        """LIKE with a trailing %% wildcard only: a prefix range filter."""
+        if not isinstance(spec.value_type, VarcharType):
+            raise PlanError("LIKE requires a VARCHAR column")
+        pattern = comparison.value
+        if not isinstance(pattern, str):
+            raise PlanError("LIKE requires a string pattern")
+        if "_" in pattern:
+            raise PlanError("the LIKE wildcard '_' is not supported")
+        body = pattern[:-1] if pattern.endswith("%") else None
+        if body is None or "%" in body:
+            raise PlanError(
+                "only prefix patterns ('abc%%') are supported for LIKE"
+            )
+        if body == "":
+            return RangeFilter(comparison.column)  # '%' matches everything
+        self._check_literal(spec.value_type, body, comparison.column)
+        return PrefixFilter(comparison.column, body)
+
+    @staticmethod
+    def _coerce_literal(value_type, value, column: str):
+        try:
+            return value_type.coerce(value)
+        except Exception as exc:
+            raise PlanError(
+                f"literal {value!r} does not fit column {column!r}: {exc}"
+            ) from None
+
+    @staticmethod
+    def _check_literal(value_type, value, column: str) -> None:
+        try:
+            value_type.validate(value)
+        except Exception as exc:
+            raise PlanError(
+                f"literal {value!r} does not fit column {column!r}: {exc}"
+            ) from None
+
+
+def describe_plan(plan, catalog: Catalog | None = None, indent: str = "") -> str:
+    """Human-readable plan tree (the proxy's EXPLAIN output).
+
+    Annotates each range filter with how it will execute: an enclave
+    dictionary search for encrypted columns, a local plaintext search
+    otherwise.
+    """
+
+    def protection(table_name: str, column: str) -> str:
+        if catalog is None or table_name not in catalog:
+            return "?"
+        spec = catalog.table(table_name).spec(column)
+        if spec.protection is None:
+            return "plaintext"
+        return f"{spec.protection.name}, enclave dictionary search"
+
+    def filter_lines(node, table_name: str, depth: int) -> list[str]:
+        pad = "  " * depth
+        if node is None:
+            return [f"{pad}scan: all valid rows"]
+        if isinstance(node, FilterNode):
+            lines = [f"{pad}{node.operator}"]
+            for child in node.children:
+                lines.extend(filter_lines(child, table_name, depth + 1))
+            return lines
+        if isinstance(node, RangeFilter):
+            low = "-inf" if node.low is None else repr(node.low)
+            high = "+inf" if node.high is None else repr(node.high)
+            open_bracket = "[" if node.low_inclusive else "("
+            close_bracket = "]" if node.high_inclusive else ")"
+            negated = "NOT " if node.negated else ""
+            return [
+                f"{pad}{negated}range {node.column} in "
+                f"{open_bracket}{low}, {high}{close_bracket} "
+                f"({protection(table_name, node.column)})"
+            ]
+        if isinstance(node, PrefixFilter):
+            negated = "NOT " if node.negated else ""
+            return [
+                f"{pad}{negated}prefix {node.column} LIKE "
+                f"{node.prefix!r}% ({protection(table_name, node.column)})"
+            ]
+        if isinstance(node, EncryptedRangeFilter):
+            return [f"{pad}encrypted range {node.column} (tau)"]
+        return [f"{pad}{node!r}"]
+
+    def post_lines(post: PostProcessing, depth: int) -> list[str]:
+        pad = "  " * depth
+        lines = []
+        if post.group_by:
+            lines.append(f"{pad}proxy: GROUP BY {', '.join(post.group_by)}")
+        if post.has_aggregates:
+            aggregates = [
+                item.label for item in post.items if isinstance(item, Aggregate)
+            ]
+            lines.append(f"{pad}proxy: aggregate {', '.join(aggregates)}")
+        if post.order_by:
+            rendered = ", ".join(
+                f"{o.column} {'DESC' if o.descending else 'ASC'}"
+                for o in post.order_by
+            )
+            lines.append(f"{pad}proxy: ORDER BY {rendered}")
+        if post.distinct:
+            lines.append(f"{pad}proxy: DISTINCT")
+        if post.limit is not None:
+            lines.append(f"{pad}proxy: LIMIT {post.limit}")
+        return lines
+
+    if isinstance(plan, SelectPlan):
+        lines = [f"SELECT from {plan.table} "
+                 f"(render columns: {', '.join(plan.needed_columns) or '-'})"]
+        lines.extend(filter_lines(plan.filter, plan.table, 1))
+        lines.extend(post_lines(plan.post, 1))
+        return "\n".join(lines)
+    if isinstance(plan, JoinSelectPlan):
+        lines = [
+            f"JOIN {plan.left_table}.{plan.left_column} = "
+            f"{plan.right_table}.{plan.right_column} "
+            "(enclave join tokens, hash join)"
+        ]
+        lines.append(f"  left {plan.left_table}:")
+        lines.extend(filter_lines(plan.left_filter, plan.left_table, 2))
+        lines.append(f"  right {plan.right_table}:")
+        lines.extend(filter_lines(plan.right_filter, plan.right_table, 2))
+        lines.extend(post_lines(plan.post, 1))
+        return "\n".join(lines)
+    if isinstance(plan, DeletePlan):
+        lines = [f"DELETE from {plan.table}"]
+        lines.extend(filter_lines(plan.filter, plan.table, 1))
+        return "\n".join(lines)
+    if isinstance(plan, UpdatePlan):
+        assignments = ", ".join(f"{c} = {v!r}" for c, v in plan.assignments)
+        lines = [f"UPDATE {plan.table} SET {assignments} "
+                 "(proxy: read + invalidate + re-insert)"]
+        lines.extend(filter_lines(plan.filter, plan.table, 1))
+        return "\n".join(lines)
+    if isinstance(plan, InsertPlan):
+        return (
+            f"INSERT {len(plan.rows)} row(s) into {plan.table} "
+            "(proxy encrypts, enclave re-encrypts into the ED9 delta store)"
+        )
+    if isinstance(plan, CreatePlan):
+        return f"CREATE TABLE {plan.table} ({len(plan.specs)} columns)"
+    if isinstance(plan, MergePlan):
+        return (
+            f"MERGE TABLE {plan.table} "
+            "(enclave rebuild: re-encrypt, re-rotate, re-shuffle)"
+        )
+    return repr(plan)

@@ -1,0 +1,133 @@
+"""Render AST nodes back to SQL text.
+
+Used by EXPLAIN output, error messages, and the parser round-trip property
+tests (``parse(to_sql(ast)) == ast``), which pin the grammar and the
+printer against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import QueryError
+from repro.sql.ast_nodes import (
+    Aggregate,
+    ColumnDef,
+    Comparison,
+    CreateTable,
+    Delete,
+    Insert,
+    Join,
+    Logical,
+    MergeTable,
+    OrderItem,
+    Select,
+    Update,
+)
+
+
+def _literal(value: Any) -> str:
+    if isinstance(value, bool):
+        raise QueryError("boolean literals are not part of the SQL subset")
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    # DATE values and other coerced types print as their ISO string form.
+    return "'" + str(value) + "'"
+
+
+def _predicate(node) -> str:
+    if isinstance(node, Comparison):
+        if node.operator == "BETWEEN":
+            return (
+                f"{node.column} BETWEEN {_literal(node.value)} "
+                f"AND {_literal(node.high_value)}"
+            )
+        if node.operator == "IN":
+            members = ", ".join(_literal(member) for member in node.value)
+            return f"{node.column} IN ({members})"
+        if node.operator == "LIKE":
+            return f"{node.column} LIKE {_literal(node.value)}"
+        return f"{node.column} {node.operator} {_literal(node.value)}"
+    if isinstance(node, Logical):
+        if node.operator == "NOT":
+            return f"NOT ({_predicate(node.operands[0])})"
+        joined = f" {node.operator} ".join(
+            f"({_predicate(operand)})" for operand in node.operands
+        )
+        return joined
+    raise QueryError(f"cannot print predicate {type(node).__name__}")
+
+
+def _select_item(item) -> str:
+    if isinstance(item, Aggregate):
+        return item.label
+    return str(item)
+
+
+def to_sql(node) -> str:
+    """SQL text for any statement AST node."""
+    if isinstance(node, CreateTable):
+        columns = []
+        for column in node.columns:
+            parts = [column.name]
+            if column.protection:
+                parts.append(column.protection)
+            parts.append(column.type_sql)
+            if column.bsmax is not None:
+                parts.append(f"BSMAX {column.bsmax}")
+            columns.append(" ".join(parts))
+        return f"CREATE TABLE {node.table} ({', '.join(columns)})"
+
+    if isinstance(node, Insert):
+        columns = f" ({', '.join(node.columns)})" if node.columns else ""
+        rows = ", ".join(
+            "(" + ", ".join(_literal(value) for value in row) + ")"
+            for row in node.rows
+        )
+        return f"INSERT INTO {node.table}{columns} VALUES {rows}"
+
+    if isinstance(node, Select):
+        parts = ["SELECT"]
+        if node.distinct:
+            parts.append("DISTINCT")
+        if node.is_star:
+            parts.append("*")
+        else:
+            parts.append(", ".join(_select_item(item) for item in node.items))
+        parts.append(f"FROM {node.table}")
+        if node.join is not None:
+            parts.append(
+                f"JOIN {node.join.right_table} ON "
+                f"{node.join.left_column} = {node.join.right_column}"
+            )
+        if node.where is not None:
+            parts.append(f"WHERE {_predicate(node.where)}")
+        if node.group_by:
+            parts.append("GROUP BY " + ", ".join(node.group_by))
+        if node.order_by:
+            rendered = [
+                f"{item.column} DESC" if item.descending else f"{item.column} ASC"
+                for item in node.order_by
+            ]
+            parts.append("ORDER BY " + ", ".join(rendered))
+        if node.limit is not None:
+            parts.append(f"LIMIT {node.limit}")
+        return " ".join(parts)
+
+    if isinstance(node, Delete):
+        where = f" WHERE {_predicate(node.where)}" if node.where is not None else ""
+        return f"DELETE FROM {node.table}{where}"
+
+    if isinstance(node, Update):
+        assignments = ", ".join(
+            f"{column} = {_literal(value)}" for column, value in node.assignments
+        )
+        where = f" WHERE {_predicate(node.where)}" if node.where is not None else ""
+        return f"UPDATE {node.table} SET {assignments}{where}"
+
+    if isinstance(node, MergeTable):
+        return f"MERGE TABLE {node.table}"
+
+    raise QueryError(f"cannot print statement {type(node).__name__}")

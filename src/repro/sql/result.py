@@ -1,0 +1,65 @@
+"""Result rendering (paper §4.2 steps 12-13).
+
+The server's result renderer undoes the dictionary split for every matching
+RecordID — ``eC = (eD[AV[i]] for i in rid)`` — and attaches the table and
+column metadata the proxy needs to derive each column's key and decrypt.
+Encrypted columns come back as PAE blobs, plaintext columns as values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+@dataclass
+class ResultColumn:
+    """One rendered column of a result set."""
+
+    table_name: str
+    column_name: str
+    encrypted: bool
+    #: PAE blobs when ``encrypted`` else plaintext values, one per result row.
+    data: list
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+
+@dataclass
+class ServerResult:
+    """What the DBaaS provider returns for one SELECT/DELETE/UPDATE read."""
+
+    table_name: str
+    record_ids: np.ndarray
+    columns: dict[str, ResultColumn] = field(default_factory=dict)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.record_ids)
+
+
+@dataclass
+class QueryResult:
+    """What the application finally receives from the proxy."""
+
+    column_names: list[str]
+    rows: list[tuple]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def scalar(self) -> Any:
+        """Convenience for single-cell results (e.g. ``COUNT(*)``)."""
+        if len(self.rows) != 1 or len(self.rows[0]) != 1:
+            raise ValueError("result is not a single scalar")
+        return self.rows[0][0]
+
+    def column(self, name: str) -> list:
+        index = self.column_names.index(name)
+        return [row[index] for row in self.rows]

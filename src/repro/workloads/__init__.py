@@ -1,0 +1,30 @@
+"""Synthetic business-warehouse workloads.
+
+The paper evaluates on a snapshot of a real SAP customer business warehouse
+(§6.2/§6.3) that is not publicly available. This package generates synthetic
+columns that reproduce the *published statistics* of the two columns the
+paper reports — C1 (10.9 M values, 6.96 M unique, 12-character strings,
+near-uniform) and C2 (10.9 M values, 13 361 unique, 10-character strings,
+skewed) — at any scale, plus the paper's query workload: random range
+queries parameterized by the range size ``RS`` over consecutive unique
+values.
+"""
+
+from repro.workloads.generator import (
+    C1_SPEC,
+    C2_SPEC,
+    BwColumnSpec,
+    generate_bw_column,
+)
+from repro.workloads.queries import RangeQuery, random_range_queries
+from repro.workloads.datasets import sample_like
+
+__all__ = [
+    "BwColumnSpec",
+    "C1_SPEC",
+    "C2_SPEC",
+    "generate_bw_column",
+    "RangeQuery",
+    "random_range_queries",
+    "sample_like",
+]

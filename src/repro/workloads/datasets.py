@@ -1,0 +1,40 @@
+"""Dataset scaling: the paper's sampling procedure (§6.3).
+
+"Besides the original columns, which we call full datasets, we sample
+datasets from 1 to 10 million records using the distribution and values of
+the original columns." ``sample_like`` reproduces that: it draws rows from
+an existing column's empirical value distribution.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.crypto.drbg import HmacDrbg
+
+
+def sample_like(values: Sequence[Any], rows: int, rng: HmacDrbg) -> list[Any]:
+    """Sample a ``rows``-sized dataset from ``values``' distribution."""
+    if rows < 1:
+        raise ValueError("rows must be positive")
+    if not len(values):
+        raise ValueError("cannot sample from an empty column")
+    counts = Counter(values)
+    uniques = np.asarray(list(counts.keys()), dtype=object)
+    weights = np.asarray(list(counts.values()), dtype=np.float64)
+    weights /= weights.sum()
+    seed = int.from_bytes(rng.random_bytes(8), "big")
+    generator = np.random.Generator(np.random.PCG64(seed))
+    drawn = generator.choice(uniques, size=rows, p=weights)
+    return drawn.tolist()
+
+
+def dataset_sizes(full_rows: int, steps: int = 5, minimum: int = 1000) -> list[int]:
+    """Evenly spaced dataset sizes up to ``full_rows`` (Figure 8's x-axis)."""
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    sizes = np.linspace(minimum, full_rows, steps)
+    return sorted({max(minimum, int(size)) for size in sizes})

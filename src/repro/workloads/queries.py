@@ -1,0 +1,52 @@
+"""The paper's range-query workload (§6.3).
+
+A query is parameterized by the *range size* ``RS``: with
+``sorted(un(C)) = (v_0, ..., v_{|un(C)|-1})`` a query picks a start index
+``i`` uniformly from ``[0, |un(C)| - RS]`` and searches the closed range
+``[v_i, v_{i+RS-1}]`` — i.e. ``RS`` consecutive unique values. The number of
+*rows* returned exceeds ``RS`` whenever values repeat (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.crypto.drbg import HmacDrbg
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """One closed range query ``[low, high]`` over a column's value domain."""
+
+    low: Any
+    high: Any
+
+
+def random_range_queries(
+    values: Sequence[Any],
+    range_size: int,
+    count: int,
+    rng: HmacDrbg,
+) -> list[RangeQuery]:
+    """``count`` random queries of ``range_size`` consecutive unique values."""
+    if range_size < 1:
+        raise ValueError("range size must be >= 1")
+    unique_sorted = sorted(set(values))
+    if range_size > len(unique_sorted):
+        raise ValueError(
+            f"range size {range_size} exceeds the {len(unique_sorted)} unique values"
+        )
+    last_start = len(unique_sorted) - range_size
+    queries = []
+    for _ in range(count):
+        start = rng.randint(0, last_start)
+        queries.append(
+            RangeQuery(unique_sorted[start], unique_sorted[start + range_size - 1])
+        )
+    return queries
+
+
+def expected_result_rows(values: Sequence[Any], query: RangeQuery) -> int:
+    """Ground-truth result size of one query (used by Figure 7)."""
+    return sum(1 for value in values if query.low <= value <= query.high)

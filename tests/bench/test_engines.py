@@ -1,0 +1,66 @@
+"""The three benchmark engines agree with each other and with ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.engines import (
+    EncDbdbColumnEngine,
+    MonetDbColumnEngine,
+    PlainDbdbColumnEngine,
+    build_engines,
+)
+from repro.columnstore.types import VarcharType
+from repro.crypto.drbg import HmacDrbg
+from repro.encdict.options import ALL_KINDS, ED1, ED5
+from repro.workloads.queries import RangeQuery
+
+VALUES = ["pear", "apple", "fig", "banana", "apple", "quince", "fig", "fig"]
+
+
+def _reference(low, high):
+    return sum(1 for value in VALUES if low <= value <= high)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda kind: kind.name)
+def test_all_engines_agree_per_kind(kind):
+    engines = build_engines(VALUES, kind, bsmax=3, value_type=VarcharType(10))
+    for query in (RangeQuery("apple", "fig"), RangeQuery("a", "z"),
+                  RangeQuery("x", "y")):
+        expected = _reference(query.low, query.high)
+        for name, engine in engines.items():
+            assert engine.run(query) == expected, (kind.name, name, query)
+
+
+def test_storage_accounting_exposed():
+    engines = build_engines(VALUES, ED1, value_type=VarcharType(10))
+    assert engines["MonetDB"].storage_bytes() > 0
+    assert engines["PlainDBDB"].storage_bytes() > 0
+    # The encrypted column pays the PAE overhead over its plaintext twin.
+    assert (
+        engines["EncDBDB"].storage_bytes() > engines["PlainDBDB"].storage_bytes()
+    )
+
+
+def test_encdbdb_engine_counts_architecture_events():
+    engine = EncDbdbColumnEngine(
+        VALUES, ED5, value_type=VarcharType(10), bsmax=2, rng=HmacDrbg(b"e")
+    )
+    before = engine.host.cost_model.snapshot()
+    engine.run(RangeQuery("apple", "fig"))
+    delta = engine.host.cost_model.diff(before)
+    assert delta["ecalls"] == 1
+    assert delta["decryptions"] > 0
+
+
+def test_engines_are_deterministic_given_seed():
+    a = PlainDbdbColumnEngine(VALUES, ED5, value_type=VarcharType(10),
+                              bsmax=2, rng=HmacDrbg(b"same"))
+    b = PlainDbdbColumnEngine(VALUES, ED5, value_type=VarcharType(10),
+                              bsmax=2, rng=HmacDrbg(b"same"))
+    assert a.build.attribute_vector.tolist() == b.build.attribute_vector.tolist()
+
+
+def test_monetdb_engine_interns_duplicates():
+    engine = MonetDbColumnEngine(VALUES)
+    assert engine.run(RangeQuery("fig", "fig")) == 3

@@ -1,0 +1,88 @@
+"""Unit tests for the measurement harness and report rendering."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.harness import (
+    BenchSettings,
+    LatencyStats,
+    latency_stats,
+    measure_query_latency,
+)
+from repro.bench.report import format_bytes, format_table
+from repro.workloads.queries import RangeQuery
+
+
+def test_latency_stats_single_sample():
+    stats = latency_stats([0.002])
+    assert stats.mean == pytest.approx(0.002)
+    assert stats.ci95 == 0.0
+    assert stats.count == 1
+    assert stats.mean_ms == pytest.approx(2.0)
+
+
+def test_latency_stats_ci():
+    stats = latency_stats([0.001, 0.002, 0.003])
+    assert stats.mean == pytest.approx(0.002)
+    assert stats.ci95 > 0
+    assert "ms" in str(stats)
+
+
+def test_latency_stats_empty_rejected():
+    with pytest.raises(ValueError):
+        latency_stats([])
+
+
+def test_measure_query_latency_counts_results():
+    queries = [RangeQuery(1, 3), RangeQuery(2, 5)]
+    values = [1, 2, 3, 4, 5]
+
+    def run(query):
+        return sum(1 for v in values if query.low <= v <= query.high)
+
+    stats = measure_query_latency(run, queries)
+    assert stats.count == 2
+    assert stats.total_results == 3 + 4
+    assert stats.mean >= 0
+
+
+def test_bench_settings_from_env(monkeypatch):
+    monkeypatch.setenv("ENCDBDB_BENCH_ROWS", "1234")
+    monkeypatch.setenv("ENCDBDB_BENCH_QUERIES", "7")
+    monkeypatch.setenv("ENCDBDB_BENCH_SIZES", "4")
+    settings = BenchSettings.from_env()
+    assert settings == BenchSettings(rows=1234, queries=7, size_steps=4)
+
+
+def test_bench_settings_defaults(monkeypatch):
+    for name in ("ENCDBDB_BENCH_ROWS", "ENCDBDB_BENCH_QUERIES", "ENCDBDB_BENCH_SIZES"):
+        monkeypatch.delenv(name, raising=False)
+    settings = BenchSettings.from_env()
+    assert settings.rows == 20_000
+    assert settings.queries == 25
+
+
+def test_format_table_alignment():
+    text = format_table("Title", ["col_a", "b"], [("x", 12345), ("longer", 1)])
+    lines = text.splitlines()
+    assert lines[0] == "Title"
+    assert "col_a" in lines[1]
+    assert "-" in lines[2]
+    assert len(lines) == 5
+    # All data lines align to the same width.
+    assert len(set(len(line.rstrip()) for line in lines[3:])) <= 2
+
+
+def test_format_table_empty_rows():
+    text = format_table("T", ["a"], [])
+    assert "a" in text
+
+
+def test_format_bytes():
+    assert format_bytes(500).strip() == "500 B"
+    assert "KiB" in format_bytes(2048)
+    assert "MiB" in format_bytes(3 * 1024 * 1024)
+    assert format_bytes(1536).strip() == "1.50 KiB"

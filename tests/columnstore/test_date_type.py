@@ -1,0 +1,140 @@
+"""DATE column type: domain, coercion, and end-to-end behaviour."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import EncDBDBSystem
+from repro.columnstore.types import DateType, parse_type
+from repro.encdict.options import ED2
+from repro.exceptions import CatalogError, PlanError
+
+from tests.encdict.conftest import EdHarness, reference_range_search
+
+
+def test_parse_type_date():
+    assert parse_type("DATE") == DateType()
+    assert parse_type(" date ") == DateType()
+
+
+def test_roundtrip_and_ordinal():
+    dt = DateType()
+    for value in (
+        datetime.date(1, 1, 1),
+        datetime.date(1970, 1, 1),
+        datetime.date(2026, 7, 5),
+        datetime.date(9999, 12, 31),
+    ):
+        assert dt.from_bytes(dt.to_bytes(value)) == value
+        assert dt.from_ordinal(dt.ordinal(value)) == value
+    assert dt.ordinal(datetime.date(1, 1, 1)) == 0
+    assert dt.ordinal(dt.max_value) == dt.domain_size - 1
+
+
+def test_ordinal_preserves_date_order():
+    dt = DateType()
+    a = datetime.date(2020, 5, 17)
+    b = datetime.date(2020, 5, 18)
+    assert dt.ordinal(a) < dt.ordinal(b)
+
+
+@given(
+    days_a=st.integers(0, 3_000_000),
+    days_b=st.integers(0, 3_000_000),
+)
+def test_ordinal_order_property(days_a: int, days_b: int):
+    dt = DateType()
+    a = datetime.date.fromordinal(days_a + 1)
+    b = datetime.date.fromordinal(days_b + 1)
+    assert (a < b) == (dt.ordinal(a) < dt.ordinal(b))
+
+
+def test_coercion_from_iso_strings():
+    dt = DateType()
+    assert dt.coerce("2026-07-05") == datetime.date(2026, 7, 5)
+    assert dt.coerce(datetime.date(2020, 1, 1)) == datetime.date(2020, 1, 1)
+    with pytest.raises(CatalogError):
+        dt.coerce("05/07/2026")
+    with pytest.raises(CatalogError):
+        dt.coerce("not a date")
+
+
+def test_validation():
+    dt = DateType()
+    with pytest.raises(CatalogError):
+        dt.validate("2026-07-05")  # strings must be coerced first
+    with pytest.raises(CatalogError):
+        dt.validate(datetime.datetime(2026, 7, 5, 12, 0))  # datetime != date
+    with pytest.raises(CatalogError):
+        dt.validate(737000)
+    with pytest.raises(CatalogError):
+        dt.from_bytes(b"\x00" * 3)
+
+
+def test_encrypted_dictionary_over_dates():
+    """Dates work on a rotated encrypted dictionary like any ordinal type."""
+    harness = EdHarness(seed=b"dates")
+    values = [datetime.date(2026, 1, d) for d in (5, 1, 20, 1, 28, 11)]
+    build = harness.build(values, ED2, value_type=DateType())
+    low, high = datetime.date(2026, 1, 1), datetime.date(2026, 1, 15)
+    assert harness.search_records(build, low, high) == reference_range_search(
+        values, low, high
+    )
+
+
+def test_dates_in_sql_end_to_end():
+    system = EncDBDBSystem.create(seed=19)
+    system.execute(
+        "CREATE TABLE shipments (sku VARCHAR(8), shipped ED5 DATE BSMAX 3)"
+    )
+    system.execute(
+        "INSERT INTO shipments VALUES ('A', '2026-03-01'), ('B', '2026-03-15'),"
+        " ('C', '2026-04-02'), ('D', '2026-03-15')"
+    )
+    march = system.query(
+        "SELECT sku FROM shipments "
+        "WHERE shipped BETWEEN '2026-03-01' AND '2026-03-31' ORDER BY sku"
+    )
+    assert [row[0] for row in march] == ["A", "B", "D"]
+
+    exact = system.query("SELECT sku FROM shipments WHERE shipped = '2026-04-02'")
+    assert exact.rows == [("C",)]
+
+    assert system.execute(
+        "UPDATE shipments SET shipped = '2026-05-01' WHERE sku = 'A'"
+    ) == 1
+    late = system.query("SELECT sku FROM shipments WHERE shipped > '2026-04-30'")
+    assert late.rows == [("A",)]
+
+    # MIN/MAX work on dates at the proxy.
+    earliest = system.query("SELECT MIN(shipped) FROM shipments").scalar()
+    assert earliest == datetime.date(2026, 3, 15) or earliest == datetime.date(
+        2026, 3, 15
+    )
+
+
+def test_bad_date_literals_rejected_at_planning():
+    system = EncDBDBSystem.create(seed=20)
+    system.execute("CREATE TABLE t (d ED1 DATE)")
+    with pytest.raises(PlanError):
+        system.execute("INSERT INTO t VALUES ('tomorrow')")
+    with pytest.raises(PlanError):
+        system.query("SELECT d FROM t WHERE d > 'yesterday'")
+    with pytest.raises(PlanError):
+        system.query("SELECT d FROM t WHERE d = 5")
+
+
+def test_date_persistence_roundtrip(tmp_path):
+    system = EncDBDBSystem.create(seed=21)
+    system.execute("CREATE TABLE t (d ED1 DATE)")
+    system.execute("INSERT INTO t VALUES ('2026-07-05')")
+    path = tmp_path / "dates.encdbdb"
+    system.save(path)
+
+    from repro.columnstore.storage import load_database
+
+    catalog = load_database(path)
+    assert catalog.table("t").spec("d").value_type == DateType()

@@ -1,0 +1,100 @@
+"""Plaintext dictionary encoding (paper §2.1) reference behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.columnstore.dictionary import (
+    DictionaryEncodedColumn,
+    attribute_vector_bits,
+    attribute_vector_bytes_per_entry,
+    split_column,
+)
+
+
+def test_paper_figure1_split():
+    column = ["Hans", "Jessica", "Archie", "Jessica", "Jessica", "Archie"]
+    dictionary, av = split_column(column)
+    assert dictionary == ["Archie", "Hans", "Jessica"]
+    assert av.tolist() == [1, 2, 0, 2, 2, 0]
+
+
+def test_split_correctness_definition1():
+    column = ["b", "a", "c", "a", "b"]
+    dictionary, av = split_column(column)
+    for j, value in enumerate(column):
+        assert dictionary[av[j]] == value
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=60))
+def test_split_roundtrip_property(values):
+    encoded = DictionaryEncodedColumn.from_values(values)
+    assert encoded.values() == values
+    assert len(encoded) == len(values)
+    assert sorted(set(values)) == encoded.dictionary
+
+
+def test_paper_figure1_search():
+    """R = [Archie, Hans] -> vid {0,1} (sorted dict) -> rid {0, 2, 5}."""
+    column = ["Hans", "Jessica", "Archie", "Jessica", "Jessica", "Archie"]
+    encoded = DictionaryEncodedColumn.from_values(column)
+    vid_min, vid_max = encoded.dictionary_search("Archie", "Hans")
+    assert (vid_min, vid_max) == (0, 1)
+    assert encoded.range_search("Archie", "Hans").tolist() == [0, 2, 5]
+
+
+def test_empty_range():
+    encoded = DictionaryEncodedColumn.from_values(["a", "c"])
+    vid_min, vid_max = encoded.dictionary_search("b", "b")
+    assert vid_min > vid_max
+    assert encoded.range_search("b", "b").tolist() == []
+    assert encoded.attribute_vector_search(5, 2).tolist() == []
+
+
+def test_range_endpoints_absent_from_dictionary():
+    encoded = DictionaryEncodedColumn.from_values([10, 20, 30])
+    assert encoded.range_search(11, 29).tolist() == [1]
+    assert encoded.range_search(-5, 100).tolist() == [0, 1, 2]
+
+
+def test_value_at_tuple_reconstruction():
+    encoded = DictionaryEncodedColumn.from_values(["x", "y", "x"])
+    assert [encoded.value_at(i) for i in range(3)] == ["x", "y", "x"]
+
+
+@given(
+    values=st.lists(st.integers(-50, 50), min_size=1, max_size=50),
+    low=st.integers(-60, 60),
+    span=st.integers(0, 40),
+)
+def test_range_search_matches_linear_scan(values, low, span):
+    encoded = DictionaryEncodedColumn.from_values(values)
+    high = low + span
+    expected = [i for i, v in enumerate(values) if low <= v <= high]
+    assert encoded.range_search(low, high).tolist() == expected
+
+
+def test_attribute_vector_width_accounting():
+    """A ValueID of i bits represents 2^i values (paper §2.1 example)."""
+    assert attribute_vector_bits(1) == 1
+    assert attribute_vector_bits(2) == 1
+    assert attribute_vector_bits(256) == 8
+    assert attribute_vector_bits(257) == 9
+    assert attribute_vector_bytes_per_entry(256) == 1
+    assert attribute_vector_bytes_per_entry(257) == 2
+    assert attribute_vector_bytes_per_entry(2**16 + 1) == 3
+
+
+def test_paper_storage_example():
+    """10,000 strings of 10 chars with 256 uniques: 100,000 B -> 12,560 B."""
+    values = [f"string{i % 256:04d}" for i in range(10_000)]
+    encoded = DictionaryEncodedColumn.from_values(values)
+    size = encoded.storage_bytes(lambda v: len(v.encode()))
+    assert size == 256 * 10 + 10_000 * 1
+
+
+def test_storage_bytes_integer_column():
+    encoded = DictionaryEncodedColumn.from_values([1, 2, 3, 1])
+    assert encoded.storage_bytes(lambda v: 4) == 3 * 4 + 4 * 1

@@ -1,0 +1,120 @@
+"""Delta-merge policies and the server's auto-merge hook."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EncDBDBSystem
+from repro.columnstore.merge_policy import (
+    AbsoluteMergePolicy,
+    CompositeMergePolicy,
+    RatioMergePolicy,
+    delta_row_count,
+    invalid_row_count,
+    main_row_count,
+)
+
+
+def _system_with_rows(main_rows: int = 100):
+    system = EncDBDBSystem.create(seed=66)
+    system.execute("CREATE TABLE t (v ED2 VARCHAR(10), n INTEGER)")
+    system.bulk_load(
+        "t",
+        {
+            "v": [f"v{i:04d}" for i in range(main_rows)],
+            "n": list(range(main_rows)),
+        },
+    )
+    return system
+
+
+def test_counters():
+    system = _system_with_rows(10)
+    table = system.server.catalog.table("t")
+    assert main_row_count(table) == 10
+    assert delta_row_count(table) == 0
+    system.execute("INSERT INTO t VALUES ('x', 1), ('y', 2)")
+    assert delta_row_count(table) == 2
+    system.execute("DELETE FROM t WHERE n = 0")
+    assert invalid_row_count(table) == 1
+
+
+def test_ratio_policy():
+    system = _system_with_rows(100)
+    table = system.server.catalog.table("t")
+    policy = RatioMergePolicy(ratio=0.05, minimum_rows=3)
+    assert not policy.should_merge(table)
+    system.execute("INSERT INTO t VALUES ('a', 1), ('b', 2)")
+    assert not policy.should_merge(table)  # below minimum_rows
+    system.execute("INSERT INTO t VALUES ('c', 3), ('d', 4), ('e', 5)")
+    assert policy.should_merge(table)  # 5/100 >= 0.05
+
+
+def test_ratio_policy_counts_deleted_rows():
+    system = _system_with_rows(100)
+    table = system.server.catalog.table("t")
+    policy = RatioMergePolicy(ratio=0.05, minimum_rows=3)
+    system.execute("DELETE FROM t WHERE n < 6")
+    assert policy.should_merge(table)
+
+
+def test_absolute_policy():
+    system = _system_with_rows(10)
+    table = system.server.catalog.table("t")
+    policy = AbsoluteMergePolicy(max_delta_rows=2)
+    system.execute("INSERT INTO t VALUES ('a', 1)")
+    assert not policy.should_merge(table)
+    system.execute("INSERT INTO t VALUES ('b', 2)")
+    assert policy.should_merge(table)
+
+
+def test_composite_policy():
+    system = _system_with_rows(1000)
+    table = system.server.catalog.table("t")
+    composite = CompositeMergePolicy(
+        RatioMergePolicy(ratio=0.5, minimum_rows=10_000),
+        AbsoluteMergePolicy(max_delta_rows=3),
+    )
+    system.execute("INSERT INTO t VALUES ('a', 1), ('b', 2), ('c', 3)")
+    assert composite.should_merge(table)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RatioMergePolicy(ratio=0)
+    with pytest.raises(ValueError):
+        AbsoluteMergePolicy(max_delta_rows=0)
+    with pytest.raises(ValueError):
+        CompositeMergePolicy()
+
+
+def test_server_auto_merge_fires():
+    system = _system_with_rows(20)
+    system.server.enable_auto_merge(AbsoluteMergePolicy(max_delta_rows=3))
+    table = system.server.catalog.table("t")
+    system.execute("INSERT INTO t VALUES ('a', 1), ('b', 2)")
+    assert delta_row_count(table) == 2  # below threshold: no merge
+    system.execute("INSERT INTO t VALUES ('c', 3)")
+    assert delta_row_count(table) == 0  # merged
+    assert main_row_count(table) == 23
+    # Data is intact and queryable after the automatic merge.
+    assert system.query("SELECT COUNT(*) FROM t").scalar() == 23
+    assert system.query("SELECT n FROM t WHERE v = 'c'").rows == [(3,)]
+
+
+def test_auto_merge_compacts_deletes():
+    system = _system_with_rows(20)
+    system.server.enable_auto_merge(RatioMergePolicy(ratio=0.2, minimum_rows=2))
+    table = system.server.catalog.table("t")
+    system.execute("DELETE FROM t WHERE n < 5")
+    assert table.row_count == 15  # merge dropped the deleted rows
+    assert table.live_row_count == 15
+
+
+def test_disable_auto_merge():
+    system = _system_with_rows(10)
+    system.server.enable_auto_merge(AbsoluteMergePolicy(max_delta_rows=1))
+    system.server.disable_auto_merge()
+    table = system.server.catalog.table("t")
+    system.execute("INSERT INTO t VALUES ('a', 1), ('b', 2)")
+    assert delta_row_count(table) == 2  # nothing fired

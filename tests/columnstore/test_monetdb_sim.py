@@ -1,0 +1,53 @@
+"""The MonetDB string-dictionary baseline model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.columnstore.monetdb_sim import (
+    DEDUP_THRESHOLD_BYTES,
+    OFFSET_BYTES,
+    MonetDBStringColumn,
+)
+
+
+def test_small_dictionary_deduplicates():
+    column = MonetDBStringColumn(["a", "b", "a", "a", "b"])
+    assert column.dictionary_entries == 2
+    assert column.deduplicating
+    assert len(column) == 5
+
+
+def test_dedup_stops_past_threshold():
+    """Once the heap exceeds 64 kB, duplicates are appended (paper §5)."""
+    filler = [f"{i:032d}" for i in range(DEDUP_THRESHOLD_BYTES // 32 + 10)]
+    values = filler + ["dup", "dup", "dup"]
+    column = MonetDBStringColumn(values)
+    assert not column.deduplicating
+    # the three 'dup's arrive after the threshold: each stored separately
+    assert column.dictionary_entries >= len(filler) + 3
+
+
+def test_range_search_matches_linear_scan():
+    values = ["pear", "apple", "fig", "banana", "apple", "quince"]
+    column = MonetDBStringColumn(values)
+    expected = [i for i, v in enumerate(values) if "apple" <= v <= "fig"]
+    assert column.range_search("apple", "fig").tolist() == expected
+
+
+def test_range_search_empty_and_full():
+    values = ["b", "c", "d"]
+    column = MonetDBStringColumn(values)
+    assert column.range_search("x", "z").tolist() == []
+    assert column.range_search("a", "z").tolist() == [0, 1, 2]
+
+
+def test_comparison_count_is_linear_in_rows():
+    column = MonetDBStringColumn(["v"] * 100)
+    assert column.string_comparisons_per_query() == 200
+
+
+def test_storage_accounting():
+    column = MonetDBStringColumn(["aa", "bb", "aa"])
+    # deduplicated heap: "aa" + "bb" = 4 bytes, plus one offset per row
+    assert column.storage_bytes() == 4 + 3 * OFFSET_BYTES

@@ -1,0 +1,105 @@
+"""Value types: domains, serialization, ordinal embedding, specs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.columnstore.types import (
+    ColumnSpec,
+    IntegerType,
+    VarcharType,
+    parse_type,
+)
+from repro.encdict.options import ED5
+from repro.exceptions import CatalogError
+
+
+def test_integer_roundtrip_and_domain():
+    it = IntegerType()
+    assert it.domain_size == 2**32
+    for value in (0, -1, 1, it.INT_MIN, it.INT_MAX):
+        assert it.from_bytes(it.to_bytes(value)) == value
+        assert it.from_ordinal(it.ordinal(value)) == value
+    assert it.min_value == it.INT_MIN
+    assert it.max_value == it.INT_MAX
+
+
+def test_integer_rejects_out_of_domain():
+    it = IntegerType()
+    with pytest.raises(CatalogError):
+        it.validate(2**31)
+    with pytest.raises(CatalogError):
+        it.validate(-(2**31) - 1)
+    with pytest.raises(CatalogError):
+        it.validate("5")
+    with pytest.raises(CatalogError):
+        it.validate(True)  # bool is not an INTEGER
+    with pytest.raises(CatalogError):
+        it.from_bytes(b"\x00" * 3)
+
+
+def test_varchar_roundtrip():
+    vt = VarcharType(10)
+    for value in ("", "a", "Jessica", "ümlaut"):
+        assert vt.from_bytes(vt.to_bytes(value)) == value
+        assert vt.from_ordinal(vt.ordinal(value)) == value
+
+
+def test_varchar_rejects_bad_values():
+    vt = VarcharType(4)
+    with pytest.raises(CatalogError):
+        vt.validate("too long")
+    with pytest.raises(CatalogError):
+        vt.validate("nul\x00")
+    with pytest.raises(CatalogError):
+        vt.validate(5)
+    with pytest.raises(CatalogError):
+        VarcharType(0)
+
+
+def test_varchar_utf8_length_counts_bytes():
+    vt = VarcharType(2)
+    vt.validate("ü")  # 2 UTF-8 bytes: fits
+    with pytest.raises(CatalogError):
+        vt.validate("üa")  # 3 bytes
+
+
+@given(st.text(alphabet=st.characters(min_codepoint=1, max_codepoint=0x7F), max_size=6))
+def test_varchar_ordinal_bijective_on_values(value: str):
+    vt = VarcharType(6)
+    assert vt.from_ordinal(vt.ordinal(value)) == value
+
+
+def test_min_max_values():
+    vt = VarcharType(3)
+    assert vt.min_value == ""
+    assert vt.ordinal(vt.max_value) == vt.domain_size - 1
+
+
+def test_parse_type():
+    assert parse_type("INTEGER") == IntegerType()
+    assert parse_type("int") == IntegerType()
+    assert parse_type("VARCHAR(12)") == VarcharType(12)
+    assert parse_type(" varchar(3) ") == VarcharType(3)
+    with pytest.raises(CatalogError):
+        parse_type("FLOAT")
+    with pytest.raises(CatalogError):
+        parse_type("VARCHAR(x)")
+
+
+def test_type_equality_and_hash():
+    assert VarcharType(5) == VarcharType(5)
+    assert VarcharType(5) != VarcharType(6)
+    assert IntegerType() != VarcharType(5)
+    assert len({VarcharType(5), VarcharType(5), IntegerType()}) == 2
+
+
+def test_column_spec_validation():
+    spec = ColumnSpec("price", IntegerType(), protection=ED5, bsmax=7)
+    assert spec.is_encrypted
+    assert ColumnSpec("name", VarcharType(5)).is_encrypted is False
+    with pytest.raises(CatalogError):
+        ColumnSpec("bad name", IntegerType())
+    with pytest.raises(CatalogError):
+        ColumnSpec("x", IntegerType(), bsmax=0)

@@ -1,0 +1,31 @@
+"""Shared pytest fixtures for the EncDBDB reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.pae import LibraryPae, Pae, PurePythonPae, default_pae
+
+
+@pytest.fixture
+def rng() -> HmacDrbg:
+    """A deterministic RNG; every test run sees the same stream."""
+    return HmacDrbg(b"test-suite-seed")
+
+
+@pytest.fixture
+def pae(rng: HmacDrbg) -> Pae:
+    """The default (fast) PAE backend with a deterministic IV stream."""
+    return default_pae(rng=rng)
+
+
+@pytest.fixture(params=["pure", "library"])
+def any_pae(request, rng: HmacDrbg) -> Pae:
+    """Parametrized over both PAE backends for interface-level tests."""
+    if request.param == "pure":
+        return PurePythonPae(rng=rng)
+    try:
+        return LibraryPae(rng=rng)
+    except Exception:  # pragma: no cover
+        pytest.skip("cryptography library not available")

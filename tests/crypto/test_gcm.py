@@ -1,0 +1,129 @@
+"""AES-128-GCM against the McGrew–Viega / NIST reference test cases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.gcm import AesGcm, ghash
+from repro.exceptions import AuthenticationError, CryptoError
+
+
+def _hex(s: str) -> bytes:
+    return bytes.fromhex(s)
+
+
+def test_gcm_test_case_1_empty_everything():
+    gcm = AesGcm(bytes(16))
+    ciphertext, tag = gcm.encrypt(bytes(12), b"", b"")
+    assert ciphertext == b""
+    assert tag == _hex("58e2fccefa7e3061367f1d57a4e7455a")
+
+
+def test_gcm_test_case_2_single_zero_block():
+    gcm = AesGcm(bytes(16))
+    ciphertext, tag = gcm.encrypt(bytes(12), bytes(16), b"")
+    assert ciphertext == _hex("0388dace60b6a392f328c2b971b2fe78")
+    assert tag == _hex("ab6e47d42cec13bdf53a67b21257bddf")
+
+
+def test_gcm_test_case_3_four_blocks():
+    key = _hex("feffe9928665731c6d6a8f9467308308")
+    iv = _hex("cafebabefacedbaddecaf888")
+    plaintext = _hex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b391aafd255"
+    )
+    gcm = AesGcm(key)
+    ciphertext, tag = gcm.encrypt(iv, plaintext, b"")
+    assert ciphertext == _hex(
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091473f5985"
+    )
+    assert tag == _hex("4d5c2af327cd64a62cf35abd2ba6fab4")
+
+
+def test_gcm_test_case_4_with_aad():
+    key = _hex("feffe9928665731c6d6a8f9467308308")
+    iv = _hex("cafebabefacedbaddecaf888")
+    plaintext = _hex(
+        "d9313225f88406e5a55909c5aff5269a"
+        "86a7a9531534f7da2e4c303d8a318a72"
+        "1c3c0c95956809532fcf0e2449a6b525"
+        "b16aedf5aa0de657ba637b39"
+    )
+    aad = _hex("feedfacedeadbeeffeedfacedeadbeefabaddad2")
+    gcm = AesGcm(key)
+    ciphertext, tag = gcm.encrypt(iv, plaintext, aad)
+    assert ciphertext == _hex(
+        "42831ec2217774244b7221b784d0d49c"
+        "e3aa212f2c02a4e035c17e2329aca12e"
+        "21d514b25466931c7d8f6a5aac84aa05"
+        "1ba30b396a0aac973d58e091"
+    )
+    assert tag == _hex("5bc94fbc3221a5db94fae95ae7121a47")
+
+
+def test_roundtrip_with_aad():
+    gcm = AesGcm(bytes(range(16)))
+    iv = bytes(range(12))
+    ciphertext, tag = gcm.encrypt(iv, b"attack at dawn", b"header")
+    assert gcm.decrypt(iv, ciphertext, tag, b"header") == b"attack at dawn"
+
+
+def test_tampered_ciphertext_rejected():
+    gcm = AesGcm(bytes(range(16)))
+    iv = bytes(12)
+    ciphertext, tag = gcm.encrypt(iv, b"attack at dawn")
+    corrupted = bytes([ciphertext[0] ^ 1]) + ciphertext[1:]
+    with pytest.raises(AuthenticationError):
+        gcm.decrypt(iv, corrupted, tag)
+
+
+def test_tampered_tag_rejected():
+    gcm = AesGcm(bytes(range(16)))
+    iv = bytes(12)
+    ciphertext, tag = gcm.encrypt(iv, b"attack at dawn")
+    corrupted_tag = bytes([tag[0] ^ 1]) + tag[1:]
+    with pytest.raises(AuthenticationError):
+        gcm.decrypt(iv, ciphertext, corrupted_tag)
+
+
+def test_wrong_aad_rejected():
+    gcm = AesGcm(bytes(range(16)))
+    iv = bytes(12)
+    ciphertext, tag = gcm.encrypt(iv, b"v", b"aad-1")
+    with pytest.raises(AuthenticationError):
+        gcm.decrypt(iv, ciphertext, tag, b"aad-2")
+
+
+def test_truncated_tag_rejected():
+    gcm = AesGcm(bytes(range(16)))
+    iv = bytes(12)
+    ciphertext, tag = gcm.encrypt(iv, b"v")
+    with pytest.raises(AuthenticationError):
+        gcm.decrypt(iv, ciphertext, tag[:8])
+
+
+def test_bad_nonce_length_rejected():
+    gcm = AesGcm(bytes(16))
+    with pytest.raises(CryptoError):
+        gcm.encrypt(bytes(8), b"v")
+    with pytest.raises(CryptoError):
+        gcm.decrypt(bytes(16), b"", bytes(16))
+
+
+def test_ghash_input_validation():
+    with pytest.raises(CryptoError):
+        ghash(bytes(8), bytes(16))
+    with pytest.raises(CryptoError):
+        ghash(bytes(16), bytes(15))
+
+
+def test_ghash_zero_key_annihilates():
+    """GHASH under H = 0 maps everything to zero (multiplication by zero)."""
+    assert ghash(bytes(16), bytes(32)) == bytes(16)
+    assert ghash(bytes(16), bytes(range(16))) == bytes(16)

@@ -1,0 +1,76 @@
+"""HKDF-SHA256 and per-column key derivation tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.kdf import derive_column_key, hkdf_sha256
+from repro.exceptions import CryptoError
+
+
+def test_rfc5869_test_case_1():
+    ikm = bytes.fromhex("0b" * 22)
+    salt = bytes.fromhex("000102030405060708090a0b0c")
+    info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+    okm = hkdf_sha256(ikm, salt=salt, info=info, length=42)
+    assert okm == bytes.fromhex(
+        "3cb25f25faacd57a90434f64d0362f2a"
+        "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+        "34007208d5b887185865"
+    )
+
+
+def test_rfc5869_test_case_3_no_salt_no_info():
+    ikm = bytes.fromhex("0b" * 22)
+    okm = hkdf_sha256(ikm, length=42)
+    assert okm == bytes.fromhex(
+        "8da4e775a563c18f715f802a063c5a31"
+        "b8a11f5c5ee1879ec3454e5f3c738d2d"
+        "9d201395faa4b61a96c8"
+    )
+
+
+def test_output_length_control():
+    assert len(hkdf_sha256(b"ikm", length=1)) == 1
+    assert len(hkdf_sha256(b"ikm", length=64)) == 64
+    with pytest.raises(CryptoError):
+        hkdf_sha256(b"ikm", length=0)
+    with pytest.raises(CryptoError):
+        hkdf_sha256(b"ikm", length=255 * 32 + 1)
+
+
+def test_column_keys_are_distinct_per_column():
+    master = bytes(range(16))
+    key_a = derive_column_key(master, "t1", "c1")
+    key_b = derive_column_key(master, "t1", "c2")
+    key_c = derive_column_key(master, "t2", "c1")
+    assert len({key_a, key_b, key_c}) == 3
+    assert all(len(k) == 16 for k in (key_a, key_b, key_c))
+
+
+def test_column_key_is_deterministic():
+    master = bytes(range(16))
+    assert derive_column_key(master, "t", "c") == derive_column_key(master, "t", "c")
+
+
+def test_no_name_concatenation_collisions():
+    """('ab','c') and ('a','bc') must not derive the same key."""
+    master = bytes(range(16))
+    assert derive_column_key(master, "ab", "c") != derive_column_key(master, "a", "bc")
+
+
+def test_empty_master_key_rejected():
+    with pytest.raises(CryptoError):
+        derive_column_key(b"", "t", "c")
+
+
+@given(
+    table=st.text(min_size=0, max_size=20),
+    column=st.text(min_size=0, max_size=20),
+)
+def test_derivation_total_and_stable(table: str, column: str):
+    master = b"m" * 16
+    key = derive_column_key(master, table, column)
+    assert len(key) == 16
+    assert key == derive_column_key(master, table, column)

@@ -1,0 +1,76 @@
+"""Shared helpers for the encrypted-dictionary tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.columnstore.types import IntegerType, ValueType, VarcharType
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.kdf import derive_column_key
+from repro.crypto.pae import default_pae, pae_gen
+from repro.encdict.attrvect import attr_vect_search
+from repro.encdict.builder import BuildResult, encdb_build
+from repro.encdict.options import ALL_KINDS, EncryptedDictionaryKind
+from repro.encdict.search import DictionarySearcher, OrdinalRange
+
+
+class EdHarness:
+    """Builds encrypted dictionaries and runs full searches for tests."""
+
+    def __init__(self, seed: bytes = b"encdict-tests") -> None:
+        self.rng = HmacDrbg(seed)
+        self.pae = default_pae(rng=self.rng.fork("pae"))
+        self.master_key = pae_gen(rng=self.rng.fork("master"))
+        self.key = derive_column_key(self.master_key, "t", "c")
+        self.searcher = DictionarySearcher(self.pae)
+
+    def build(
+        self,
+        values,
+        kind: EncryptedDictionaryKind,
+        *,
+        value_type: ValueType | None = None,
+        bsmax: int = 3,
+        encrypted: bool = True,
+    ) -> BuildResult:
+        if value_type is None:
+            value_type = (
+                IntegerType()
+                if values and isinstance(values[0], int)
+                else VarcharType(30)
+            )
+        return encdb_build(
+            values,
+            kind,
+            value_type=value_type,
+            key=self.key if encrypted else None,
+            pae=self.pae if encrypted else None,
+            rng=self.rng.fork(f"build-{kind.name}-{len(values)}"),
+            bsmax=bsmax,
+            table_name="t",
+            column_name="c",
+            encrypted=encrypted,
+        )
+
+    def search_records(self, build: BuildResult, low, high) -> list[int]:
+        """Full pipeline: dictionary search + attribute-vector search."""
+        value_type = build.dictionary.value_type
+        search = OrdinalRange(value_type.ordinal(low), value_type.ordinal(high))
+        result = self.searcher.search(build.dictionary, search, key=self.key)
+        return sorted(attr_vect_search(build.attribute_vector, result).tolist())
+
+
+def reference_range_search(values, low, high) -> list[int]:
+    """Ground truth: RecordIDs with low <= value <= high, by linear scan."""
+    return [i for i, value in enumerate(values) if low <= value <= high]
+
+
+@pytest.fixture
+def harness() -> EdHarness:
+    return EdHarness()
+
+
+@pytest.fixture(params=[kind.name for kind in ALL_KINDS])
+def kind(request) -> EncryptedDictionaryKind:
+    return ALL_KINDS[int(request.param[2]) - 1]

@@ -1,0 +1,98 @@
+"""The ED1..ED9 grid (paper Table 2) and its option metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.encdict.options import (
+    ALL_KINDS,
+    ED1,
+    ED2,
+    ED3,
+    ED5,
+    ED9,
+    EncryptedDictionaryKind,
+    OrderOption,
+    RepetitionOption,
+    kind_by_name,
+    kind_for,
+)
+
+
+def test_grid_has_nine_distinct_kinds():
+    assert len(ALL_KINDS) == 9
+    assert len({kind.name for kind in ALL_KINDS}) == 9
+    assert [kind.number for kind in ALL_KINDS] == list(range(1, 10))
+
+
+def test_table2_layout():
+    """Rows are repetition options, columns are order options."""
+    expected = {
+        1: (RepetitionOption.REVEALING, OrderOption.SORTED),
+        2: (RepetitionOption.REVEALING, OrderOption.ROTATED),
+        3: (RepetitionOption.REVEALING, OrderOption.UNSORTED),
+        4: (RepetitionOption.SMOOTHING, OrderOption.SORTED),
+        5: (RepetitionOption.SMOOTHING, OrderOption.ROTATED),
+        6: (RepetitionOption.SMOOTHING, OrderOption.UNSORTED),
+        7: (RepetitionOption.HIDING, OrderOption.SORTED),
+        8: (RepetitionOption.HIDING, OrderOption.ROTATED),
+        9: (RepetitionOption.HIDING, OrderOption.UNSORTED),
+    }
+    for kind in ALL_KINDS:
+        assert (kind.repetition, kind.order) == expected[kind.number]
+
+
+def test_kind_for_inverts_the_grid():
+    for kind in ALL_KINDS:
+        assert kind_for(kind.repetition, kind.order) is kind
+
+
+def test_kind_by_name():
+    assert kind_by_name("ED5") is ED5
+    assert kind_by_name("ed1") is ED1
+    assert kind_by_name(" ED9 ") is ED9
+    with pytest.raises(ValueError):
+        kind_by_name("ED10")
+    with pytest.raises(ValueError):
+        kind_by_name("plaintext")
+
+
+def test_frequency_leakage_labels_match_table3():
+    assert RepetitionOption.REVEALING.frequency_leakage == "full"
+    assert RepetitionOption.SMOOTHING.frequency_leakage == "bounded"
+    assert RepetitionOption.HIDING.frequency_leakage == "none"
+
+
+def test_order_leakage_labels_match_table4():
+    assert OrderOption.SORTED.order_leakage == "full"
+    assert OrderOption.ROTATED.order_leakage == "bounded"
+    assert OrderOption.UNSORTED.order_leakage == "none"
+
+
+def test_search_complexity_labels_match_table4():
+    assert OrderOption.SORTED.dictionary_search_complexity == "O(log|D|)"
+    assert OrderOption.ROTATED.dictionary_search_complexity == "O(log|D|)"
+    assert OrderOption.UNSORTED.dictionary_search_complexity == "O(|D|)"
+
+
+def test_comparable_security_matches_table5():
+    by_number = {kind.number: kind.comparable_security for kind in ALL_KINDS}
+    assert "ORE" in by_number[1]
+    assert "MOPE" in by_number[2]
+    assert "DET" in by_number[3]
+    assert by_number[4] is None  # ED4-ED6 are classified only relatively
+    assert "IND-FAOCPA" in by_number[7]
+    assert "IND-CPA-DS" in by_number[8]
+    assert "RPE" in by_number[9]
+
+
+def test_kind_str_and_repr():
+    assert str(ED2) == "ED2"
+    assert "rotated" in repr(ED2)
+    assert "frequency revealing" in repr(ED3)
+
+
+def test_kinds_are_hashable_and_frozen():
+    assert len({ED1, ED2, ED1}) == 2
+    with pytest.raises(AttributeError):
+        ED1.number = 5  # type: ignore[misc]

@@ -1,0 +1,103 @@
+"""The §6.4 usage-guideline advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.encdict.options import ED1, ED2, ED3, ED5, ED6, ED7, ED8, ED9
+from repro.security.classify import no_less_secure
+from repro.security.guideline import (
+    ColumnProfile,
+    LeakageTolerance,
+    Recommendation,
+    recommend,
+)
+
+FULL = LeakageTolerance.FULL
+BOUNDED = LeakageTolerance.BOUNDED
+NONE = LeakageTolerance.NONE
+
+SMALL = ColumnProfile(rows=100_000, unique_values=500, typical_range_size=2)
+LARGE = ColumnProfile(rows=10_000_000, unique_values=7_000_000,
+                      typical_range_size=100)
+
+
+def test_profile_from_values():
+    profile = ColumnProfile.from_values(["a", "b", "a", "c"], typical_range_size=3)
+    assert profile.rows == 4
+    assert profile.unique_values == 3
+    assert profile.unique_ratio == pytest.approx(0.75)
+
+
+def test_weakest_level_is_ed1():
+    rec = recommend(SMALL, order_tolerance=FULL, frequency_tolerance=FULL)
+    assert rec.kind is ED1
+    assert "PlainDBDB" in rec.rationale
+
+
+def test_reduced_order_leakage_is_ed2():
+    rec = recommend(SMALL, order_tolerance=BOUNDED, frequency_tolerance=FULL)
+    assert rec.kind is ED2
+
+
+def test_no_order_leakage_few_uniques_is_ed3():
+    rec = recommend(SMALL, order_tolerance=NONE, frequency_tolerance=FULL)
+    assert rec.kind is ED3
+    assert not rec.warnings
+
+
+def test_ed3_warns_on_high_cardinality():
+    rec = recommend(LARGE, order_tolerance=NONE, frequency_tolerance=FULL)
+    assert rec.kind is ED3
+    assert rec.warnings  # linear-scan caveat
+
+
+def test_balanced_tradeoff_is_ed5():
+    for order in (FULL, BOUNDED):
+        rec = recommend(SMALL, order_tolerance=order, frequency_tolerance=BOUNDED)
+        assert rec.kind is ED5
+        assert "best security, latency and storage tradeoff" in rec.rationale
+
+
+def test_bounded_frequency_no_order_is_ed6_with_warning():
+    rec = recommend(SMALL, order_tolerance=NONE, frequency_tolerance=BOUNDED)
+    assert rec.kind is ED6
+    assert rec.warnings
+
+
+def test_frequency_hiding_variants():
+    assert recommend(SMALL, order_tolerance=FULL, frequency_tolerance=NONE).kind is ED7
+    rec = recommend(SMALL, order_tolerance=BOUNDED, frequency_tolerance=NONE)
+    assert rec.kind is ED8
+    rec = recommend(SMALL, order_tolerance=NONE, frequency_tolerance=NONE)
+    assert rec.kind is ED9
+    assert rec.warnings
+
+
+def test_storage_critical_warning_on_hiding():
+    rec = recommend(
+        SMALL, order_tolerance=BOUNDED, frequency_tolerance=NONE,
+        storage_critical=True,
+    )
+    assert rec.kind is ED8
+    assert any("storage" in warning for warning in rec.warnings)
+
+
+@pytest.mark.parametrize("order", [FULL, BOUNDED, NONE])
+@pytest.mark.parametrize("frequency", [FULL, BOUNDED, NONE])
+def test_recommendation_always_meets_the_tolerances(order, frequency):
+    """The advisor never recommends a kind weaker than what was asked:
+    the recommended kind's leakage profile is within both tolerances."""
+    grades = {FULL: 2, BOUNDED: 1, NONE: 0}
+    rec = recommend(SMALL, order_tolerance=order, frequency_tolerance=frequency)
+    from repro.security.classify import LEVEL_BY_LABEL, leakage_profile
+
+    frequency_grade, order_grade = leakage_profile(rec.kind)
+    assert frequency_grade <= grades[frequency]
+    assert order_grade <= grades[order]
+
+
+def test_stricter_tolerances_never_weaken_security():
+    rec_loose = recommend(SMALL, order_tolerance=FULL, frequency_tolerance=FULL)
+    rec_tight = recommend(SMALL, order_tolerance=NONE, frequency_tolerance=NONE)
+    assert no_less_secure(rec_tight.kind, rec_loose.kind)

@@ -1,0 +1,227 @@
+"""Leakage quantifiers, attack simulations, and the Figure 6 lattice."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.encdict.options import (
+    ALL_KINDS,
+    ED1,
+    ED2,
+    ED3,
+    ED4,
+    ED5,
+    ED6,
+    ED7,
+    ED8,
+    ED9,
+)
+from repro.security.attacks import (
+    frequency_analysis_attack,
+    order_reconstruction_attack,
+)
+from repro.security.classify import (
+    leakage_profile,
+    no_less_secure,
+    security_lattice_edges,
+)
+from repro.security.leakage import (
+    frequency_histogram,
+    frequency_multiset_distance,
+    max_frequency,
+    normalized_frequency_entropy,
+)
+
+from tests.encdict.conftest import EdHarness
+
+# A deliberately skewed column: frequency analysis should crack revealing
+# dictionaries on this, and be powerless against hiding ones.
+SKEWED = ["very_common"] * 60 + ["medium"] * 25 + ["rare"] * 10 + ["unicorn"] * 5
+
+
+def _ground_truth(harness: EdHarness, build) -> list:
+    value_type = build.dictionary.value_type
+    return [
+        value_type.from_bytes(harness.pae.decrypt(harness.key, blob))
+        for blob in build.dictionary.entries()
+    ]
+
+
+@pytest.fixture(scope="module")
+def harness() -> EdHarness:
+    return EdHarness(seed=b"security")
+
+
+# ----------------------------------------------------------------------
+# Leakage measures
+# ----------------------------------------------------------------------
+
+
+def test_frequency_histogram_and_max():
+    av = np.array([0, 0, 1, 2, 2, 2])
+    assert frequency_histogram(av) == {0: 2, 1: 1, 2: 3}
+    assert max_frequency(av) == 3
+    assert max_frequency(np.array([], dtype=np.int64)) == 0
+
+
+def test_revealing_leaks_exact_frequencies(harness):
+    build = harness.build(SKEWED, ED1)
+    observed = sorted(frequency_histogram(build.attribute_vector).values())
+    assert observed == sorted(Counter(SKEWED).values())
+    assert frequency_multiset_distance(SKEWED, build.attribute_vector) == 0.0
+
+
+def test_smoothing_bounds_frequencies(harness):
+    for kind in (ED4, ED5, ED6):
+        build = harness.build(SKEWED, kind, bsmax=4)
+        assert max_frequency(build.attribute_vector) <= 4
+        assert frequency_multiset_distance(SKEWED, build.attribute_vector) > 0.2
+
+
+def test_hiding_equalizes_frequencies(harness):
+    for kind in (ED7, ED8, ED9):
+        build = harness.build(SKEWED, kind)
+        assert max_frequency(build.attribute_vector) == 1
+        assert normalized_frequency_entropy(build.attribute_vector) == pytest.approx(1.0)
+
+
+def test_entropy_ordering_across_repetition_options(harness):
+    """Observed-histogram entropy increases from revealing to hiding."""
+    revealing = normalized_frequency_entropy(
+        harness.build(SKEWED, ED1).attribute_vector
+    )
+    smoothing = normalized_frequency_entropy(
+        harness.build(SKEWED, ED4, bsmax=4).attribute_vector
+    )
+    hiding = normalized_frequency_entropy(harness.build(SKEWED, ED7).attribute_vector)
+    assert revealing < smoothing <= hiding
+
+
+# ----------------------------------------------------------------------
+# Frequency analysis attack (Naveed et al. style)
+# ----------------------------------------------------------------------
+
+
+def _attack_accuracy(harness, kind, bsmax=4) -> float:
+    build = harness.build(SKEWED, kind, bsmax=bsmax)
+    return frequency_analysis_attack(
+        build.attribute_vector,
+        auxiliary_distribution=dict(Counter(SKEWED)),
+        ground_truth=_ground_truth(harness, build),
+    )
+
+
+def test_frequency_attack_cracks_revealing(harness):
+    """Full frequency leakage: rank matching recovers most rows."""
+    for kind in (ED1, ED2, ED3):
+        assert _attack_accuracy(harness, kind) >= 0.95, kind.name
+
+
+def test_frequency_attack_degraded_by_smoothing(harness):
+    for kind in (ED4, ED5, ED6):
+        assert _attack_accuracy(harness, kind) < 0.95, kind.name
+
+
+def test_frequency_attack_defeated_by_hiding(harness):
+    """With all-equal frequencies the rank match is no better than luck."""
+    baseline = max(Counter(SKEWED).values()) / len(SKEWED)
+    for kind in (ED7, ED8, ED9):
+        accuracy = _attack_accuracy(harness, kind)
+        assert accuracy <= baseline + 0.05, (kind.name, accuracy)
+
+
+# ----------------------------------------------------------------------
+# Order reconstruction attack
+# ----------------------------------------------------------------------
+
+
+def _order_accuracy(harness, kind) -> float:
+    build = harness.build(SKEWED, kind, bsmax=4)
+    ground_truth = _ground_truth(harness, build)
+    auxiliary = sorted(ground_truth)  # attacker knows the (multi)set of values
+    return order_reconstruction_attack(
+        kind, build.attribute_vector, auxiliary, ground_truth
+    )
+
+
+def test_order_attack_cracks_sorted(harness):
+    assert _order_accuracy(harness, ED1) == pytest.approx(1.0)
+    # ED4/ED7 stay fully order-leaking too (sorted), up to duplicate ties.
+    assert _order_accuracy(harness, ED7) == pytest.approx(1.0)
+
+
+def test_order_attack_bounded_on_rotated(harness):
+    """Expected accuracy over the unknown offset collapses."""
+    accuracy = _order_accuracy(harness, ED2)
+    assert accuracy < 0.75  # well below the sorted read-off
+    assert _order_accuracy(harness, ED5) < 0.75
+
+
+def test_order_attack_blind_on_unsorted(harness):
+    sorted_accuracy = _order_accuracy(harness, ED1)
+    unsorted_accuracy = _order_accuracy(harness, ED3)
+    assert unsorted_accuracy < sorted_accuracy
+    assert unsorted_accuracy <= 0.6  # expectation of a random bijection
+
+
+def test_order_attack_monotone_in_order_option(harness):
+    for sorted_kind, rotated_kind, unsorted_kind in [
+        (ED1, ED2, ED3), (ED7, ED8, ED9),
+    ]:
+        a_sorted = _order_accuracy(harness, sorted_kind)
+        a_rotated = _order_accuracy(harness, rotated_kind)
+        a_unsorted = _order_accuracy(harness, unsorted_kind)
+        # Rotated and unsorted can tie in expectation (e.g. for frequency
+        # hiding both collapse to the duplicate-collision probability), so
+        # the comparison allows floating-point-scale equality.
+        assert a_sorted >= a_rotated - 1e-9
+        assert a_rotated >= a_unsorted - 1e-9
+
+
+# ----------------------------------------------------------------------
+# Figure 6 lattice
+# ----------------------------------------------------------------------
+
+
+def test_leakage_profiles():
+    assert leakage_profile(ED1) == (2, 2)
+    assert leakage_profile(ED5) == (1, 1)
+    assert leakage_profile(ED9) == (0, 0)
+
+
+def test_figure6_relations_hold():
+    """Every arrow of Figure 6: down a column and right along a row."""
+    figure6 = [
+        ("ED1", "ED4"), ("ED4", "ED7"), ("ED2", "ED5"), ("ED5", "ED8"),
+        ("ED3", "ED6"), ("ED6", "ED9"), ("ED1", "ED2"), ("ED2", "ED3"),
+        ("ED4", "ED5"), ("ED5", "ED6"), ("ED7", "ED8"), ("ED8", "ED9"),
+    ]
+    by_name = {kind.name: kind for kind in ALL_KINDS}
+    for weaker, stronger in figure6:
+        assert no_less_secure(by_name[stronger], by_name[weaker]), (weaker, stronger)
+        assert not no_less_secure(by_name[weaker], by_name[stronger])
+
+
+def test_incomparable_kinds():
+    """ED3 (no order leak, full freq) vs ED7 (full order leak, no freq)."""
+    assert not no_less_secure(ED3, ED7)
+    assert not no_less_secure(ED7, ED3)
+
+
+def test_lattice_edges_are_exactly_figure6():
+    expected = {
+        ("ED1", "ED2"), ("ED2", "ED3"), ("ED4", "ED5"), ("ED5", "ED6"),
+        ("ED7", "ED8"), ("ED8", "ED9"), ("ED1", "ED4"), ("ED4", "ED7"),
+        ("ED2", "ED5"), ("ED5", "ED8"), ("ED3", "ED6"), ("ED6", "ED9"),
+    }
+    assert security_lattice_edges() == expected
+
+
+def test_ed9_is_top_of_lattice():
+    for kind in ALL_KINDS:
+        assert no_less_secure(ED9, kind)
+    for kind in ALL_KINDS:
+        assert no_less_secure(kind, ED1)

@@ -1,0 +1,149 @@
+"""Attestation, sealing, and secure-channel tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.exceptions import AttestationError, AuthenticationError, EnclaveSecurityError
+from repro.sgx.attestation import AttestationService, Quote
+from repro.sgx.channel import MODP_2048_PRIME, SecureChannel, SecureChannelListener
+from repro.sgx.enclave import Enclave, EnclaveHost, ecall
+from repro.sgx.sealing import seal, unseal
+
+
+class QuotedEnclave(Enclave):
+    @ecall
+    def ping(self) -> str:
+        return "pong"
+
+
+class ImposterEnclave(Enclave):
+    @ecall
+    def ping(self) -> str:
+        return "pong... definitely the real enclave"
+
+
+def test_quote_verifies():
+    service = AttestationService()
+    enclave = QuotedEnclave()
+    quote = service.quote(enclave, b"report-data")
+    service.verify(quote)  # does not raise
+    service.verify(quote, expected_measurement=enclave.measurement)
+
+
+def test_forged_signature_rejected():
+    service = AttestationService()
+    quote = service.quote(QuotedEnclave(), b"rd")
+    forged = Quote(quote.measurement, quote.report_data, bytes(32))
+    with pytest.raises(AttestationError):
+        service.verify(forged)
+
+
+def test_report_data_substitution_rejected():
+    """Reusing a signature with different report data must fail."""
+    service = AttestationService()
+    quote = service.quote(QuotedEnclave(), b"original")
+    spliced = Quote(quote.measurement, b"malicious", quote.signature)
+    with pytest.raises(AttestationError):
+        service.verify(spliced)
+
+
+def test_wrong_measurement_rejected():
+    service = AttestationService()
+    quote = service.quote(ImposterEnclave(), b"rd")
+    with pytest.raises(AttestationError):
+        service.verify(quote, expected_measurement=QuotedEnclave().measurement)
+
+
+def test_different_service_keys_do_not_cross_verify():
+    quote = AttestationService(b"key-a").quote(QuotedEnclave(), b"rd")
+    with pytest.raises(AttestationError):
+        AttestationService(b"key-b").verify(quote)
+
+
+# ----------------------------------------------------------------------
+# Sealing
+# ----------------------------------------------------------------------
+
+
+def test_seal_unseal_roundtrip():
+    measurement = QuotedEnclave().measurement
+    blob = seal(measurement, b"SKDB-bytes")
+    assert unseal(measurement, blob) == b"SKDB-bytes"
+
+
+def test_unseal_rejects_other_enclave():
+    blob = seal(QuotedEnclave().measurement, b"SKDB-bytes")
+    with pytest.raises(AuthenticationError):
+        unseal(ImposterEnclave().measurement, blob)
+
+
+def test_unseal_rejects_other_platform():
+    measurement = QuotedEnclave().measurement
+    blob = seal(measurement, b"SKDB-bytes", platform_secret=b"platform-a" * 3)
+    with pytest.raises(AuthenticationError):
+        unseal(measurement, blob, platform_secret=b"platform-b" * 3)
+
+
+# ----------------------------------------------------------------------
+# Secure channel
+# ----------------------------------------------------------------------
+
+
+def _handshake(expected=None):
+    service = AttestationService()
+    enclave = QuotedEnclave()
+    listener = SecureChannelListener(service, HmacDrbg(b"enclave-side"))
+    offer = listener.offer(enclave)
+    client_channel, client_public = SecureChannel.connect(
+        offer,
+        service,
+        expected if expected is not None else enclave.measurement,
+        rng=HmacDrbg(b"client-side"),
+    )
+    enclave_channel = listener.accept(client_public)
+    return client_channel, enclave_channel
+
+
+def test_channel_delivers_messages_both_ways():
+    client, enclave_side = _handshake()
+    wire = client.send(b"SKDB:" + bytes(16))
+    assert enclave_side.receive(wire) == b"SKDB:" + bytes(16)
+    wire_back = enclave_side.send(b"ack")
+    assert client.receive(wire_back) == b"ack"
+
+
+def test_channel_messages_tamperproof():
+    client, enclave_side = _handshake()
+    wire = bytearray(client.send(b"secret"))
+    wire[-1] ^= 1
+    with pytest.raises(AuthenticationError):
+        enclave_side.receive(bytes(wire))
+
+
+def test_connect_rejects_wrong_expected_measurement():
+    with pytest.raises(AttestationError):
+        _handshake(expected=ImposterEnclave().measurement)
+
+
+def test_accept_requires_offer_first():
+    listener = SecureChannelListener(AttestationService(), HmacDrbg(b"e"))
+    with pytest.raises(EnclaveSecurityError):
+        listener.accept(12345)
+
+
+def test_accept_rejects_degenerate_public_values():
+    service = AttestationService()
+    listener = SecureChannelListener(service, HmacDrbg(b"e"))
+    listener.offer(QuotedEnclave())
+    for bad in (0, 1, MODP_2048_PRIME - 1, MODP_2048_PRIME):
+        with pytest.raises(EnclaveSecurityError):
+            listener.accept(bad)
+
+
+def test_eavesdropper_sees_only_ciphertext():
+    client, enclave_side = _handshake()
+    plaintext = b"the-database-master-key!"
+    wire = client.send(plaintext)
+    assert plaintext not in wire

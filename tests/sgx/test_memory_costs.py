@@ -1,0 +1,114 @@
+"""EPC model and cost accounting tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EnclaveMemoryError
+from repro.sgx.costs import CostModel, CostParameters
+from repro.sgx.memory import EPC_USABLE_BYTES, PAGE_BYTES, EpcModel
+
+
+def test_allocate_and_free():
+    epc = EpcModel()
+    allocation = epc.allocate(10_000)
+    assert epc.allocated_bytes == 10_000
+    assert epc.allocated_pages == 3  # ceil(10000 / 4096)
+    epc.free(allocation)
+    assert epc.allocated_bytes == 0
+
+
+def test_zero_byte_allocation_takes_one_page():
+    epc = EpcModel()
+    epc.allocate(0)
+    assert epc.allocated_pages == 1
+
+
+def test_negative_allocation_rejected():
+    with pytest.raises(EnclaveMemoryError):
+        EpcModel().allocate(-1)
+
+
+def test_double_free_rejected():
+    epc = EpcModel()
+    allocation = epc.allocate(100)
+    epc.free(allocation)
+    with pytest.raises(EnclaveMemoryError):
+        epc.free(allocation)
+
+
+def test_strict_mode_enforces_usable_epc():
+    epc = EpcModel(strict=True)
+    epc.allocate(EPC_USABLE_BYTES - PAGE_BYTES)
+    with pytest.raises(EnclaveMemoryError):
+        epc.allocate(2 * PAGE_BYTES)
+
+
+def test_default_usable_epc_is_96_mib():
+    epc = EpcModel(strict=True)
+    assert epc.allocate(EPC_USABLE_BYTES) > 0  # exactly fits
+
+
+def test_paging_penalty_beyond_usable_epc():
+    """Non-strict allocations beyond usable EPC cause faults on re-touch."""
+    cost = CostModel()
+    epc = EpcModel(cost, usable_bytes=2 * PAGE_BYTES, strict=False)
+    a = epc.allocate(PAGE_BYTES)
+    b = epc.allocate(PAGE_BYTES)
+    c = epc.allocate(PAGE_BYTES)  # evicts a (LRU)
+    assert epc.resident_pages == 2
+    faults_before = cost.epc_page_faults
+    epc.touch(a)  # page of `a` was evicted -> fault
+    assert cost.epc_page_faults == faults_before + 1
+    epc.touch(a)  # now resident -> no fault
+    assert cost.epc_page_faults == faults_before + 1
+    epc.touch(b)  # b was evicted when a came back in
+    assert cost.epc_page_faults == faults_before + 2
+    epc.touch(c)  # c evicted by b's return
+    assert cost.epc_page_faults == faults_before + 3
+
+
+def test_touch_validates_bounds():
+    epc = EpcModel()
+    allocation = epc.allocate(100)
+    with pytest.raises(EnclaveMemoryError):
+        epc.touch(allocation, offset=PAGE_BYTES)
+    with pytest.raises(EnclaveMemoryError):
+        epc.touch(999)
+
+
+def test_peak_tracking():
+    epc = EpcModel()
+    a = epc.allocate(PAGE_BYTES * 3)
+    epc.free(a)
+    epc.allocate(PAGE_BYTES)
+    assert epc.peak_pages == 3
+
+
+def test_cost_model_cycle_estimate():
+    cost = CostModel(parameters=CostParameters(ecall_cycles=1000, compare_cycles=1))
+    cost.record_ecall()
+    cost.record_comparison(5)
+    assert cost.estimated_cycles() == 1005
+    assert cost.estimated_seconds() == pytest.approx(1005 / 3.7e9)
+
+
+def test_cost_model_decryption_accounting():
+    cost = CostModel()
+    cost.record_decryption(100)
+    cost.record_decryption(50)
+    assert cost.decryptions == 2
+    assert cost.decrypted_bytes == 150
+
+
+def test_cost_model_snapshot_diff_reset():
+    cost = CostModel()
+    cost.record_ecall(bytes_in=10, bytes_out=20)
+    before = cost.snapshot()
+    cost.record_untrusted_load(3)
+    delta = cost.diff(before)
+    assert delta["untrusted_loads"] == 3
+    assert delta["ecalls"] == 0
+    cost.reset()
+    assert cost.estimated_cycles() == 0
+    assert cost.snapshot()["bytes_copied_in"] == 0

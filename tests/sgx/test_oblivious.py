@@ -1,0 +1,106 @@
+"""Oblivious sort/shuffle: correctness and access-pattern independence."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.drbg import HmacDrbg
+from repro.sgx.oblivious import TraceRecorder, oblivious_shuffle, oblivious_sort
+
+
+def test_sorts_correctly():
+    assert oblivious_sort([3, 1, 2]) == [1, 2, 3]
+    assert oblivious_sort([]) == []
+    assert oblivious_sort([42]) == [42]
+    assert oblivious_sort(list(range(10))[::-1]) == list(range(10))
+
+
+def test_sort_with_key():
+    items = [("b", 2), ("a", 9), ("c", 1)]
+    assert oblivious_sort(items, key=lambda pair: pair[1]) == [
+        ("c", 1), ("b", 2), ("a", 9),
+    ]
+
+
+def test_non_power_of_two_lengths():
+    for n in (3, 5, 6, 7, 9, 13):
+        values = [(i * 7) % n for i in range(n)]
+        assert oblivious_sort(values) == sorted(values)
+
+
+@settings(max_examples=40)
+@given(st.lists(st.integers(-100, 100), max_size=40))
+def test_sort_matches_builtin_property(values):
+    assert oblivious_sort(values) == sorted(values)
+
+
+def test_access_pattern_is_data_independent():
+    """The compare-exchange sequence depends only on the length."""
+    traces = []
+    for values in ([4, 3, 2, 1, 0], [0, 1, 2, 3, 4], [7, 7, 7, 7, 7],
+                   [-5, 100, 0, 3, -2]):
+        recorder = TraceRecorder()
+        oblivious_sort(values, trace=recorder)
+        traces.append(tuple(recorder.accesses))
+    assert len(set(traces)) == 1
+
+
+def test_access_pattern_differs_only_by_length():
+    recorder_a, recorder_b = TraceRecorder(), TraceRecorder()
+    oblivious_sort(list(range(5)), trace=recorder_a)
+    oblivious_sort(list(range(9)), trace=recorder_b)
+    assert recorder_a.accesses != recorder_b.accesses
+
+
+def test_shuffle_is_permutation():
+    items = list(range(30))
+    shuffled = oblivious_shuffle(items, HmacDrbg(b"s"))
+    assert sorted(shuffled) == items
+    assert shuffled != items
+
+
+def test_shuffle_reproducible_and_seed_sensitive():
+    items = list(range(20))
+    assert oblivious_shuffle(items, HmacDrbg(b"a")) == oblivious_shuffle(
+        items, HmacDrbg(b"a")
+    )
+    assert oblivious_shuffle(items, HmacDrbg(b"a")) != oblivious_shuffle(
+        items, HmacDrbg(b"b")
+    )
+
+
+def test_shuffle_trace_is_input_independent():
+    recorder_a, recorder_b = TraceRecorder(), TraceRecorder()
+    oblivious_shuffle(["x"] * 8, HmacDrbg(b"a"), trace=recorder_a)
+    oblivious_shuffle(list(range(8)), HmacDrbg(b"zzz"), trace=recorder_b)
+    assert recorder_a.accesses == recorder_b.accesses
+
+
+def test_shuffle_roughly_uniform():
+    """Each element lands in each position with similar frequency."""
+    rng = HmacDrbg(b"uniformity")
+    position_counts = {i: [0] * 4 for i in range(4)}
+    for _ in range(400):
+        shuffled = oblivious_shuffle([0, 1, 2, 3], rng)
+        for position, element in enumerate(shuffled):
+            position_counts[element][position] += 1
+    for element, counts in position_counts.items():
+        for count in counts:
+            assert 55 <= count <= 145, position_counts  # expected 100
+
+
+def test_merge_keeps_columns_row_aligned():
+    """The oblivious merge shuffle must not desynchronize table columns."""
+    from repro import EncDBDBSystem
+
+    system = EncDBDBSystem.create(seed=99)
+    system.execute("CREATE TABLE t (a ED2 VARCHAR(8), b ED9 INTEGER)")
+    rows = [("x1", 1), ("x2", 2), ("x3", 3), ("x4", 4), ("x5", 5)]
+    system.execute(
+        "INSERT INTO t VALUES " + ", ".join(f"('{a}', {b})" for a, b in rows)
+    )
+    system.merge("t")
+    for a, b in rows:
+        result = system.query(f"SELECT b FROM t WHERE a = '{a}'")
+        assert result.rows == [(b,)], (a, b)

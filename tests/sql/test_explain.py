@@ -1,0 +1,89 @@
+"""EXPLAIN output (describe_plan) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EncDBDBSystem
+
+
+@pytest.fixture
+def system() -> EncDBDBSystem:
+    system = EncDBDBSystem.create(seed=8)
+    system.execute(
+        "CREATE TABLE t (a ED5 VARCHAR(10) BSMAX 3, b INTEGER, d ED9 DATE)"
+    )
+    system.execute("CREATE TABLE u (a ED5 VARCHAR(10), n INTEGER)")
+    return system
+
+
+def test_explain_select_annotates_protection(system):
+    text = system.proxy.explain("SELECT a FROM t WHERE a = 'x' AND b > 2")
+    assert "ED5, enclave dictionary search" in text
+    assert "plaintext" in text
+    assert "AND" in text
+
+
+def test_explain_shows_proxy_side_work(system):
+    text = system.proxy.explain(
+        "SELECT DISTINCT a, COUNT(*) FROM t WHERE b != 1 "
+        "GROUP BY a ORDER BY a DESC LIMIT 2"
+    )
+    assert "proxy: GROUP BY a" in text
+    assert "proxy: aggregate COUNT(*)" in text
+    assert "proxy: ORDER BY a DESC" in text
+    assert "proxy: DISTINCT" in text
+    assert "proxy: LIMIT 2" in text
+    assert "NOT " in text
+
+
+def test_explain_prefix_and_open_ranges(system):
+    text = system.proxy.explain("SELECT a FROM t WHERE a LIKE 'pre%' AND b < 9")
+    assert "prefix a LIKE 'pre'%" in text
+    assert "[-inf, 9)" in text  # '< 9' is a half-open range
+
+
+def test_explain_join(system):
+    text = system.proxy.explain(
+        "SELECT t.b FROM t JOIN u ON t.a = u.a WHERE u.n = 1"
+    )
+    assert "enclave join tokens" in text
+    assert "left t" in text and "right u" in text
+    assert "range n in [1, 1]" in text
+
+
+def test_explain_dml(system):
+    assert "ED9 delta store" in system.proxy.explain(
+        "INSERT INTO t VALUES ('x', 1, '2026-01-01')"
+    )
+    assert "DELETE from t" in system.proxy.explain("DELETE FROM t WHERE b = 1")
+    assert "re-insert" in system.proxy.explain("UPDATE t SET b = 2 WHERE b = 1")
+    assert "re-rotate" in system.proxy.explain("MERGE TABLE t")
+    assert "CREATE TABLE v" in system.proxy.explain("CREATE TABLE v (x INTEGER)")
+
+
+def test_explain_does_not_execute(system):
+    system.proxy.explain("INSERT INTO t VALUES ('x', 1, '2026-01-01')")
+    assert system.query("SELECT COUNT(*) FROM t").scalar() == 0
+
+
+def test_explain_full_scan(system):
+    text = system.proxy.explain("SELECT a FROM t")
+    assert "all valid rows" in text
+
+
+def test_cli_explain_meta():
+    import io
+
+    from repro.cli import Shell
+
+    out = io.StringIO()
+    shell = Shell(EncDBDBSystem.create(seed=9), out=out)
+    shell.run_script("CREATE TABLE t (a ED1 VARCHAR(5))")
+    shell.execute_line(".explain SELECT a FROM t WHERE a = 'x'")
+    shell.execute_line(".explain")
+    shell.execute_line(".explain SELEKT")
+    text = out.getvalue()
+    assert "enclave dictionary search" in text
+    assert "usage: .explain" in text
+    assert "error:" in text

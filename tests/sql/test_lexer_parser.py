@@ -1,0 +1,214 @@
+"""Lexer and parser tests for the SQL subset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SqlSyntaxError
+from repro.sql.ast_nodes import (
+    Aggregate,
+    Comparison,
+    CreateTable,
+    Delete,
+    Insert,
+    Logical,
+    MergeTable,
+    Select,
+    Update,
+)
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+
+
+def test_tokenize_basic():
+    kinds = [t.kind for t in tokenize("SELECT a FROM t WHERE a >= 5")]
+    assert kinds == ["KEYWORD", "IDENT", "KEYWORD", "IDENT", "KEYWORD",
+                     "IDENT", "SYMBOL", "INT", "EOF"]
+
+
+def test_tokenize_strings_with_escapes():
+    tokens = tokenize("SELECT 'it''s'")
+    assert tokens[1].kind == "STRING"
+    assert tokens[1].value == "it's"
+
+
+def test_tokenize_negative_numbers():
+    tokens = tokenize("WHERE a = -42")
+    assert tokens[3] == tokens[3]
+    assert [t.value for t in tokens if t.kind == "INT"] == ["-42"]
+
+
+def test_tokenize_keywords_case_insensitive():
+    tokens = tokenize("select From WHERE")
+    assert all(t.kind == "KEYWORD" for t in tokens[:-1])
+
+
+def test_tokenize_rejects_junk():
+    with pytest.raises(SqlSyntaxError):
+        tokenize("SELECT #")
+    with pytest.raises(SqlSyntaxError):
+        tokenize("SELECT 'unterminated")
+
+
+def test_tokenize_multichar_operators():
+    values = [t.value for t in tokenize("a <= b >= c != d <> e") if t.kind == "SYMBOL"]
+    assert values == ["<=", ">=", "!=", "<>"]
+
+
+# ----------------------------------------------------------------------
+# Parser: DDL and DML
+# ----------------------------------------------------------------------
+
+
+def test_parse_create_table_both_protection_orders():
+    statement = parse(
+        "CREATE TABLE t1 (c1 ED7 VARCHAR(30), c2 INTEGER ED5 BSMAX 8, c3 INTEGER)"
+    )
+    assert isinstance(statement, CreateTable)
+    c1, c2, c3 = statement.columns
+    assert (c1.name, c1.type_sql, c1.protection, c1.bsmax) == (
+        "c1", "VARCHAR(30)", "ED7", None,
+    )
+    assert (c2.protection, c2.bsmax, c2.type_sql) == ("ED5", 8, "INTEGER")
+    assert c3.protection is None
+
+
+def test_parse_create_rejects_bad_type():
+    with pytest.raises(SqlSyntaxError):
+        parse("CREATE TABLE t (c FLOAT)")
+    with pytest.raises(SqlSyntaxError):
+        parse("CREATE TABLE t (c VARCHAR)")
+
+
+def test_parse_insert():
+    statement = parse("INSERT INTO t (a, b) VALUES ('x', 1), ('y', -2)")
+    assert isinstance(statement, Insert)
+    assert statement.columns == ("a", "b")
+    assert statement.rows == (("x", 1), ("y", -2))
+
+
+def test_parse_insert_without_column_list():
+    statement = parse("INSERT INTO t VALUES (1)")
+    assert statement.columns is None
+    assert statement.rows == ((1,),)
+
+
+def test_parse_delete_and_update():
+    statement = parse("DELETE FROM t WHERE a = 1")
+    assert isinstance(statement, Delete)
+    assert isinstance(statement.where, Comparison)
+
+    statement = parse("UPDATE t SET a = 2, b = 'x' WHERE c > 0")
+    assert isinstance(statement, Update)
+    assert statement.assignments == (("a", 2), ("b", "x"))
+
+
+def test_parse_merge():
+    statement = parse("MERGE TABLE t1")
+    assert statement == MergeTable("t1")
+
+
+# ----------------------------------------------------------------------
+# Parser: SELECT
+# ----------------------------------------------------------------------
+
+
+def test_parse_select_star():
+    statement = parse("SELECT * FROM t")
+    assert isinstance(statement, Select)
+    assert statement.is_star
+    assert statement.where is None
+
+
+def test_parse_select_full_clause_soup():
+    statement = parse(
+        "SELECT city, COUNT(*), SUM(sales) FROM t "
+        "WHERE price BETWEEN 10 AND 20 AND city != 'rome' "
+        "GROUP BY city ORDER BY city DESC LIMIT 5"
+    )
+    assert statement.items[0] == "city"
+    assert statement.items[1] == Aggregate("COUNT", None)
+    assert statement.items[2] == Aggregate("SUM", "sales")
+    assert statement.group_by == ("city",)
+    assert statement.order_by[0].column == "city"
+    assert statement.order_by[0].descending
+    assert statement.limit == 5
+    where = statement.where
+    assert isinstance(where, Logical) and where.operator == "AND"
+    between, inequality = where.operands
+    assert between == Comparison("price", "BETWEEN", 10, 20)
+    assert inequality == Comparison("city", "!=", "rome")
+
+
+def test_parse_where_precedence_and_parentheses():
+    statement = parse("SELECT a FROM t WHERE a = 1 OR a = 2 AND b = 3")
+    where = statement.where
+    assert where.operator == "OR"
+    assert isinstance(where.operands[1], Logical)
+    assert where.operands[1].operator == "AND"
+
+    statement = parse("SELECT a FROM t WHERE (a = 1 OR a = 2) AND b = 3")
+    assert statement.where.operator == "AND"
+
+
+def test_parse_paper_example_query():
+    """The paper's §4.2 example: SELECT FName FROM t1 WHERE FName < 'Ella'."""
+    statement = parse("SELECT FName FROM t1 WHERE FName < 'Ella'")
+    assert statement.items == ("FName",)
+    assert statement.where == Comparison("FName", "<", "Ella")
+
+
+def test_parse_all_comparison_operators():
+    for op in ("=", "!=", "<", "<=", ">", ">="):
+        statement = parse(f"SELECT a FROM t WHERE a {op} 5")
+        expected_op = op
+        assert statement.where == Comparison("a", expected_op, 5)
+    statement = parse("SELECT a FROM t WHERE a <> 5")
+    assert statement.where.operator == "!="
+
+
+def test_parse_errors():
+    for bad in (
+        "SELECT FROM t",
+        "SELECT a FROM",
+        "SELECT a FROM t WHERE",
+        "SELECT a FROM t WHERE a",
+        "SELECT a FROM t WHERE a BETWEEN 1",
+        "SELECT MAX(*) FROM t",
+        "INSERT INTO t VALUES",
+        "UPDATE t SET",
+        "SELECT a FROM t LIMIT -1",
+        "SELECT a FROM t trailing",
+        "",
+        "EXPLAIN SELECT a FROM t",
+    ):
+        with pytest.raises(SqlSyntaxError):
+            parse(bad)
+
+
+def test_parse_count_star_only_for_count():
+    assert parse("SELECT COUNT(*) FROM t").items == (Aggregate("COUNT", None),)
+    with pytest.raises(SqlSyntaxError):
+        parse("SELECT SUM(*) FROM t")
+
+
+def test_tokenize_skips_line_comments():
+    tokens = tokenize("SELECT a -- trailing comment\nFROM t -- another")
+    kinds = [t.kind for t in tokens]
+    assert kinds == ["KEYWORD", "IDENT", "KEYWORD", "IDENT", "EOF"]
+
+
+def test_comment_like_text_inside_strings_is_preserved():
+    tokens = tokenize("SELECT 'a--b'")
+    assert tokens[1].value == "a--b"
+
+
+def test_comment_at_end_of_input():
+    tokens = tokenize("SELECT a FROM t --done")
+    assert tokens[-1].kind == "EOF"
+    assert len(tokens) == 5

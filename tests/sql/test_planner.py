@@ -1,0 +1,155 @@
+"""Planner tests: query conversion to range filters and plan validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.columnstore.catalog import Catalog
+from repro.columnstore.types import ColumnSpec, IntegerType, VarcharType
+from repro.encdict.options import ED1, ED5
+from repro.exceptions import PlanError
+from repro.sql.parser import parse
+from repro.sql.planner import (
+    CreatePlan,
+    DeletePlan,
+    FilterNode,
+    InsertPlan,
+    MergePlan,
+    Planner,
+    RangeFilter,
+    SelectPlan,
+    UpdatePlan,
+)
+
+
+@pytest.fixture
+def planner() -> Planner:
+    catalog = Catalog()
+    catalog.create_table(
+        "t",
+        [
+            ColumnSpec("name", VarcharType(20), protection=ED5, bsmax=4),
+            ColumnSpec("age", IntegerType(), protection=ED1),
+            ColumnSpec("city", VarcharType(10)),
+        ],
+    )
+    return Planner(catalog)
+
+
+def _plan(planner: Planner, sql: str):
+    return planner.plan(parse(sql))
+
+
+def test_create_plan_resolves_types_and_kinds(planner):
+    plan = _plan(planner, "CREATE TABLE x (a ED7 VARCHAR(5) BSMAX 3, b INTEGER)")
+    assert isinstance(plan, CreatePlan)
+    a, b = plan.specs
+    assert a.protection.name == "ED7" and a.bsmax == 3
+    assert b.protection is None
+    assert b.value_type == IntegerType()
+
+
+def test_create_rejects_bsmax_without_protection(planner):
+    with pytest.raises(PlanError):
+        _plan(planner, "CREATE TABLE x (a VARCHAR(5) BSMAX 3)")
+
+
+def test_query_conversion_to_ranges(planner):
+    """Every operator becomes a range filter (paper §4.2 step 5)."""
+    cases = {
+        "age = 5": RangeFilter("age", low=5, high=5),
+        "age != 5": RangeFilter("age", low=5, high=5, negated=True),
+        "age < 5": RangeFilter("age", high=5, high_inclusive=False),
+        "age <= 5": RangeFilter("age", high=5),
+        "age > 5": RangeFilter("age", low=5, low_inclusive=False),
+        "age >= 5": RangeFilter("age", low=5),
+        "age BETWEEN 2 AND 8": RangeFilter("age", low=2, high=8),
+    }
+    for predicate, expected in cases.items():
+        plan = _plan(planner, f"SELECT age FROM t WHERE {predicate}")
+        assert plan.filter == expected, predicate
+
+
+def test_open_range_uses_domain_placeholders(planner):
+    """'< x' has an open low end: the -inf placeholder (low=None)."""
+    plan = _plan(planner, "SELECT name FROM t WHERE name < 'Ella'")
+    assert plan.filter == RangeFilter("name", high="Ella", high_inclusive=False)
+    assert plan.filter.low is None
+
+
+def test_logical_tree_planning(planner):
+    plan = _plan(
+        planner, "SELECT age FROM t WHERE age > 1 AND (city = 'x' OR age < 9)"
+    )
+    tree = plan.filter
+    assert isinstance(tree, FilterNode) and tree.operator == "AND"
+    assert isinstance(tree.children[1], FilterNode)
+    assert tree.children[1].operator == "OR"
+
+
+def test_needed_columns_cover_all_clauses(planner):
+    plan = _plan(
+        planner,
+        "SELECT city, COUNT(*) FROM t WHERE age > 1 GROUP BY city ORDER BY city",
+    )
+    assert isinstance(plan, SelectPlan)
+    assert set(plan.needed_columns) == {"city"}
+    plan = _plan(planner, "SELECT name FROM t ORDER BY age")
+    assert set(plan.needed_columns) == {"name", "age"}
+
+
+def test_star_select(planner):
+    plan = _plan(planner, "SELECT * FROM t")
+    assert plan.needed_columns == ("name", "age", "city")
+    assert plan.post.items == ("name", "age", "city")
+
+
+def test_unknown_identifiers_rejected(planner):
+    with pytest.raises(Exception):
+        _plan(planner, "SELECT a FROM missing")
+    with pytest.raises(Exception):
+        _plan(planner, "SELECT nope FROM t")
+    with pytest.raises(Exception):
+        _plan(planner, "SELECT age FROM t WHERE nope = 1")
+
+
+def test_literal_type_checking(planner):
+    with pytest.raises(PlanError):
+        _plan(planner, "SELECT age FROM t WHERE age = 'five'")
+    with pytest.raises(PlanError):
+        _plan(planner, "SELECT name FROM t WHERE name = 5")
+    with pytest.raises(PlanError):
+        _plan(planner, "SELECT name FROM t WHERE name = 'waaaaay too long for varchar20'")
+
+
+def test_aggregate_validation(planner):
+    with pytest.raises(PlanError):
+        _plan(planner, "SELECT SUM(name) FROM t")  # SUM needs INTEGER
+    with pytest.raises(PlanError):
+        _plan(planner, "SELECT name, COUNT(*) FROM t")  # no GROUP BY
+    with pytest.raises(PlanError):
+        _plan(planner, "SELECT name, COUNT(*) FROM t GROUP BY city")
+    plan = _plan(planner, "SELECT MIN(name) FROM t")  # MIN on VARCHAR is fine
+    assert plan.post.has_aggregates
+
+
+def test_insert_plan_validation(planner):
+    plan = _plan(planner, "INSERT INTO t VALUES ('a', 1, 'b')")
+    assert isinstance(plan, InsertPlan)
+    assert plan.rows[0] == {"name": "a", "age": 1, "city": "b"}
+    with pytest.raises(PlanError):
+        _plan(planner, "INSERT INTO t (name) VALUES ('a')")  # partial rows
+    with pytest.raises(PlanError):
+        _plan(planner, "INSERT INTO t VALUES ('a', 1)")  # arity
+    with pytest.raises(Exception):
+        _plan(planner, "INSERT INTO t VALUES ('a', 'x', 'b')")  # type
+
+
+def test_delete_update_merge_plans(planner):
+    assert isinstance(_plan(planner, "DELETE FROM t"), DeletePlan)
+    plan = _plan(planner, "UPDATE t SET age = 3 WHERE age = 2")
+    assert isinstance(plan, UpdatePlan)
+    assert plan.assignments == (("age", 3),)
+    assert isinstance(_plan(planner, "MERGE TABLE t"), MergePlan)
+    with pytest.raises(Exception):
+        _plan(planner, "MERGE TABLE missing")

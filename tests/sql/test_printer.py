@@ -1,0 +1,109 @@
+"""AST printer: fixed cases plus parse/print round-trip properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import QueryError
+from repro.sql.parser import parse
+from repro.sql.printer import to_sql
+
+
+ROUNDTRIP_CASES = [
+    "CREATE TABLE t (a ED5 VARCHAR(30) BSMAX 4, b INTEGER, c DATE)",
+    "INSERT INTO t (a, b) VALUES ('x', 1), ('it''s', -2)",
+    "SELECT * FROM t",
+    "SELECT DISTINCT a, b FROM t",
+    "SELECT a FROM t WHERE a = 'x'",
+    "SELECT a FROM t WHERE (a = 'x') AND ((b < 5) OR (b > 9))",
+    "SELECT a FROM t WHERE NOT (a LIKE 'pre%')",
+    "SELECT a FROM t WHERE b IN (1, 2, 3)",
+    "SELECT a FROM t WHERE b BETWEEN 1 AND 9",
+    "SELECT COUNT(*), SUM(b) FROM t",
+    "SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a ASC LIMIT 5",
+    "SELECT o.a, p.b FROM o JOIN p ON o.a = p.a WHERE o.b >= 1",
+    "DELETE FROM t WHERE a != 'x'",
+    "UPDATE t SET a = 'y', b = 2 WHERE b <= 0",
+    "MERGE TABLE t",
+]
+
+
+@pytest.mark.parametrize("sql", ROUNDTRIP_CASES)
+def test_parse_print_parse_fixed_point(sql):
+    ast = parse(sql)
+    printed = to_sql(ast)
+    assert parse(printed) == ast
+
+
+def test_printer_escapes_quotes():
+    ast = parse("INSERT INTO t VALUES ('a''b')")
+    assert "''" in to_sql(ast)
+    assert parse(to_sql(ast)) == ast
+
+
+def test_printer_rejects_unknown_nodes():
+    with pytest.raises(QueryError):
+        to_sql(object())
+
+
+_ident = st.sampled_from(["a", "b", "c", "col_1"])
+_value = st.one_of(
+    st.integers(-999, 999),
+    st.text(alphabet="xyz '", min_size=0, max_size=6).map(
+        lambda s: s.replace("'", "q")  # keep literals simple for generation
+    ),
+)
+_operator = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+
+
+def _comparison():
+    return st.builds(
+        lambda column, operator, value: f"{column} {operator} "
+        + (str(value) if isinstance(value, int) else f"'{value}'"),
+        _ident,
+        _operator,
+        _value,
+    )
+
+
+def _predicate_sql(depth: int = 2):
+    if depth == 0:
+        return _comparison()
+    return st.one_of(
+        _comparison(),
+        st.builds(
+            lambda a, b, op: f"({a}) {op} ({b})",
+            _predicate_sql(depth - 1),
+            _predicate_sql(depth - 1),
+            st.sampled_from(["AND", "OR"]),
+        ),
+        st.builds(lambda a: f"NOT ({a})", _predicate_sql(depth - 1)),
+    )
+
+
+@settings(max_examples=80)
+@given(predicate=_predicate_sql())
+def test_roundtrip_property_on_generated_predicates(predicate):
+    sql = f"SELECT a FROM t WHERE {predicate}"
+    ast = parse(sql)
+    assert parse(to_sql(ast)) == ast
+
+
+@settings(max_examples=40)
+@given(
+    items=st.lists(_ident, min_size=1, max_size=3, unique=True),
+    limit=st.one_of(st.none(), st.integers(0, 100)),
+    descending=st.booleans(),
+    distinct=st.booleans(),
+)
+def test_roundtrip_property_on_generated_selects(items, limit, descending, distinct):
+    sql = "SELECT "
+    if distinct:
+        sql += "DISTINCT "
+    sql += ", ".join(items) + " FROM t"
+    sql += f" ORDER BY {items[0]} {'DESC' if descending else 'ASC'}"
+    if limit is not None:
+        sql += f" LIMIT {limit}"
+    ast = parse(sql)
+    assert parse(to_sql(ast)) == ast

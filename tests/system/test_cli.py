@@ -1,0 +1,138 @@
+"""CLI shell tests (script mode, meta commands, persistence flags)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import Shell, format_result, main, split_statements
+from repro.client.session import EncDBDBSystem
+from repro.sql.result import QueryResult
+
+
+def _shell():
+    out = io.StringIO()
+    shell = Shell(EncDBDBSystem.create(seed=5), out=out)
+    return shell, out
+
+
+def test_split_statements():
+    assert split_statements("SELECT 1; SELECT 2;") == ["SELECT 1", "SELECT 2"]
+    assert split_statements("") == []
+    assert split_statements("no semicolon") == ["no semicolon"]
+    # Semicolons inside string literals are preserved.
+    assert split_statements("INSERT INTO t VALUES ('a;b'); SELECT 1") == [
+        "INSERT INTO t VALUES ('a;b')",
+        "SELECT 1",
+    ]
+
+
+def test_format_result():
+    result = QueryResult(["name", "n"], [("ann", 1), ("bob", 22)])
+    text = format_result(result)
+    assert "name" in text and "ann" in text and "(2 rows)" in text
+    empty = format_result(QueryResult(["x"], []))
+    assert "(0 rows)" in empty
+
+
+def test_script_execution_end_to_end():
+    shell, out = _shell()
+    shell.run_script(
+        """
+        CREATE TABLE t (v ED1 VARCHAR(10), n INTEGER);
+        INSERT INTO t VALUES ('a', 1), ('b', 2);
+        SELECT v FROM t WHERE n >= 2;
+        """
+    )
+    text = out.getvalue()
+    assert "ok (0 rows affected)" in text  # CREATE
+    assert "ok (2 rows affected)" in text  # INSERT
+    assert "b" in text and "(1 row)" in text
+
+
+def test_sql_errors_are_reported_not_raised():
+    shell, out = _shell()
+    shell.run_script("SELEKT nonsense; SELECT x FROM missing;")
+    text = out.getvalue()
+    assert text.count("error:") == 2
+
+
+def test_meta_commands():
+    shell, out = _shell()
+    shell.run_script("CREATE TABLE t (v ED5 VARCHAR(4) BSMAX 3, n INTEGER)")
+    assert shell.execute_line(".tables")
+    assert shell.execute_line(".schema t")
+    assert shell.execute_line(".stats")
+    assert shell.execute_line(".help")
+    assert shell.execute_line(".schema missing")
+    assert shell.execute_line(".bogus")
+    assert not shell.execute_line(".quit")
+    text = out.getvalue()
+    assert "t" in text
+    assert "ED5 VARCHAR(4) BSMAX 3" in text
+    assert "ecalls=" in text
+    assert "unknown meta command" in text
+
+
+def test_save_meta_command(tmp_path):
+    shell, out = _shell()
+    shell.run_script("CREATE TABLE t (n INTEGER)")
+    path = tmp_path / "cli.encdbdb"
+    shell.execute_line(f".save {path}")
+    assert path.exists()
+    shell.execute_line(".save")
+    assert "usage" in out.getvalue()
+
+
+def test_main_script_mode(tmp_path, capsys):
+    script = tmp_path / "demo.sql"
+    script.write_text(
+        "CREATE TABLE t (v ED2 VARCHAR(8));"
+        "INSERT INTO t VALUES ('x'), ('y');"
+        "SELECT COUNT(*) FROM t;"
+    )
+    database = tmp_path / "out.encdbdb"
+    assert main(["--script", str(script), "--save", str(database)]) == 0
+    captured = capsys.readouterr().out
+    assert "2" in captured
+    assert database.exists()
+
+
+def test_main_load_roundtrip(tmp_path, capsys):
+    script = tmp_path / "load.sql"
+    script.write_text("CREATE TABLE t (n INTEGER); INSERT INTO t VALUES (41);")
+    database = tmp_path / "db.encdbdb"
+    main(["--seed", "9", "--script", str(script), "--save", str(database)])
+
+    query = tmp_path / "query.sql"
+    query.write_text("SELECT n FROM t;")
+    main(["--seed", "9", "--load", str(database), "--script", str(query)])
+    captured = capsys.readouterr().out
+    assert "41" in captured
+
+
+def test_interactive_loop():
+    shell, out = _shell()
+    stdin = io.StringIO(
+        "CREATE TABLE t (n INTEGER);\n"
+        "INSERT INTO t VALUES (7);\n"
+        "SELECT n\n"
+        "FROM t;\n"
+        ".quit\n"
+    )
+    shell.run_interactive(input_stream=stdin)
+    text = out.getvalue()
+    assert "encdbdb>" in text
+    assert "7" in text
+
+
+def test_split_statements_handles_comments():
+    statements = split_statements(
+        "SELECT 1; -- comment with ; semicolon\nSELECT 2;"
+    )
+    assert statements == ["SELECT 1", "SELECT 2"]
+    assert split_statements("-- only a comment\n") == []
+    assert split_statements("SELECT '--not a comment'") == [
+        "SELECT '--not a comment'"
+    ]

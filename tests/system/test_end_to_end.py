@@ -1,0 +1,194 @@
+"""Full-system integration tests: application SQL through proxy, server,
+and enclave, against a plaintext reference executed with Python lists."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EncDBDBSystem
+from repro.exceptions import CatalogError, PlanError, QueryError, SqlSyntaxError
+
+ROWS = [
+    ("Jessica", 31, "berlin"),
+    ("Archie", 24, "paris"),
+    ("Hans", 45, "berlin"),
+    ("Ella", 31, "rome"),
+    ("Archie", 52, "berlin"),
+]
+
+
+@pytest.fixture
+def system() -> EncDBDBSystem:
+    system = EncDBDBSystem.create(seed=42)
+    system.execute(
+        "CREATE TABLE people ("
+        "name ED5 VARCHAR(30) BSMAX 4, age ED1 INTEGER, city VARCHAR(20))"
+    )
+    values = ", ".join(f"('{n}', {a}, '{c}')" for n, a, c in ROWS)
+    system.execute(f"INSERT INTO people VALUES {values}")
+    return system
+
+
+def _reference(predicate):
+    return [row for row in ROWS if predicate(row)]
+
+
+def test_simple_range_select(system):
+    result = system.query("SELECT name FROM people WHERE age >= 30 AND age < 50")
+    expected = sorted(n for n, a, c in ROWS if 30 <= a < 50)
+    assert sorted(r[0] for r in result) == expected
+
+
+def test_select_star(system):
+    result = system.query("SELECT * FROM people WHERE city = 'berlin'")
+    assert result.column_names == ["name", "age", "city"]
+    assert sorted(result.rows) == sorted(_reference(lambda r: r[2] == "berlin"))
+
+
+def test_equality_on_encrypted_column(system):
+    result = system.query("SELECT age FROM people WHERE name = 'Archie'")
+    assert sorted(r[0] for r in result) == [24, 52]
+
+
+def test_inequality_on_encrypted_column(system):
+    result = system.query("SELECT name FROM people WHERE name != 'Archie'")
+    assert sorted(r[0] for r in result) == ["Ella", "Hans", "Jessica"]
+
+
+def test_between_and_or(system):
+    result = system.query(
+        "SELECT name FROM people WHERE age BETWEEN 24 AND 31 OR city = 'rome'"
+    )
+    expected = sorted({n for n, a, c in ROWS if 24 <= a <= 31 or c == "rome"})
+    assert sorted({r[0] for r in result}) == expected
+
+
+def test_mixed_encrypted_and_plaintext_filters(system):
+    """EncDBDB processes all dictionary types together (paper §3.1)."""
+    result = system.query(
+        "SELECT name FROM people WHERE city = 'berlin' AND age > 30"
+    )
+    assert sorted(r[0] for r in result) == ["Archie", "Hans", "Jessica"]
+
+
+def test_aggregates(system):
+    assert system.query("SELECT COUNT(*) FROM people").scalar() == 5
+    assert system.query("SELECT MIN(age) FROM people").scalar() == 24
+    assert system.query("SELECT MAX(name) FROM people").scalar() == "Jessica"
+    assert system.query("SELECT SUM(age) FROM people").scalar() == sum(
+        a for _, a, _ in ROWS
+    )
+    avg = system.query("SELECT AVG(age) FROM people").scalar()
+    assert avg == pytest.approx(sum(a for _, a, _ in ROWS) / len(ROWS))
+
+
+def test_group_by(system):
+    result = system.query(
+        "SELECT city, COUNT(*), MAX(age) FROM people GROUP BY city ORDER BY city"
+    )
+    assert result.rows == [("berlin", 3, 52), ("paris", 1, 24), ("rome", 1, 31)]
+
+
+def test_order_by_and_limit(system):
+    result = system.query("SELECT name, age FROM people ORDER BY age DESC LIMIT 2")
+    assert result.rows == [("Archie", 52), ("Hans", 45)]
+    result = system.query("SELECT age FROM people ORDER BY age ASC LIMIT 1")
+    assert result.rows == [(24,)]
+
+
+def test_update_roundtrip(system):
+    affected = system.execute("UPDATE people SET city = 'munich' WHERE age = 31")
+    assert affected == 2
+    result = system.query("SELECT name FROM people WHERE city = 'munich'")
+    assert sorted(r[0] for r in result) == ["Ella", "Jessica"]
+    assert system.query("SELECT COUNT(*) FROM people").scalar() == 5
+
+
+def test_delete_and_merge(system):
+    assert system.execute("DELETE FROM people WHERE city = 'berlin'") == 3
+    assert system.query("SELECT COUNT(*) FROM people").scalar() == 2
+    survivors = system.merge("people")
+    assert survivors == 2
+    result = system.query("SELECT name FROM people ORDER BY name")
+    assert [r[0] for r in result] == ["Archie", "Ella"]
+    # Post-merge queries keep working (fresh main store, empty delta).
+    assert system.query("SELECT COUNT(*) FROM people WHERE age > 30").scalar() == 1
+
+
+def test_insert_after_merge(system):
+    system.merge("people")
+    system.execute("INSERT INTO people VALUES ('Zoe', 19, 'oslo')")
+    result = system.query("SELECT name FROM people WHERE age < 20")
+    assert [r[0] for r in result] == ["Zoe"]
+
+
+def test_bulk_load_path():
+    system = EncDBDBSystem.create(seed=3)
+    system.execute("CREATE TABLE s (v ED1 VARCHAR(10), n INTEGER)")
+    count = system.bulk_load(
+        "s", {"v": ["a", "b", "c", "b"], "n": [1, 2, 3, 4]}
+    )
+    assert count == 4
+    result = system.query("SELECT n FROM s WHERE v = 'b'")
+    assert sorted(r[0] for r in result) == [2, 4]
+
+
+def test_every_kind_processes_in_one_table():
+    """One table mixing all nine encrypted dictionaries plus plaintext."""
+    system = EncDBDBSystem.create(seed=9)
+    columns = ", ".join(f"c{i} ED{i} VARCHAR(8)" for i in range(1, 10))
+    system.execute(f"CREATE TABLE mix ({columns}, plain VARCHAR(8))")
+    row_values = ["x"] * 10
+    system.execute(
+        "INSERT INTO mix VALUES (" + ", ".join(f"'{v}'" for v in row_values) + ")"
+    )
+    system.execute("INSERT INTO mix VALUES (" + ", ".join(["'y'"] * 10) + ")")
+    for i in range(1, 10):
+        result = system.query(f"SELECT plain FROM mix WHERE c{i} = 'x'")
+        assert result.rows == [("x",)], f"ED{i}"
+
+
+def test_errors_surface_cleanly(system):
+    with pytest.raises(SqlSyntaxError):
+        system.execute("SELEKT * FROM people")
+    with pytest.raises(CatalogError):
+        system.execute("SELECT * FROM missing")
+    with pytest.raises(PlanError):
+        system.execute("SELECT name, COUNT(*) FROM people")
+    with pytest.raises(TypeError):
+        system.query("DELETE FROM people")
+
+
+def test_server_never_sees_plaintext_of_encrypted_columns(system):
+    """The ciphertext store contains no plaintext column value."""
+    table = system.server.catalog.table("people")
+    name_column = table.column("name")
+    tails = [bytes(b) for b in name_column.delta_blobs]
+    if name_column.main_build is not None:
+        tails.append(bytes(name_column.main_build.dictionary.tail))
+    blob = b"".join(tails)
+    for name, _, _ in ROWS:
+        assert name.encode() not in blob
+
+
+def test_persistence_roundtrip(tmp_path, system):
+    path = tmp_path / "db.encdbdb"
+    system.execute("DELETE FROM people WHERE name = 'Hans'")
+    system.save(path)
+
+    from repro.client.proxy import Proxy
+    from repro.crypto.pae import default_pae
+    from repro.crypto.drbg import HmacDrbg
+    from repro.server.dbms import EncDBDBServer
+
+    # A fresh server process loads the file; the owner re-provisions the
+    # enclave (same enclave code, new instance) and the proxy reconnects.
+    fresh = EncDBDBServer(rng=HmacDrbg(b"fresh-server"))
+    fresh.load(path)
+    system.owner.attest_and_provision(fresh)
+    proxy = Proxy(fresh, system.owner.master_key, default_pae(rng=HmacDrbg(b"p2")))
+    table = fresh.catalog.table("people")
+    proxy.register_schema("people", table.specs)
+
+    result = proxy.execute("SELECT name FROM people WHERE age >= 30 ORDER BY name")
+    assert [r[0] for r in result] == ["Archie", "Ella", "Jessica"]

@@ -1,0 +1,212 @@
+"""Encrypted equi-join tests (the paper's §4.2 future-work extension).
+
+Joins are executed on enclave-issued join tokens: per query, the enclave
+derives HMAC tokens for both join columns under a fresh salt, and the
+untrusted server hash-joins attribute vectors on them. Ground truth comes
+from a plain Python nested-loop join.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EncDBDBSystem
+from repro.exceptions import PlanError, SqlSyntaxError
+
+PRODUCTS = [("A1", 10, "toys"), ("B2", 20, "toys"), ("C3", 30, "tools"),
+            ("D4", 20, "tools")]
+ORDERS = [("A1", 5), ("B2", 1), ("A1", 2), ("Z9", 7), ("C3", 4), ("C3", 1)]
+
+
+def _reference_join(predicate=lambda p, o: True):
+    rows = []
+    for sku, qty in ORDERS:
+        for product_sku, price, category in PRODUCTS:
+            if sku == product_sku and predicate((product_sku, price, category),
+                                                (sku, qty)):
+                rows.append((sku, qty, price, category))
+    return rows
+
+
+@pytest.fixture
+def system() -> EncDBDBSystem:
+    system = EncDBDBSystem.create(seed=77)
+    system.execute(
+        "CREATE TABLE products (sku ED2 VARCHAR(10), price ED1 INTEGER, "
+        "category VARCHAR(10))"
+    )
+    system.execute("CREATE TABLE orders (sku ED5 VARCHAR(10), qty INTEGER)")
+    system.execute(
+        "INSERT INTO products VALUES "
+        + ", ".join(f"('{s}', {p}, '{c}')" for s, p, c in PRODUCTS)
+    )
+    system.execute(
+        "INSERT INTO orders VALUES " + ", ".join(f"('{s}', {q})" for s, q in ORDERS)
+    )
+    return system
+
+
+def test_basic_encrypted_join(system):
+    result = system.query(
+        "SELECT orders.sku, orders.qty, products.price FROM orders "
+        "JOIN products ON orders.sku = products.sku ORDER BY orders.sku"
+    )
+    expected = sorted((s, q, p) for s, q, p, _ in _reference_join())
+    assert sorted(result.rows) == expected
+
+
+def test_join_with_filters_on_both_sides(system):
+    result = system.query(
+        "SELECT orders.sku, products.category FROM orders "
+        "JOIN products ON orders.sku = products.sku "
+        "WHERE products.price <= 20 AND orders.qty >= 2"
+    )
+    expected = sorted(
+        (s, c)
+        for s, q, p, c in _reference_join()
+        if p <= 20 and q >= 2
+    )
+    assert sorted(result.rows) == expected
+
+
+def test_join_unmatched_rows_excluded(system):
+    """'Z9' has no product: inner-join semantics drop it."""
+    result = system.query(
+        "SELECT orders.sku FROM orders JOIN products ON orders.sku = products.sku"
+    )
+    skus = {row[0] for row in result}
+    assert "Z9" not in skus
+    assert skus == {"A1", "B2", "C3"}
+
+
+def test_join_duplicates_multiply(system):
+    """Two A1 orders x one A1 product = two result rows."""
+    result = system.query(
+        "SELECT orders.qty FROM orders JOIN products ON orders.sku = products.sku "
+        "WHERE products.sku = 'A1'"
+    )
+    assert sorted(row[0] for row in result) == [2, 5]
+
+
+def test_join_with_group_by_and_aggregates(system):
+    result = system.query(
+        "SELECT products.category, SUM(orders.qty), COUNT(*) FROM orders "
+        "JOIN products ON orders.sku = products.sku "
+        "GROUP BY products.category ORDER BY products.category"
+    )
+    assert result.rows == [("tools", 5, 2), ("toys", 8, 3)]
+
+
+def test_join_select_star(system):
+    result = system.query(
+        "SELECT * FROM orders JOIN products ON orders.sku = products.sku LIMIT 1"
+    )
+    assert result.column_names == [
+        "orders.sku", "orders.qty", "products.sku", "products.price",
+        "products.category",
+    ]
+
+
+def test_join_on_order_is_symmetric(system):
+    flipped = system.query(
+        "SELECT orders.qty FROM orders JOIN products ON products.sku = orders.sku"
+    )
+    straight = system.query(
+        "SELECT orders.qty FROM orders JOIN products ON orders.sku = products.sku"
+    )
+    assert sorted(flipped.rows) == sorted(straight.rows)
+
+
+def test_join_includes_delta_rows(system):
+    """Rows inserted after bulk load (delta store) participate in joins."""
+    system.execute("INSERT INTO orders VALUES ('D4', 9)")
+    system.execute("INSERT INTO products VALUES ('E5', 50, 'toys')")
+    result = system.query(
+        "SELECT orders.qty FROM orders JOIN products ON orders.sku = products.sku "
+        "WHERE products.sku = 'D4'"
+    )
+    assert [row[0] for row in result] == [9]
+
+
+def test_join_after_merge(system):
+    system.merge("orders")
+    system.merge("products")
+    result = system.query(
+        "SELECT orders.sku FROM orders JOIN products ON orders.sku = products.sku"
+    )
+    assert len(result) == len(_reference_join())
+
+
+def test_plaintext_join_columns(system):
+    """Both sides plaintext: joined on raw values, no enclave involved."""
+    system.execute("CREATE TABLE categories (name VARCHAR(10), tax INTEGER)")
+    system.execute("INSERT INTO categories VALUES ('toys', 7), ('tools', 19)")
+    result = system.query(
+        "SELECT products.sku, categories.tax FROM products "
+        "JOIN categories ON products.category = categories.name "
+        "ORDER BY products.sku"
+    )
+    assert result.rows == [("A1", 7), ("B2", 7), ("C3", 19), ("D4", 19)]
+
+
+def test_join_tokens_are_fresh_per_query(system):
+    """Two identical join queries never reuse tokens (fresh salt)."""
+    original = system.server.executor.select_join
+    seen_salts = []
+
+    def spy(plan, salt):
+        seen_salts.append(salt)
+        return original(plan, salt)
+
+    system.server.executor.select_join = spy
+    try:
+        for _ in range(2):
+            system.query(
+                "SELECT orders.sku FROM orders "
+                "JOIN products ON orders.sku = products.sku"
+            )
+    finally:
+        system.server.executor.select_join = original
+    assert len(seen_salts) == 2
+    assert seen_salts[0] != seen_salts[1]
+
+
+def test_join_validation_errors(system):
+    with pytest.raises(PlanError):
+        system.query(
+            "SELECT orders.sku FROM orders JOIN products ON orders.qty = products.sku"
+        )  # INTEGER vs VARCHAR
+    with pytest.raises(PlanError):
+        system.query(
+            "SELECT orders.sku FROM orders "
+            "JOIN products ON orders.sku = products.category"
+        )  # encrypted vs plaintext
+    with pytest.raises(PlanError):
+        system.query(
+            "SELECT sku FROM orders JOIN products ON orders.sku = products.sku"
+        )  # unqualified select item
+    with pytest.raises(PlanError):
+        system.query(
+            "SELECT orders.sku FROM orders JOIN products "
+            "ON orders.sku = products.sku WHERE qty > 1"
+        )  # unqualified predicate
+    with pytest.raises(PlanError):
+        system.query(
+            "SELECT orders.sku FROM orders JOIN products "
+            "ON orders.sku = products.sku "
+            "WHERE orders.qty > 1 OR products.price > 1"
+        )  # OR across tables
+    with pytest.raises(SqlSyntaxError):
+        system.query("SELECT orders.sku FROM orders JOIN products ON sku = sku")
+    with pytest.raises(PlanError):
+        system.query(
+            "SELECT orders.sku FROM orders JOIN orders ON orders.sku = orders.sku"
+        )  # self-join
+
+
+def test_inner_keyword_accepted(system):
+    result = system.query(
+        "SELECT orders.sku FROM orders INNER JOIN products "
+        "ON orders.sku = products.sku"
+    )
+    assert len(result) == len(_reference_join())

@@ -1,0 +1,125 @@
+"""Proxy-level unit tests: filter encryption, ordinal conversion, post-ops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EncDBDBSystem
+from repro.columnstore.types import IntegerType, VarcharType
+from repro.encdict.search import OrdinalRange
+from repro.sql.planner import (
+    EncryptedRangeFilter,
+    FilterNode,
+    PrefixFilter,
+    RangeFilter,
+)
+
+
+@pytest.fixture
+def system() -> EncDBDBSystem:
+    system = EncDBDBSystem.create(seed=101)
+    system.execute(
+        "CREATE TABLE t (e ED2 VARCHAR(10), p VARCHAR(10), n ED1 INTEGER)"
+    )
+    return system
+
+
+def _encrypt(system, filter_plan):
+    return system.proxy._encrypt_filter("t", filter_plan)
+
+
+def test_plain_filters_pass_through(system):
+    plain = RangeFilter("p", low="a", high="b")
+    assert _encrypt(system, plain) is plain
+    prefix = PrefixFilter("p", "ab")
+    assert _encrypt(system, prefix) is prefix
+    assert _encrypt(system, None) is None
+
+
+def test_encrypted_filter_replaces_bounds_with_tau(system):
+    encrypted = _encrypt(system, RangeFilter("e", low="a", high="b"))
+    assert isinstance(encrypted, EncryptedRangeFilter)
+    assert len(encrypted.tau) == 2
+    assert b"a" not in encrypted.tau[0] or len(encrypted.tau[0]) > 1
+    # The blobs decrypt (under the right key) to the ordinal bounds.
+    key = system.proxy._column_key("t", "e")
+    payload = system.proxy._pae.decrypt(key, encrypted.tau[0]) + (
+        system.proxy._pae.decrypt(key, encrypted.tau[1])
+    )
+    search = OrdinalRange.from_bytes(payload)
+    vt = VarcharType(10)
+    assert search.low == vt.ordinal("a")
+    assert search.high == vt.ordinal("b")
+
+
+def test_negation_flag_survives_encryption(system):
+    encrypted = _encrypt(
+        system, RangeFilter("n", low=5, high=5, negated=True)
+    )
+    assert isinstance(encrypted, EncryptedRangeFilter)
+    assert encrypted.negated
+
+
+def test_exclusive_bounds_become_closed_ordinals(system):
+    encrypted = _encrypt(
+        system,
+        RangeFilter("n", low=5, low_inclusive=False, high=9, high_inclusive=False),
+    )
+    key = system.proxy._column_key("t", "n")
+    payload = system.proxy._pae.decrypt(key, encrypted.tau[0]) + (
+        system.proxy._pae.decrypt(key, encrypted.tau[1])
+    )
+    search = OrdinalRange.from_bytes(payload)
+    it = IntegerType()
+    assert search.low == it.ordinal(6)  # > 5 == >= 6
+    assert search.high == it.ordinal(8)  # < 9 == <= 8
+
+
+def test_open_ends_become_domain_extrema(system):
+    encrypted = _encrypt(system, RangeFilter("n"))
+    key = system.proxy._column_key("t", "n")
+    payload = system.proxy._pae.decrypt(key, encrypted.tau[0]) + (
+        system.proxy._pae.decrypt(key, encrypted.tau[1])
+    )
+    search = OrdinalRange.from_bytes(payload)
+    assert search.low == 0
+    assert search.high == IntegerType().domain_size - 1
+
+
+def test_prefix_filter_encrypts_to_range(system):
+    encrypted = _encrypt(system, PrefixFilter("e", "ab"))
+    assert isinstance(encrypted, EncryptedRangeFilter)
+    key = system.proxy._column_key("t", "e")
+    payload = system.proxy._pae.decrypt(key, encrypted.tau[0]) + (
+        system.proxy._pae.decrypt(key, encrypted.tau[1])
+    )
+    search = OrdinalRange.from_bytes(payload)
+    low, high = VarcharType(10).prefix_ordinal_range("ab")
+    assert (search.low, search.high) == (low, high)
+
+
+def test_tree_encryption_recurses(system):
+    tree = FilterNode(
+        "AND",
+        (
+            RangeFilter("e", low="a", high="a"),
+            FilterNode("NOT", (RangeFilter("p", low="x", high="x"),)),
+        ),
+    )
+    encrypted = _encrypt(system, tree)
+    assert isinstance(encrypted, FilterNode)
+    assert isinstance(encrypted.children[0], EncryptedRangeFilter)
+    inner = encrypted.children[1]
+    assert isinstance(inner, FilterNode) and inner.operator == "NOT"
+    assert isinstance(inner.children[0], RangeFilter)  # plaintext passthrough
+
+
+def test_identical_filters_get_fresh_taus(system):
+    """Probabilistic query encryption: the server cannot tell repeats."""
+    first = _encrypt(system, RangeFilter("e", low="a", high="a"))
+    second = _encrypt(system, RangeFilter("e", low="a", high="a"))
+    assert first.tau != second.tau
+
+
+def test_update_returns_zero_on_no_match(system):
+    assert system.execute("UPDATE t SET n = 1 WHERE n = 999") == 0

@@ -1,0 +1,63 @@
+"""Top-level package API: lazy exports, version, error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    AttestationError,
+    AuthenticationError,
+    CatalogError,
+    CryptoError,
+    EncDBDBError,
+    EnclaveMemoryError,
+    EnclaveSecurityError,
+    PlanError,
+    QueryError,
+    SqlSyntaxError,
+    StorageError,
+)
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_lazy_exports_resolve():
+    assert repro.EncDBDBSystem.__name__ == "EncDBDBSystem"
+    assert repro.ED1.name == "ED1"
+    assert repro.ED9.number == 9
+    assert repro.RepetitionOption.HIDING.frequency_leakage == "none"
+    assert repro.OrderOption.SORTED.order_leakage == "full"
+    assert repro.EncryptedDictionaryKind is not None
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        repro.does_not_exist
+
+
+def test_all_exports_are_reachable():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_exception_hierarchy():
+    assert issubclass(AuthenticationError, CryptoError)
+    assert issubclass(CryptoError, EncDBDBError)
+    assert issubclass(AttestationError, EnclaveSecurityError)
+    assert issubclass(EnclaveMemoryError, EnclaveSecurityError)
+    assert issubclass(EnclaveSecurityError, EncDBDBError)
+    assert issubclass(SqlSyntaxError, QueryError)
+    assert issubclass(PlanError, QueryError)
+    assert issubclass(QueryError, EncDBDBError)
+    assert issubclass(StorageError, EncDBDBError)
+    assert issubclass(CatalogError, EncDBDBError)
+
+
+def test_one_base_class_catches_everything():
+    """Callers can catch EncDBDBError for any library failure."""
+    with pytest.raises(EncDBDBError):
+        system = repro.EncDBDBSystem.create(seed=1)
+        system.execute("SELEKT nonsense")

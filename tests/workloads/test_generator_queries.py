@@ -1,0 +1,158 @@
+"""Workload generator and query-workload tests."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.workloads.datasets import dataset_sizes, sample_like
+from repro.workloads.generator import (
+    C1_SPEC,
+    C2_SPEC,
+    BwColumnSpec,
+    generate_bw_column,
+)
+from repro.workloads.queries import (
+    RangeQuery,
+    expected_result_rows,
+    random_range_queries,
+)
+
+
+def test_published_profiles():
+    """The specs encode the paper's §6.2 column statistics."""
+    assert C1_SPEC.full_rows == 10_900_000
+    assert C1_SPEC.full_unique == 6_960_000
+    assert C1_SPEC.string_length == 12
+    assert C2_SPEC.full_unique == 13_361
+    assert C2_SPEC.string_length == 10
+
+
+def test_unique_scaling_preserves_ratio():
+    assert C1_SPEC.unique_for(10_900_000) == 6_960_000
+    scaled = C1_SPEC.unique_for(109_000)
+    assert scaled == pytest.approx(69_600, rel=0.01)
+    # Low-cardinality columns are floored at 500 uniques so RS=100 query
+    # workloads stay well-defined at bench scales.
+    assert C2_SPEC.unique_for(10_900) == 500
+    assert C2_SPEC.unique_for(100) == 100  # floor capped by the row count
+    assert C1_SPEC.unique_for(1) == 1
+
+
+def test_generated_column_statistics():
+    rng = HmacDrbg(b"gen")
+    column = generate_bw_column(C2_SPEC, 5000, rng)
+    assert len(column) == 5000
+    uniques = set(column)
+    assert len(uniques) == C2_SPEC.unique_for(5000)
+    assert all(len(v) == C2_SPEC.string_length for v in uniques)
+
+
+def test_c1_profile_is_nearly_uniform_and_c2_skewed():
+    rng = HmacDrbg(b"skew")
+    c1 = generate_bw_column(C1_SPEC, 4000, rng.fork("c1"))
+    c2 = generate_bw_column(C2_SPEC, 4000, rng.fork("c2"))
+    c1_max = max(Counter(c1).values())
+    c2_max = max(Counter(c2).values())
+    assert c1_max <= 10  # ~1.57 rows per unique: near-uniform
+    assert c2_max > 5 * c1_max  # Zipf head dominates
+
+
+def test_generation_is_reproducible():
+    a = generate_bw_column(C2_SPEC, 1000, HmacDrbg(b"seed"))
+    b = generate_bw_column(C2_SPEC, 1000, HmacDrbg(b"seed"))
+    assert a == b
+
+
+def test_generation_rejects_bad_rows():
+    with pytest.raises(ValueError):
+        generate_bw_column(C1_SPEC, 0, HmacDrbg(b"x"))
+
+
+def test_small_custom_spec():
+    spec = BwColumnSpec("tiny", full_rows=100, full_unique=10,
+                        string_length=6, zipf_exponent=0.0)
+    column = generate_bw_column(spec, 100, HmacDrbg(b"t"))
+    assert len(set(column)) == 10
+    # Uniform profile: every unique occurs 100/10 +- adjustment times.
+    counts = Counter(column).values()
+    assert min(counts) >= 1 and sum(counts) == 100
+
+
+# ----------------------------------------------------------------------
+# Query workload
+# ----------------------------------------------------------------------
+
+
+def test_queries_cover_consecutive_uniques():
+    values = ["d", "a", "c", "b", "e", "a"]
+    queries = random_range_queries(values, 2, 50, HmacDrbg(b"q"))
+    unique_sorted = ["a", "b", "c", "d", "e"]
+    for query in queries:
+        start = unique_sorted.index(query.low)
+        assert unique_sorted[start + 1] == query.high  # RS consecutive uniques
+
+
+def test_rs_one_queries_are_points():
+    queries = random_range_queries([3, 1, 2], 1, 10, HmacDrbg(b"q"))
+    assert all(q.low == q.high for q in queries)
+
+
+def test_query_workload_reproducible():
+    values = list(range(100))
+    a = random_range_queries(values, 5, 20, HmacDrbg(b"s"))
+    b = random_range_queries(values, 5, 20, HmacDrbg(b"s"))
+    assert a == b
+
+
+def test_query_validation():
+    with pytest.raises(ValueError):
+        random_range_queries([1, 2], 3, 1, HmacDrbg(b"q"))
+    with pytest.raises(ValueError):
+        random_range_queries([1, 2], 0, 1, HmacDrbg(b"q"))
+
+
+def test_expected_result_rows_counts_duplicates():
+    values = ["a", "b", "b", "c"]
+    assert expected_result_rows(values, RangeQuery("a", "b")) == 3
+    assert expected_result_rows(values, RangeQuery("z", "zz")) == 0
+
+
+def test_result_rows_exceed_rs_with_duplicates():
+    """Figure 7's point: #results > RS when values repeat."""
+    values = ["v1"] * 100 + ["v2"] * 50 + ["v3"]
+    queries = random_range_queries(values, 2, 30, HmacDrbg(b"q"))
+    sizes = [expected_result_rows(values, q) for q in queries]
+    assert max(sizes) > 2
+
+
+# ----------------------------------------------------------------------
+# Dataset scaling
+# ----------------------------------------------------------------------
+
+
+def test_sample_like_preserves_support():
+    source = ["a"] * 90 + ["b"] * 10
+    sampled = sample_like(source, 500, HmacDrbg(b"s"))
+    assert len(sampled) == 500
+    assert set(sampled) <= {"a", "b"}
+    counts = Counter(sampled)
+    assert counts["a"] > counts["b"]  # distribution carried over
+
+
+def test_sample_like_validation():
+    with pytest.raises(ValueError):
+        sample_like([], 5, HmacDrbg(b"s"))
+    with pytest.raises(ValueError):
+        sample_like([1], 0, HmacDrbg(b"s"))
+
+
+def test_dataset_sizes():
+    sizes = dataset_sizes(10_000_000, steps=5, minimum=1000)
+    assert sizes[0] == 1000
+    assert sizes[-1] == 10_000_000
+    assert sizes == sorted(sizes)
+    with pytest.raises(ValueError):
+        dataset_sizes(100, steps=0)
