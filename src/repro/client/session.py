@@ -30,10 +30,16 @@ class EncDBDBSystem:
         self.proxy = proxy
 
     @classmethod
-    def create(cls, *, seed: int | bytes | str = 0) -> "EncDBDBSystem":
-        """Stand up a deployment: generate keys, attest, provision."""
+    def create(
+        cls, *, seed: int | bytes | str = 0, fastpath=None
+    ) -> "EncDBDBSystem":
+        """Stand up a deployment: generate keys, attest, provision.
+
+        ``fastpath`` (a :class:`~repro.sgx.cache.FastPathConfig`) tunes or
+        disables the query fast path; the server default enables it.
+        """
         rng = HmacDrbg(seed if isinstance(seed, (bytes, str)) else int(seed))
-        server = EncDBDBServer(rng=rng.fork("server"))
+        server = EncDBDBServer(rng=rng.fork("server"), fastpath=fastpath)
         owner = DataOwner(rng=rng.fork("owner"))
         owner.attest_and_provision(server)
         proxy = Proxy(server, owner.master_key, default_pae(rng=rng.fork("proxy")))

@@ -190,30 +190,97 @@ class EncryptedStoredColumn:
             column_name=self.spec.name,
         )
 
-    def search_tau(self, tau: tuple[bytes, bytes], host: EnclaveHost) -> np.ndarray:
-        """Global RecordIDs matching the encrypted range ``τ``."""
-        parts = []
+    def search_requests(
+        self, tau: tuple[bytes, bytes]
+    ) -> list[tuple[str, EncryptedDictionary, tuple[bytes, bytes]]]:
+        """The labeled ``(store, dictionary, τ)`` searches this column needs.
+
+        One entry per non-empty store ("main" and/or "delta"). The executor
+        collects these across all filters of a query plan so the whole plan
+        can go through a single ``dict_search_batch`` ecall; the labels route
+        each :class:`SearchResult` back through
+        :meth:`record_ids_from_results`.
+        """
+        requests: list[tuple[str, EncryptedDictionary, tuple[bytes, bytes]]] = []
         if self.main_build is not None and self.main_length:
-            result: SearchResult = host.ecall(
-                "dict_search", self.main_build.dictionary, tau
-            )
-            parts.append(
-                attr_vect_search(
-                    self.main_build.attribute_vector, result,
-                    cost_model=host.cost_model,
-                )
-            )
+            requests.append(("main", self.main_build.dictionary, tau))
         if self.delta_blobs:
-            delta_result: SearchResult = host.ecall(
-                "dict_search", self._delta_dictionary(), tau
-            )
-            # The ED9 delta attribute vector is the identity: entry i of the
-            # delta dictionary belongs to delta row i.
-            delta_rids = np.asarray(delta_result.vids, dtype=np.int64)
-            parts.append(delta_rids + self.main_length)
+            requests.append(("delta", self._delta_dictionary(), tau))
+        return requests
+
+    def record_ids_from_results(
+        self,
+        labeled_results: Sequence[tuple[str, SearchResult]],
+        *,
+        cost_model=None,
+        chunk_rows: int | None = None,
+        max_workers: int | None = None,
+        scan_cache: dict | None = None,
+    ) -> np.ndarray:
+        """Turn the enclave's per-store :class:`SearchResult`\\ s into global
+        RecordIDs (the untrusted ``AttrVectSearch`` half of a query).
+
+        ``scan_cache`` (per-query, executor-owned) memoizes the attribute-
+        vector scan by ``(column, store, result shape)`` so identical filters
+        on one column within a query scan the vector once.
+        """
+        parts = []
+        for label, result in labeled_results:
+            if label == "main":
+                signature = None
+                if scan_cache is not None:
+                    signature = (id(self), "main", result.ranges, result.vids)
+                    cached = scan_cache.get(signature)
+                    if cached is not None:
+                        parts.append(cached)
+                        continue
+                rids = attr_vect_search(
+                    self.main_build.attribute_vector,
+                    result,
+                    cost_model=cost_model,
+                    chunk_rows=chunk_rows,
+                    max_workers=max_workers,
+                )
+                if signature is not None:
+                    scan_cache[signature] = rids
+                parts.append(rids)
+            elif label == "delta":
+                # The ED9 delta attribute vector is the identity: entry i of
+                # the delta dictionary belongs to delta row i.
+                delta_rids = np.asarray(result.vids, dtype=np.int64)
+                parts.append(delta_rids + self.main_length)
+            else:
+                raise QueryError(f"unknown search-store label {label!r}")
         if not parts:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(parts)
+
+    def search_tau(
+        self,
+        tau: tuple[bytes, bytes],
+        host: EnclaveHost,
+        *,
+        chunk_rows: int | None = None,
+        max_workers: int | None = None,
+        scan_cache: dict | None = None,
+    ) -> np.ndarray:
+        """Global RecordIDs matching the encrypted range ``τ``.
+
+        The unbatched path: one ``dict_search`` ecall per non-empty store.
+        Batched plans instead call :meth:`search_requests` +
+        :meth:`record_ids_from_results` around one ``dict_search_batch``.
+        """
+        labeled = [
+            (label, host.ecall("dict_search", dictionary, request_tau))
+            for label, dictionary, request_tau in self.search_requests(tau)
+        ]
+        return self.record_ids_from_results(
+            labeled,
+            cost_model=host.cost_model,
+            chunk_rows=chunk_rows,
+            max_workers=max_workers,
+            scan_cache=scan_cache,
+        )
 
     def blob_at(self, record_id: int) -> bytes:
         """Tuple reconstruction: the PAE blob of one global RecordID."""

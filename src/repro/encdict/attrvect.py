@@ -4,15 +4,70 @@ Runs entirely outside the enclave (paper §3.1): given the ValueID ranges or
 list produced by ``EnclDictSearch``, it linearly scans the attribute vector
 and returns the matching RecordIDs. Only integers are compared, which the
 paper highlights as highly optimized and easily parallelizable — here the
-scan is vectorized with numpy, the Python equivalent of that observation.
+scan is vectorized with numpy, and large vectors can additionally be split
+into chunks scanned by a thread pool (numpy comparisons release the GIL),
+the Python equivalent of that observation.
+
+Cost accounting is *uniform over range slots*: every slot of
+``result.ranges`` — real, empty (``low > high``), or the explicit
+``(-1, -1)`` dummy padding — charges one comparison per attribute-vector
+entry. The ranges arrive padded to a fixed width precisely so the untrusted
+side cannot tell how many were real (§4.1); an honest cost model therefore
+must not make the comparison count depend on that secret either. A
+sorted-dictionary query always charges ``2·|AV|``, exactly Table 4's
+``O(|AV|)`` row. Wall-clock execution still skips non-matchable slots —
+that shortcut is untrusted-side and data-independent given the padded
+result shape. The explicit-ValueID path (unsorted dictionaries) charges
+``|AV|·|vids|``, Table 4's ``O(|AV|·|vid|)`` row, unchanged.
 """
 
 from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
 
 import numpy as np
 
 from repro.encdict.search import DUMMY_RANGE, SearchResult
 from repro.sgx.costs import CostModel
+
+#: Default rows per chunk when a chunked scan is requested without a size.
+DEFAULT_SCAN_CHUNK_ROWS = 1 << 18
+
+_pool_lock = threading.Lock()
+_pools: dict[int, ThreadPoolExecutor] = {}
+
+
+def _shared_pool(max_workers: int) -> ThreadPoolExecutor:
+    """A lazily created, process-wide scan pool per worker count.
+
+    Creating a ``ThreadPoolExecutor`` per call would cost more than the
+    chunked scan saves; the pools live for the process (daemon threads, so
+    interpreter shutdown is not blocked).
+    """
+    with _pool_lock:
+        pool = _pools.get(max_workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="attrvect-scan"
+            )
+            _pools[max_workers] = pool
+        return pool
+
+
+def _scan_mask(
+    segment: np.ndarray,
+    ranges: Sequence[tuple[int, int]],
+    vids: np.ndarray | None,
+) -> np.ndarray:
+    """Boolean match mask of one attribute-vector segment."""
+    mask = np.zeros(len(segment), dtype=bool)
+    for low, high in ranges:
+        mask |= (segment >= low) & (segment <= high)
+    if vids is not None:
+        mask |= np.isin(segment, vids)
+    return mask
 
 
 def attr_vect_search(
@@ -20,29 +75,71 @@ def attr_vect_search(
     result: SearchResult,
     *,
     cost_model: CostModel | None = None,
+    chunk_rows: int | None = None,
+    max_workers: int | None = None,
 ) -> np.ndarray:
     """RecordIDs whose ValueID matches the dictionary-search result.
 
     For range results (sorted/rotated dictionaries) each attribute-vector
-    entry is compared against up to two ``[low, high]`` ranges; for explicit
-    ValueID lists (unsorted dictionaries) every entry is compared against
-    every returned ValueID — the ``O(|AV| * |vid|)`` cost of Table 4.
+    entry is compared against the fixed number of ``[low, high]`` range
+    slots; for explicit ValueID lists (unsorted dictionaries) every entry
+    is compared against every returned ValueID — the ``O(|AV| * |vid|)``
+    cost of Table 4.
+
+    When ``chunk_rows`` is given (and ``max_workers > 1``), vectors larger
+    than one chunk are scanned in slices on a shared thread pool. The result
+    is bit-identical to the single-shot scan and the cost accounting is
+    unaffected — chunking changes wall-clock time only.
     """
-    if len(attribute_vector) == 0:
+    n = len(attribute_vector)
+    if n == 0:
         return np.empty(0, dtype=np.int64)
 
-    mask = np.zeros(len(attribute_vector), dtype=bool)
     comparisons = 0
+    matchable_ranges: list[tuple[int, int]] = []
     for low, high in result.ranges:
-        if (low, high) == DUMMY_RANGE or low > high:
+        # Uniform charge per slot: the slot count is padding-fixed, so the
+        # comparison count must not reveal how many slots were real.
+        comparisons += n
+        if (low, high) == DUMMY_RANGE:
+            # Dummy padding from the rotated/sorted searches: by
+            # construction it matches nothing; skip the actual scan.
             continue
-        mask |= (attribute_vector >= low) & (attribute_vector <= high)
-        comparisons += len(attribute_vector)
+        if low > high:
+            # Empty real range (e.g. an unsatisfiable filter): same
+            # treatment as a dummy — charged, not scanned.
+            continue
+        matchable_ranges.append((low, high))
+
+    vids: np.ndarray | None = None
     if result.vids:
         vids = np.asarray(result.vids, dtype=attribute_vector.dtype)
-        mask |= np.isin(attribute_vector, vids)
-        comparisons += len(attribute_vector) * len(result.vids)
+        comparisons += n * len(vids)
 
     if cost_model is not None:
         cost_model.record_comparison(comparisons)
+
+    # Short-circuit: nothing can match (all slots dummy/empty, no ValueIDs).
+    if not matchable_ranges and vids is None:
+        return np.empty(0, dtype=np.int64)
+
+    if chunk_rows is None:
+        chunk_rows = DEFAULT_SCAN_CHUNK_ROWS
+    workers = max_workers if max_workers is not None else 1
+    if workers > 1 and n > chunk_rows:
+        starts = range(0, n, chunk_rows)
+        pool = _shared_pool(workers)
+        masks = list(
+            pool.map(
+                lambda start: _scan_mask(
+                    attribute_vector[start : start + chunk_rows],
+                    matchable_ranges,
+                    vids,
+                ),
+                starts,
+            )
+        )
+        mask = np.concatenate(masks)
+    else:
+        mask = _scan_mask(attribute_vector, matchable_ranges, vids)
     return np.nonzero(mask)[0].astype(np.int64)

@@ -48,6 +48,9 @@ class EncryptedDictionary:
     #: Number of attribute-vector entries this dictionary serves; only used
     #: for storage accounting of the packed ValueID width.
     load_count: int = field(default=0, repr=False)
+    #: Lazily materialized ``offsets.tolist()``: plain-int indexing is far
+    #: cheaper than numpy scalar indexing on the per-probe hot path.
+    _offsets_list: list | None = field(default=None, repr=False, compare=False)
 
     @classmethod
     def from_blobs(
@@ -79,11 +82,13 @@ class EncryptedDictionary:
 
     def entry(self, index: int) -> bytes:
         """The raw (encrypted) blob of dictionary entry ``index``."""
-        if not 0 <= index < len(self):
+        offsets = self._offsets_list
+        if offsets is None:
+            offsets = self._offsets_list = self.offsets.tolist()
+        if not 0 <= index < len(offsets) - 1:
             raise IndexError(f"dictionary index {index} out of range 0..{len(self)-1}")
         self.load_count += 1
-        start, end = self.offsets[index], self.offsets[index + 1]
-        return self.tail[start:end]
+        return self.tail[offsets[index]:offsets[index + 1]]
 
     def entries(self) -> Iterator[bytes]:
         """Iterate over all blobs (used by the linear unsorted search)."""

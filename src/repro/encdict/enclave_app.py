@@ -30,12 +30,14 @@ from repro.encdict.builder import BuildResult, encdb_build
 from repro.encdict.dictionary import EncryptedDictionary
 from repro.encdict.options import EncryptedDictionaryKind
 from repro.encdict.search import (
+    ORDINAL_BOUND_BYTES,
     DictionarySearcher,
     OrdinalRange,
     SearchResult,
 )
 from repro.exceptions import EnclaveSecurityError, QueryError
 from repro.sgx.attestation import AttestationService
+from repro.sgx.cache import EnclaveLruCache, FastPathConfig
 from repro.sgx.channel import ChannelOffer, SecureChannelListener
 from repro.sgx.enclave import Enclave, ecall
 from repro.sgx.sealing import seal, unseal
@@ -43,6 +45,12 @@ from repro.sgx.sealing import seal, unseal
 _MASTER_KEY = "SKDB"
 _CHANNEL = "provisioning-channel"
 _LISTENER = "channel-listener"
+_KEY_CACHE = "SKD-cache"
+
+#: Upper bound on memoized ``(table, column) -> SKD`` derivations; far above
+#: any realistic schema, it only guards against unbounded growth if a caller
+#: streams made-up column names through the enclave.
+_KEY_CACHE_MAX_ENTRIES = 512
 
 
 def encrypt_search_range(pae: Pae, key: bytes, search: OrdinalRange) -> tuple[bytes, bytes]:
@@ -53,7 +61,10 @@ def encrypt_search_range(pae: Pae, key: bytes, search: OrdinalRange) -> tuple[by
     step 5).
     """
     payload = search.to_bytes()
-    return pae.encrypt(key, payload[:40]), pae.encrypt(key, payload[40:])
+    return (
+        pae.encrypt(key, payload[:ORDINAL_BOUND_BYTES]),
+        pae.encrypt(key, payload[ORDINAL_BOUND_BYTES:]),
+    )
 
 
 class EncDBDBEnclave(Enclave):
@@ -65,11 +76,71 @@ class EncDBDBEnclave(Enclave):
         attestation: AttestationService | None = None,
         pae: Pae | None = None,
         rng: HmacDrbg | None = None,
+        fastpath: FastPathConfig | None = None,
     ) -> None:
         super().__init__(rng=rng)
         self._attestation = attestation if attestation is not None else AttestationService()
         self._pae = pae if pae is not None else default_pae()
-        self._searcher = DictionarySearcher(self._pae, self.cost_model)
+        # A bare enclave defaults to the paper-faithful slow path (constant
+        # enclave memory, decrypt-every-probe); EncDBDBServer opts into the
+        # fast path explicitly. This keeps Figure 8 engines and the
+        # constant-memory tests untouched by PR 1's optimizations.
+        self.fastpath = fastpath if fastpath is not None else FastPathConfig.disabled()
+        self._entry_cache: EnclaveLruCache | None = None
+        if self.fastpath.entry_cache_enabled:
+            self._entry_cache = EnclaveLruCache(
+                budget_bytes=self.fastpath.dictionary_cache_bytes,
+                cost_model=self.cost_model,
+                epc=self.epc,
+            )
+        # Monotonic per-(table, column) write counters. Not secret: each bump
+        # corresponds to a write ecall the untrusted side already observes.
+        self._column_epochs: dict[tuple[str, str], int] = {}
+        self._searcher = DictionarySearcher(
+            self._pae, self.cost_model, cache=self._entry_cache
+        )
+
+    # ------------------------------------------------------------------
+    # Fast-path bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def entry_cache(self) -> EnclaveLruCache | None:
+        """The decrypted-entry cache (``None`` when the fast path is off)."""
+        return self._entry_cache
+
+    def fastpath_stats(self) -> dict[str, int] | None:
+        """Cache counters for benchmarks/tests; ``None`` without a cache."""
+        if self._entry_cache is None:
+            return None
+        return self._entry_cache.stats.snapshot()
+
+    def _epoch(self, table_name: str, column_name: str) -> int:
+        return self._column_epochs.get((table_name, column_name), 0)
+
+    def _bump_epoch(self, table_name: str, column_name: str) -> None:
+        """Advance a column's epoch and drop its cached plaintext.
+
+        Called from every write ecall. The epoch is part of every cache key,
+        so even without the eager invalidation a stale hit is impossible —
+        the invalidation just frees the budget immediately.
+        """
+        key = (table_name, column_name)
+        self._column_epochs[key] = self._column_epochs.get(key, 0) + 1
+        if self._entry_cache is not None:
+            self._entry_cache.invalidate(
+                lambda cache_key: cache_key[0] == table_name
+                and cache_key[1] == column_name
+            )
+
+    def _reset_caches(self) -> None:
+        """Drop all memoized key material and plaintext.
+
+        Invoked when ``SKDB`` (re)enters the enclave: every derived key and
+        every decrypted entry may be stale under the new master key.
+        """
+        self.protected_set(_KEY_CACHE, {})
+        if self._entry_cache is not None:
+            self._entry_cache.clear()
 
     # ------------------------------------------------------------------
     # Provisioning (paper §4.2, steps 1-2)
@@ -96,6 +167,7 @@ class EncDBDBEnclave(Enclave):
             raise EnclaveSecurityError("no secure channel established")
         channel = self.protected_get(_CHANNEL)
         self.protected_set(_MASTER_KEY, channel.receive(wire_blob))
+        self._reset_caches()
 
     @ecall
     def seal_master_key(self) -> bytes:
@@ -108,16 +180,56 @@ class EncDBDBEnclave(Enclave):
         self.protected_set(
             _MASTER_KEY, unseal(self.measurement, sealed_blob, pae=self._pae)
         )
+        self._reset_caches()
 
     def _column_key(self, table_name: str, column_name: str) -> bytes:
-        """``SKD = DeriveKey(SKDB, tabName, colName)`` (Algorithm 1 line 1)."""
+        """``SKD = DeriveKey(SKDB, tabName, colName)`` (Algorithm 1 line 1).
+
+        With the fast path on, derivations are memoized in the protected
+        store — HKDF per ecall is pure overhead once ``SKDB`` is fixed, and
+        the cache is wiped whenever the master key is (re)provisioned.
+        """
         if not self.protected_has(_MASTER_KEY):
             raise EnclaveSecurityError("master key has not been provisioned")
-        return derive_column_key(self.protected_get(_MASTER_KEY), table_name, column_name)
+        if not self.fastpath.key_cache_enabled:
+            return derive_column_key(
+                self.protected_get(_MASTER_KEY), table_name, column_name
+            )
+        if not self.protected_has(_KEY_CACHE):
+            self.protected_set(_KEY_CACHE, {})
+        cache: dict = self.protected_get(_KEY_CACHE)
+        cache_key = (table_name, column_name)
+        derived = cache.get(cache_key)
+        if derived is None:
+            derived = derive_column_key(
+                self.protected_get(_MASTER_KEY), table_name, column_name
+            )
+            if len(cache) >= _KEY_CACHE_MAX_ENTRIES:
+                cache.clear()
+            cache[cache_key] = derived
+        return derived
 
     # ------------------------------------------------------------------
     # Query processing (paper §4.2, step 8)
     # ------------------------------------------------------------------
+    def _dict_search_one(
+        self, dictionary: EncryptedDictionary, tau: tuple[bytes, bytes]
+    ) -> SearchResult:
+        """One ``EnclDictSearch``: decrypt ``τ``, derive ``SKD``, dispatch."""
+        key = self._column_key(dictionary.table_name, dictionary.column_name)
+        low_blob, high_blob = tau
+        search = OrdinalRange.from_bytes(
+            self._pae.decrypt(key, low_blob) + self._pae.decrypt(key, high_blob)
+        )
+        self.cost_model.record_decryption(len(low_blob))
+        self.cost_model.record_decryption(len(high_blob))
+        return self._searcher.search(
+            dictionary,
+            search,
+            key=key,
+            cache_epoch=self._epoch(dictionary.table_name, dictionary.column_name),
+        )
+
     @ecall
     def dict_search(
         self, dictionary: EncryptedDictionary, tau: tuple[bytes, bytes]
@@ -127,14 +239,26 @@ class EncDBDBEnclave(Enclave):
         ``dictionary`` is a *reference* into untrusted memory enriched with
         the table/column metadata; ``tau`` is the PAE-encrypted range.
         """
-        key = self._column_key(dictionary.table_name, dictionary.column_name)
-        low_blob, high_blob = tau
-        search = OrdinalRange.from_bytes(
-            self._pae.decrypt(key, low_blob) + self._pae.decrypt(key, high_blob)
-        )
-        self.cost_model.record_decryption(len(low_blob))
-        self.cost_model.record_decryption(len(high_blob))
-        return self._searcher.search(dictionary, search, key=key)
+        return self._dict_search_one(dictionary, tau)
+
+    @ecall
+    def dict_search_batch(
+        self,
+        requests: Sequence[tuple[EncryptedDictionary, tuple[bytes, bytes]]],
+    ) -> list[SearchResult]:
+        """``EnclDictSearch`` over many ``(dictionary, τ)`` pairs at once.
+
+        One boundary crossing serves a whole multi-filter plan (conjunctive
+        or disjunctive filters, main + delta stores, join-side lookups) —
+        the DuckDB-SGX2 lesson that transition costs dominate repeated small
+        enclave calls. The dictionaries may belong to different columns;
+        results are returned in request order.
+        """
+        if not requests:
+            raise QueryError("dict_search_batch requires at least one request")
+        return [
+            self._dict_search_one(dictionary, tau) for dictionary, tau in requests
+        ]
 
     @ecall
     def join_tokens(self, dictionary: EncryptedDictionary, salt: bytes) -> list[bytes]:
@@ -156,16 +280,42 @@ class EncDBDBEnclave(Enclave):
         import hashlib
         import hmac as hmac_module
 
+        from repro.encdict.search import CachedEntry, cached_entry_footprint
+
         key = self._column_key(dictionary.table_name, dictionary.column_name)
         join_key = hkdf_sha256(
             self.protected_get(_MASTER_KEY),
             info=b"EncDBDB-join\x00" + salt,
             length=16,
         )
+        epoch = self._epoch(dictionary.table_name, dictionary.column_name)
         tokens = []
         for blob in dictionary.entries():
-            plaintext = self._pae.decrypt(key, blob)
-            self.cost_model.record_decryption(len(blob))
+            # Join-side decryptions share the entry cache with dict_search:
+            # a join after a scan of the same column costs no re-decryption.
+            entry = None
+            cache_key = None
+            if self._entry_cache is not None:
+                cache_key = (
+                    dictionary.table_name,
+                    dictionary.column_name,
+                    epoch,
+                    blob,
+                )
+                entry = self._entry_cache.get(cache_key)
+            if entry is None:
+                plaintext = self._pae.decrypt(key, blob)
+                self.cost_model.record_decryption(len(blob))
+                if self._entry_cache is not None:
+                    self._entry_cache.put(
+                        cache_key,
+                        CachedEntry(
+                            plaintext, dictionary.value_type.from_bytes(plaintext)
+                        ),
+                        cached_entry_footprint(blob, plaintext),
+                    )
+            else:
+                plaintext = entry.plaintext
             tokens.append(
                 hmac_module.new(join_key, plaintext, hashlib.sha256).digest()[:16]
             )
@@ -183,6 +333,7 @@ class EncDBDBEnclave(Enclave):
         The stored ciphertext is unlinkable to the one that travelled over
         the network, so neither order nor frequency leaks on insertion.
         """
+        self._bump_epoch(table_name, column_name)
         key = self._column_key(table_name, column_name)
         plaintext = self._pae.decrypt(key, transit_blob)
         self.cost_model.record_decryption(len(transit_blob))
@@ -209,6 +360,7 @@ class EncDBDBEnclave(Enclave):
         """
         if not value_blobs:
             raise QueryError("rebuild_for_merge requires at least one value")
+        self._bump_epoch(table_name, column_name)
         from repro.sgx.oblivious import oblivious_shuffle
 
         key = self._column_key(table_name, column_name)

@@ -46,6 +46,15 @@ from repro.sgx.costs import CostModel
 #: The dummy range the rotated search uses to pad single-range results.
 DUMMY_RANGE = (-1, -1)
 
+#: Serialized width of one ordinal bound. 40 bytes fit the largest ordinal a
+#: supported column domain can produce (a VARCHAR(255)-scale ordinal far
+#: exceeds 64 bits), so both bounds of a search range are fixed-width and the
+#: ciphertext length cannot leak the queried values' magnitudes.
+ORDINAL_BOUND_BYTES = 40
+
+#: Serialized width of a whole :class:`OrdinalRange` (both bounds).
+SEARCH_RANGE_BYTES = 2 * ORDINAL_BOUND_BYTES
+
 
 @dataclass(frozen=True)
 class OrdinalRange:
@@ -65,17 +74,17 @@ class OrdinalRange:
         return self.low > self.high
 
     def to_bytes(self) -> bytes:
-        low = self.low.to_bytes(40, "big", signed=True)
-        high = self.high.to_bytes(40, "big", signed=True)
+        low = self.low.to_bytes(ORDINAL_BOUND_BYTES, "big", signed=True)
+        high = self.high.to_bytes(ORDINAL_BOUND_BYTES, "big", signed=True)
         return low + high
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "OrdinalRange":
-        if len(data) != 80:
+        if len(data) != SEARCH_RANGE_BYTES:
             raise QueryError("malformed search-range payload")
         return cls(
-            int.from_bytes(data[:40], "big", signed=True),
-            int.from_bytes(data[40:], "big", signed=True),
+            int.from_bytes(data[:ORDINAL_BOUND_BYTES], "big", signed=True),
+            int.from_bytes(data[ORDINAL_BOUND_BYTES:], "big", signed=True),
         )
 
 
@@ -97,6 +106,26 @@ class SearchResult:
         return from_ranges + len(self.vids)
 
 
+@dataclass
+class CachedEntry:
+    """One memoized decryption: plaintext, decoded value, lazy ordinal.
+
+    ``ordinal`` starts as ``None`` and is backfilled on first use; the entry
+    is cached by reference, so the backfill persists and repeated binary
+    searches skip both the decryption *and* the ``ENCODE`` computation.
+    """
+
+    plaintext: bytes
+    value: object
+    ordinal: int | None = None
+
+
+def cached_entry_footprint(blob: bytes, plaintext: bytes) -> int:
+    """Bytes one cache entry is charged for: key blob + plaintext + decoded
+    value and bookkeeping overhead (a fixed conservative constant)."""
+    return len(blob) + 2 * len(plaintext) + 64
+
+
 class DictionaryAccessor:
     """Loads, authenticates and decodes dictionary entries for the searches.
 
@@ -104,6 +133,15 @@ class DictionaryAccessor:
     the PlainDBDB baseline (``encrypted=False``) it only deserializes. Every
     access is charged to the cost model, and the probe sequence is recorded
     so tests can assert access-pattern properties.
+
+    When an :class:`~repro.sgx.cache.EnclaveLruCache` is attached, decrypted
+    entries are memoized per ``(table, column, epoch, ciphertext)``. Keying
+    by the ciphertext blob itself makes a stale hit structurally impossible
+    — a different blob is a different key — while the epoch (bumped by the
+    enclave on every write ecall) bounds the lifetime of dead entries after
+    re-encryption. Cache hits skip the PAE decryption (and its cost-model
+    charge) but are still recorded in the probe log and charged as untrusted
+    loads, so the access pattern the server observes is unchanged.
     """
 
     def __init__(
@@ -113,6 +151,8 @@ class DictionaryAccessor:
         key: bytes | None,
         pae: Pae | None,
         cost_model: CostModel | None = None,
+        cache=None,
+        cache_epoch: int = 0,
     ) -> None:
         if dictionary.encrypted and (key is None or pae is None):
             raise QueryError("encrypted dictionary requires a key and PAE backend")
@@ -120,6 +160,15 @@ class DictionaryAccessor:
         self._key = key
         self._pae = pae
         self._cost = cost_model
+        self._cache = cache
+        self._cache_epoch = cache_epoch
+        # Cache-key prefix, built once: every probe of this accessor shares
+        # the same (table, column, epoch) triple.
+        self._cache_prefix = (
+            dictionary.table_name,
+            dictionary.column_name,
+            cache_epoch,
+        )
         self.probes: list[int] = []
 
     def __len__(self) -> int:
@@ -129,26 +178,50 @@ class DictionaryAccessor:
     def value_type(self) -> ValueType:
         return self._dictionary.value_type
 
+    def _decrypt_blob(self, blob: bytes) -> CachedEntry:
+        """Decrypt + decode one ciphertext blob, through the cache if any."""
+        cache = self._cache
+        if cache is not None:
+            cache_key = self._cache_prefix + (blob,)
+            cached = cache.get(cache_key)
+            if cached is not None:
+                return cached
+        plaintext = self._pae.decrypt(self._key, blob)
+        if self._cost is not None:
+            self._cost.record_decryption(len(blob))
+        entry = CachedEntry(plaintext, self._dictionary.value_type.from_bytes(plaintext))
+        if cache is not None:
+            cache.put(cache_key, entry, cached_entry_footprint(blob, plaintext))
+        return entry
+
     def raw_value(self, index: int):
         """Load entry ``index`` from untrusted memory and decode it."""
         self.probes.append(index)
         blob = self._dictionary.entry(index)
         if self._cost is not None:
             self._cost.record_untrusted_load()
-        if self._dictionary.encrypted:
-            plaintext = self._pae.decrypt(self._key, blob)
-            if self._cost is not None:
-                self._cost.record_decryption(len(blob))
-        else:
-            plaintext = blob
-        return self._dictionary.value_type.from_bytes(plaintext)
+        if not self._dictionary.encrypted:
+            return self._dictionary.value_type.from_bytes(blob)
+        return self._decrypt_blob(blob).value
 
     def ordinal(self, index: int) -> int:
         """``ENCODE`` of entry ``index`` (one comparison-ready integer)."""
-        value = self.raw_value(index)
-        if self._cost is not None:
-            self._cost.record_comparison()
-        return self._dictionary.value_type.ordinal(value)
+        self.probes.append(index)
+        blob = self._dictionary.entry(index)
+        cost = self._cost
+        if cost is not None:
+            # Inlined record_untrusted_load()/record_comparison(): this is
+            # the hottest line of every search (once per probe).
+            cost.untrusted_loads += 1
+            cost.comparisons += 1
+        if not self._dictionary.encrypted:
+            return self._dictionary.value_type.ordinal(
+                self._dictionary.value_type.from_bytes(blob)
+            )
+        entry = self._decrypt_blob(blob)
+        if entry.ordinal is None:
+            entry.ordinal = self._dictionary.value_type.ordinal(entry.value)
+        return entry.ordinal
 
     def rotation_offset(self) -> int:
         """Decrypt ``encRndOffset`` (Algorithm 2 line 3)."""
@@ -157,10 +230,22 @@ class DictionaryAccessor:
             raise QueryError("dictionary carries no rotation offset")
         if not self._dictionary.encrypted:
             return int.from_bytes(blob, "big")
+        if self._cache is not None:
+            cache_key = self._cache_prefix + (blob,)
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                return cached.value
         plaintext = self._pae.decrypt(self._key, blob)
         if self._cost is not None:
             self._cost.record_decryption(len(blob))
-        return int.from_bytes(plaintext, "big")
+        offset = int.from_bytes(plaintext, "big")
+        if self._cache is not None:
+            self._cache.put(
+                cache_key,
+                CachedEntry(plaintext, offset),
+                cached_entry_footprint(blob, plaintext),
+            )
+        return offset
 
 
 # ----------------------------------------------------------------------
@@ -295,9 +380,15 @@ _SEARCHERS = {
 class DictionarySearcher:
     """Dispatches ``EnclDictSearch`` by encrypted-dictionary kind."""
 
-    def __init__(self, pae: Pae, cost_model: CostModel | None = None) -> None:
+    def __init__(
+        self,
+        pae: Pae,
+        cost_model: CostModel | None = None,
+        cache=None,
+    ) -> None:
         self._pae = pae
         self._cost = cost_model
+        self._cache = cache
 
     def search(
         self,
@@ -305,11 +396,17 @@ class DictionarySearcher:
         search: OrdinalRange,
         *,
         key: bytes | None,
+        cache_epoch: int = 0,
     ) -> SearchResult:
         kind = dictionary.kind
         order = kind.order if kind is not None else OrderOption.SORTED
         accessor = DictionaryAccessor(
-            dictionary, key=key, pae=self._pae, cost_model=self._cost
+            dictionary,
+            key=key,
+            pae=self._pae,
+            cost_model=self._cost,
+            cache=self._cache,
+            cache_epoch=cache_epoch,
         )
         return _SEARCHERS[order](accessor, search)
 

@@ -23,6 +23,7 @@ from repro.encdict.builder import BuildResult
 from repro.encdict.enclave_app import EncDBDBEnclave
 from repro.exceptions import CatalogError, QueryError
 from repro.sgx.attestation import AttestationService
+from repro.sgx.cache import FastPathConfig
 from repro.sgx.enclave import EnclaveHost
 from repro.sql.executor import Executor
 from repro.sql.planner import (
@@ -44,17 +45,22 @@ class EncDBDBServer:
         attestation: AttestationService | None = None,
         pae: Pae | None = None,
         rng: HmacDrbg | None = None,
+        fastpath: FastPathConfig | None = None,
     ) -> None:
         rng = rng if rng is not None else HmacDrbg(b"encdbdb-server")
         self.attestation = attestation if attestation is not None else AttestationService()
         self.catalog = Catalog()
+        # Production deployments run the query fast path (PR 1) by default;
+        # pass FastPathConfig.disabled() for the paper-faithful baseline.
+        self.fastpath = fastpath if fastpath is not None else FastPathConfig()
         self._enclave = EncDBDBEnclave(
             attestation=self.attestation,
             pae=pae if pae is not None else default_pae(rng=rng.fork("enclave-pae")),
             rng=rng.fork("enclave"),
+            fastpath=self.fastpath,
         )
         self.enclave_host = EnclaveHost(self._enclave)
-        self.executor = Executor(self.catalog, self.enclave_host)
+        self.executor = Executor(self.catalog, self.enclave_host, fastpath=self.fastpath)
 
     # ------------------------------------------------------------------
     # Enclave surface exposed to the network (provisioning passthrough)
@@ -197,4 +203,4 @@ class EncDBDBServer:
         if self.catalog.table_names():
             raise QueryError("load() requires an empty server catalog")
         self.catalog = loaded
-        self.executor = Executor(self.catalog, self.enclave_host)
+        self.executor = Executor(self.catalog, self.enclave_host, fastpath=self.fastpath)

@@ -53,11 +53,19 @@ class CostModel:
     comparisons: int = 0
     bytes_copied_in: int = 0
     bytes_copied_out: int = 0
+    #: Per-entry-point ecall counts, e.g. {"dict_search": 3}. Benchmarks use
+    #: this to assert *which* boundary crossings a query plan performed
+    #: (one ``dict_search_batch`` vs N ``dict_search`` calls).
+    ecalls_by_name: dict = field(default_factory=dict)
 
-    def record_ecall(self, bytes_in: int = 0, bytes_out: int = 0) -> None:
+    def record_ecall(
+        self, bytes_in: int = 0, bytes_out: int = 0, name: str | None = None
+    ) -> None:
         self.ecalls += 1
         self.bytes_copied_in += bytes_in
         self.bytes_copied_out += bytes_out
+        if name is not None:
+            self.ecalls_by_name[name] = self.ecalls_by_name.get(name, 0) + 1
 
     def record_ocall(self) -> None:
         self.ocalls += 1
@@ -110,6 +118,7 @@ class CostModel:
         """Zero every counter (the weights are kept)."""
         for name in self.snapshot():
             setattr(self, name, 0)
+        self.ecalls_by_name.clear()
 
     def diff(self, earlier: dict[str, int]) -> dict[str, int]:
         """Counters accumulated since an earlier :meth:`snapshot`."""

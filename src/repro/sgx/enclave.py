@@ -106,7 +106,7 @@ class Enclave:
         method = getattr(type(self), name, None)
         if method is None or not getattr(method, "__is_ecall__", False):
             raise EnclaveSecurityError(f"{name!r} is not a registered ecall")
-        self.cost_model.record_ecall()
+        self.cost_model.record_ecall(name=name)
         self._call_depth += 1
         try:
             return method(self, *args, **kwargs)

@@ -18,6 +18,7 @@ from repro.columnstore.catalog import Catalog
 from repro.columnstore.column import EncryptedStoredColumn, PlainStoredColumn
 from repro.columnstore.table import Table
 from repro.exceptions import QueryError
+from repro.sgx.cache import FastPathConfig
 from repro.sgx.enclave import EnclaveHost
 from repro.sql.planner import (
     DeletePlan,
@@ -36,9 +37,24 @@ from repro.sql.result import ResultColumn, ServerResult
 class Executor:
     """Evaluates (already proxy-encrypted) plans on the column store."""
 
-    def __init__(self, catalog: Catalog, enclave_host: EnclaveHost | None) -> None:
+    def __init__(
+        self,
+        catalog: Catalog,
+        enclave_host: EnclaveHost | None,
+        *,
+        fastpath: FastPathConfig | None = None,
+    ) -> None:
         self._catalog = catalog
         self._host = enclave_host
+        # A bare Executor keeps the paper-faithful one-ecall-per-filter
+        # behaviour; EncDBDBServer passes its (default-enabled) config down.
+        self.fastpath = fastpath if fastpath is not None else FastPathConfig.disabled()
+
+    def _scan_config(self) -> tuple[int | None, int | None]:
+        """``(chunk_rows, max_workers)`` for the attribute-vector scans."""
+        if self.fastpath.parallel_scan_enabled:
+            return self.fastpath.scan_chunk_rows, self.fastpath.scan_max_workers
+        return None, None
 
     # ------------------------------------------------------------------
     # Filtering
@@ -47,11 +63,71 @@ class Executor:
         """Evaluate a filter tree to the set of matching, valid RecordIDs."""
         if plan is None:
             return table.all_valid_rids()
-        return table.filter_valid(self._evaluate(table, plan))
+        # Per-query state: batched enclave results keyed by filter leaf, and
+        # a scan-mask cache shared by all filters on this query's columns.
+        prepared = self._prepare_encrypted_searches(table, plan)
+        scan_cache = {} if self.fastpath.scan_mask_reuse_enabled else None
+        return table.filter_valid(self._evaluate(table, plan, prepared, scan_cache))
 
-    def _evaluate(self, table: Table, plan: FilterPlan) -> np.ndarray:
+    def _collect_encrypted_leaves(
+        self, plan: FilterPlan, leaves: list[EncryptedRangeFilter]
+    ) -> None:
         if isinstance(plan, FilterNode):
-            child_sets = [self._evaluate(table, child) for child in plan.children]
+            for child in plan.children:
+                self._collect_encrypted_leaves(child, leaves)
+        elif isinstance(plan, EncryptedRangeFilter):
+            leaves.append(plan)
+
+    def _prepare_encrypted_searches(
+        self, table: Table, plan: FilterPlan
+    ) -> dict[int, list] | None:
+        """Run every encrypted dictionary search of a plan in ONE ecall.
+
+        Collects the ``(dictionary, τ)`` requests of all encrypted filter
+        leaves (main and delta stores) and issues a single
+        ``dict_search_batch`` boundary crossing, returning a map from leaf
+        identity to its labeled :class:`SearchResult`\\ s. Returns ``None``
+        — meaning "use the per-leaf slow path" — when batching is off, no
+        enclave is attached, or the plan needs at most one search anyway.
+        """
+        if not self.fastpath.batching_enabled or self._host is None:
+            return None
+        leaves: list[EncryptedRangeFilter] = []
+        self._collect_encrypted_leaves(plan, leaves)
+        if not leaves:
+            return None
+        requests = []  # flat [(dictionary, tau), ...] for the ecall
+        slots = []  # parallel [(leaf_id, store_label), ...]
+        for leaf in leaves:
+            column = table.column(leaf.column)
+            if not isinstance(column, EncryptedStoredColumn):
+                raise QueryError(
+                    f"encrypted filter for plaintext column {leaf.column!r}"
+                )
+            for label, dictionary, tau in column.search_requests(leaf.tau):
+                requests.append((dictionary, tau))
+                slots.append((id(leaf), label))
+        if len(requests) < 2:
+            # Nothing to amortize: a single search stays on dict_search.
+            return None
+        results = self._host.ecall("dict_search_batch", requests)
+        prepared: dict[int, list] = {id(leaf): [] for leaf in leaves}
+        for (leaf_id, label), result in zip(slots, results):
+            prepared[leaf_id].append((label, result))
+        return prepared
+
+    def _evaluate(
+        self,
+        table: Table,
+        plan: FilterPlan,
+        prepared: dict[int, list] | None = None,
+        scan_cache: dict | None = None,
+    ) -> np.ndarray:
+        if isinstance(plan, FilterNode):
+            child_sets = [
+                self._evaluate(table, child, prepared, scan_cache)
+                for child in plan.children
+            ]
             if plan.operator == "NOT":
                 if len(child_sets) != 1:
                     raise QueryError("NOT takes exactly one operand")
@@ -74,7 +150,7 @@ class Executor:
         if isinstance(plan, PrefixFilter):
             return self._evaluate_prefix(table, plan)
         if isinstance(plan, EncryptedRangeFilter):
-            return self._evaluate_encrypted(table, plan)
+            return self._evaluate_encrypted(table, plan, prepared, scan_cache)
         raise QueryError(f"unknown filter node {type(plan).__name__}")
 
     def _evaluate_plain(self, table: Table, plan: RangeFilter) -> np.ndarray:
@@ -104,7 +180,11 @@ class Executor:
         return matches
 
     def _evaluate_encrypted(
-        self, table: Table, plan: EncryptedRangeFilter
+        self,
+        table: Table,
+        plan: EncryptedRangeFilter,
+        prepared: dict[int, list] | None = None,
+        scan_cache: dict | None = None,
     ) -> np.ndarray:
         column = table.column(plan.column)
         if not isinstance(column, EncryptedStoredColumn):
@@ -113,7 +193,23 @@ class Executor:
             )
         if self._host is None:
             raise QueryError("no enclave available for encrypted columns")
-        matches = column.search_tau(plan.tau, self._host)
+        chunk_rows, max_workers = self._scan_config()
+        if prepared is not None and id(plan) in prepared:
+            matches = column.record_ids_from_results(
+                prepared[id(plan)],
+                cost_model=self._host.cost_model,
+                chunk_rows=chunk_rows,
+                max_workers=max_workers,
+                scan_cache=scan_cache,
+            )
+        else:
+            matches = column.search_tau(
+                plan.tau,
+                self._host,
+                chunk_rows=chunk_rows,
+                max_workers=max_workers,
+                scan_cache=scan_cache,
+            )
         if plan.negated:
             return self._complement(table, matches)
         return matches

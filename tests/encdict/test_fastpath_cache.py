@@ -1,0 +1,269 @@
+"""Correctness of the query fast path (PR 1).
+
+The ISSUE's cache-correctness checklist: byte-identical results cached vs
+uncached across all nine dictionary kinds, eviction under EPC pressure,
+epoch invalidation after write ecalls (stale entries must never be served),
+and batched-ecall equivalence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.columnstore.types import IntegerType, VarcharType
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.kdf import derive_column_key
+from repro.crypto.pae import default_pae, pae_gen
+from repro.encdict.attrvect import attr_vect_search
+from repro.encdict.builder import encdb_build
+from repro.encdict.enclave_app import EncDBDBEnclave, encrypt_search_range
+from repro.encdict.options import ALL_KINDS, ED2, ED3
+from repro.encdict.search import OrdinalRange
+from repro.exceptions import QueryError
+from repro.sgx.attestation import AttestationService
+from repro.sgx.cache import FastPathConfig
+from repro.sgx.channel import SecureChannel
+from repro.sgx.enclave import EnclaveHost
+
+from tests.encdict.conftest import reference_range_search
+
+VALUES = ["b", "a", "c", "b", "e", "d", "b", "a", "e"]
+
+
+def _provisioned_host(fastpath=None, seed=b"fastpath-e2e"):
+    """Full §4.2 setup; returns (host, master_key, pae, rng)."""
+    rng = HmacDrbg(seed)
+    service = AttestationService()
+    pae = default_pae(rng=rng.fork("client-pae"))
+    enclave = EncDBDBEnclave(
+        attestation=service,
+        pae=default_pae(rng=rng.fork("enclave-pae")),
+        rng=rng.fork("enclave"),
+        fastpath=fastpath,
+    )
+    host = EnclaveHost(enclave)
+    master_key = pae_gen(rng=rng.fork("skdb"))
+
+    offer = host.ecall("channel_offer")
+    channel, client_public = SecureChannel.connect(
+        offer, service, host.measurement, rng=rng.fork("owner"), pae=pae
+    )
+    host.ecall("channel_accept", client_public)
+    host.ecall("provision_master_key", channel.send(master_key))
+    return host, master_key, pae, rng
+
+
+def _build(master_key, pae, rng, values, kind, value_type=None, bsmax=3):
+    value_type = value_type or VarcharType(20)
+    key = derive_column_key(master_key, "t1", "c1")
+    return encdb_build(
+        values,
+        kind,
+        value_type=value_type,
+        key=key,
+        pae=pae,
+        rng=rng.fork(f"b-{kind.name}"),
+        bsmax=bsmax,
+        table_name="t1",
+        column_name="c1",
+    )
+
+
+def _tau(master_key, pae, value_type, low, high):
+    key = derive_column_key(master_key, "t1", "c1")
+    return encrypt_search_range(
+        pae, key, OrdinalRange(value_type.ordinal(low), value_type.ordinal(high))
+    )
+
+
+# ----------------------------------------------------------------------
+# Cached vs uncached equivalence
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda k: k.name)
+def test_cached_results_identical_across_all_kinds(kind):
+    """Cold and warm cached searches match the uncached baseline exactly."""
+    seed = b"equiv-" + kind.name.encode()
+    baseline_host, master_key, pae, rng = _provisioned_host(
+        FastPathConfig.disabled(), seed=seed
+    )
+    cached_host, cached_key, cached_pae, cached_rng = _provisioned_host(
+        FastPathConfig(), seed=seed
+    )
+    # Same seed => identical keys and builds on both deployments.
+    assert cached_key == master_key
+    build = _build(master_key, pae, rng, VALUES, kind)
+    cached_build = _build(cached_key, cached_pae, cached_rng, VALUES, kind)
+
+    for low, high in [("a", "b"), ("b", "d"), ("e", "e"), ("f", "z")]:
+        tau = _tau(master_key, pae, build.dictionary.value_type, low, high)
+        expected = baseline_host.ecall("dict_search", build.dictionary, tau)
+        cached_tau = _tau(
+            cached_key, cached_pae, cached_build.dictionary.value_type, low, high
+        )
+        cold = cached_host.ecall("dict_search", cached_build.dictionary, cached_tau)
+        warm = cached_host.ecall("dict_search", cached_build.dictionary, cached_tau)
+        # Byte-identical SearchResults: same ranges, same vids, cold and warm.
+        assert cold.ranges == expected.ranges and cold.vids == expected.vids, kind
+        assert warm.ranges == expected.ranges and warm.vids == expected.vids, kind
+        records = sorted(
+            attr_vect_search(cached_build.attribute_vector, warm).tolist()
+        )
+        assert records == reference_range_search(VALUES, low, high), kind
+
+
+def test_warm_cache_skips_decryptions():
+    """A repeated ED3 query decrypts only the two τ bounds on the warm run."""
+    host, master_key, pae, rng = _provisioned_host(FastPathConfig())
+    values = [f"v{i:03d}" for i in range(64)]
+    build = _build(master_key, pae, rng, values, ED3)
+    tau = _tau(master_key, pae, build.dictionary.value_type, "v010", "v020")
+
+    before = host.cost_model.snapshot()
+    host.ecall("dict_search", build.dictionary, tau)
+    cold = host.cost_model.diff(before)["decryptions"]
+    assert cold == 64 + 2  # every entry + both range bounds
+
+    before = host.cost_model.snapshot()
+    host.ecall("dict_search", build.dictionary, tau)
+    warm = host.cost_model.diff(before)["decryptions"]
+    assert warm == 2  # only the τ bounds; all 64 entries hit the cache
+
+    # Probes are still recorded identically: access pattern is unchanged.
+    stats = host._enclave.fastpath_stats()
+    assert stats["hits"] >= 64
+
+
+# ----------------------------------------------------------------------
+# Eviction under EPC pressure
+# ----------------------------------------------------------------------
+
+
+def test_eviction_under_epc_pressure_stays_correct():
+    """A cache far smaller than the dictionary evicts but never corrupts."""
+    tiny = FastPathConfig(dictionary_cache_bytes=4096)
+    host, master_key, pae, rng = _provisioned_host(tiny)
+    values = [f"v{i:03d}" for i in range(200)]
+    build = _build(master_key, pae, rng, values, ED3)
+    cache = host._enclave.entry_cache
+    assert cache.budget_bytes == 4096
+
+    for low, high in [("v000", "v050"), ("v100", "v150"), ("v000", "v050")]:
+        tau = _tau(master_key, pae, build.dictionary.value_type, low, high)
+        result = host.ecall("dict_search", build.dictionary, tau)
+        records = sorted(attr_vect_search(build.attribute_vector, result).tolist())
+        assert records == reference_range_search(values, low, high)
+        assert cache.used_bytes <= cache.budget_bytes
+
+    assert cache.stats.evictions > 0
+    assert cache.stats.peak_bytes <= cache.budget_bytes
+    # Evictions were charged to the cost model as paging events.
+    assert host.cost_model.epc_page_faults >= cache.stats.evictions
+
+
+# ----------------------------------------------------------------------
+# Epoch invalidation
+# ----------------------------------------------------------------------
+
+
+def test_rebuild_for_merge_invalidates_column_cache():
+    """After a merge rebuild no pre-merge cache entry survives."""
+    host, master_key, pae, rng = _provisioned_host(FastPathConfig())
+    key = derive_column_key(master_key, "t1", "c1")
+    vt = VarcharType(20)
+    build = _build(master_key, pae, rng, VALUES, ED2)
+    tau = _tau(master_key, pae, vt, "a", "e")
+    host.ecall("dict_search", build.dictionary, tau)  # populate the cache
+    cache = host._enclave.entry_cache
+    assert len(cache) > 0
+    old_epoch = host._enclave._epoch("t1", "c1")
+
+    merged_values = ["m", "a", "z", "m"]
+    blobs = [pae.encrypt(key, vt.to_bytes(v)) for v in merged_values]
+    new_build = host.ecall("rebuild_for_merge", "t1", "c1", ED2, vt, blobs)
+
+    # Epoch bumped, and every surviving key carries the current epoch for
+    # some column — none references the merged column's old epoch.
+    new_epoch = host._enclave._epoch("t1", "c1")
+    assert new_epoch == old_epoch + 1
+    for cache_key in list(cache._entries):
+        assert not (
+            cache_key[0] == "t1"
+            and cache_key[1] == "c1"
+            and cache_key[2] == old_epoch
+        )
+
+    # Searches against the rebuilt store are correct (stale never served).
+    tau = _tau(master_key, pae, vt, "a", "m")
+    result = host.ecall("dict_search", new_build.dictionary, tau)
+    records = sorted(attr_vect_search(new_build.attribute_vector, result).tolist())
+    assert records == reference_range_search(merged_values, "a", "m")
+
+
+def test_reencrypt_for_delta_bumps_epoch():
+    host, master_key, pae, rng = _provisioned_host(FastPathConfig())
+    key = derive_column_key(master_key, "t1", "c1")
+    before = host._enclave._epoch("t1", "c1")
+    transit = pae.encrypt(key, b"inserted")
+    host.ecall("reencrypt_for_delta", "t1", "c1", transit)
+    assert host._enclave._epoch("t1", "c1") == before + 1
+
+
+def test_restore_master_key_clears_caches():
+    host, master_key, pae, rng = _provisioned_host(FastPathConfig())
+    build = _build(master_key, pae, rng, VALUES, ED3)
+    tau = _tau(master_key, pae, build.dictionary.value_type, "a", "e")
+    host.ecall("dict_search", build.dictionary, tau)
+    cache = host._enclave.entry_cache
+    assert len(cache) > 0
+    sealed = host.ecall("seal_master_key")
+    host.ecall("restore_master_key", sealed)
+    assert len(cache) == 0
+
+
+# ----------------------------------------------------------------------
+# Batched ecalls
+# ----------------------------------------------------------------------
+
+
+def test_dict_search_batch_matches_individual_searches():
+    host, master_key, pae, rng = _provisioned_host(FastPathConfig())
+    vt = VarcharType(20)
+    builds = [_build(master_key, pae, rng, VALUES, kind) for kind in ALL_KINDS[:3]]
+    taus = [
+        _tau(master_key, pae, vt, low, high)
+        for low, high in [("a", "b"), ("b", "d"), ("d", "e")]
+    ]
+    individual = [
+        host.ecall("dict_search", build.dictionary, tau)
+        for build, tau in zip(builds, taus)
+    ]
+    before = host.cost_model.snapshot()
+    batched = host.ecall(
+        "dict_search_batch",
+        [(build.dictionary, tau) for build, tau in zip(builds, taus)],
+    )
+    diff = host.cost_model.diff(before)
+    assert diff["ecalls"] == 1  # all three searches in one boundary crossing
+    assert len(batched) == len(individual)
+    for got, expected in zip(batched, individual):
+        assert got.ranges == expected.ranges and got.vids == expected.vids
+
+
+def test_dict_search_batch_rejects_empty_request():
+    host, *_ = _provisioned_host(FastPathConfig())
+    with pytest.raises(QueryError):
+        host.ecall("dict_search_batch", [])
+
+
+def test_default_enclave_keeps_slow_path():
+    """A bare EncDBDBEnclave stays paper-faithful: no cache, no EPC use."""
+    host, master_key, pae, rng = _provisioned_host()  # fastpath=None
+    assert host._enclave.entry_cache is None
+    assert host._enclave.fastpath_stats() is None
+    build = _build(master_key, pae, rng, VALUES, ED3)
+    tau = _tau(master_key, pae, build.dictionary.value_type, "a", "e")
+    host.ecall("dict_search", build.dictionary, tau)
+    host.ecall("dict_search", build.dictionary, tau)
+    assert host._enclave.epc.allocated_pages == 0

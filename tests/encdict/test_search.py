@@ -302,5 +302,34 @@ def test_attr_vect_search_counts_comparisons():
     attr_vect_search(av, SearchResult(vids=(0, 1, 2)), cost_model=cost)
     assert cost.comparisons == 12  # |AV| * |vid|
     cost.reset()
+    # Uniform per-slot accounting: the dummy padding slot charges the same
+    # |AV| as the real range, so the comparison count cannot reveal how many
+    # slots were real (the result arrives dummy-padded for exactly that
+    # reason).
     attr_vect_search(av, SearchResult(ranges=((0, 1), DUMMY_RANGE)), cost_model=cost)
-    assert cost.comparisons == 4  # |AV| per non-dummy range
+    assert cost.comparisons == 8  # |AV| per slot, real or dummy
+    cost.reset()
+    # An empty real range (low > high) is charged like any other slot too.
+    attr_vect_search(av, SearchResult(ranges=((3, 1), DUMMY_RANGE)), cost_model=cost)
+    assert cost.comparisons == 8
+
+
+def test_attr_vect_search_chunked_matches_single_shot():
+    from repro.sgx.costs import CostModel
+
+    rng = np.random.default_rng(7)
+    av = rng.integers(0, 50, size=10_000).astype(np.int64)
+    for result in (
+        SearchResult(ranges=((5, 9), DUMMY_RANGE)),
+        SearchResult(ranges=((0, 3), (40, 49))),
+        SearchResult(vids=(1, 2, 3, 30)),
+        SearchResult(ranges=(DUMMY_RANGE, DUMMY_RANGE)),
+    ):
+        single_cost = CostModel()
+        chunked_cost = CostModel()
+        single = attr_vect_search(av, result, cost_model=single_cost)
+        chunked = attr_vect_search(
+            av, result, cost_model=chunked_cost, chunk_rows=512, max_workers=4
+        )
+        assert chunked.tolist() == single.tolist()
+        assert chunked_cost.comparisons == single_cost.comparisons

@@ -1,0 +1,123 @@
+"""Unit tests of the EPC-budgeted enclave LRU cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EnclaveMemoryError
+from repro.sgx.cache import EnclaveLruCache, FastPathConfig
+from repro.sgx.costs import CostModel
+from repro.sgx.memory import EPC_USABLE_BYTES, PAGE_BYTES, EpcModel
+
+
+def test_get_put_and_lru_order():
+    cache = EnclaveLruCache(budget_bytes=100)
+    assert cache.get("a") is None
+    assert cache.put("a", 1, 40)
+    assert cache.put("b", 2, 40)
+    assert cache.get("a") == 1  # refreshes "a"; "b" is now LRU
+    assert cache.put("c", 3, 40)  # evicts "b"
+    assert cache.get("b") is None
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.stats.evictions == 1
+
+
+def test_used_bytes_never_exceeds_budget():
+    cache = EnclaveLruCache(budget_bytes=100)
+    for i in range(50):
+        cache.put(i, i, 30)
+        assert cache.used_bytes <= cache.budget_bytes
+    assert cache.stats.peak_bytes <= cache.budget_bytes
+    assert len(cache) == 3  # 3 * 30 <= 100 < 4 * 30
+
+
+def test_replacing_a_key_releases_its_bytes():
+    cache = EnclaveLruCache(budget_bytes=100)
+    cache.put("a", 1, 60)
+    cache.put("a", 2, 30)
+    assert cache.used_bytes == 30
+    assert cache.get("a") == 2
+
+
+def test_oversized_entry_rejected_without_wiping_cache():
+    cache = EnclaveLruCache(budget_bytes=100)
+    cache.put("a", 1, 50)
+    assert not cache.put("huge", 2, 101)
+    assert cache.get("a") == 1
+    assert cache.get("huge") is None
+    assert cache.stats.rejected == 1
+
+
+def test_eviction_charges_cost_model_as_paging():
+    cost = CostModel()
+    cache = EnclaveLruCache(budget_bytes=100, cost_model=cost)
+    cache.put("a", 1, 60)
+    cache.put("b", 2, 60)  # evicts "a"
+    assert cost.epc_page_faults == 1
+
+
+def test_budget_charged_against_epc_model():
+    cost = CostModel()
+    epc = EpcModel(cost, strict=True)
+    budget = 8 * PAGE_BYTES
+    cache = EnclaveLruCache(budget_bytes=budget, cost_model=cost, epc=epc)
+    assert epc.allocated_pages == 8
+    assert cache.budget_bytes == budget
+
+
+def test_budget_beyond_epc_fails_in_strict_mode():
+    cost = CostModel()
+    epc = EpcModel(cost, strict=True)
+    with pytest.raises(EnclaveMemoryError):
+        EnclaveLruCache(
+            budget_bytes=EPC_USABLE_BYTES + PAGE_BYTES,
+            cost_model=cost,
+            epc=epc,
+        )
+
+
+def test_invalidate_by_predicate():
+    cache = EnclaveLruCache(budget_bytes=1000)
+    cache.put(("t1", "c1", 0, b"x"), 1, 10)
+    cache.put(("t1", "c2", 0, b"y"), 2, 10)
+    cache.put(("t2", "c1", 0, b"z"), 3, 10)
+    dropped = cache.invalidate(lambda key: key[0] == "t1")
+    assert dropped == 2
+    assert cache.get(("t1", "c1", 0, b"x")) is None
+    assert cache.get(("t2", "c1", 0, b"z")) == 3
+    assert cache.used_bytes == 10
+
+
+def test_clear_drops_everything():
+    cache = EnclaveLruCache(budget_bytes=1000)
+    cache.put("a", 1, 10)
+    cache.put("b", 2, 10)
+    assert cache.clear() == 2
+    assert len(cache) == 0
+    assert cache.used_bytes == 0
+    assert cache.stats.invalidations == 2
+
+
+def test_nonpositive_budget_rejected():
+    with pytest.raises(EnclaveMemoryError):
+        EnclaveLruCache(budget_bytes=0)
+
+
+def test_fastpath_config_master_flag_gates_every_layer():
+    on = FastPathConfig()
+    assert on.entry_cache_enabled
+    assert on.key_cache_enabled
+    assert on.batching_enabled
+    assert on.parallel_scan_enabled
+    assert on.scan_mask_reuse_enabled
+
+    off = FastPathConfig.disabled()
+    assert not off.entry_cache_enabled
+    assert not off.key_cache_enabled
+    assert not off.batching_enabled
+    assert not off.parallel_scan_enabled
+    assert not off.scan_mask_reuse_enabled
+
+    single_worker = FastPathConfig(scan_max_workers=1)
+    assert not single_worker.parallel_scan_enabled
