@@ -1,0 +1,176 @@
+"""Network round-trip overhead: TCP deployment vs in-process (repro.net).
+
+Runs the same range-query workload twice per dictionary kind — once against
+an in-process :class:`EncDBDBSystem`, once against a live ``repro.net`` TCP
+server on localhost — and reports the wall-clock overhead the wire adds,
+plus the measured frame bytes per query. Kinds cover the three search
+complexities: ED1 (sorted, O(log|D|)), ED3 (unsorted, O(|D|)) and ED7
+(frequency hiding, |D| = column length).
+
+Emits human-readable ``results/net_roundtrip.txt`` and machine-readable
+``results/BENCH_net.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from conftest import RESULTS_DIR, write_result
+from repro.bench.report import format_table
+from repro.client.session import EncDBDBSystem
+from repro.crypto.drbg import HmacDrbg
+from repro.net.client import connect_system
+from repro.net.server import NetServer, ServerThread
+
+KINDS = ("ED1", "ED3", "ED7")
+ROWS = 4_000
+DISTINCT = 500
+NUM_QUERIES = 12
+RANGE_WIDTH = 25
+SEED = 2026
+
+
+def _values() -> list[int]:
+    rng = HmacDrbg(b"net-bench-values")
+    return [rng.randint(0, DISTINCT - 1) for _ in range(ROWS)]
+
+
+def _queries() -> list[tuple[int, int]]:
+    rng = HmacDrbg(b"net-bench-queries")
+    bounds = []
+    for _ in range(NUM_QUERIES):
+        low = rng.randint(0, DISTINCT - RANGE_WIDTH - 1)
+        bounds.append((low, low + RANGE_WIDTH))
+    return bounds
+
+
+def _load(system, kind_name: str, values: list[int]) -> None:
+    system.execute(f"CREATE TABLE t (v {kind_name} INTEGER)")
+    system.bulk_load("t", {"v": values})
+
+
+def _run_queries(system, bounds) -> tuple[float, list[int]]:
+    """(wall_seconds, per-query match counts) for the fixed workload."""
+    counts = []
+    start = time.perf_counter()
+    for low, high in bounds:
+        result = system.query(
+            f"SELECT COUNT(*) FROM t WHERE v >= {low} AND v < {high}"
+        )
+        counts.append(result.scalar())
+    return time.perf_counter() - start, counts
+
+
+class _ByteCounter:
+    def __init__(self) -> None:
+        self.total = 0
+        self.frames = 0
+
+    def __call__(self, direction, frame_type, payload: bytes) -> None:
+        self.total += len(payload)
+        self.frames += 1
+
+
+@pytest.fixture(scope="module")
+def roundtrip_runs():
+    values = _values()
+    bounds = _queries()
+    measured = {}
+    for kind_name in KINDS:
+        local = EncDBDBSystem.create(seed=SEED)
+        _load(local, kind_name, values)
+        local_wall, local_counts = _run_queries(local, bounds)
+        local_ecalls = local.server.cost_model.ecalls
+
+        with ServerThread(NetServer()) as handle:
+            counter = _ByteCounter()
+            remote = connect_system(
+                "127.0.0.1", handle.port, seed=SEED, tap=counter
+            )
+            try:
+                _load(remote, kind_name, values)
+                loaded_bytes, loaded_frames = counter.total, counter.frames
+                remote_wall, remote_counts = _run_queries(remote, bounds)
+            finally:
+                remote.close()
+            remote_ecalls = handle.server.dbms.cost_model.ecalls
+
+        assert remote_counts == local_counts, kind_name  # same answers, always
+        query_bytes = counter.total - loaded_bytes
+        measured[kind_name] = {
+            "in_process": {"wall_s": local_wall, "ecalls": local_ecalls},
+            "tcp": {"wall_s": remote_wall, "ecalls": remote_ecalls},
+            "overhead_ratio": remote_wall / local_wall,
+            "overhead_ms_per_query": (
+                (remote_wall - local_wall) / NUM_QUERIES * 1000
+            ),
+            "wire_bytes_per_query": query_bytes / NUM_QUERIES,
+            "wire_frames": counter.frames - loaded_frames,
+            "match_counts": local_counts,
+        }
+    return measured
+
+
+def test_wire_returns_identical_results(shape, roundtrip_runs):
+    for kind_name in KINDS:
+        run = roundtrip_runs[kind_name]
+        assert run["match_counts"], kind_name
+        assert sum(run["match_counts"]) > 0, kind_name
+
+
+def test_wire_adds_no_enclave_work(shape, roundtrip_runs):
+    """The network layer must not change *what* the enclave does: the remote
+    deployment performs the same number of ecalls per query workload (the
+    remote side adds only provisioning/hello ecalls, counted separately)."""
+    for kind_name in KINDS:
+        run = roundtrip_runs[kind_name]
+        # Remote runs channel_offer/accept/provision/is_provisioned extras.
+        extra = run["tcp"]["ecalls"] - run["in_process"]["ecalls"]
+        assert 0 <= extra <= 8, (kind_name, extra)
+
+
+def test_report_written(shape, roundtrip_runs):
+    headers = [
+        "kind",
+        "in-process s",
+        "tcp s",
+        "overhead",
+        "ms/query added",
+        "wire KiB/query",
+    ]
+    rows = [
+        [
+            kind_name,
+            f"{run['in_process']['wall_s']:.3f}",
+            f"{run['tcp']['wall_s']:.3f}",
+            f"{run['overhead_ratio']:.2f}x",
+            f"{run['overhead_ms_per_query']:.2f}",
+            f"{run['wire_bytes_per_query'] / 1024:.1f}",
+        ]
+        for kind_name, run in roundtrip_runs.items()
+    ]
+    text = format_table(
+        f"Network round-trip overhead ({ROWS} rows, {NUM_QUERIES} range "
+        f"queries, localhost TCP)",
+        headers,
+        rows,
+    )
+    write_result("net_roundtrip", text)
+
+    payload = {
+        "workload": {
+            "rows": ROWS,
+            "distinct_values": DISTINCT,
+            "queries": NUM_QUERIES,
+            "range_width": RANGE_WIDTH,
+        },
+        "kinds": roundtrip_runs,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_net.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    assert len(rows) == len(KINDS)

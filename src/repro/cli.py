@@ -5,12 +5,19 @@ Usage::
     python -m repro.cli                      # interactive shell
     python -m repro.cli --script demo.sql    # run a ;-separated script
     python -m repro.cli --seed 7 --save db.encdbdb --script load.sql
+    python -m repro.cli serve --port 7482    # run the DBaaS side over TCP
+    python -m repro.cli --connect 127.0.0.1:7482   # shell against it
 
 The CLI stands up a complete deployment (server + enclave + data owner +
 proxy) on startup, optionally restores a persisted database, executes SQL
 through the trusted proxy, and pretty-prints results. Meta commands:
 ``.help``, ``.tables``, ``.schema <table>``, ``.stats`` (enclave cost
 counters), ``.quit``.
+
+With ``serve`` the process runs only the *untrusted* half (DBMS + enclave)
+as a ``repro.net`` TCP server; with ``--connect`` it runs only the trusted
+half (data owner + proxy), attesting and provisioning the remote enclave
+over the socket before the first statement.
 """
 
 from __future__ import annotations
@@ -178,7 +185,64 @@ class Shell:
                 buffered = ""
 
 
+def serve_main(argv: list[str]) -> int:
+    """``python -m repro.cli serve``: run the untrusted DBaaS side."""
+    import asyncio
+
+    from repro.net.server import NetServer
+    from repro.server.dbms import EncDBDBServer
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli serve", description="EncDBDB network server"
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=7482, help="TCP port (0 = ephemeral)")
+    parser.add_argument("--load", type=Path, help="load a persisted database")
+    parser.add_argument(
+        "--max-sessions", type=int, default=8, help="admission-control limit"
+    )
+    parser.add_argument(
+        "--sealed-key",
+        type=Path,
+        help="sealed SKDB blob: restored on boot if present, written after "
+        "every provisioning (restart without re-attestation)",
+    )
+    args = parser.parse_args(argv)
+
+    dbms = EncDBDBServer()
+    if args.load:
+        dbms.load(args.load)
+    server = NetServer(
+        dbms,
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        sealed_key_path=args.sealed_key,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"encdbdb server listening on {server.host}:{server.port}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _parse_endpoint(endpoint: str) -> tuple[str, int]:
+    host, _, port = endpoint.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--connect expects host:port, got {endpoint!r}")
+    return host, int(port)
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="EncDBDB reproduction SQL shell"
     )
@@ -186,23 +250,38 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--script", type=Path, help="run a SQL script and exit")
     parser.add_argument("--load", type=Path, help="load a persisted database")
     parser.add_argument("--save", type=Path, help="save the database on exit")
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="run against a remote `repro.cli serve` deployment instead of "
+        "an in-process one (attests + provisions over the socket)",
+    )
     args = parser.parse_args(argv)
 
-    system = EncDBDBSystem.create(seed=args.seed)
-    if args.load:
-        # Loading replaces the catalog; re-register schemas with the proxy.
-        system.server.load(args.load)
-        for name in system.server.catalog.table_names():
-            system.proxy.register_schema(
-                name, system.server.catalog.table(name).specs
-            )
-    shell = Shell(system)
-    if args.script:
-        shell.run_script(args.script.read_text())
+    if args.connect:
+        if args.load:
+            raise SystemExit("--load is server-side; use `serve --load` instead")
+        host, port = _parse_endpoint(args.connect)
+        system = EncDBDBSystem.connect(host, port, seed=args.seed)
     else:
-        shell.run_interactive()
-    if args.save:
-        system.save(args.save)
+        system = EncDBDBSystem.create(seed=args.seed)
+        if args.load:
+            # Loading replaces the catalog; re-register schemas with the proxy.
+            system.server.load(args.load)
+            for name in system.server.catalog.table_names():
+                system.proxy.register_schema(
+                    name, system.server.catalog.table(name).specs
+                )
+    shell = Shell(system)
+    try:
+        if args.script:
+            shell.run_script(args.script.read_text())
+        else:
+            shell.run_interactive()
+        if args.save:
+            system.save(args.save)
+    finally:
+        system.close()
     return 0
 
 

@@ -9,7 +9,7 @@ trusted realm ( 3 ), and import the encrypted database at the provider
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.columnstore.types import ColumnSpec
 from repro.crypto.drbg import HmacDrbg
@@ -17,21 +17,34 @@ from repro.crypto.kdf import derive_column_key
 from repro.crypto.pae import Pae, default_pae, pae_gen
 from repro.encdict.builder import BuildResult, encdb_build
 from repro.exceptions import CatalogError
-from repro.server.dbms import EncDBDBServer
 from repro.sgx.channel import SecureChannel
+
+if TYPE_CHECKING:  # the owner only needs the server *surface*; at runtime
+    # this may be an in-process EncDBDBServer or a repro.net RemoteServer stub.
+    from repro.server.dbms import EncDBDBServer
 
 
 class DataOwner:
     """Holds ``SKDB`` and prepares/provisions the encrypted database."""
 
-    def __init__(self, *, rng: HmacDrbg | None = None, pae: Pae | None = None) -> None:
+    def __init__(
+        self,
+        *,
+        rng: HmacDrbg | None = None,
+        pae: Pae | None = None,
+        master_key: bytes | None = None,
+    ) -> None:
         self._rng = rng if rng is not None else HmacDrbg(b"data-owner")
         self.pae = pae if pae is not None else default_pae(rng=self._rng.fork("pae"))
-        # Step 1: SKDB = PAE_Gen(1^λ)
-        self.master_key = pae_gen(rng=self._rng.fork("skdb"))
+        # Step 1: SKDB = PAE_Gen(1^λ) — unless the owner resumes with a key it
+        # already generated (e.g. reconnecting to a restarted remote server
+        # that unsealed the same SKDB from sealed storage).
+        self.master_key = (
+            master_key if master_key is not None else pae_gen(rng=self._rng.fork("skdb"))
+        )
 
     def attest_and_provision(
-        self, server: EncDBDBServer, *, expected_measurement: bytes | None = None
+        self, server: "EncDBDBServer", *, expected_measurement: bytes | None = None
     ) -> None:
         """Step 2: attest the enclave, then push ``SKDB`` through the channel.
 

@@ -11,7 +11,7 @@ transparent to the application.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.columnstore.catalog import Catalog
 from repro.columnstore.types import ColumnSpec, ValueType
@@ -19,8 +19,12 @@ from repro.crypto.pae import Pae
 from repro.encdict.enclave_app import encrypt_search_range
 from repro.encdict.search import OrdinalRange
 from repro.exceptions import QueryError
-from repro.server.dbms import EncDBDBServer
 from repro.sql.ast_nodes import Aggregate
+
+if TYPE_CHECKING:  # the proxy is written against the server *surface* only:
+    # in-process it talks to an EncDBDBServer, remotely to a repro.net
+    # RemoteServer stub relaying the same calls over the wire.
+    from repro.server.dbms import EncDBDBServer
 from repro.sql.parser import parse
 from repro.sql.planner import (
     CreatePlan,
@@ -44,7 +48,7 @@ from repro.sql.result import QueryResult, ServerResult
 class Proxy:
     """Trusted query gateway holding ``SKDB``."""
 
-    def __init__(self, server: EncDBDBServer, master_key: bytes, pae: Pae) -> None:
+    def __init__(self, server: "EncDBDBServer", master_key: bytes, pae: Pae) -> None:
         self._server = server
         self._master_key = master_key
         self._pae = pae

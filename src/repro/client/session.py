@@ -45,6 +45,37 @@ class EncDBDBSystem:
         proxy = Proxy(server, owner.master_key, default_pae(rng=rng.fork("proxy")))
         return cls(server, owner, proxy)
 
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        seed: int | bytes | str = 0,
+        master_key: bytes | None = None,
+        provision: bool | None = None,
+        expected_measurement: bytes | None = None,
+    ) -> "EncDBDBSystem":
+        """Stand up a deployment against a **remote** server over TCP.
+
+        Same surface as :meth:`create`, but the server side is a
+        ``repro.net`` deployment: attestation, ``SKDB`` provisioning and all
+        query plans travel over real sockets. ``provision`` defaults to
+        provisioning only when the remote enclave does not hold a key yet;
+        pass ``master_key`` to resume a previously provisioned deployment
+        (e.g. after a sealed-storage server restart).
+        """
+        from repro.net.client import connect_system
+
+        return connect_system(
+            host,
+            port,
+            seed=seed,
+            master_key=master_key,
+            provision=provision,
+            expected_measurement=expected_measurement,
+        )
+
     # ------------------------------------------------------------------
     def execute(self, sql: str):
         """Run any supported SQL statement through the proxy."""
@@ -67,3 +98,15 @@ class EncDBDBSystem:
 
     def save(self, path) -> None:
         self.server.save(path)
+
+    def close(self) -> None:
+        """Release the underlying transport (no-op for in-process systems)."""
+        closer = getattr(self.server, "close", None)
+        if closer is not None:
+            closer()
+
+    def __enter__(self) -> "EncDBDBSystem":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

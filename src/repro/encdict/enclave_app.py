@@ -170,6 +170,17 @@ class EncDBDBEnclave(Enclave):
         self._reset_caches()
 
     @ecall
+    def is_provisioned(self) -> bool:
+        """Whether ``SKDB`` is currently resident in the enclave.
+
+        Not a secret: the untrusted host already observes whether the
+        provisioning ecalls ran. The network server advertises this in its
+        hello frame so remote clients know whether to attest-and-provision
+        or to resume with an existing key.
+        """
+        return self.protected_has(_MASTER_KEY)
+
+    @ecall
     def seal_master_key(self) -> bytes:
         """Seal ``SKDB`` to this enclave identity for persistence."""
         return seal(self.measurement, self.protected_get(_MASTER_KEY), pae=self._pae)

@@ -41,6 +41,15 @@ class StorageError(EncDBDBError):
     """Persistence-layer failure (corrupt file, unknown format version...)."""
 
 
+class NetworkError(EncDBDBError):
+    """Client/server transport failure (connection refused, capacity, EOF)."""
+
+
+class ProtocolError(NetworkError):
+    """A wire frame violated the ``repro.net`` protocol (bad magic, version
+    mismatch, malformed payload, oversized frame, unregistered type)."""
+
+
 class CatalogError(EncDBDBError):
     """Schema-level failure: unknown/duplicate table or column, bad type."""
 

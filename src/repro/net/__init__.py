@@ -1,0 +1,43 @@
+"""Attested client/server network layer (deployment topology of §3.1).
+
+The paper's architecture places the application + trusted proxy in the data
+owner's realm and the DBMS + enclave at an untrusted DBaaS provider.
+In-process deployments wire the two directly; this package carries the same
+calls over real TCP sockets:
+
+- :mod:`repro.net.protocol` — versioned, length-prefixed binary frames
+  (hello / attest / provision / query / result / error) with a typed codec
+  for plans, results and encrypted builds. No pickle: only registered types
+  decode, so a malicious peer cannot instantiate arbitrary objects.
+- :mod:`repro.net.server` — an asyncio TCP server fronting one
+  :class:`~repro.server.dbms.EncDBDBServer` with concurrent per-connection
+  sessions, admission control, and serialized enclave ecalls.
+- :mod:`repro.net.client` — the remote data owner and remote trusted proxy:
+  attestation + ``SKDB`` provisioning through the DH secure channel over
+  sockets, then plain SQL with client-side plan encryption and result
+  decryption. The wire carries only ciphertext for encrypted columns.
+- :mod:`repro.net.errors` — redaction of server-side exceptions into typed
+  wire error frames (no stack traces, no plaintext values).
+"""
+
+from repro.net.client import (
+    NetConnection,
+    RemoteDataOwner,
+    RemoteProxy,
+    RemoteServer,
+    connect_system,
+)
+from repro.net.protocol import PROTOCOL_VERSION, FrameType
+from repro.net.server import NetServer, ServerThread
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "FrameType",
+    "NetConnection",
+    "NetServer",
+    "RemoteDataOwner",
+    "RemoteProxy",
+    "RemoteServer",
+    "ServerThread",
+    "connect_system",
+]

@@ -1,0 +1,382 @@
+"""The data owner's side of the wire: remote proxy + remote provisioning.
+
+Everything in this module runs in the **trusted realm** (the data owner's
+machines). The key structural property: plaintext of encrypted columns,
+``SKDB``, column keys and rotation offsets exist only inside these classes —
+what they hand to :class:`NetConnection` for transmission is exactly what an
+in-process deployment hands to :class:`~repro.server.dbms.EncDBDBServer`:
+encrypted range bounds, ciphertext dictionaries, PAE-wrapped key material.
+The frame tap (:attr:`NetConnection.tap`) exists so tests can sniff every
+byte that crosses and prove it.
+
+:class:`RemoteServer` duck-types the ``EncDBDBServer`` surface, so the
+existing :class:`~repro.client.proxy.Proxy` and
+:class:`~repro.client.owner.DataOwner` — including the paper §4.2
+attestation + provisioning sequence — run against it unchanged.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Callable
+
+from repro.client.owner import DataOwner
+from repro.client.proxy import Proxy
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.pae import default_pae
+from repro.encdict.builder import BuildResult, BuildStats
+from repro.exceptions import AttestationError, NetworkError, ProtocolError
+from repro.net.errors import raise_wire_error
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    FrameType,
+    decode_payload,
+    encode_frame,
+    encode_payload,
+    read_frame,
+)
+
+#: ``tap(direction, frame_type, payload_bytes)`` — observes every frame
+#: payload this connection sends ("send") or receives ("recv"), *after*
+#: encoding / *before* decoding. Used by the ciphertext-only wire tests.
+FrameTap = Callable[[str, FrameType, bytes], None]
+
+
+class NetConnection:
+    """One synchronous client connection speaking the EncDBDB wire protocol."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 60.0,
+        tap: FrameTap | None = None,
+    ) -> None:
+        self.tap = tap
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise NetworkError(f"cannot connect to {host}:{port}: {exc}") from None
+        self._closed = False
+        self.hello: dict = self._handshake()
+
+    # ------------------------------------------------------------------
+    def _read_exact(self, n: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < n:
+            try:
+                chunk = self._sock.recv(n - len(chunks))
+            except OSError as exc:
+                raise NetworkError(f"receive failed: {exc}") from None
+            if not chunk:
+                raise NetworkError("connection closed by server")
+            chunks += chunk
+        return bytes(chunks)
+
+    def _send_frame(self, frame_type: FrameType, payload: Any) -> None:
+        raw = encode_payload(payload)
+        if self.tap is not None:
+            self.tap("send", frame_type, raw)
+        try:
+            self._sock.sendall(encode_frame(frame_type, raw))
+        except OSError as exc:
+            raise NetworkError(f"send failed: {exc}") from None
+
+    def _recv_frame(self) -> tuple[FrameType, Any]:
+        frame_type, raw = read_frame(self._read_exact)
+        if self.tap is not None:
+            self.tap("recv", frame_type, raw)
+        payload = decode_payload(raw)
+        if frame_type is FrameType.ERROR:
+            raise_wire_error(payload["kind"], payload["message"])
+        return frame_type, payload
+
+    def request(self, frame_type: FrameType, payload: Any) -> tuple[FrameType, Any]:
+        """One round trip; wire error frames re-raise as typed exceptions."""
+        if self._closed:
+            raise NetworkError("connection is closed")
+        self._send_frame(frame_type, payload)
+        return self._recv_frame()
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """One server RPC: QUERY out, RESULT (or typed error) back."""
+        reply_type, payload = self.request(
+            FrameType.QUERY,
+            {"method": method, "args": list(args), "kwargs": kwargs},
+        )
+        if reply_type is not FrameType.RESULT:
+            raise ProtocolError(f"expected RESULT, got {reply_type.name}")
+        return payload["value"]
+
+    def _handshake(self) -> dict:
+        reply_type, hello = self.request(
+            FrameType.HELLO, {"client": "encdbdb", "protocol": PROTOCOL_VERSION}
+        )
+        if reply_type is not FrameType.HELLO or not isinstance(hello, dict):
+            raise ProtocolError("server did not answer the hello frame")
+        return hello
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+def _sanitize_build(build: BuildResult) -> BuildResult:
+    """Strip owner-side secrets from build stats before they cross the wire.
+
+    ``rnd_offset`` is the plaintext rotation offset of ED2/ED5/ED8 — the one
+    value whose secrecy those kinds depend on (it exists on the wire only as
+    the dictionary's ``enc_rnd_offset`` ciphertext). ``unique_values`` and
+    ``bsmax`` leak the frequency information the smoothing and hiding kinds
+    pay dictionary space to conceal. The untrusted storage layer keeps none of
+    these either (see ``storage._read_encrypted_column``).
+    """
+    stats = build.stats
+    return BuildResult(
+        build.dictionary,
+        build.attribute_vector,
+        BuildStats(
+            kind=stats.kind,
+            column_length=stats.column_length,
+            unique_values=-1,
+            dictionary_entries=stats.dictionary_entries,
+            bsmax=None,
+            rnd_offset=None,
+        ),
+    )
+
+
+class _RemoteTable:
+    """Schema-only table view (mirrors ``catalog.table(name).specs``)."""
+
+    def __init__(self, name: str, specs: tuple) -> None:
+        self.name = name
+        self.specs = list(specs)
+
+
+class _RemoteCatalog:
+    """Read-only catalog shim backed by server RPCs."""
+
+    def __init__(self, connection: NetConnection) -> None:
+        self._connection = connection
+
+    def table_names(self) -> list[str]:
+        return self._connection.call("table_names")
+
+    def table(self, name: str) -> _RemoteTable:
+        return _RemoteTable(name, self._connection.call("table_specs", name))
+
+
+class _RemoteCostModel:
+    """Snapshot-backed view of the remote enclave's cost accounting."""
+
+    def __init__(self, connection: NetConnection) -> None:
+        self._connection = connection
+
+    def snapshot(self) -> dict:
+        return self._connection.call("cost_snapshot")
+
+    @property
+    def ecalls(self) -> int:
+        return self.snapshot()["ecalls"]
+
+    @property
+    def decryptions(self) -> int:
+        return self.snapshot()["decryptions"]
+
+    @property
+    def untrusted_loads(self) -> int:
+        return self.snapshot()["untrusted_loads"]
+
+    def estimated_cycles(self) -> float:
+        return self.snapshot()["estimated_cycles"]
+
+
+class RemoteServer:
+    """Client-side stub presenting the :class:`EncDBDBServer` surface.
+
+    ``Proxy`` and ``DataOwner`` call it exactly as they call an in-process
+    server; each method is one wire round trip. ``attestation`` is a *local*
+    :class:`AttestationService` — quote verification must happen in the
+    trusted realm (the simulated Intel root key is shared, mirroring how a
+    real verifier talks to IAS rather than trusting the provider).
+    """
+
+    def __init__(self, connection: NetConnection) -> None:
+        from repro.sgx.attestation import AttestationService
+
+        self.connection = connection
+        self.attestation = AttestationService()
+        self.catalog = _RemoteCatalog(connection)
+        self.cost_model = _RemoteCostModel(connection)
+
+    # -- handshake facts -------------------------------------------------
+    @property
+    def measurement(self) -> bytes:
+        return self.connection.hello["measurement"]
+
+    @property
+    def provisioned(self) -> bool:
+        return bool(self.connection.hello.get("provisioned"))
+
+    @property
+    def session_id(self) -> int:
+        return self.connection.hello.get("session", 0)
+
+    # -- attestation + provisioning (paper §4.2 steps 2, over sockets) ---
+    def enclave_channel_offer(self):
+        _, payload = self.connection.request(FrameType.ATTEST, {"op": "offer"})
+        return payload["offer"]
+
+    def enclave_channel_accept(self, client_public: int) -> None:
+        self.connection.request(
+            FrameType.ATTEST, {"op": "accept", "client_public": int(client_public)}
+        )
+
+    def enclave_provision(self, wire_blob: bytes) -> None:
+        self.connection.request(FrameType.PROVISION, {"blob": wire_blob})
+        self.connection.hello["provisioned"] = True
+
+    # -- DDL / import ------------------------------------------------------
+    def create_table(self, plan) -> None:
+        self.connection.call("create_table", plan)
+
+    def bulk_load(
+        self,
+        table_name: str,
+        *,
+        plain_columns: dict[str, list] | None = None,
+        encrypted_builds: dict[str, BuildResult] | None = None,
+    ) -> int:
+        return self.connection.call(
+            "bulk_load",
+            table_name,
+            plain_columns=plain_columns or {},
+            encrypted_builds={
+                name: _sanitize_build(build)
+                for name, build in (encrypted_builds or {}).items()
+            },
+        )
+
+    # -- query execution -----------------------------------------------------
+    def execute_select(self, plan):
+        return self.connection.call("execute_select", plan)
+
+    def execute_join_select(self, plan, salt: bytes):
+        return self.connection.call("execute_join_select", plan, salt)
+
+    def execute_insert(self, table_name: str, prepared_rows: list[dict]) -> int:
+        return self.connection.call("execute_insert", table_name, prepared_rows)
+
+    def execute_delete(self, plan) -> int:
+        return self.connection.call("execute_delete", plan)
+
+    def delete_record_ids(self, table_name: str, record_ids) -> int:
+        return self.connection.call("delete_record_ids", table_name, record_ids)
+
+    def execute_merge(self, plan) -> int:
+        return self.connection.call("execute_merge", plan)
+
+    # -- introspection / persistence (server-side paths) ------------------
+    def table_names(self) -> list[str]:
+        return self.connection.call("table_names")
+
+    def table_specs(self, table_name: str) -> tuple:
+        return tuple(self.connection.call("table_specs", table_name))
+
+    def cost_snapshot(self) -> dict:
+        return self.connection.call("cost_snapshot")
+
+    def save(self, path) -> None:
+        self.connection.call("save", str(path))
+
+    def enclave_seal(self) -> bytes:
+        return self.connection.call("enclave_seal")
+
+    def enclave_restore(self, sealed_blob: bytes) -> None:
+        self.connection.call("enclave_restore", sealed_blob)
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+class RemoteProxy(Proxy):
+    """The trusted proxy, deployed in the data owner's realm over TCP.
+
+    Identical logic to :class:`Proxy` — plans and encrypts client-side,
+    decrypts and post-processes client-side — only the server surface is a
+    :class:`RemoteServer`, so plans/results travel as wire frames.
+    """
+
+    @property
+    def connection(self) -> NetConnection:
+        return self._server.connection
+
+
+class RemoteDataOwner(DataOwner):
+    """The data owner provisioning a remote deployment (paper §4.2).
+
+    Inherits the full local EncDB pipeline; ``attest_and_provision`` against
+    a :class:`RemoteServer` performs quote verification locally and pushes
+    ``SKDB`` through the DH secure channel over the socket.
+    """
+
+
+def connect_system(
+    host: str,
+    port: int,
+    *,
+    seed: int | bytes | str = 0,
+    master_key: bytes | None = None,
+    provision: bool | None = None,
+    expected_measurement: bytes | None = None,
+    timeout: float = 60.0,
+    tap: FrameTap | None = None,
+):
+    """Stand up an :class:`~repro.client.session.EncDBDBSystem` over TCP.
+
+    - ``provision=None`` (default): attest + push ``SKDB`` only when the
+      remote enclave advertises that it holds no key yet; otherwise assume
+      this owner's deterministic key (same ``seed`` ⇒ same ``SKDB``) or the
+      explicit ``master_key`` matches the provisioned one.
+    - ``provision=True`` / ``False`` force either behaviour.
+    - ``expected_measurement`` pins the enclave identity; without
+      provisioning it is checked against the advertised measurement.
+    """
+    from repro.client.session import EncDBDBSystem
+
+    rng = HmacDrbg(seed if isinstance(seed, (bytes, str)) else int(seed))
+    connection = NetConnection(host, port, timeout=timeout, tap=tap)
+    try:
+        server = RemoteServer(connection)
+        owner = RemoteDataOwner(rng=rng.fork("owner"), master_key=master_key)
+        should_provision = (
+            provision if provision is not None else not server.provisioned
+        )
+        if should_provision:
+            owner.attest_and_provision(
+                server, expected_measurement=expected_measurement
+            )
+        elif (
+            expected_measurement is not None
+            and server.measurement != expected_measurement
+        ):
+            raise AttestationError(
+                "remote enclave measurement does not match the pinned identity"
+            )
+        proxy = RemoteProxy(
+            server, owner.master_key, default_pae(rng=rng.fork("proxy"))
+        )
+        # Mirror any pre-existing schema (e.g. reconnecting after a restart)
+        # so the proxy can plan against tables it did not create itself.
+        for name in server.table_names():
+            proxy.register_schema(name, list(server.table_specs(name)))
+    except BaseException:
+        connection.close()
+        raise
+    return EncDBDBSystem(server, owner, proxy)

@@ -1,0 +1,86 @@
+"""Redaction of server-side failures into typed wire error frames.
+
+Execution errors at the DBaaS provider must reach the remote proxy as
+actionable, *typed* exceptions — but the wire is observed by the network
+attacker, and an unredacted exception can carry stack traces (code layout,
+file paths) or even value material (a ``ValueError`` interpolating its
+argument). The policy here:
+
+- only the exception **type name** and **message** ever cross the wire —
+  never a traceback;
+- only :class:`~repro.exceptions.EncDBDBError` subclasses keep their message
+  (the package-wide contract is that those messages never contain plaintext
+  of encrypted columns); the type is mapped to the nearest registered base;
+- any other exception is collapsed to a generic "internal server error"
+  with no detail at all;
+- messages are additionally scrubbed of byte-literal reprs and truncated,
+  as defense in depth against a message that embeds raw blobs.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro import exceptions
+from repro.exceptions import EncDBDBError
+
+#: Exception types allowed to cross the wire by name. The client maps the
+#: name back to the same class, so ``except CatalogError:`` works identically
+#: for in-process and remote deployments.
+WIRE_SAFE_EXCEPTIONS: dict[str, type[EncDBDBError]] = {
+    cls.__name__: cls
+    for cls in (
+        exceptions.EncDBDBError,
+        exceptions.CryptoError,
+        exceptions.AuthenticationError,
+        exceptions.EnclaveSecurityError,
+        exceptions.AttestationError,
+        exceptions.EnclaveMemoryError,
+        exceptions.StorageError,
+        exceptions.CatalogError,
+        exceptions.QueryError,
+        exceptions.SqlSyntaxError,
+        exceptions.PlanError,
+        exceptions.NetworkError,
+        exceptions.ProtocolError,
+    )
+}
+
+REDACTED_MESSAGE = "internal server error (details redacted)"
+
+_MAX_MESSAGE_CHARS = 500
+_BYTES_REPR = re.compile(r"(?:b|bytearray\()['\"][^'\"]*['\"]\)?")
+_HEX_BLOB = re.compile(r"\b[0-9a-fA-F]{32,}\b")
+
+
+def scrub_message(message: str) -> str:
+    """Strip byte-literal reprs and long hex runs; bound the length."""
+    message = _BYTES_REPR.sub("<bytes>", message)
+    message = _HEX_BLOB.sub("<hex>", message)
+    if len(message) > _MAX_MESSAGE_CHARS:
+        message = message[:_MAX_MESSAGE_CHARS] + "..."
+    return message
+
+
+def redact_exception(exc: BaseException) -> tuple[str, str]:
+    """Map a server-side exception to a ``(kind, message)`` wire pair."""
+    if isinstance(exc, EncDBDBError):
+        kind = type(exc).__name__
+        if kind not in WIRE_SAFE_EXCEPTIONS:
+            # A subclass defined outside the registry: keep the nearest
+            # registered ancestor so the client still gets a typed error.
+            kind = next(
+                (
+                    base.__name__
+                    for base in type(exc).__mro__
+                    if base.__name__ in WIRE_SAFE_EXCEPTIONS
+                ),
+                "EncDBDBError",
+            )
+        return kind, scrub_message(str(exc))
+    return "EncDBDBError", REDACTED_MESSAGE
+
+
+def raise_wire_error(kind: str, message: str) -> None:
+    """Client side: re-raise an error frame as its typed exception."""
+    raise WIRE_SAFE_EXCEPTIONS.get(kind, EncDBDBError)(scrub_message(message))

@@ -82,6 +82,33 @@ class EncDBDBServer:
     def enclave_provision(self, wire_blob: bytes) -> None:
         self.enclave_host.ecall("provision_master_key", wire_blob)
 
+    def enclave_is_provisioned(self) -> bool:
+        return self.enclave_host.ecall("is_provisioned")
+
+    def enclave_seal(self) -> bytes:
+        """Seal ``SKDB`` to the enclave identity (restart persistence)."""
+        return self.enclave_host.ecall("seal_master_key")
+
+    def enclave_restore(self, sealed_blob: bytes) -> None:
+        """Restore ``SKDB`` from a sealed blob without re-attestation."""
+        self.enclave_host.ecall("restore_master_key", sealed_blob)
+
+    # ------------------------------------------------------------------
+    # Introspection for remote clients (schema mirror sync, accounting)
+    # ------------------------------------------------------------------
+    def table_names(self) -> list[str]:
+        return self.catalog.table_names()
+
+    def table_specs(self, table_name: str) -> tuple:
+        return tuple(self.catalog.table(table_name).specs)
+
+    def cost_snapshot(self) -> dict:
+        """Cost-model counters plus derived totals, as one plain dict."""
+        snapshot = self.cost_model.snapshot()
+        snapshot["ecalls_by_name"] = dict(self.cost_model.ecalls_by_name)
+        snapshot["estimated_cycles"] = self.cost_model.estimated_cycles()
+        return snapshot
+
     # ------------------------------------------------------------------
     # DDL and bulk import (paper §4.2 steps 3-4)
     # ------------------------------------------------------------------

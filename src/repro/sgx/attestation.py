@@ -42,6 +42,38 @@ class Quote:
             + self.report_data
         )
 
+    # ------------------------------------------------------------------
+    # Wire format (used by repro.net when quotes travel over real sockets)
+    # ------------------------------------------------------------------
+    def to_wire(self) -> bytes:
+        """Serialize as ``body || len(sig) || sig`` for network transport."""
+        return self.body() + len(self.signature).to_bytes(2, "big") + self.signature
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "Quote":
+        """Parse a quote from its wire form; raises on truncation/trailing."""
+        try:
+            pos = 0
+            m_len = int.from_bytes(data[pos : pos + 2], "big")
+            pos += 2
+            measurement = bytes(data[pos : pos + m_len])
+            pos += m_len
+            r_len = int.from_bytes(data[pos : pos + 4], "big")
+            pos += 4
+            report_data = bytes(data[pos : pos + r_len])
+            pos += r_len
+            s_len = int.from_bytes(data[pos : pos + 2], "big")
+            pos += 2
+            signature = bytes(data[pos : pos + s_len])
+            pos += s_len
+            if pos != len(data) or len(measurement) != m_len or len(
+                report_data
+            ) != r_len or len(signature) != s_len:
+                raise ValueError("length mismatch")
+        except (IndexError, ValueError) as exc:
+            raise AttestationError(f"malformed wire quote: {exc}") from None
+        return cls(measurement, report_data, signature)
+
 
 class AttestationService:
     """Simulated Intel attestation service (IAS/DCAP verifier).

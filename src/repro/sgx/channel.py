@@ -93,7 +93,12 @@ class SecureChannelListener:
         return self._offer
 
     def accept(self, peer_public: int) -> "SecureChannel":
-        """Complete the handshake with the remote party's public value."""
+        """Complete the handshake with the remote party's public value.
+
+        Single-use: once a channel is derived the offer is consumed, so a
+        network attacker replaying ``accept`` against an old quote cannot
+        obtain a second channel keyed to the same attested public value.
+        """
         if self._private is None or self._offer is None:
             raise EnclaveSecurityError("accept() before offer()")
         if not 1 < peer_public < MODP_2048_PRIME - 1:
@@ -102,6 +107,7 @@ class SecureChannelListener:
         transcript = self._offer.quote.report_data + peer_public.to_bytes(256, "big")
         key = _session_key(shared, transcript)
         self._private = None  # ephemeral: forward secrecy
+        self._offer = None  # one handshake per offer (anti-replay over TCP)
         return SecureChannel(key)
 
 

@@ -1,0 +1,26 @@
+"""Shared fixtures for the network-layer tests: live TCP servers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.server import NetServer, ServerThread
+from repro.server.dbms import EncDBDBServer
+from repro.sgx.cache import FastPathConfig
+
+
+@pytest.fixture
+def net_server():
+    """A running TCP server on an ephemeral port (default DBMS config)."""
+    with ServerThread(NetServer(max_sessions=16)) as handle:
+        yield handle
+
+
+@pytest.fixture
+def accounting_server():
+    """A server with the fast path disabled: enclave counters are exactly
+    the paper's sequential cost model, so concurrency tests can assert
+    additivity without cache-eviction noise."""
+    dbms = EncDBDBServer(fastpath=FastPathConfig.disabled())
+    with ServerThread(NetServer(dbms, max_sessions=16)) as handle:
+        yield handle

@@ -1,0 +1,95 @@
+"""CLI network modes: ``repro.cli serve`` and ``--connect host:port``."""
+
+from __future__ import annotations
+
+import io
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import Shell, _parse_endpoint, main
+from repro.client.session import EncDBDBSystem
+from repro.net.server import NetServer, ServerThread
+
+REPO_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def test_parse_endpoint():
+    assert _parse_endpoint("127.0.0.1:7482") == ("127.0.0.1", 7482)
+    assert _parse_endpoint("db.example.org:19") == ("db.example.org", 19)
+    with pytest.raises(SystemExit):
+        _parse_endpoint("no-port")
+    with pytest.raises(SystemExit):
+        _parse_endpoint(":123")
+
+
+def test_connect_flag_runs_script_against_remote(tmp_path, capsys):
+    script = tmp_path / "demo.sql"
+    script.write_text(
+        "CREATE TABLE t (name ED5 VARCHAR(20), age ED1 INTEGER);\n"
+        "INSERT INTO t VALUES ('Jessica', 31), ('Bob', 22);\n"
+        "SELECT name FROM t WHERE age >= 30;\n"
+        ".stats\n"
+    )
+    with ServerThread(NetServer()) as handle:
+        exit_code = main(
+            ["--connect", f"127.0.0.1:{handle.port}", "--script", str(script)]
+        )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "Jessica" in out
+    assert "Bob" not in out  # the filter ran remotely, only one row came back
+    assert "(1 row)" in out
+    assert "ecalls=" in out
+
+
+def test_connect_shell_meta_commands(tmp_path):
+    with ServerThread(NetServer()) as handle:
+        with EncDBDBSystem.connect("127.0.0.1", handle.port, seed=3) as system:
+            system.execute("CREATE TABLE people (name ED5 VARCHAR(20) BSMAX 4)")
+            out = io.StringIO()
+            shell = Shell(system, out=out)
+            shell.execute_line(".tables")
+            shell.execute_line(".schema people")
+            shell.execute_line(".stats")
+            text = out.getvalue()
+    assert "people" in text
+    assert "ED5" in text
+    assert "ecalls=" in text
+
+
+def test_connect_refuses_load_flag():
+    with pytest.raises(SystemExit, match="server-side"):
+        main(["--connect", "127.0.0.1:1", "--load", "x.db"])
+
+
+def test_serve_subprocess_end_to_end(tmp_path):
+    """Boot `python -m repro.cli serve` as a real subprocess and drive it
+    with `--connect` from this process."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=env,
+        text=True,
+    )
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"listening on ([\d.]+):(\d+)", banner)
+        assert match, f"no listening banner: {banner!r}"
+        host, port = match.group(1), int(match.group(2))
+        with EncDBDBSystem.connect(host, port, seed=6) as system:
+            system.execute("CREATE TABLE t (v ED7 INTEGER)")
+            system.execute("INSERT INTO t VALUES (1), (2), (3)")
+            assert system.query(
+                "SELECT COUNT(*) FROM t WHERE v >= 2"
+            ).scalar() == 2
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)

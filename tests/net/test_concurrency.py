@@ -1,0 +1,133 @@
+"""Concurrent sessions: isolation, admission control, and exact cost
+accounting (serialized ecalls make concurrent counters additive)."""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.client.session import EncDBDBSystem
+from repro.exceptions import NetworkError
+from repro.net.client import NetConnection
+from repro.net.server import NetServer, ServerThread
+
+CLIENTS = 8
+COUNTERS = ("ecalls", "decryptions", "untrusted_loads")
+
+
+def _workload(system: EncDBDBSystem, table: str, marker: int) -> list[int]:
+    """One client's session: DDL, insert, and two selects on its own table.
+
+    ED1 (sorted) and ED3 (unsorted) keep decryption counts deterministic —
+    no rotation offset, no smoothing randomness in the search path.
+    """
+    system.execute(f"CREATE TABLE {table} (k ED1 INTEGER, v ED3 INTEGER)")
+    rows = ", ".join(f"({i}, {marker + i})" for i in range(6))
+    system.execute(f"INSERT INTO {table} VALUES {rows}")
+    low = system.query(f"SELECT v FROM {table} WHERE k < 3")
+    high = system.query(f"SELECT v FROM {table} WHERE v >= {marker + 3}")
+    return sorted(r[0] for r in low) + sorted(r[0] for r in high)
+
+
+def _expected(marker: int) -> list[int]:
+    return [marker + i for i in range(3)] + [marker + i for i in range(3, 6)]
+
+
+def test_concurrent_clients_isolated_and_additive(accounting_server):
+    port = accounting_server.port
+    dbms = accounting_server.server.dbms
+
+    # Provision once up front so the parallel phase has no handshake race.
+    with EncDBDBSystem.connect("127.0.0.1", port, seed=0) as bootstrap:
+        assert bootstrap.server.provisioned
+
+    # Sequential reference: per-client counter deltas, summed.
+    expected_delta = dict.fromkeys(COUNTERS, 0)
+    for i in range(CLIENTS):
+        before = dbms.cost_model.snapshot()
+        with EncDBDBSystem.connect("127.0.0.1", port, seed=0) as system:
+            assert _workload(system, f"seq{i}", 1000 * (i + 1)) == _expected(
+                1000 * (i + 1)
+            )
+        after = dbms.cost_model.snapshot()
+        for name in COUNTERS:
+            expected_delta[name] += after[name] - before[name]
+
+    # Concurrent phase: identical workloads on distinct tables, all at once.
+    before = dbms.cost_model.snapshot()
+
+    def run(i: int) -> list[int]:
+        with EncDBDBSystem.connect("127.0.0.1", port, seed=0) as system:
+            return _workload(system, f"par{i}", 1000 * (i + 1))
+
+    with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+        results = list(pool.map(run, range(CLIENTS)))
+    after = dbms.cost_model.snapshot()
+
+    # Isolation: every client saw exactly its own rows.
+    for i, result in enumerate(results):
+        assert result == _expected(1000 * (i + 1)), f"client {i} cross-talk"
+
+    # Accounting: serialized ecalls mean the concurrent total is exactly the
+    # sum of the sequential runs — no lost updates, no double counting.
+    for name in COUNTERS:
+        assert after[name] - before[name] == expected_delta[name], name
+
+
+def test_sessions_tracked_and_reaped(net_server):
+    with EncDBDBSystem.connect("127.0.0.1", net_server.port, seed=0) as one:
+        assert len(net_server.server.sessions) == 1
+        with EncDBDBSystem.connect("127.0.0.1", net_server.port, seed=0) as two:
+            ids = {s.session_id for s in net_server.server.sessions.values()}
+            assert len(ids) == 2
+            assert one.server.session_id != two.server.session_id
+    # Give the event loop a beat to run the disconnect cleanup.
+    import time
+
+    deadline = time.monotonic() + 5
+    while net_server.server.sessions and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert not net_server.server.sessions
+
+
+def test_admission_control_rejects_over_capacity():
+    with ServerThread(NetServer(max_sessions=2, admission_timeout=0.2)) as handle:
+        first = NetConnection("127.0.0.1", handle.port)
+        second = NetConnection("127.0.0.1", handle.port)
+        try:
+            with pytest.raises(NetworkError, match="capacity"):
+                NetConnection("127.0.0.1", handle.port)
+        finally:
+            first.close()
+            second.close()
+        # Capacity frees up once a session disconnects.
+        import time
+
+        deadline = time.monotonic() + 5
+        third = None
+        while third is None:
+            try:
+                third = NetConnection("127.0.0.1", handle.port)
+            except NetworkError:
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.05)
+        assert third.hello["server"] == "encdbdb"
+        third.close()
+
+
+def test_concurrent_provisioning_single_winner(accounting_server):
+    """Many clients racing to provision: the channel handshake is serialized
+    by the provisioning lock, and every client ends up with a working
+    session (same deterministic SKDB from the shared seed)."""
+    port = accounting_server.port
+
+    def connect_and_count(i: int) -> int:
+        with EncDBDBSystem.connect("127.0.0.1", port, seed=0, provision=None) as s:
+            s.execute(f"CREATE TABLE race{i} (v ED1 INTEGER)")
+            s.execute(f"INSERT INTO race{i} VALUES ({i})")
+            return s.query(f"SELECT v FROM race{i} WHERE v = {i}").scalar()
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        assert list(pool.map(connect_and_count, range(4))) == list(range(4))

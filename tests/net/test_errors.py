@@ -1,0 +1,164 @@
+"""Error propagation: typed wire errors, redaction, no plaintext leakage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.session import EncDBDBSystem
+from repro.exceptions import (
+    CatalogError,
+    EncDBDBError,
+    ProtocolError,
+    QueryError,
+    SqlSyntaxError,
+)
+from repro.net.client import NetConnection, connect_system
+from repro.net.errors import (
+    REDACTED_MESSAGE,
+    redact_exception,
+    scrub_message,
+)
+from repro.net.protocol import FrameType
+
+
+# ----------------------------------------------------------------------
+# Redaction unit tests
+# ----------------------------------------------------------------------
+
+
+def test_registered_exception_keeps_type_and_message():
+    kind, message = redact_exception(CatalogError("table 'x' does not exist"))
+    assert kind == "CatalogError"
+    assert message == "table 'x' does not exist"
+
+
+def test_unregistered_subclass_maps_to_nearest_ancestor():
+    class CustomQueryError(QueryError):
+        pass
+
+    kind, _ = redact_exception(CustomQueryError("boom"))
+    assert kind == "QueryError"
+
+
+def test_foreign_exception_fully_redacted():
+    kind, message = redact_exception(ValueError("secret value 12345"))
+    assert kind == "EncDBDBError"
+    assert message == REDACTED_MESSAGE
+    kind, message = redact_exception(KeyError("skdb"))
+    assert message == REDACTED_MESSAGE
+
+
+def test_scrub_strips_bytes_reprs_and_hex():
+    assert "deadbeef" not in scrub_message("key " + "deadbeef" * 8 + " leaked")
+    assert scrub_message("got b'\\x01secret' back") == "got <bytes> back"
+    assert scrub_message("buf bytearray('abc') here") == "buf <bytes> here"
+    assert len(scrub_message("x" * 10_000)) <= 503
+
+
+# ----------------------------------------------------------------------
+# Wire behaviour
+# ----------------------------------------------------------------------
+
+
+def test_typed_errors_cross_the_wire(net_server):
+    with EncDBDBSystem.connect("127.0.0.1", net_server.port, seed=1) as system:
+        system.execute("CREATE TABLE t (v ED1 INTEGER)")
+        with pytest.raises(CatalogError, match="no column"):
+            system.query("SELECT nope FROM t")
+        with pytest.raises(CatalogError):
+            system.query("SELECT v FROM missing_table")
+        with pytest.raises(SqlSyntaxError):
+            system.execute("SELEC broken")
+        # The session survives every failure.
+        system.execute("INSERT INTO t VALUES (1)")
+        assert system.query("SELECT v FROM t WHERE v = 1").scalar() == 1
+
+
+def test_internal_server_error_is_redacted(net_server):
+    """A non-EncDBDB failure inside the server must reach the client as a
+    generic EncDBDBError carrying no detail."""
+    conn = NetConnection("127.0.0.1", net_server.port)
+    try:
+        # execute_select(None) explodes with AttributeError server-side.
+        with pytest.raises(EncDBDBError) as excinfo:
+            conn.call("execute_select", None)
+        assert str(excinfo.value) == REDACTED_MESSAGE
+        assert excinfo.type is EncDBDBError
+    finally:
+        conn.close()
+
+
+def test_error_frames_carry_no_plaintext(net_server):
+    """Sniff the error frame for a failing statement that embeds a secret:
+    the secret is in the *client-side* SQL, and the server-side failure
+    message must not echo encrypted material back."""
+    frames = []
+    system = connect_system(
+        "127.0.0.1",
+        net_server.port,
+        seed=2,
+        tap=lambda d, t, p: frames.append((d, t, p)),
+    )
+    try:
+        system.execute("CREATE TABLE s (v ED8 VARCHAR(20))")
+        with pytest.raises(EncDBDBError):
+            # Duplicate create: server-side CatalogError.
+            system.execute("CREATE TABLE s (v ED8 VARCHAR(20))")
+    finally:
+        system.close()
+    error_frames = [p for d, t, p in frames if t is FrameType.ERROR]
+    assert error_frames, "no error frame observed"
+    for payload in error_frames:
+        assert b"Traceback" not in payload
+        assert b"/root" not in payload and b"site-packages" not in payload
+
+
+def test_unknown_rpc_method_rejected(net_server):
+    conn = NetConnection("127.0.0.1", net_server.port)
+    try:
+        with pytest.raises(ProtocolError, match="unknown rpc method"):
+            conn.call("__init__")
+        with pytest.raises(ProtocolError, match="unknown rpc method"):
+            conn.call("drop_table", "t")  # deliberately not on the allowlist
+    finally:
+        conn.close()
+
+
+def test_provision_outside_attestation_rejected(net_server):
+    from repro.exceptions import EnclaveSecurityError
+
+    conn = NetConnection("127.0.0.1", net_server.port)
+    try:
+        with pytest.raises(EnclaveSecurityError):
+            conn.request(FrameType.PROVISION, {"blob": b"\x00" * 64})
+        with pytest.raises(EnclaveSecurityError):
+            conn.request(
+                FrameType.ATTEST, {"op": "accept", "client_public": 12345}
+            )
+    finally:
+        conn.close()
+
+
+def test_malformed_frames_get_protocol_errors(net_server):
+    import socket
+
+    from repro.net.protocol import HEADER, MAGIC, PROTOCOL_VERSION, read_frame
+
+    with socket.create_connection(("127.0.0.1", net_server.port), 10) as sock:
+        sock.sendall(b"GET / HTTP/1.1\r\n\r\n" + bytes(HEADER.size))
+
+        def read_exact(n):
+            buf = b""
+            while len(buf) < n:
+                chunk = sock.recv(n - len(buf))
+                if not chunk:
+                    raise ConnectionError("closed")
+                buf += chunk
+            return buf
+
+        frame_type, raw = read_frame(read_exact)
+        assert frame_type is FrameType.ERROR
+        from repro.net.protocol import decode_payload
+
+        payload = decode_payload(raw)
+        assert payload["kind"] == "ProtocolError"

@@ -1,0 +1,122 @@
+"""Sealed-storage server restart: unseal SKDB on boot, serve without a new
+attestation round trip (paper §4.2's stated purpose of sealing)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.session import EncDBDBSystem
+from repro.exceptions import AuthenticationError
+from repro.net.client import connect_system
+from repro.net.protocol import FrameType
+from repro.net.server import NetServer, ServerThread
+from repro.server.dbms import EncDBDBServer
+
+SEED = 21
+
+
+def test_restart_with_sealed_key_and_saved_database(tmp_path):
+    sealed = tmp_path / "skdb.sealed"
+    database = tmp_path / "db.encdbdb"
+
+    # First life: attest, provision (writes the sealed blob), load data.
+    with ServerThread(NetServer(sealed_key_path=sealed)) as handle:
+        with EncDBDBSystem.connect("127.0.0.1", handle.port, seed=SEED) as system:
+            system.execute(
+                "CREATE TABLE people (name ED5 VARCHAR(30) BSMAX 4, "
+                "age ED1 INTEGER)"
+            )
+            system.execute(
+                "INSERT INTO people VALUES ('Jessica', 31), ('Archie', 24), "
+                "('Hans', 45)"
+            )
+            system.save(database)
+    assert sealed.exists()
+    assert database.exists()
+
+    # Second life: a brand-new process image — fresh DBMS, same enclave
+    # identity. The sealed blob restores SKDB before the first connection.
+    dbms = EncDBDBServer()
+    dbms.load(database)
+    frames: list[tuple[str, FrameType, bytes]] = []
+    with ServerThread(NetServer(dbms, sealed_key_path=sealed)) as handle:
+        system = connect_system(
+            "127.0.0.1",
+            handle.port,
+            seed=SEED,
+            tap=lambda d, t, p: frames.append((d, t, p)),
+        )
+        try:
+            # The hello already advertised a provisioned enclave, so the
+            # client skipped attestation entirely.
+            assert system.server.provisioned
+            result = system.query(
+                "SELECT name FROM people WHERE age >= 30"
+            )
+            assert sorted(r[0] for r in result) == ["Hans", "Jessica"]
+            system.execute("INSERT INTO people VALUES ('Ella', 31)")
+            assert (
+                system.query("SELECT COUNT(*) FROM people").scalar() == 4
+            )
+        finally:
+            system.close()
+
+    sent_types = {t for d, t, _ in frames if d == "send"}
+    assert FrameType.ATTEST not in sent_types
+    assert FrameType.PROVISION not in sent_types
+    assert FrameType.QUERY in sent_types
+
+
+def test_sealed_blob_rejected_by_different_enclave_identity(tmp_path):
+    """A sealed blob only opens inside the same (simulated) enclave class;
+    a tampered blob must not restore."""
+    sealed = tmp_path / "skdb.sealed"
+    with ServerThread(NetServer(sealed_key_path=sealed)) as handle:
+        with EncDBDBSystem.connect("127.0.0.1", handle.port, seed=SEED):
+            pass
+    blob = bytearray(sealed.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    sealed.write_bytes(bytes(blob))
+
+    dbms = EncDBDBServer()
+    server = NetServer(dbms, sealed_key_path=sealed)
+    with pytest.raises(AuthenticationError):
+        import asyncio
+
+        asyncio.run(_start_and_stop(server))
+
+
+async def _start_and_stop(server: NetServer) -> None:
+    try:
+        await server.start()
+    finally:
+        await server.stop()
+
+
+def test_restart_without_sealed_key_requires_attestation(tmp_path):
+    """Without sealing, a restarted server is unprovisioned and the client
+    re-attests (provision defaults back on)."""
+    database = tmp_path / "db.encdbdb"
+    with ServerThread(NetServer()) as handle:
+        with EncDBDBSystem.connect("127.0.0.1", handle.port, seed=SEED) as system:
+            system.execute("CREATE TABLE t (v ED1 INTEGER)")
+            system.execute("INSERT INTO t VALUES (7)")
+            system.save(database)
+
+    dbms = EncDBDBServer()
+    dbms.load(database)
+    frames: list[tuple[str, FrameType, bytes]] = []
+    with ServerThread(NetServer(dbms)) as handle:
+        system = connect_system(
+            "127.0.0.1",
+            handle.port,
+            seed=SEED,
+            tap=lambda d, t, p: frames.append((d, t, p)),
+        )
+        try:
+            assert system.query("SELECT v FROM t WHERE v = 7").scalar() == 7
+        finally:
+            system.close()
+    sent_types = {t for d, t, _ in frames if d == "send"}
+    assert FrameType.ATTEST in sent_types
+    assert FrameType.PROVISION in sent_types
