@@ -95,6 +95,16 @@ class Shell:
             return True
         if line.startswith("."):
             return self._meta(line)
+        head, _, rest = line.rstrip(";").partition(" ")
+        if head.upper() == "EXPLAIN":
+            if not rest.strip():
+                self._print("usage: explain <statement>")
+            else:
+                try:
+                    self._print(self.system.proxy.explain(rest.strip()))
+                except EncDBDBError as error:
+                    self._print(f"error: {error}")
+            return True
         try:
             result = self.system.execute(line.rstrip(";"))
         except EncDBDBError as error:
@@ -113,7 +123,7 @@ class Shell:
         if command == ".help":
             self._print(
                 "statements: CREATE TABLE / INSERT / SELECT / UPDATE / DELETE"
-                " / MERGE TABLE\n"
+                " / MERGE TABLE / EXPLAIN <statement>\n"
                 "meta: .tables  .schema <table>  .explain <sql>  .stats  "
                 ".save <path>  .quit"
             )

@@ -15,7 +15,11 @@ from repro.columnstore.types import ColumnSpec
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.kdf import derive_column_key
 from repro.crypto.pae import Pae, default_pae, pae_gen
-from repro.encdict.builder import BuildResult, encdb_build
+from repro.encdict.builder import (
+    BuildResult,
+    encdb_build,
+    encdb_build_partitioned,
+)
 from repro.exceptions import CatalogError
 from repro.sgx.channel import SecureChannel
 
@@ -75,11 +79,34 @@ class DataOwner:
         return derive_column_key(self.master_key, table_name, column_name)
 
     def encrypt_column(
-        self, table_name: str, spec: ColumnSpec, values: Sequence
-    ) -> BuildResult:
-        """Run ``EncDB`` for one column according to its selected kind."""
+        self,
+        table_name: str,
+        spec: ColumnSpec,
+        values: Sequence,
+        *,
+        partition_rows: int | None = None,
+    ) -> BuildResult | list[BuildResult]:
+        """Run ``EncDB`` for one column according to its selected kind.
+
+        With ``partition_rows`` the column is built as a list of independent
+        per-partition dictionaries (fixed-row-count chunks in row order);
+        without it the historical single build is returned.
+        """
         if not spec.is_encrypted:
             raise CatalogError(f"column {spec.name!r} is not encrypted")
+        if partition_rows is not None:
+            return encdb_build_partitioned(
+                list(values),
+                spec.protection,
+                partition_rows=partition_rows,
+                value_type=spec.value_type,
+                key=self.column_key(table_name, spec.name),
+                pae=self.pae,
+                rng=self._rng.fork(f"encdb-{table_name}-{spec.name}"),
+                bsmax=spec.bsmax,
+                table_name=table_name,
+                column_name=spec.name,
+            )
         return encdb_build(
             list(values),
             spec.protection,
@@ -93,19 +120,29 @@ class DataOwner:
         )
 
     def deploy_table(
-        self, server: EncDBDBServer, table_name: str, columns: dict[str, list]
+        self,
+        server: EncDBDBServer,
+        table_name: str,
+        columns: dict[str, list],
+        *,
+        partition_rows: int | None = None,
     ) -> int:
-        """Step 4: split/encrypt every column and bulk-import the table."""
+        """Step 4: split/encrypt every column and bulk-import the table.
+
+        ``partition_rows`` selects a partitioned layout: every column is
+        built as fixed-row-count per-partition dictionaries. The layout is
+        the owner's choice; the server only ever sees the finished builds.
+        """
         table = server.catalog.table(table_name)
         plain_columns: dict[str, list] = {}
-        encrypted_builds: dict[str, BuildResult] = {}
+        encrypted_builds: dict[str, BuildResult | list[BuildResult]] = {}
         for spec in table.specs:
             if spec.name not in columns:
                 raise CatalogError(f"no data provided for column {spec.name!r}")
             values = columns[spec.name]
             if spec.is_encrypted:
                 encrypted_builds[spec.name] = self.encrypt_column(
-                    table_name, spec, values
+                    table_name, spec, values, partition_rows=partition_rows
                 )
             else:
                 plain_columns[spec.name] = list(values)

@@ -86,12 +86,19 @@ class Proxy:
     def explain(self, sql: str) -> str:
         """Describe how a statement would execute, without executing it."""
         from repro.sql.planner import describe_plan
+        from repro.sql.printer import partition_fanout_lines
 
         plan = self._planner.plan(parse(sql))
         description = describe_plan(plan, self._schema)
         batch_note = self._describe_batching(plan)
         if batch_note:
             description = f"{description}\n{batch_note}"
+        # Partition fan-out is only visible in-process: remote deployments
+        # expose a schema mirror without column stores, so the annotation is
+        # silently absent there (partition layout never crosses the wire).
+        fanout = partition_fanout_lines(plan, getattr(self._server, "catalog", None))
+        if fanout:
+            description = description + "\n" + "\n".join(fanout)
         return description
 
     def _describe_batching(self, plan) -> str | None:

@@ -88,9 +88,21 @@ class EncDBDBSystem:
             raise TypeError("query() is only for SELECT statements")
         return result
 
-    def bulk_load(self, table_name: str, columns: dict[str, list]) -> int:
-        """Data-owner bulk import: EncDB locally, deploy ciphertext only."""
-        return self.owner.deploy_table(self.server, table_name, columns)
+    def bulk_load(
+        self,
+        table_name: str,
+        columns: dict[str, list],
+        *,
+        partition_rows: int | None = None,
+    ) -> int:
+        """Data-owner bulk import: EncDB locally, deploy ciphertext only.
+
+        ``partition_rows`` selects a partitioned main-store layout (one
+        independent encrypted dictionary per fixed-row-count chunk).
+        """
+        return self.owner.deploy_table(
+            self.server, table_name, columns, partition_rows=partition_rows
+        )
 
     def merge(self, table_name: str) -> int:
         """Trigger the delta-store merge for one table (paper §4.3)."""

@@ -1,23 +1,40 @@
-"""Stored columns: main store + write-optimized delta store (paper §4.3).
+"""Stored columns: partitioned main store + write-optimized delta store.
 
 Each column of a table is split into a read-optimized *main store* (any
-dictionary kind) and an append-only *delta store*. For encrypted columns the
-delta store is always ED9 — one probabilistically encrypted dictionary entry
-per inserted value, searched with the linear ``EnclDictSearch 9`` — so
-neither order nor frequency leaks on insertion. RecordIDs are global: main
-rows first, delta rows after; deletions flip a validity bit at table level
-and rows are physically dropped at the periodic merge.
+dictionary kind) and an append-only *delta store*. The main store is a
+sequence of fixed-row-count **partitions** (``columnstore/partition.py``),
+each with its own dictionary + attribute vector: partition-granular layout
+bounds the enclave working set per search, lets attribute-vector scans fan
+out across partitions on the shared pool, and lets the merge rebuild only
+partitions whose rows actually changed. For encrypted columns the delta
+store is always ED9 — one probabilistically encrypted dictionary entry per
+inserted value, searched with the linear ``EnclDictSearch 9`` — so neither
+order nor frequency leaks on insertion. RecordIDs are global: main rows
+first (partitions in order), delta rows after; deletions flip a validity
+bit at table level and rows are physically dropped at the periodic merge.
+
+Partitioning never changes query results: per-partition search results keep
+the same fixed padded shape as a single-column search (§4.1), and the union
+of per-partition RecordID sets equals the unpartitioned answer.
 """
 
 from __future__ import annotations
 
+import bisect
 from typing import Any, Sequence
 
 import numpy as np
 
 from repro.columnstore.dictionary import DictionaryEncodedColumn
+from repro.columnstore.partition import (
+    DEFAULT_PARTITION_ROWS,
+    DELTA_PARTITION_ID,
+    partition_lengths,
+    partition_starts,
+    slice_rows,
+)
 from repro.columnstore.types import ColumnSpec
-from repro.encdict.attrvect import attr_vect_search
+from repro.encdict.attrvect import attr_vect_search, attr_vect_search_many
 from repro.encdict.builder import BuildResult
 from repro.encdict.dictionary import EncryptedDictionary
 from repro.encdict.options import ED9
@@ -27,27 +44,70 @@ from repro.sgx.enclave import EnclaveHost
 
 
 class PlainStoredColumn:
-    """An unprotected column: plaintext dictionary encoding + delta list."""
+    """An unprotected column: plaintext dictionary partitions + delta list."""
 
-    def __init__(self, spec: ColumnSpec, values: Sequence[Any] = ()) -> None:
+    def __init__(
+        self,
+        spec: ColumnSpec,
+        values: Sequence[Any] = (),
+        *,
+        partition_rows: int | None = None,
+    ) -> None:
         if spec.is_encrypted:
             raise CatalogError(f"column {spec.name} is declared encrypted")
         self.spec = spec
         for value in values:
             spec.value_type.validate(value)
-        self.main = (
-            DictionaryEncodedColumn.from_values(list(values))
-            if len(values)
-            else DictionaryEncodedColumn([], np.empty(0, dtype=np.int64))
-        )
+        self.partition_rows = partition_rows
+        self.partitions: list[DictionaryEncodedColumn] = []
+        if len(values):
+            self.set_partition_values(
+                slice_rows(
+                    list(values),
+                    partition_lengths(
+                        len(values), partition_rows or DEFAULT_PARTITION_ROWS
+                    ),
+                )
+            )
         self.delta_values: list[Any] = []
 
+    # -- partition layout ------------------------------------------------
+    @property
+    def partition_lengths(self) -> list[int]:
+        return [len(part) for part in self.partitions]
+
+    @property
+    def partition_starts(self) -> list[int]:
+        return partition_starts(self.partition_lengths)
+
+    def set_partition_values(self, parts: Sequence[Sequence[Any]]) -> None:
+        """Install the main store as explicit per-partition value lists."""
+        self.partitions = [
+            DictionaryEncodedColumn.from_values(list(part)) for part in parts
+        ]
+
+    @property
+    def main(self) -> DictionaryEncodedColumn:
+        """Single-partition view, kept for pre-partitioning callers."""
+        if not self.partitions:
+            return DictionaryEncodedColumn([], np.empty(0, dtype=np.int64))
+        if len(self.partitions) == 1:
+            return self.partitions[0]
+        raise CatalogError(
+            f"column {self.spec.name} has {len(self.partitions)} partitions; "
+            "use .partitions"
+        )
+
+    @main.setter
+    def main(self, column: DictionaryEncodedColumn) -> None:
+        self.partitions = [column] if len(column) else []
+
     def __len__(self) -> int:
-        return len(self.main) + len(self.delta_values)
+        return self.main_length + len(self.delta_values)
 
     @property
     def main_length(self) -> int:
-        return len(self.main)
+        return sum(len(part) for part in self.partitions)
 
     def append(self, value: Any) -> int:
         """Insert into the delta store; returns the new global RecordID."""
@@ -81,92 +141,182 @@ class PlainStoredColumn:
                     return False
             return True
 
-        import bisect
-
-        dictionary = self.main.dictionary
-        if low is None:
-            vid_min = 0
-        elif low_inclusive:
-            vid_min = bisect.bisect_left(dictionary, low)
-        else:
-            vid_min = bisect.bisect_right(dictionary, low)
-        if high is None:
-            vid_max = len(dictionary) - 1
-        elif high_inclusive:
-            vid_max = bisect.bisect_right(dictionary, high) - 1
-        else:
-            vid_max = bisect.bisect_left(dictionary, high) - 1
-        main_rids = self.main.attribute_vector_search(vid_min, vid_max)
+        parts = []
+        for part, start in zip(self.partitions, self.partition_starts):
+            dictionary = part.dictionary
+            if low is None:
+                vid_min = 0
+            elif low_inclusive:
+                vid_min = bisect.bisect_left(dictionary, low)
+            else:
+                vid_min = bisect.bisect_right(dictionary, low)
+            if high is None:
+                vid_max = len(dictionary) - 1
+            elif high_inclusive:
+                vid_max = bisect.bisect_right(dictionary, high) - 1
+            else:
+                vid_max = bisect.bisect_left(dictionary, high) - 1
+            parts.append(part.attribute_vector_search(vid_min, vid_max) + start)
         delta_rids = [
             self.main_length + i
             for i, value in enumerate(self.delta_values)
             if matches(value)
         ]
-        return np.concatenate(
-            [main_rids, np.asarray(delta_rids, dtype=np.int64)]
-        )
+        parts.append(np.asarray(delta_rids, dtype=np.int64))
+        return np.concatenate(parts)
 
     def value_at(self, record_id: int) -> Any:
-        if record_id < self.main_length:
-            return self.main.value_at(record_id)
-        return self.delta_values[record_id - self.main_length]
+        if record_id >= self.main_length:
+            return self.delta_values[record_id - self.main_length]
+        for part, start in zip(self.partitions, self.partition_starts):
+            if record_id < start + len(part):
+                return part.value_at(record_id - start)
+        raise IndexError(f"RecordID {record_id} out of range")
 
     def rebuild(self, values: Sequence[Any]) -> None:
         """Merge: rebuild the main store from the surviving values."""
-        self.main = DictionaryEncodedColumn.from_values(list(values))
+        values = list(values)
+        if values:
+            self.set_partition_values(
+                slice_rows(
+                    values,
+                    partition_lengths(
+                        len(values), self.partition_rows or DEFAULT_PARTITION_ROWS
+                    ),
+                )
+            )
+        else:
+            self.partitions = []
         self.delta_values = []
 
     def search_prefix(self, prefix: str) -> np.ndarray:
         """Global RecordIDs whose value starts with ``prefix``.
 
-        Prefix matches are contiguous in the sorted dictionary, so the scan
-        starts at ``bisect_left(prefix)`` and stops at the first
-        non-matching entry.
+        Prefix matches are contiguous in each partition's sorted dictionary,
+        so every partition scan starts at ``bisect_left(prefix)`` and stops
+        at the first non-matching entry.
         """
-        import bisect
-
-        dictionary = self.main.dictionary
-        start = bisect.bisect_left(dictionary, prefix)
-        end = start
-        while end < len(dictionary) and str(dictionary[end]).startswith(prefix):
-            end += 1
-        main_rids = self.main.attribute_vector_search(start, end - 1)
+        parts = []
+        for part, part_start in zip(self.partitions, self.partition_starts):
+            dictionary = part.dictionary
+            start = bisect.bisect_left(dictionary, prefix)
+            end = start
+            while end < len(dictionary) and str(dictionary[end]).startswith(prefix):
+                end += 1
+            parts.append(part.attribute_vector_search(start, end - 1) + part_start)
         delta_rids = [
             self.main_length + i
             for i, value in enumerate(self.delta_values)
             if str(value).startswith(prefix)
         ]
-        return np.concatenate(
-            [main_rids, np.asarray(delta_rids, dtype=np.int64)]
-        )
+        parts.append(np.asarray(delta_rids, dtype=np.int64))
+        return np.concatenate(parts)
 
     def join_keys(self) -> list[Any]:
         """Per-row join keys: for a plaintext column, the values themselves."""
-        return [self.value_at(record_id) for record_id in range(len(self))]
+        keys: list[Any] = []
+        for part in self.partitions:
+            keys.extend(part.values())
+        keys.extend(self.delta_values)
+        return keys
 
 
 class EncryptedStoredColumn:
-    """An encrypted column: main-store encrypted dictionary + ED9 delta.
+    """An encrypted column: encrypted-dictionary partitions + ED9 delta.
 
     The server holds only ciphertext; searches go through the enclave host
     and value reconstruction returns PAE blobs for the proxy to decrypt.
+    Partition ids are server-side bookkeeping, allocated when builds are
+    installed (never shipped by the data owner), and stay stable across
+    merges so the enclave's per-partition cache epochs survive rebuilds of
+    *other* partitions.
     """
 
-    def __init__(self, spec: ColumnSpec, build: BuildResult | None) -> None:
+    def __init__(
+        self,
+        spec: ColumnSpec,
+        build: BuildResult | Sequence[BuildResult] | None,
+    ) -> None:
         if not spec.is_encrypted:
             raise CatalogError(f"column {spec.name} is not declared encrypted")
         self.spec = spec
-        self.main_build = build
+        self.partition_builds: list[BuildResult] = []
+        self.partition_ids: list[int] = []
+        self._next_partition_id = 0
+        self._table_name = ""
+        if build is not None:
+            builds = list(build) if isinstance(build, (list, tuple)) else [build]
+            self.set_partitions(builds)
+            if builds:
+                self._table_name = builds[0].dictionary.table_name
         self.delta_blobs: list[bytes] = []
-        self._table_name = build.dictionary.table_name if build else ""
+
+    # -- partition layout ------------------------------------------------
+    @property
+    def partition_lengths(self) -> list[int]:
+        return [len(build.attribute_vector) for build in self.partition_builds]
+
+    @property
+    def partition_starts(self) -> list[int]:
+        return partition_starts(self.partition_lengths)
+
+    def allocate_partition_id(self) -> int:
+        """A fresh, never-reused partition id for this column."""
+        allocated = self._next_partition_id
+        self._next_partition_id += 1
+        return allocated
+
+    def set_partitions(
+        self, builds: Sequence[BuildResult], ids: Sequence[int] | None = None
+    ) -> None:
+        """Install the main store as an explicit partition sequence.
+
+        ``ids`` keeps existing partition ids across a merge; without it
+        fresh ids are allocated. Each build's dictionary is stamped with its
+        partition id so the enclave keys cache epochs per partition.
+        """
+        builds = list(builds)
+        if ids is None:
+            ids = [self.allocate_partition_id() for _ in builds]
+        else:
+            ids = [int(partition_id) for partition_id in ids]
+            if len(ids) != len(builds):
+                raise CatalogError("partition ids do not match builds")
+            if ids:
+                self._next_partition_id = max(
+                    self._next_partition_id, max(ids) + 1
+                )
+        for build, partition_id in zip(builds, ids):
+            build.dictionary.partition_id = partition_id
+        self.partition_builds = builds
+        self.partition_ids = list(ids)
+
+    @property
+    def main_build(self) -> BuildResult | None:
+        """Single-partition view, kept for pre-partitioning callers."""
+        if not self.partition_builds:
+            return None
+        if len(self.partition_builds) == 1:
+            return self.partition_builds[0]
+        raise CatalogError(
+            f"column {self.spec.name} has {len(self.partition_builds)} "
+            "partitions; use .partition_builds"
+        )
+
+    @main_build.setter
+    def main_build(self, build: BuildResult | None) -> None:
+        if build is None:
+            self.partition_builds = []
+            self.partition_ids = []
+        else:
+            self.set_partitions([build])
 
     def __len__(self) -> int:
-        main = len(self.main_build.attribute_vector) if self.main_build else 0
-        return main + len(self.delta_blobs)
+        return self.main_length + len(self.delta_blobs)
 
     @property
     def main_length(self) -> int:
-        return len(self.main_build.attribute_vector) if self.main_build else 0
+        return sum(len(build.attribute_vector) for build in self.partition_builds)
 
     def bind(self, table_name: str) -> None:
         self._table_name = table_name
@@ -188,29 +338,34 @@ class EncryptedStoredColumn:
             value_type=self.spec.value_type,
             table_name=self._table_name,
             column_name=self.spec.name,
+            partition_id=DELTA_PARTITION_ID,
         )
 
     def search_requests(
         self, tau: tuple[bytes, bytes]
-    ) -> list[tuple[str, EncryptedDictionary, tuple[bytes, bytes]]]:
+    ) -> list[tuple[Any, EncryptedDictionary, tuple[bytes, bytes]]]:
         """The labeled ``(store, dictionary, τ)`` searches this column needs.
 
-        One entry per non-empty store ("main" and/or "delta"). The executor
-        collects these across all filters of a query plan so the whole plan
-        can go through a single ``dict_search_batch`` ecall; the labels route
-        each :class:`SearchResult` back through
-        :meth:`record_ids_from_results`.
+        One entry per non-empty main partition — labeled ``("main", i)`` —
+        plus one for the delta store (``("delta",)``). The executor collects
+        these across all filters of a query plan so the whole plan can go
+        through a single ``dict_search_batch`` ecall; the labels route each
+        :class:`SearchResult` back through :meth:`record_ids_from_results`.
+        Every per-partition search result is padded to the same fixed shape
+        as a single-partition search, so the fan-out reveals the partition
+        count (a public layout property) but nothing beyond §4.1 leakage.
         """
-        requests: list[tuple[str, EncryptedDictionary, tuple[bytes, bytes]]] = []
-        if self.main_build is not None and self.main_length:
-            requests.append(("main", self.main_build.dictionary, tau))
+        requests: list[tuple[Any, EncryptedDictionary, tuple[bytes, bytes]]] = []
+        for index, build in enumerate(self.partition_builds):
+            if len(build.attribute_vector):
+                requests.append((("main", index), build.dictionary, tau))
         if self.delta_blobs:
-            requests.append(("delta", self._delta_dictionary(), tau))
+            requests.append((("delta",), self._delta_dictionary(), tau))
         return requests
 
     def record_ids_from_results(
         self,
-        labeled_results: Sequence[tuple[str, SearchResult]],
+        labeled_results: Sequence[tuple[Any, SearchResult]],
         *,
         cost_model=None,
         chunk_rows: int | None = None,
@@ -220,37 +375,75 @@ class EncryptedStoredColumn:
         """Turn the enclave's per-store :class:`SearchResult`\\ s into global
         RecordIDs (the untrusted ``AttrVectSearch`` half of a query).
 
-        ``scan_cache`` (per-query, executor-owned) memoizes the attribute-
-        vector scan by ``(column, store, result shape)`` so identical filters
-        on one column within a query scan the vector once.
+        Main-partition scans fan out on the shared pool when more than one
+        partition is involved; partition-local RecordIDs are offset by the
+        partition start so the union is the global answer. ``scan_cache``
+        (per-query, executor-owned) memoizes each partition scan by
+        ``(column, partition, result shape)`` so identical filters on one
+        column within a query scan each attribute vector once.
         """
-        parts = []
+        parts: list[np.ndarray | None] = []
+        starts = self.partition_starts
+        pending: list[tuple[int, int, SearchResult, tuple | None]] = []
         for label, result in labeled_results:
             if label == "main":
+                label = ("main", 0)
+            if isinstance(label, tuple) and label and label[0] == "main":
+                index = label[1] if len(label) > 1 else 0
+                if not 0 <= index < len(self.partition_builds):
+                    raise QueryError(f"unknown main partition {index}")
                 signature = None
                 if scan_cache is not None:
-                    signature = (id(self), "main", result.ranges, result.vids)
+                    signature = (
+                        id(self), "main", index, result.ranges, result.vids
+                    )
                     cached = scan_cache.get(signature)
                     if cached is not None:
                         parts.append(cached)
                         continue
-                rids = attr_vect_search(
-                    self.main_build.attribute_vector,
-                    result,
-                    cost_model=cost_model,
-                    chunk_rows=chunk_rows,
-                    max_workers=max_workers,
-                )
-                if signature is not None:
-                    scan_cache[signature] = rids
-                parts.append(rids)
-            elif label == "delta":
+                parts.append(None)
+                pending.append((len(parts) - 1, index, result, signature))
+            elif label == "delta" or (
+                isinstance(label, tuple) and label and label[0] == "delta"
+            ):
                 # The ED9 delta attribute vector is the identity: entry i of
                 # the delta dictionary belongs to delta row i.
                 delta_rids = np.asarray(result.vids, dtype=np.int64)
                 parts.append(delta_rids + self.main_length)
             else:
                 raise QueryError(f"unknown search-store label {label!r}")
+
+        if len(pending) == 1:
+            # Single partition: keep the chunked scan of the one vector.
+            slot, index, result, signature = pending[0]
+            rids = attr_vect_search(
+                self.partition_builds[index].attribute_vector,
+                result,
+                cost_model=cost_model,
+                chunk_rows=chunk_rows,
+                max_workers=max_workers,
+            )
+            global_rids = rids + starts[index]
+            if signature is not None:
+                scan_cache[signature] = global_rids
+            parts[slot] = global_rids
+        elif pending:
+            # Multi-partition fan-out: the partitions are the parallelism
+            # units, scanned concurrently on the shared pool.
+            rids_list = attr_vect_search_many(
+                [
+                    (self.partition_builds[index].attribute_vector, result)
+                    for _, index, result, _ in pending
+                ],
+                cost_model=cost_model,
+                max_workers=max_workers,
+            )
+            for (slot, index, _, signature), rids in zip(pending, rids_list):
+                global_rids = rids + starts[index]
+                if signature is not None:
+                    scan_cache[signature] = global_rids
+                parts[slot] = global_rids
+
         if not parts:
             return np.empty(0, dtype=np.int64)
         return np.concatenate(parts)
@@ -266,8 +459,8 @@ class EncryptedStoredColumn:
     ) -> np.ndarray:
         """Global RecordIDs matching the encrypted range ``τ``.
 
-        The unbatched path: one ``dict_search`` ecall per non-empty store.
-        Batched plans instead call :meth:`search_requests` +
+        The unbatched path: one ``dict_search`` ecall per non-empty store
+        partition. Batched plans instead call :meth:`search_requests` +
         :meth:`record_ids_from_results` around one ``dict_search_batch``.
         """
         labeled = [
@@ -285,13 +478,26 @@ class EncryptedStoredColumn:
     def blob_at(self, record_id: int) -> bytes:
         """Tuple reconstruction: the PAE blob of one global RecordID."""
         if record_id < self.main_length:
-            build = self.main_build
-            vid = int(build.attribute_vector[record_id])
-            return build.dictionary.entry(vid)
+            for build, start in zip(self.partition_builds, self.partition_starts):
+                if record_id < start + len(build.attribute_vector):
+                    vid = int(build.attribute_vector[record_id - start])
+                    return build.dictionary.entry(vid)
         delta_index = record_id - self.main_length
         if delta_index >= len(self.delta_blobs):
             raise QueryError(f"RecordID {record_id} out of range")
         return self.delta_blobs[delta_index]
+
+    def partition_blobs(
+        self, index: int, keep: np.ndarray | None = None
+    ) -> list[bytes]:
+        """Row-order blobs of one main partition (``keep`` masks survivors)."""
+        build = self.partition_builds[index]
+        dictionary = build.dictionary
+        return [
+            dictionary.entry(int(vid))
+            for offset, vid in enumerate(build.attribute_vector)
+            if keep is None or keep[offset]
+        ]
 
     def all_blobs_in_row_order(self, valid: np.ndarray) -> list[bytes]:
         """Surviving row blobs, for the enclave's merge rebuild."""
@@ -303,18 +509,18 @@ class EncryptedStoredColumn:
 
     def replace_main(self, build: BuildResult) -> None:
         """Install the enclave's merge output and clear the delta store."""
-        self.main_build = build
+        self.set_partitions([build])
         self.delta_blobs = []
 
     def join_tokens(self, host: EnclaveHost, salt: bytes) -> list[bytes]:
         """Per-row join tokens issued by the enclave (one per global rid)."""
         tokens: list[bytes] = []
-        if self.main_build is not None and self.main_length:
-            entry_tokens = host.ecall(
-                "join_tokens", self.main_build.dictionary, salt
-            )
+        for build in self.partition_builds:
+            if not len(build.attribute_vector):
+                continue
+            entry_tokens = host.ecall("join_tokens", build.dictionary, salt)
             tokens.extend(
-                entry_tokens[int(vid)] for vid in self.main_build.attribute_vector
+                entry_tokens[int(vid)] for vid in build.attribute_vector
             )
         if self.delta_blobs:
             tokens.extend(host.ecall("join_tokens", self._delta_dictionary(), salt))
@@ -324,8 +530,10 @@ class EncryptedStoredColumn:
         """Table 6 accounting: head + tail + packed AV (+ delta blobs)."""
         total = sum(len(blob) for blob in self.delta_blobs)
         total += 8 * len(self.delta_blobs)  # delta head offsets
-        if self.main_build is not None:
-            dictionary = self.main_build.dictionary
+        for build in self.partition_builds:
+            dictionary = build.dictionary
             total += dictionary.storage_bytes()
-            total += dictionary.attribute_vector_bytes(self.main_length)
+            total += dictionary.attribute_vector_bytes(
+                len(build.attribute_vector)
+            )
         return total

@@ -7,8 +7,12 @@ persistency role disk plays for MonetDB. Encrypted columns are persisted as
 their ciphertext structures: nothing in the file reveals more than the
 in-memory representation already does.
 
-Format: ``ENCDBDB1`` magic, length-prefixed frames, SHA-256 integrity
-trailer. Tampering or truncation raises :class:`StorageError`.
+Format: ``ENCDBDB2`` magic, length-prefixed frames, SHA-256 integrity
+trailer. Tampering or truncation raises :class:`StorageError`. Version 2
+persists the partitioned main-store layout: each column is a sequence of
+(dictionary, attribute vector) partitions plus the per-table partition-row
+target, and encrypted partitions keep their server-assigned partition ids
+so enclave cache epochs stay consistent across a restart.
 """
 
 from __future__ import annotations
@@ -31,7 +35,7 @@ from repro.encdict.dictionary import EncryptedDictionary
 from repro.encdict.options import kind_by_name
 from repro.exceptions import StorageError
 
-_MAGIC = b"ENCDBDB1"
+_MAGIC = b"ENCDBDB2"
 
 
 class _Writer:
@@ -121,12 +125,12 @@ def _read_packed_av(reader: _Reader) -> "np.ndarray":
 
 def _write_plain_column(writer: _Writer, column: PlainStoredColumn) -> None:
     value_type = column.spec.value_type
-    writer.u64(len(column.main.dictionary))
-    for value in column.main.dictionary:
-        writer.bytes_frame(value_type.to_bytes(value))
-    _write_packed_av(
-        writer, column.main.attribute_vector, len(column.main.dictionary)
-    )
+    writer.u64(len(column.partitions))
+    for part in column.partitions:
+        writer.u64(len(part.dictionary))
+        for value in part.dictionary:
+            writer.bytes_frame(value_type.to_bytes(value))
+        _write_packed_av(writer, part.attribute_vector, len(part.dictionary))
     writer.u64(len(column.delta_values))
     for value in column.delta_values:
         writer.bytes_frame(value_type.to_bytes(value))
@@ -134,12 +138,16 @@ def _write_plain_column(writer: _Writer, column: PlainStoredColumn) -> None:
 
 def _read_plain_column(reader: _Reader, spec: ColumnSpec) -> PlainStoredColumn:
     value_type = spec.value_type
-    dictionary = [
-        value_type.from_bytes(reader.bytes_frame()) for _ in range(reader.u64())
-    ]
-    attribute_vector = _read_packed_av(reader)
     column = PlainStoredColumn(spec)
-    column.main = DictionaryEncodedColumn(dictionary, attribute_vector)
+    partitions = []
+    for _ in range(reader.u64()):
+        dictionary = [
+            value_type.from_bytes(reader.bytes_frame())
+            for _ in range(reader.u64())
+        ]
+        attribute_vector = _read_packed_av(reader)
+        partitions.append(DictionaryEncodedColumn(dictionary, attribute_vector))
+    column.partitions = partitions
     column.delta_values = [
         value_type.from_bytes(reader.bytes_frame()) for _ in range(reader.u64())
     ]
@@ -147,14 +155,15 @@ def _read_plain_column(reader: _Reader, spec: ColumnSpec) -> PlainStoredColumn:
 
 
 def _write_encrypted_column(writer: _Writer, column: EncryptedStoredColumn) -> None:
-    build = column.main_build
-    writer.u64(1 if build is not None else 0)
-    if build is not None:
+    writer.u64(len(column.partition_builds))
+    for build, partition_id in zip(column.partition_builds, column.partition_ids):
         dictionary = build.dictionary
+        writer.u64(partition_id)
         writer.array(dictionary.offsets)
         writer.bytes_frame(dictionary.tail)
         writer.bytes_frame(dictionary.enc_rnd_offset or b"")
         _write_packed_av(writer, build.attribute_vector, len(dictionary))
+    writer.u64(column._next_partition_id)
     writer.u64(len(column.delta_blobs))
     for blob in column.delta_blobs:
         writer.bytes_frame(blob)
@@ -163,9 +172,10 @@ def _write_encrypted_column(writer: _Writer, column: EncryptedStoredColumn) -> N
 def _read_encrypted_column(
     reader: _Reader, spec: ColumnSpec, table_name: str
 ) -> EncryptedStoredColumn:
-    has_main = reader.u64() == 1
-    build = None
-    if has_main:
+    builds = []
+    ids = []
+    for _ in range(reader.u64()):
+        ids.append(reader.u64())
         offsets = reader.array()
         tail = reader.bytes_frame()
         enc_rnd_offset = reader.bytes_frame() or None
@@ -187,8 +197,11 @@ def _read_encrypted_column(
             bsmax=None,
             rnd_offset=None,
         )
-        build = BuildResult(dictionary, attribute_vector, stats)
-    column = EncryptedStoredColumn(spec, build)
+        builds.append(BuildResult(dictionary, attribute_vector, stats))
+    column = EncryptedStoredColumn(spec, None)
+    column.set_partitions(builds, ids=ids)
+    # Never reuse an id a dropped partition once held: restore the counter.
+    column._next_partition_id = max(column._next_partition_id, reader.u64())
     column.bind(table_name)
     column.delta_blobs = [reader.bytes_frame() for _ in range(reader.u64())]
     return column
@@ -206,6 +219,7 @@ def save_database(catalog: Catalog, path: str | Path) -> None:
         for spec in table.specs:
             _write_spec(writer, spec)
         writer.array(table.validity.astype(np.uint8))
+        writer.u64(table.partition_rows or 0)
         for spec in table.specs:
             column = table.columns[spec.name]
             if isinstance(column, PlainStoredColumn):
@@ -235,6 +249,8 @@ def load_database(path: str | Path) -> Catalog:
         specs = [_read_spec(reader) for _ in range(reader.u64())]
         table = catalog.create_table(name, specs)
         validity = reader.array().astype(bool)
+        partition_rows = reader.u64()
+        table.partition_rows = partition_rows or None
         columns = {}
         for spec in specs:
             tag = reader.text()

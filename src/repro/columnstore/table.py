@@ -35,6 +35,9 @@ class Table:
         self.specs = list(specs)
         self.columns: dict[str, StoredColumn] = {}
         self._validity = np.empty(0, dtype=bool)
+        #: Target rows per main-store partition; all columns of the table
+        #: share one partition layout so rows stay aligned across columns.
+        self.partition_rows: int | None = None
 
     # ------------------------------------------------------------------
     # Schema access

@@ -36,24 +36,78 @@ from repro.sgx.costs import CostModel
 DEFAULT_SCAN_CHUNK_ROWS = 1 << 18
 
 _pool_lock = threading.Lock()
-_pools: dict[int, ThreadPoolExecutor] = {}
+_pool: ThreadPoolExecutor | None = None
+_pool_workers = 0
 
 
 def _shared_pool(max_workers: int) -> ThreadPoolExecutor:
-    """A lazily created, process-wide scan pool per worker count.
+    """The single lazily created, process-wide scan pool.
 
     Creating a ``ThreadPoolExecutor`` per call would cost more than the
-    chunked scan saves; the pools live for the process (daemon threads, so
-    interpreter shutdown is not blocked).
+    chunked scan saves, and one pool per requested worker count (the old
+    scheme) leaked a pool for every distinct ``max_workers`` seen over the
+    process lifetime. Instead one pool is kept and resized upward: a request
+    for more workers than the current pool replaces it (the old pool drains
+    in the background); a request for fewer just reuses the bigger pool —
+    the caller still bounds its own fan-out by how much work it submits.
+    Call :func:`shutdown_scan_pools` to release the threads explicitly.
     """
+    global _pool, _pool_workers
     with _pool_lock:
-        pool = _pools.get(max_workers)
-        if pool is None:
-            pool = ThreadPoolExecutor(
+        if _pool is None or _pool_workers < max_workers:
+            old = _pool
+            _pool = ThreadPoolExecutor(
                 max_workers=max_workers, thread_name_prefix="attrvect-scan"
             )
-            _pools[max_workers] = pool
-        return pool
+            _pool_workers = max_workers
+            if old is not None:
+                old.shutdown(wait=False)
+        return _pool
+
+
+def shutdown_scan_pools(wait: bool = True) -> None:
+    """Explicitly release the shared scan pool (server shutdown hook).
+
+    Idempotent; the next scan that wants a pool lazily recreates one.
+    """
+    global _pool, _pool_workers
+    with _pool_lock:
+        pool, _pool, _pool_workers = _pool, None, 0
+    if pool is not None:
+        pool.shutdown(wait=wait)
+
+
+def _prepare_scan(
+    attribute_vector: np.ndarray, result: SearchResult
+) -> tuple[int, list[tuple[int, int]], np.ndarray | None]:
+    """Uniform cost + matchable slots of one attribute-vector scan.
+
+    Returns ``(comparisons, matchable_ranges, vids)``. The comparison count
+    is charged per padded slot regardless of whether the slot is real, empty
+    or dummy — see the module docstring.
+    """
+    n = len(attribute_vector)
+    comparisons = 0
+    matchable_ranges: list[tuple[int, int]] = []
+    for low, high in result.ranges:
+        # Uniform charge per slot: the slot count is padding-fixed, so the
+        # comparison count must not reveal how many slots were real.
+        comparisons += n
+        if (low, high) == DUMMY_RANGE:
+            # Dummy padding from the rotated/sorted searches: by
+            # construction it matches nothing; skip the actual scan.
+            continue
+        if low > high:
+            # Empty real range (e.g. an unsatisfiable filter): same
+            # treatment as a dummy — charged, not scanned.
+            continue
+        matchable_ranges.append((low, high))
+
+    vids: np.ndarray | None = None
+    if result.vids:
+        vids = np.asarray(result.vids, dtype=attribute_vector.dtype)
+        comparisons += n * len(vids)
+    return comparisons, matchable_ranges, vids
 
 
 def _scan_mask(
@@ -92,32 +146,12 @@ def attr_vect_search(
     unaffected — chunking changes wall-clock time only.
     """
     n = len(attribute_vector)
-    if n == 0:
-        return np.empty(0, dtype=np.int64)
-
-    comparisons = 0
-    matchable_ranges: list[tuple[int, int]] = []
-    for low, high in result.ranges:
-        # Uniform charge per slot: the slot count is padding-fixed, so the
-        # comparison count must not reveal how many slots were real.
-        comparisons += n
-        if (low, high) == DUMMY_RANGE:
-            # Dummy padding from the rotated/sorted searches: by
-            # construction it matches nothing; skip the actual scan.
-            continue
-        if low > high:
-            # Empty real range (e.g. an unsatisfiable filter): same
-            # treatment as a dummy — charged, not scanned.
-            continue
-        matchable_ranges.append((low, high))
-
-    vids: np.ndarray | None = None
-    if result.vids:
-        vids = np.asarray(result.vids, dtype=attribute_vector.dtype)
-        comparisons += n * len(vids)
-
+    comparisons, matchable_ranges, vids = _prepare_scan(attribute_vector, result)
     if cost_model is not None:
         cost_model.record_comparison(comparisons)
+
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
 
     # Short-circuit: nothing can match (all slots dummy/empty, no ValueIDs).
     if not matchable_ranges and vids is None:
@@ -143,3 +177,45 @@ def attr_vect_search(
     else:
         mask = _scan_mask(attribute_vector, matchable_ranges, vids)
     return np.nonzero(mask)[0].astype(np.int64)
+
+
+def attr_vect_search_many(
+    jobs: Sequence[tuple[np.ndarray, SearchResult]],
+    *,
+    cost_model: CostModel | None = None,
+    max_workers: int | None = None,
+) -> list[np.ndarray]:
+    """Scan many (attribute vector, search result) pairs — one per column
+    partition — returning per-job RecordID arrays (partition-local).
+
+    Cost accounting happens up front in the caller thread (``CostModel``
+    counters are plain ints, not thread-safe) and equals the sum of the
+    per-job uniform charges — identical to scanning the concatenated vector,
+    so partitioning a column never changes its comparison count. Each job is
+    scanned single-shot (no nested chunking: the jobs themselves are the
+    parallelism units, and submitting chunked sub-scans from pool workers
+    into the same bounded pool could deadlock).
+    """
+    prepared = []
+    total_comparisons = 0
+    for attribute_vector, result in jobs:
+        comparisons, matchable_ranges, vids = _prepare_scan(
+            attribute_vector, result
+        )
+        total_comparisons += comparisons
+        prepared.append((attribute_vector, matchable_ranges, vids))
+    if cost_model is not None:
+        cost_model.record_comparison(total_comparisons)
+
+    def scan(job: tuple) -> np.ndarray:
+        attribute_vector, matchable_ranges, vids = job
+        if len(attribute_vector) == 0 or (not matchable_ranges and vids is None):
+            return np.empty(0, dtype=np.int64)
+        mask = _scan_mask(attribute_vector, matchable_ranges, vids)
+        return np.nonzero(mask)[0].astype(np.int64)
+
+    workers = max_workers if max_workers is not None else 1
+    if workers > 1 and len(prepared) > 1:
+        pool = _shared_pool(workers)
+        return list(pool.map(scan, prepared))
+    return [scan(job) for job in prepared]

@@ -123,6 +123,54 @@ def encdb_build(
     return BuildResult(dictionary, attribute_vector, stats)
 
 
+def encdb_build_partitioned(
+    values: Sequence[Any],
+    kind: EncryptedDictionaryKind,
+    *,
+    partition_rows: int,
+    value_type: ValueType,
+    key: bytes | None,
+    pae: Pae | None,
+    rng: HmacDrbg,
+    bsmax: int = 10,
+    table_name: str = "",
+    column_name: str = "",
+    encrypted: bool = True,
+) -> list[BuildResult]:
+    """``EncDB`` over fixed-row-count partitions: one independent build per
+    chunk of ``partition_rows`` consecutive rows.
+
+    Each partition gets its own dictionary (fresh IVs, its own rotation
+    offset / shuffle from a forked DRBG stream), so partitions are
+    independently searchable and independently rebuildable at merge time.
+    Row order is preserved: concatenating the partitions' rows reproduces
+    ``values`` exactly, which keeps global RecordIDs identical to an
+    unpartitioned build.
+    """
+    from repro.columnstore.partition import partition_lengths, slice_rows
+
+    if len(values) == 0:
+        raise CatalogError("cannot build a dictionary for an empty column")
+    parts = slice_rows(
+        list(values), partition_lengths(len(values), partition_rows)
+    )
+    return [
+        encdb_build(
+            part,
+            kind,
+            value_type=value_type,
+            key=key,
+            pae=pae,
+            rng=rng.fork(f"part-{index}"),
+            bsmax=bsmax,
+            table_name=table_name,
+            column_name=column_name,
+            encrypted=encrypted,
+        )
+        for index, part in enumerate(parts)
+    ]
+
+
 def _split(
     values: Sequence[Any],
     repetition: RepetitionOption,

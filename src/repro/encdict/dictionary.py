@@ -45,6 +45,11 @@ class EncryptedDictionary:
     tail: bytes
     enc_rnd_offset: bytes | None = None
     encrypted: bool = True
+    #: Server-side partition bookkeeping: which main-store partition of the
+    #: column this dictionary backs (−1 = the ED9 delta store). Deliberately
+    #: NOT registered on the wire (``net/protocol.py``) — partition layout
+    #: is assigned by the server and must not cross the network.
+    partition_id: int = 0
     #: Number of attribute-vector entries this dictionary serves; only used
     #: for storage accounting of the packed ValueID width.
     load_count: int = field(default=0, repr=False)
@@ -63,6 +68,7 @@ class EncryptedDictionary:
         column_name: str,
         enc_rnd_offset: bytes | None = None,
         encrypted: bool = True,
+        partition_id: int = 0,
     ) -> "EncryptedDictionary":
         offsets = np.zeros(len(blobs) + 1, dtype=np.int64)
         np.cumsum([len(blob) for blob in blobs], out=offsets[1:])
@@ -75,6 +81,7 @@ class EncryptedDictionary:
             tail=b"".join(blobs),
             enc_rnd_offset=enc_rnd_offset,
             encrypted=encrypted,
+            partition_id=partition_id,
         )
 
     def __len__(self) -> int:

@@ -93,9 +93,11 @@ class EncDBDBEnclave(Enclave):
                 cost_model=self.cost_model,
                 epc=self.epc,
             )
-        # Monotonic per-(table, column) write counters. Not secret: each bump
-        # corresponds to a write ecall the untrusted side already observes.
-        self._column_epochs: dict[tuple[str, str], int] = {}
+        # Monotonic per-(table, column, partition) write counters. Not
+        # secret: each bump corresponds to a write ecall the untrusted side
+        # already observes. Partition granularity means rebuilding one
+        # partition leaves every other partition's cached plaintext valid.
+        self._column_epochs: dict[tuple[str, str, int], int] = {}
         self._searcher = DictionarySearcher(
             self._pae, self.cost_model, cache=self._entry_cache
         )
@@ -114,22 +116,51 @@ class EncDBDBEnclave(Enclave):
             return None
         return self._entry_cache.stats.snapshot()
 
-    def _epoch(self, table_name: str, column_name: str) -> int:
-        return self._column_epochs.get((table_name, column_name), 0)
+    def fastpath_partition_usage(self) -> dict[tuple, int] | None:
+        """EPC bytes the entry cache holds per (table, column, partition).
 
-    def _bump_epoch(self, table_name: str, column_name: str) -> None:
-        """Advance a column's epoch and drop its cached plaintext.
+        Partition-granular accounting: shows which partitions' plaintext is
+        resident and lets tests assert that evictions/invalidations are
+        scoped to single partitions. ``None`` without a cache.
+        """
+        if self._entry_cache is None:
+            return None
+        return self._entry_cache.group_usage()
+
+    def _epoch(
+        self, table_name: str, column_name: str, partition_id: int | None = None
+    ) -> int:
+        """The write epoch of one partition, or — with ``partition_id=None``
+        — the column-wide maximum (any write anywhere advances it)."""
+        if partition_id is not None:
+            return self._column_epochs.get(
+                (table_name, column_name, partition_id), 0
+            )
+        return max(
+            (
+                epoch
+                for (table, column, _), epoch in self._column_epochs.items()
+                if table == table_name and column == column_name
+            ),
+            default=0,
+        )
+
+    def _bump_epoch(
+        self, table_name: str, column_name: str, partition_id: int = 0
+    ) -> None:
+        """Advance one partition's epoch and drop its cached plaintext.
 
         Called from every write ecall. The epoch is part of every cache key,
         so even without the eager invalidation a stale hit is impossible —
-        the invalidation just frees the budget immediately.
+        the invalidation just frees the budget immediately. Only the written
+        partition is invalidated: an incremental merge that rebuilds one
+        dirty partition keeps every clean partition's cache warm.
         """
-        key = (table_name, column_name)
+        key = (table_name, column_name, partition_id)
         self._column_epochs[key] = self._column_epochs.get(key, 0) + 1
         if self._entry_cache is not None:
-            self._entry_cache.invalidate(
-                lambda cache_key: cache_key[0] == table_name
-                and cache_key[1] == column_name
+            self._entry_cache.invalidate_prefix(
+                (table_name, column_name, partition_id)
             )
 
     def _reset_caches(self) -> None:
@@ -238,7 +269,11 @@ class EncDBDBEnclave(Enclave):
             dictionary,
             search,
             key=key,
-            cache_epoch=self._epoch(dictionary.table_name, dictionary.column_name),
+            cache_epoch=self._epoch(
+                dictionary.table_name,
+                dictionary.column_name,
+                getattr(dictionary, "partition_id", 0),
+            ),
         )
 
     @ecall
@@ -299,7 +334,10 @@ class EncDBDBEnclave(Enclave):
             info=b"EncDBDB-join\x00" + salt,
             length=16,
         )
-        epoch = self._epoch(dictionary.table_name, dictionary.column_name)
+        partition_id = getattr(dictionary, "partition_id", 0)
+        epoch = self._epoch(
+            dictionary.table_name, dictionary.column_name, partition_id
+        )
         tokens = []
         for blob in dictionary.entries():
             # Join-side decryptions share the entry cache with dict_search:
@@ -310,6 +348,7 @@ class EncDBDBEnclave(Enclave):
                 cache_key = (
                     dictionary.table_name,
                     dictionary.column_name,
+                    partition_id,
                     epoch,
                     blob,
                 )
@@ -344,7 +383,10 @@ class EncDBDBEnclave(Enclave):
         The stored ciphertext is unlinkable to the one that travelled over
         the network, so neither order nor frequency leaks on insertion.
         """
-        self._bump_epoch(table_name, column_name)
+        from repro.columnstore.partition import DELTA_PARTITION_ID
+
+        # Only the delta store changes: main-partition caches stay warm.
+        self._bump_epoch(table_name, column_name, DELTA_PARTITION_ID)
         key = self._column_key(table_name, column_name)
         plaintext = self._pae.decrypt(key, transit_blob)
         self.cost_model.record_decryption(len(transit_blob))
@@ -360,18 +402,21 @@ class EncDBDBEnclave(Enclave):
         value_blobs: Sequence[bytes],
         *,
         bsmax: int = 10,
+        partition_id: int = 0,
     ) -> BuildResult:
-        """Merge delta values into a fresh main store.
+        """Merge delta values into a fresh main-store partition.
 
-        ``value_blobs`` is the merged column in row order, as ciphertext
+        ``value_blobs`` is the merged partition in row order, as ciphertext
         references collected by the untrusted side. Every value is decrypted
-        here and the whole column rebuilt with fresh IVs, a fresh rotation,
+        here and the partition rebuilt with fresh IVs, a fresh rotation,
         and a fresh shuffle, breaking any linkage between old and new stores
-        (the oblivious-merge requirement of §4.3).
+        (the oblivious-merge requirement of §4.3). ``partition_id`` scopes
+        the epoch bump: an incremental merge rebuilding one dirty partition
+        leaves the cached plaintext of every clean partition valid.
         """
         if not value_blobs:
             raise QueryError("rebuild_for_merge requires at least one value")
-        self._bump_epoch(table_name, column_name)
+        self._bump_epoch(table_name, column_name, partition_id)
         from repro.sgx.oblivious import oblivious_shuffle
 
         key = self._column_key(table_name, column_name)
@@ -388,13 +433,20 @@ class EncDBDBEnclave(Enclave):
             list(range(len(plaintexts))), self._rng.fork("merge-shuffle")
         )
         shuffled = [plaintexts[i] for i in order]
+        fork_label = f"merge-{table_name}-{column_name}"
+        if partition_id:
+            # Distinct DRBG stream per partition so two partitions rebuilt in
+            # one merge never share a rotation offset or shuffle. Partition 0
+            # keeps the historical label (bit-identical single-partition
+            # merges).
+            fork_label += f"-p{partition_id}"
         build = encdb_build(
             shuffled,
             kind,
             value_type=value_type,
             key=key,
             pae=self._pae,
-            rng=self._rng.fork(f"merge-{table_name}-{column_name}"),
+            rng=self._rng.fork(fork_label),
             bsmax=bsmax,
             table_name=table_name,
             column_name=column_name,
@@ -408,4 +460,5 @@ class EncDBDBEnclave(Enclave):
         realigned = np.empty_like(build.attribute_vector)
         realigned[np.asarray(order, dtype=np.int64)] = build.attribute_vector
         build.attribute_vector = realigned
+        build.dictionary.partition_id = partition_id
         return build

@@ -1,7 +1,7 @@
 """``EnclDictSearch``: the dictionary searches that run inside the enclave.
 
 This module is part of the reproduction's trusted computing base (see
-DESIGN.md §6). It deliberately contains *only* the search logic; the enclave
+DESIGN.md §7). It deliberately contains *only* the search logic; the enclave
 program in :mod:`repro.encdict.enclave_app` wires it to ecalls and key
 material.
 
@@ -163,10 +163,14 @@ class DictionaryAccessor:
         self._cache = cache
         self._cache_epoch = cache_epoch
         # Cache-key prefix, built once: every probe of this accessor shares
-        # the same (table, column, epoch) triple.
+        # the same (table, column, partition, epoch) tuple. Partitions of
+        # one column carry independent dictionaries, so their cached
+        # plaintext must never collide — and keying by partition lets the
+        # enclave invalidate exactly the partition a write touched.
         self._cache_prefix = (
             dictionary.table_name,
             dictionary.column_name,
+            getattr(dictionary, "partition_id", 0),
             cache_epoch,
         )
         self.probes: list[int] = []

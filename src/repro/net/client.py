@@ -151,6 +151,21 @@ def _sanitize_build(build: BuildResult) -> BuildResult:
     )
 
 
+def _sanitize_builds(build):
+    """Sanitize one build or a per-partition build list.
+
+    Partition metadata never crosses the wire in either direction: the
+    protocol encodes only the registered ``EncryptedDictionary`` fields,
+    which deliberately exclude ``partition_id`` (partition ids are
+    server-side bookkeeping), and ``BuildStats`` carries no partition
+    fields to strip. What remains owner-chosen — how many builds are sent —
+    is exactly the layout the server must store anyway.
+    """
+    if isinstance(build, (list, tuple)):
+        return [_sanitize_build(item) for item in build]
+    return _sanitize_build(build)
+
+
 class _RemoteTable:
     """Schema-only table view (mirrors ``catalog.table(name).specs``)."""
 
@@ -258,7 +273,7 @@ class RemoteServer:
             table_name,
             plain_columns=plain_columns or {},
             encrypted_builds={
-                name: _sanitize_build(build)
+                name: _sanitize_builds(build)
                 for name, build in (encrypted_builds or {}).items()
             },
         )

@@ -185,6 +185,11 @@ _register(ResultColumn, ("table_name", "column_name", "encrypted", "data"))
 _register(ServerResult, ("table_name", "record_ids", "columns"))
 
 # Encrypted builds (the data owner's EncDB output for bulk import) ------------
+# ``partition_id`` is deliberately NOT registered: partition metadata is
+# server-side bookkeeping (assigned on install, persisted locally) and must
+# never cross the wire. The encoder emits registered fields only and the
+# decoder rejects unknown field names, so the omission is structural — a
+# dictionary always decodes with the dataclass default of 0.
 _register(
     EncryptedDictionary,
     (

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.encdict.attrvect import shutdown_scan_pools
 from repro.exceptions import EnclaveSecurityError, NetworkError, ProtocolError
 from repro.net.errors import redact_exception
 from repro.net.protocol import (
@@ -130,6 +131,10 @@ class NetServer:
             self._asyncio_server.close()
             await self._asyncio_server.wait_closed()
             self._asyncio_server = None
+        # Release the process-wide attribute-vector scan pool. wait=False:
+        # in-flight chunk scans finish in the background instead of blocking
+        # the event loop; the pool is lazily recreated if ever needed again.
+        shutdown_scan_pools(wait=False)
 
     def _maybe_restore_sealed_key(self) -> None:
         """Boot path of a restarted server: unseal ``SKDB`` if a sealed blob

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.columnstore.catalog import Catalog
 from repro.columnstore.column import EncryptedStoredColumn, PlainStoredColumn
+from repro.columnstore.partition import slice_rows
 from repro.columnstore.storage import load_database, save_database
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.pae import Pae, default_pae
@@ -129,21 +130,43 @@ class EncDBDBServer:
         table_name: str,
         *,
         plain_columns: dict[str, list] | None = None,
-        encrypted_builds: dict[str, BuildResult] | None = None,
+        encrypted_builds: dict[str, BuildResult | list[BuildResult]] | None = None,
     ) -> int:
-        """Import a prepared dataset (the data owner's ``EncDB`` output)."""
+        """Import a prepared dataset (the data owner's ``EncDB`` output).
+
+        An encrypted column may arrive as one build (single partition) or a
+        list of per-partition builds. All columns of a table must share one
+        partition layout — the per-partition row counts of the encrypted
+        builds are the template, and plain columns are sliced to match so
+        global RecordIDs stay row-aligned across columns.
+        """
         table = self.catalog.table(table_name)
         if table.row_count:
             raise CatalogError(f"table {table_name!r} already holds data")
         plain_columns = plain_columns or {}
         encrypted_builds = encrypted_builds or {}
-        provided = set(plain_columns) | set(encrypted_builds)
+        build_lists: dict[str, list[BuildResult]] = {
+            name: list(build) if isinstance(build, (list, tuple)) else [build]
+            for name, build in encrypted_builds.items()
+        }
+        provided = set(plain_columns) | set(build_lists)
         if provided != set(table.column_names):
             raise CatalogError(
                 f"bulk load must cover exactly the columns of {table_name!r}"
             )
+        # One partition layout for the whole table, taken from the encrypted
+        # builds (they cannot be re-chunked without the enclave).
+        layouts = {
+            name: [len(build.attribute_vector) for build in builds]
+            for name, builds in build_lists.items()
+        }
+        if len({tuple(layout) for layout in layouts.values()}) > 1:
+            raise CatalogError(
+                "encrypted columns have mismatched partition layouts"
+            )
+        template = next(iter(layouts.values()), None)
         lengths = {len(v) for v in plain_columns.values()} | {
-            len(b.attribute_vector) for b in encrypted_builds.values()
+            sum(layout) for layout in layouts.values()
         }
         if len(lengths) != 1:
             raise CatalogError("bulk-loaded columns have inconsistent lengths")
@@ -154,20 +177,28 @@ class EncDBDBServer:
             spec = table.spec(name)
             if spec.is_encrypted:
                 raise CatalogError(f"column {name!r} requires an encrypted build")
-            columns[name] = PlainStoredColumn(spec, values)
-        for name, build in encrypted_builds.items():
+            if template is not None:
+                column = PlainStoredColumn(spec)
+                column.set_partition_values(slice_rows(list(values), template))
+            else:
+                column = PlainStoredColumn(spec, values)
+            columns[name] = column
+        for name, builds in build_lists.items():
             spec = table.spec(name)
             if not spec.is_encrypted:
                 raise CatalogError(f"column {name!r} is not encrypted")
-            if build.dictionary.kind != spec.protection:
-                raise CatalogError(
-                    f"column {name!r} was built as "
-                    f"{build.dictionary.kind} but is declared {spec.protection}"
-                )
-            column = EncryptedStoredColumn(spec, build)
+            for build in builds:
+                if build.dictionary.kind != spec.protection:
+                    raise CatalogError(
+                        f"column {name!r} was built as "
+                        f"{build.dictionary.kind} but is declared {spec.protection}"
+                    )
+            column = EncryptedStoredColumn(spec, builds)
             column.bind(table.name)
             columns[name] = column
         table.attach_columns(columns, row_count)
+        if template:
+            table.partition_rows = max(template)
         return row_count
 
     def drop_table(self, table_name: str) -> None:

@@ -161,6 +161,40 @@ class EnclaveLruCache:
         self.stats.invalidations += len(doomed)
         return len(doomed)
 
+    def invalidate_prefix(self, prefix: tuple) -> int:
+        """Drop every tuple key starting with ``prefix``.
+
+        Cache keys are structured ``(table, column, partition, epoch,
+        blob)``, so a ``(table, column, partition)`` prefix evicts exactly
+        one partition's worth of cached plaintext — the partition-granular
+        eviction the incremental merge relies on. Non-tuple keys (foreign
+        users of the cache) are never matched.
+        """
+        width = len(prefix)
+        return self.invalidate(
+            lambda key: isinstance(key, tuple)
+            and len(key) >= width
+            and key[:width] == prefix
+        )
+
+    def group_usage(self, prefix_width: int = 3) -> dict[tuple, int]:
+        """Resident bytes per key-prefix group (EPC accounting).
+
+        With the structured keys above and the default width this reports
+        bytes held per ``(table, column, partition)`` — how much of the
+        enclave's cache budget each partition currently occupies. Non-tuple
+        or short keys are pooled under the empty group ``()``.
+        """
+        usage: dict[tuple, int] = {}
+        for key, (_, nbytes) in self._entries.items():
+            group = (
+                key[:prefix_width]
+                if isinstance(key, tuple) and len(key) >= prefix_width
+                else ()
+            )
+            usage[group] = usage.get(group, 0) + nbytes
+        return usage
+
     def clear(self) -> int:
         """Drop everything (e.g. on re-provisioning of key material)."""
         dropped = len(self._entries)

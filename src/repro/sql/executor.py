@@ -10,12 +10,15 @@ steps 6-13).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np
 
 from repro.columnstore.catalog import Catalog
 from repro.columnstore.column import EncryptedStoredColumn, PlainStoredColumn
+from repro.columnstore.dictionary import DictionaryEncodedColumn
+from repro.columnstore.partition import DEFAULT_PARTITION_ROWS, PartitionMap
 from repro.columnstore.table import Table
 from repro.exceptions import QueryError
 from repro.sgx.cache import FastPathConfig
@@ -34,6 +37,25 @@ from repro.sql.planner import (
 from repro.sql.result import ResultColumn, ServerResult
 
 
+@dataclass
+class MergeStats:
+    """What one incremental merge actually did (layout-level counters).
+
+    ``partitions_rebuilt`` counts enclave rebuilds per partition slot, not
+    per column — every column of the table rebuilds the same slots, since
+    all columns share one partition layout.
+    """
+
+    table: str = ""
+    partitions_total: int = 0
+    partitions_kept: int = 0
+    partitions_rebuilt: int = 0
+    partitions_dropped: int = 0
+    tail_partitions_added: int = 0
+    delta_rows_merged: int = 0
+    rows_after: int = 0
+
+
 class Executor:
     """Evaluates (already proxy-encrypted) plans on the column store."""
 
@@ -49,6 +71,8 @@ class Executor:
         # A bare Executor keeps the paper-faithful one-ecall-per-filter
         # behaviour; EncDBDBServer passes its (default-enabled) config down.
         self.fastpath = fastpath if fastpath is not None else FastPathConfig.disabled()
+        #: Layout-level counters of the most recent :meth:`merge`.
+        self.last_merge_stats: MergeStats | None = None
 
     def _scan_config(self) -> tuple[int | None, int | None]:
         """``(chunk_rows, max_workers)`` for the attribute-vector scans."""
@@ -319,40 +343,157 @@ class Executor:
     # Delta merge (paper §4.3)
     # ------------------------------------------------------------------
     def merge(self, plan: MergePlan) -> int:
-        """Rebuild every column's main store from the surviving rows."""
+        """Incremental merge: rebuild only the partitions that changed.
+
+        A main-store partition is *dirty* when it contains at least one
+        cleared validity bit; clean partitions are carried over untouched
+        (their dictionaries, attribute vectors — and the enclave's cached
+        plaintext for them — survive). Valid delta rows are absorbed into
+        the final partition when they fit, otherwise they become fresh tail
+        partitions of at most ``partition_rows`` rows each. The merge cost
+        is therefore proportional to the dirty rows, not the table size.
+        """
         table = self._catalog.table(plan.table)
-        valid = table.validity
+        valid = np.asarray(table.validity, dtype=bool)
         survivors = int(valid.sum())
-        for name in table.column_names:
-            column = table.column(name)
+        columns = [table.column(name) for name in table.column_names]
+
+        # All columns of a table share one partition layout by construction.
+        lengths = columns[0].partition_lengths if columns else []
+        for column in columns[1:]:
+            if column.partition_lengths != lengths:
+                raise QueryError(
+                    f"misaligned column partitions in table {table.name}"
+                )
+        main_rows = sum(lengths)
+        partition_rows = (
+            getattr(table, "partition_rows", None) or DEFAULT_PARTITION_ROWS
+        )
+        pmap = PartitionMap(lengths)
+        dirty = set(pmap.dirty_partitions(valid))
+
+        delta_mask = valid[main_rows:]
+        delta_indices = np.nonzero(delta_mask)[0]
+        delta_count = int(len(delta_indices))
+
+        # Absorb the delta into the last partition when the combined row
+        # count still fits one partition (keeps small tables at their seed
+        # single-partition layout); overflow goes to fresh tail partitions.
+        absorb_index = None
+        if delta_count and lengths:
+            last = len(lengths) - 1
+            last_survivors = int(
+                valid[pmap.starts[last] : pmap.starts[last] + lengths[last]].sum()
+            )
+            if 0 < last_survivors and last_survivors + delta_count <= partition_rows:
+                absorb_index = last
+                dirty.add(last)
+
+        stats = MergeStats(
+            table=table.name,
+            partitions_total=len(lengths),
+            delta_rows_merged=delta_count,
+            rows_after=survivors,
+        )
+        # Per-partition decisions, shared by every column of the table.
+        decisions: list[tuple[str, int]] = []
+        keep_masks: dict[int, np.ndarray] = {}
+        for index, (start, length) in enumerate(zip(pmap.starts, lengths)):
+            if index not in dirty:
+                decisions.append(("keep", index))
+                stats.partitions_kept += 1
+                continue
+            mask = valid[start : start + length]
+            if mask.any() or index == absorb_index:
+                keep_masks[index] = mask
+                decisions.append(("rebuild", index))
+                stats.partitions_rebuilt += 1
+            else:
+                decisions.append(("drop", index))
+                stats.partitions_dropped += 1
+        if absorb_index is None:
+            tail_chunks = [
+                delta_indices[offset : offset + partition_rows]
+                for offset in range(0, delta_count, partition_rows)
+            ]
+        else:
+            tail_chunks = []
+        stats.tail_partitions_added = len(tail_chunks)
+
+        for name, column in zip(table.column_names, columns):
             if isinstance(column, PlainStoredColumn):
-                values = [
-                    column.value_at(rid)
-                    for rid in range(len(column))
-                    if valid[rid]
-                ]
-                if values:
-                    column.rebuild(values)
-                else:
-                    column.main = type(column.main)([], np.empty(0, dtype=np.int64))
-                    column.delta_values = []
+                new_parts: list[DictionaryEncodedColumn] = []
+                for action, index in decisions:
+                    if action == "keep":
+                        new_parts.append(column.partitions[index])
+                    elif action == "rebuild":
+                        mask = keep_masks[index]
+                        values = [
+                            value
+                            for value, keep in zip(
+                                column.partitions[index].values(), mask
+                            )
+                            if keep
+                        ]
+                        if index == absorb_index:
+                            values.extend(
+                                column.delta_values[int(i)] for i in delta_indices
+                            )
+                        new_parts.append(
+                            DictionaryEncodedColumn.from_values(values)
+                        )
+                for chunk in tail_chunks:
+                    new_parts.append(
+                        DictionaryEncodedColumn.from_values(
+                            [column.delta_values[int(i)] for i in chunk]
+                        )
+                    )
+                column.partitions = new_parts
+                column.delta_values = []
+                column.partition_rows = partition_rows
             else:
                 if self._host is None:
                     raise QueryError("no enclave available for merge")
-                blobs = column.all_blobs_in_row_order(valid)
-                if not blobs:
-                    column.main_build = None
-                    column.delta_blobs = []
-                    continue
-                build = self._host.ecall(
-                    "rebuild_for_merge",
-                    table.name,
-                    name,
-                    column.spec.protection,
-                    column.spec.value_type,
-                    blobs,
-                    bsmax=column.spec.bsmax,
-                )
-                column.replace_main(build)
+                new_builds = []
+                new_ids = []
+                for action, index in decisions:
+                    if action == "keep":
+                        new_builds.append(column.partition_builds[index])
+                        new_ids.append(column.partition_ids[index])
+                    elif action == "rebuild":
+                        blobs = column.partition_blobs(index, keep_masks[index])
+                        if index == absorb_index:
+                            blobs.extend(
+                                column.delta_blobs[int(i)] for i in delta_indices
+                            )
+                        build = self._host.ecall(
+                            "rebuild_for_merge",
+                            table.name,
+                            name,
+                            column.spec.protection,
+                            column.spec.value_type,
+                            blobs,
+                            bsmax=column.spec.bsmax,
+                            partition_id=column.partition_ids[index],
+                        )
+                        new_builds.append(build)
+                        new_ids.append(column.partition_ids[index])
+                for chunk in tail_chunks:
+                    partition_id = column.allocate_partition_id()
+                    build = self._host.ecall(
+                        "rebuild_for_merge",
+                        table.name,
+                        name,
+                        column.spec.protection,
+                        column.spec.value_type,
+                        [column.delta_blobs[int(i)] for i in chunk],
+                        bsmax=column.spec.bsmax,
+                        partition_id=partition_id,
+                    )
+                    new_builds.append(build)
+                    new_ids.append(partition_id)
+                column.set_partitions(new_builds, ids=new_ids)
+                column.delta_blobs = []
         table.reset_validity(survivors)
+        self.last_merge_stats = stats
         return survivors

@@ -131,3 +131,116 @@ def to_sql(node) -> str:
         return f"MERGE TABLE {node.table}"
 
     raise QueryError(f"cannot print statement {type(node).__name__}")
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN rendering (plan + partition fan-out)
+# ----------------------------------------------------------------------
+def _filter_columns(filter_plan, found: list[str]) -> None:
+    """Column names referenced by a filter tree, in traversal order."""
+    from repro.sql.planner import FilterNode
+
+    if filter_plan is None:
+        return
+    if isinstance(filter_plan, FilterNode):
+        for child in filter_plan.children:
+            _filter_columns(child, found)
+        return
+    column = getattr(filter_plan, "column", None)
+    if column is not None and column not in found:
+        found.append(column)
+
+
+def partition_fanout_lines(plan, catalog) -> list[str]:
+    """EXPLAIN annotation: how each filtered column fans out per partition.
+
+    ``catalog`` is the server's *data* catalog (tables with live column
+    stores). A remote deployment exposes only the schema mirror — partition
+    layout is then unknown here and the annotation is omitted, which is the
+    point: partition metadata does not cross the wire.
+    """
+    from repro.columnstore.partition import PartitionMap
+    from repro.sql.planner import (
+        DeletePlan,
+        JoinSelectPlan,
+        MergePlan,
+        SelectPlan,
+    )
+
+    if catalog is None:
+        return []
+    targets: list[tuple[str, list[str]]] = []
+    if isinstance(plan, (SelectPlan, DeletePlan)):
+        columns: list[str] = []
+        _filter_columns(plan.filter, columns)
+        targets.append((plan.table, columns))
+    elif isinstance(plan, JoinSelectPlan):
+        for table_name, filter_plan in (
+            (plan.left_table, plan.left_filter),
+            (plan.right_table, plan.right_filter),
+        ):
+            columns = []
+            _filter_columns(filter_plan, columns)
+            targets.append((table_name, columns))
+    elif isinstance(plan, MergePlan):
+        lines = []
+        try:
+            table = catalog.table(plan.table)
+            lengths = (
+                table.columns[table.column_names[0]].partition_lengths
+                if table.column_names
+                else []
+            )
+            dirty = PartitionMap(lengths).dirty_partitions(
+                table.validity[: sum(lengths)]
+            )
+            delta_rows = table.row_count - sum(lengths)
+            lines.append(
+                f"merge {plan.table}: {len(dirty)} of {len(lengths)} "
+                f"partition(s) dirty, {delta_rows} delta row(s) pending"
+            )
+        except (AttributeError, KeyError, TypeError):
+            pass  # schema-only catalog: no layout to report
+        return lines
+
+    lines = []
+    for table_name, columns in targets:
+        for column_name in columns:
+            try:
+                table = catalog.table(table_name)
+                column = table.columns[column_name]
+                partitions = len(
+                    getattr(column, "partition_builds", None)
+                    or getattr(column, "partitions", ())
+                )
+                delta_rows = len(
+                    getattr(column, "delta_blobs", None)
+                    or getattr(column, "delta_values", ())
+                )
+            except (AttributeError, KeyError, TypeError):
+                continue  # schema-only catalog: no layout to report
+            stores = partitions + (1 if delta_rows else 0)
+            lines.append(
+                f"{table_name}.{column_name}: {partitions} main partition(s)"
+                + (f" + delta ({delta_rows} rows)" if delta_rows else "")
+                + f" -> {max(stores, 1)} dictionary search(es) per filter"
+            )
+    if lines:
+        lines.insert(0, "partition fan-out:")
+    return lines
+
+
+def render_explain(plan, schema_catalog=None, data_catalog=None) -> str:
+    """EXPLAIN-style rendering of one query plan.
+
+    Combines the planner's one-line description with the per-partition
+    fan-out of every filtered column (when a data catalog with live column
+    stores is available — i.e. in-process or server-side).
+    """
+    from repro.sql.planner import describe_plan
+
+    description = describe_plan(plan, schema_catalog)
+    lines = partition_fanout_lines(plan, data_catalog)
+    if lines:
+        description = description + "\n" + "\n".join(lines)
+    return description

@@ -1,0 +1,145 @@
+"""Incremental merge over a partitioned main store.
+
+The merge must only rebuild partitions whose validity bits or delta rows
+changed (``rebuild_for_merge`` ecall counter asserted), drop partitions
+that end up empty, and keep RecordID alignment across all columns of the
+table intact.
+"""
+
+from __future__ import annotations
+
+from repro import EncDBDBSystem
+
+
+def _partitioned_system(rows: int = 24, partition_rows: int = 8, seed: int = 66):
+    system = EncDBDBSystem.create(seed=seed)
+    system.execute("CREATE TABLE t (v ED2 VARCHAR(10), n INTEGER)")
+    system.bulk_load(
+        "t",
+        {"v": [f"v{i:04d}" for i in range(rows)], "n": list(range(rows))},
+        partition_rows=partition_rows,
+    )
+    return system
+
+
+def _rebuild_ecalls(system) -> int:
+    return system.server.cost_snapshot()["ecalls_by_name"].get(
+        "rebuild_for_merge", 0
+    )
+
+
+def _stats(system):
+    return system.server.executor.last_merge_stats
+
+
+def test_empty_delta_merge_rebuilds_nothing():
+    system = _partitioned_system()
+    before = _rebuild_ecalls(system)
+    system.merge("t")
+    stats = _stats(system)
+    assert stats.partitions_total == 3
+    assert stats.partitions_kept == 3
+    assert stats.partitions_rebuilt == 0
+    assert stats.partitions_dropped == 0
+    assert stats.tail_partitions_added == 0
+    assert stats.delta_rows_merged == 0
+    assert _rebuild_ecalls(system) == before  # not a single enclave rebuild
+    assert system.query("SELECT COUNT(*) FROM t").scalar() == 24
+
+
+def test_delete_only_merge_rebuilds_only_dirty_partition():
+    system = _partitioned_system()
+    # Rows 8..9 live in partition 1 of [0..7][8..15][16..23].
+    system.execute("DELETE FROM t WHERE n BETWEEN 8 AND 9")
+    before = _rebuild_ecalls(system)
+    system.merge("t")
+    stats = _stats(system)
+    assert stats.partitions_rebuilt == 1
+    assert stats.partitions_kept == 2
+    assert stats.partitions_dropped == 0
+    # One rebuilt partition slot x one encrypted column = one ecall.
+    assert _rebuild_ecalls(system) - before == 1
+    assert system.query("SELECT COUNT(*) FROM t").scalar() == 22
+    assert system.query("SELECT n FROM t WHERE v = 'v0010'").rows == [(10,)]
+    assert system.query("SELECT n FROM t WHERE v = 'v0008'").rows == []
+
+
+def test_merge_drops_emptied_partition():
+    system = _partitioned_system()
+    system.execute("DELETE FROM t WHERE n BETWEEN 8 AND 15")  # all of partition 1
+    before = _rebuild_ecalls(system)
+    system.merge("t")
+    stats = _stats(system)
+    assert stats.partitions_dropped == 1
+    assert stats.partitions_rebuilt == 0
+    assert stats.partitions_kept == 2
+    assert _rebuild_ecalls(system) == before
+    table = system.server.catalog.table("t")
+    assert table.columns["v"].partition_lengths == [8, 8]
+    assert system.query("SELECT COUNT(*) FROM t").scalar() == 16
+    assert system.query("SELECT n FROM t WHERE v = 'v0016'").rows == [(16,)]
+
+
+def test_record_id_alignment_survives_merges():
+    system = _partitioned_system()
+    reference = sorted(system.query("SELECT v, n FROM t").rows)
+    system.merge("t")
+    system.merge("t")  # idempotent on a clean table
+    assert sorted(system.query("SELECT v, n FROM t").rows) == reference
+
+    # A delete-only merge keeps every surviving (v, n) pair aligned.
+    system.execute("DELETE FROM t WHERE n BETWEEN 8 AND 9")
+    system.merge("t")
+    survivors = [(v, n) for v, n in reference if n not in (8, 9)]
+    assert sorted(system.query("SELECT v, n FROM t").rows) == survivors
+    # Clean partitions were kept verbatim: rows before the dirty partition
+    # retain their RecordIDs, so per-row lookups still line up.
+    for n in (0, 7, 16, 23):
+        assert system.query(f"SELECT v FROM t WHERE n = {n}").rows == [
+            (f"v{n:04d}",)
+        ]
+
+
+def test_delta_absorbed_into_last_partition_when_it_fits():
+    system = _partitioned_system()
+    system.execute("DELETE FROM t WHERE n BETWEEN 20 AND 23")  # last partition: 4 live
+    system.execute("INSERT INTO t VALUES ('x1', 100), ('x2', 101)")
+    system.merge("t")
+    stats = _stats(system)
+    assert stats.tail_partitions_added == 0
+    assert stats.partitions_total == 3
+    assert stats.delta_rows_merged == 2
+    table = system.server.catalog.table("t")
+    assert table.columns["v"].partition_lengths == [8, 8, 6]
+    assert system.query("SELECT n FROM t WHERE v = 'x2'").rows == [(101,)]
+
+
+def test_delta_overflow_creates_tail_partition():
+    system = _partitioned_system()
+    rows = ", ".join(f"('y{i}', {200 + i})" for i in range(4))
+    system.execute(f"INSERT INTO t VALUES {rows}")
+    # Last partition is full (8 rows), so 8 + 4 > 8: fresh tail partition.
+    system.merge("t")
+    stats = _stats(system)
+    assert stats.tail_partitions_added == 1
+    assert stats.partitions_kept == 3  # untouched main partitions stay as-is
+    table = system.server.catalog.table("t")
+    assert table.columns["v"].partition_lengths == [8, 8, 8, 4]
+    assert system.query("SELECT COUNT(*) FROM t").scalar() == 28
+    assert system.query("SELECT n FROM t WHERE v = 'y3'").rows == [(203,)]
+
+
+def test_merge_cost_scales_with_dirty_partitions():
+    wide = EncDBDBSystem.create(seed=67)
+    wide.execute("CREATE TABLE w (a ED1 INTEGER, b ED2 VARCHAR(10))")
+    wide.bulk_load(
+        "w",
+        {"a": list(range(24)), "b": [f"b{i:04d}" for i in range(24)]},
+        partition_rows=8,
+    )
+    wide.execute("DELETE FROM w WHERE a = 20")  # dirty: partition 2 only
+    before = _rebuild_ecalls(wide)
+    wide.merge("w")
+    # One dirty slot x two encrypted columns.
+    assert _rebuild_ecalls(wide) - before == 2
+    assert _stats(wide).partitions_rebuilt == 1

@@ -139,3 +139,34 @@ def test_hiding_kind_roundtrip(tmp_path):
     save_database(catalog, path)
     loaded = load_database(path)
     assert len(loaded.table("t").column("v").main_build.dictionary) == 3
+
+def test_partitioned_roundtrip_preserves_layout_and_answers(tmp_path):
+    """Save/load of a multi-partition table keeps partition ids, layout,
+    and query answers intact (the v2 storage frames)."""
+    from repro import EncDBDBSystem
+    from repro.server.dbms import EncDBDBServer
+
+    system = EncDBDBSystem.create(seed=31)
+    system.execute("CREATE TABLE p (v ED2 VARCHAR(10), n INTEGER)")
+    system.bulk_load(
+        "p",
+        {"v": [f"v{i:03d}" for i in range(20)], "n": list(range(20))},
+        partition_rows=6,
+    )
+    system.execute("INSERT INTO p VALUES ('extra', 99)")
+    system.execute("DELETE FROM p WHERE n = 3")
+    path = tmp_path / "parts.encdbdb"
+    system.save(path)
+
+    original = system.server.catalog.table("p")
+    restored_server = EncDBDBServer()
+    restored_server.load(path)
+    restored = restored_server.catalog.table("p")
+    column = restored.column("v")
+    assert column.partition_lengths == original.column("v").partition_lengths
+    assert column.partition_ids == original.column("v").partition_ids
+    assert column._next_partition_id == original.column("v")._next_partition_id
+    assert restored.partition_rows == original.partition_rows
+    assert restored.column("n").partition_lengths == [6, 6, 6, 2]
+    assert restored.validity.tolist() == original.validity.tolist()
+    assert len(column.delta_blobs) == 1

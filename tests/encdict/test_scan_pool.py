@@ -1,0 +1,87 @@
+"""The process-wide scan pool and the multi-partition scan entry point."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encdict import attrvect
+from repro.encdict.attrvect import (
+    attr_vect_search,
+    attr_vect_search_many,
+    shutdown_scan_pools,
+)
+from repro.encdict.search import DUMMY_RANGE, SearchResult
+from repro.sgx.costs import CostModel
+
+
+def _scan_with_pool(max_workers: int) -> None:
+    av = np.arange(1000, dtype=np.int64)
+    attr_vect_search(
+        av,
+        SearchResult(ranges=((10, 20),)),
+        chunk_rows=100,
+        max_workers=max_workers,
+    )
+
+
+def test_single_pool_reused_across_worker_counts():
+    shutdown_scan_pools()
+    _scan_with_pool(4)
+    first = attrvect._pool
+    assert first is not None and attrvect._pool_workers == 4
+    _scan_with_pool(2)  # fewer workers: the bigger pool is reused
+    assert attrvect._pool is first
+    assert attrvect._pool_workers == 4
+
+
+def test_pool_grows_by_replacement():
+    shutdown_scan_pools()
+    _scan_with_pool(2)
+    small = attrvect._pool
+    _scan_with_pool(6)
+    assert attrvect._pool is not small
+    assert attrvect._pool_workers == 6
+    shutdown_scan_pools()
+
+
+def test_shutdown_is_idempotent_and_pool_is_lazily_recreated():
+    _scan_with_pool(3)
+    shutdown_scan_pools()
+    assert attrvect._pool is None and attrvect._pool_workers == 0
+    shutdown_scan_pools()  # second call is a no-op
+    _scan_with_pool(3)
+    assert attrvect._pool is not None
+    shutdown_scan_pools()
+
+
+def test_search_many_matches_per_partition_scans():
+    rng = np.random.default_rng(7)
+    jobs = []
+    for length in (0, 17, 256, 999):
+        av = rng.integers(0, 50, size=length).astype(np.int64)
+        jobs.append((av, SearchResult(ranges=((5, 9), DUMMY_RANGE))))
+    jobs.append((np.arange(100, dtype=np.int64), SearchResult(vids=(3, 7))))
+
+    for workers in (1, 4):
+        results = attr_vect_search_many(jobs, max_workers=workers)
+        assert len(results) == len(jobs)
+        for (av, search), rids in zip(jobs, results):
+            expected = attr_vect_search(av, search)
+            assert rids.tolist() == expected.tolist()
+    shutdown_scan_pools()
+
+
+def test_search_many_cost_equals_concatenated_scan():
+    """Partitioning a column must not change its comparison count."""
+    av = np.arange(1000, dtype=np.int64)
+    search = SearchResult(ranges=((100, 200), DUMMY_RANGE))
+
+    whole = CostModel()
+    attr_vect_search(av, search, cost_model=whole)
+
+    split = CostModel()
+    attr_vect_search_many(
+        [(av[:400], search), (av[400:], search)], cost_model=split, max_workers=2
+    )
+    assert split.comparisons == whole.comparisons
+    shutdown_scan_pools()

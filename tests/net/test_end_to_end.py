@@ -200,6 +200,43 @@ def test_bulk_load_stats_sanitized_on_wire(net_server):
     assert build.dictionary.enc_rnd_offset is not None
 
 
+def test_partition_metadata_never_crosses_the_wire(net_server):
+    """Partition count/boundaries are a server-local layout detail: the
+    builds travel as an opaque list and no frame names partition fields."""
+    sniffer = Sniffer()
+    system = connect_system("127.0.0.1", net_server.port, seed=21, tap=sniffer)
+    try:
+        system.execute("CREATE TABLE parts (v ED2 INTEGER)")
+        sniffer.frames.clear()
+        system.bulk_load(
+            "parts", {"v": [4, 8, 15, 16, 23, 42]}, partition_rows=2
+        )
+        assert (
+            system.query("SELECT COUNT(*) FROM parts WHERE v > 10").scalar() == 4
+        )
+    finally:
+        system.close()
+
+    wire = sniffer.all_bytes
+    assert sniffer.frames, "the tap saw no frames"
+    assert b"partition" not in wire  # no frame ever names a partition field
+    bulk_calls = [
+        decode_payload(payload)
+        for direction, frame_type, payload in sniffer.frames
+        if direction == "send" and frame_type is FrameType.QUERY
+    ]
+    bulk = next(c for c in bulk_calls if c["method"] == "bulk_load")
+    builds = bulk["kwargs"]["encrypted_builds"]["v"]
+    assert isinstance(builds, list) and len(builds) == 3
+    for build in builds:
+        # Decoded dictionaries carry only the dataclass default: whatever
+        # partition id the owner-side objects held was stripped structurally
+        # (the field is not registered with the wire codec).
+        assert build.dictionary.partition_id == 0
+        assert build.stats.rnd_offset is None
+        assert build.stats.unique_values == -1
+
+
 def test_quote_verification_is_client_side(net_server):
     """The verifying AttestationService lives in the trusted realm: it is a
     fresh local instance, not an object the server shipped over."""

@@ -121,3 +121,37 @@ def test_fastpath_config_master_flag_gates_every_layer():
 
     single_worker = FastPathConfig(scan_max_workers=1)
     assert not single_worker.parallel_scan_enabled
+
+
+def test_invalidate_prefix_evicts_one_partition():
+    cache = EnclaveLruCache(budget_bytes=1000)
+    cache.put(("t", "c", 0, 5, b"x"), 1, 10)
+    cache.put(("t", "c", 0, 5, b"y"), 2, 10)
+    cache.put(("t", "c", 1, 5, b"x"), 3, 10)
+    cache.put(("t", "d", 0, 5, b"x"), 4, 10)
+    cache.put("plain-key", 5, 10)
+    assert cache.invalidate_prefix(("t", "c", 0)) == 2
+    assert cache.get(("t", "c", 0, 5, b"x")) is None
+    assert cache.get(("t", "c", 1, 5, b"x")) == 3
+    assert cache.get(("t", "d", 0, 5, b"x")) == 4
+    assert cache.get("plain-key") == 5
+
+
+def test_invalidate_prefix_never_matches_non_tuple_keys():
+    cache = EnclaveLruCache(budget_bytes=1000)
+    cache.put("abc", 1, 10)
+    cache.put(("a",), 2, 10)
+    assert cache.invalidate_prefix(("a",)) == 1
+    assert cache.get("abc") == 1
+
+
+def test_group_usage_reports_bytes_per_partition():
+    cache = EnclaveLruCache(budget_bytes=1000)
+    cache.put(("t", "c", 0, 5, b"x"), 1, 10)
+    cache.put(("t", "c", 0, 5, b"y"), 2, 15)
+    cache.put(("t", "c", 1, 5, b"x"), 3, 20)
+    cache.put("plain-key", 4, 7)
+    usage = cache.group_usage()
+    assert usage[("t", "c", 0)] == 25
+    assert usage[("t", "c", 1)] == 20
+    assert usage[()] == 7

@@ -87,3 +87,58 @@ def test_cli_explain_meta():
     assert "enclave dictionary search" in text
     assert "usage: .explain" in text
     assert "error:" in text
+
+
+@pytest.fixture
+def partitioned_system() -> EncDBDBSystem:
+    system = EncDBDBSystem.create(seed=10)
+    system.execute("CREATE TABLE p (v ED2 VARCHAR(10), n INTEGER)")
+    system.bulk_load(
+        "p",
+        {"v": [f"v{i:03d}" for i in range(24)], "n": list(range(24))},
+        partition_rows=8,
+    )
+    return system
+
+
+def test_explain_shows_partition_fanout(partitioned_system):
+    text = partitioned_system.proxy.explain("SELECT v FROM p WHERE v = 'v001'")
+    assert "partition fan-out:" in text
+    assert "p.v: 3 main partition(s)" in text
+    assert "3 dictionary search(es) per filter" in text
+
+
+def test_explain_fanout_includes_delta(partitioned_system):
+    partitioned_system.execute("INSERT INTO p VALUES ('x', 99), ('y', 98)")
+    text = partitioned_system.proxy.explain("SELECT v FROM p WHERE v = 'x'")
+    assert "+ delta (2 rows)" in text
+    assert "4 dictionary search(es) per filter" in text
+
+
+def test_explain_merge_reports_dirty_partitions(partitioned_system):
+    partitioned_system.execute("DELETE FROM p WHERE n = 9")
+    text = partitioned_system.proxy.explain("MERGE TABLE p")
+    assert "1 of 3 partition(s) dirty" in text
+    assert "0 delta row(s) pending" in text
+
+
+def test_explain_fanout_absent_without_filter_columns(partitioned_system):
+    text = partitioned_system.proxy.explain("SELECT v FROM p")
+    assert "partition fan-out:" not in text
+
+
+def test_cli_bare_explain_command():
+    import io
+
+    from repro.cli import Shell
+
+    out = io.StringIO()
+    shell = Shell(EncDBDBSystem.create(seed=11), out=out)
+    shell.run_script("CREATE TABLE t (a ED1 VARCHAR(5))")
+    shell.execute_line("EXPLAIN SELECT a FROM t WHERE a = 'x';")
+    shell.execute_line("explain")
+    shell.execute_line("explain SELEKT")
+    text = out.getvalue()
+    assert "enclave dictionary search" in text
+    assert "usage: explain <statement>" in text
+    assert "error:" in text
