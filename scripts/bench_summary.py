@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Concatenate every BENCH_*.json into one BENCH_summary.json.
+
+Each benchmark suite writes a machine-readable result file under
+``benchmarks/results/`` (``BENCH_net.json``, ``BENCH_fastpath.json``,
+``BENCH_partition.json``, ``BENCH_build.json``, ...). The CI
+``bench-summary`` job downloads the per-job artifacts and runs this
+script to publish one combined document keyed by benchmark name::
+
+    {"build": {...}, "fastpath": {...}, "net": {...}, "partition": {...}}
+
+Usage: ``python scripts/bench_summary.py [results_dir] [output_path]``
+(defaults: ``benchmarks/results``, ``<results_dir>/BENCH_summary.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def summarize(results_dir: Path) -> dict:
+    summary: dict[str, object] = {}
+    for path in sorted(results_dir.rglob("BENCH_*.json")):
+        if path.name == "BENCH_summary.json":
+            continue
+        name = path.stem.removeprefix("BENCH_")
+        try:
+            summary[name] = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"{path}: invalid JSON ({exc})")
+    return summary
+
+
+def main(argv: list[str]) -> int:
+    results_dir = Path(argv[1]) if len(argv) > 1 else Path("benchmarks/results")
+    output = (
+        Path(argv[2]) if len(argv) > 2 else results_dir / "BENCH_summary.json"
+    )
+    summary = summarize(results_dir)
+    if not summary:
+        raise SystemExit(f"no BENCH_*.json files found under {results_dir}")
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    print(f"{output}: {', '.join(sorted(summary))}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -217,9 +217,16 @@ def serve_main(argv: list[str]) -> int:
         help="sealed SKDB blob: restored on boot if present, written after "
         "every provisioning (restart without re-attestation)",
     )
+    parser.add_argument(
+        "--scan-workers",
+        type=int,
+        default=None,
+        help="worker threads for parallel attribute-vector scans and merge "
+        "preparation (default: ENCDBDB_SCAN_WORKERS or 4)",
+    )
     args = parser.parse_args(argv)
 
-    dbms = EncDBDBServer()
+    dbms = EncDBDBServer(scan_workers=args.scan_workers)
     if args.load:
         dbms.load(args.load)
     server = NetServer(

@@ -20,6 +20,7 @@ from repro.encdict.builder import (
     encdb_build,
     encdb_build_partitioned,
 )
+from repro.encdict.pipeline import BuildPipeline, ColumnPlan
 from repro.exceptions import CatalogError
 from repro.sgx.channel import SecureChannel
 
@@ -119,6 +120,31 @@ class DataOwner:
             column_name=spec.name,
         )
 
+    def build_plans(
+        self, server: EncDBDBServer, table_name: str, columns: dict
+    ) -> dict[str, ColumnPlan]:
+        """The per-column :class:`ColumnPlan`\\ s of one table deployment.
+
+        Column DRBGs are forked in spec order — the same fork sequence the
+        serial :meth:`encrypt_column` loop performs — so a pipelined build
+        consumes exactly the randomness of a serial one.
+        """
+        table = server.catalog.table(table_name)
+        plans: dict[str, ColumnPlan] = {}
+        for spec in table.specs:
+            if spec.name not in columns:
+                raise CatalogError(f"no data provided for column {spec.name!r}")
+            if spec.is_encrypted:
+                plans[spec.name] = ColumnPlan(
+                    spec,
+                    columns[spec.name],
+                    key=self.column_key(table_name, spec.name),
+                    rng=self._rng.fork(f"encdb-{table_name}-{spec.name}"),
+                )
+            else:
+                plans[spec.name] = ColumnPlan(spec, columns[spec.name])
+        return plans
+
     def deploy_table(
         self,
         server: EncDBDBServer,
@@ -126,15 +152,47 @@ class DataOwner:
         columns: dict[str, list],
         *,
         partition_rows: int | None = None,
+        max_workers: int | None = None,
+        executor: str = "thread",
     ) -> int:
         """Step 4: split/encrypt every column and bulk-import the table.
 
         ``partition_rows`` selects a partitioned layout: every column is
-        built as fixed-row-count per-partition dictionaries. The layout is
-        the owner's choice; the server only ever sees the finished builds.
+        built as fixed-row-count per-partition dictionaries — by the
+        streaming build pipeline, whose (column × partition) tasks run on
+        ``max_workers`` ``executor`` workers ("serial"/"thread"/"process";
+        artifacts are byte-identical across all three). Column sources may
+        then be any row-order iterables, including generators. Against an
+        in-process server the partitions stream into the column store as
+        they complete, so peak transient memory is O(partition); a remote
+        server (one ``bulk_load`` payload on the wire) gets the collected
+        builds. Without ``partition_rows`` the historical single-dictionary
+        build is used. Either way the layout is the owner's choice; the
+        server only ever sees finished builds.
         """
+        if partition_rows is not None:
+            pipeline = BuildPipeline(
+                pae=self.pae, max_workers=max_workers, executor=executor
+            )
+            plans = self.build_plans(server, table_name, columns)
+            load_stream = getattr(server, "bulk_load_stream", None)
+            if load_stream is not None:
+                return load_stream(
+                    table_name,
+                    pipeline.build_stream(
+                        table_name, plans, partition_rows=partition_rows
+                    ),
+                )
+            encrypted_builds, plain_columns = pipeline.build_columns(
+                table_name, plans, partition_rows=partition_rows
+            )
+            return server.bulk_load(
+                table_name,
+                plain_columns=plain_columns,
+                encrypted_builds=encrypted_builds,
+            )
         table = server.catalog.table(table_name)
-        plain_columns: dict[str, list] = {}
+        plain_columns = {}
         encrypted_builds: dict[str, BuildResult | list[BuildResult]] = {}
         for spec in table.specs:
             if spec.name not in columns:
@@ -142,7 +200,7 @@ class DataOwner:
             values = columns[spec.name]
             if spec.is_encrypted:
                 encrypted_builds[spec.name] = self.encrypt_column(
-                    table_name, spec, values, partition_rows=partition_rows
+                    table_name, spec, values
                 )
             else:
                 plain_columns[spec.name] = list(values)

@@ -94,14 +94,23 @@ class EncDBDBSystem:
         columns: dict[str, list],
         *,
         partition_rows: int | None = None,
+        max_workers: int | None = None,
+        executor: str = "thread",
     ) -> int:
         """Data-owner bulk import: EncDB locally, deploy ciphertext only.
 
         ``partition_rows`` selects a partitioned main-store layout (one
-        independent encrypted dictionary per fixed-row-count chunk).
+        independent encrypted dictionary per fixed-row-count chunk), built
+        by the owner's streaming pipeline on ``max_workers`` ``executor``
+        workers — artifacts are byte-identical for any worker count.
         """
         return self.owner.deploy_table(
-            self.server, table_name, columns, partition_rows=partition_rows
+            self.server,
+            table_name,
+            columns,
+            partition_rows=partition_rows,
+            max_workers=max_workers,
+            executor=executor,
         )
 
     def merge(self, table_name: str) -> int:

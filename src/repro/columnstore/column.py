@@ -86,6 +86,10 @@ class PlainStoredColumn:
             DictionaryEncodedColumn.from_values(list(part)) for part in parts
         ]
 
+    def append_partition_values(self, values: Sequence[Any]) -> None:
+        """Append one more main-store partition (streamed bulk load)."""
+        self.partitions.append(DictionaryEncodedColumn.from_values(list(values)))
+
     @property
     def main(self) -> DictionaryEncodedColumn:
         """Single-partition view, kept for pre-partitioning callers."""
@@ -290,6 +294,18 @@ class EncryptedStoredColumn:
             build.dictionary.partition_id = partition_id
         self.partition_builds = builds
         self.partition_ids = list(ids)
+
+    def append_partition(self, build: BuildResult) -> int:
+        """Append one more main-store partition (streamed bulk load).
+
+        Returns the freshly allocated partition id; the build's dictionary
+        is stamped with it just as :meth:`set_partitions` would.
+        """
+        partition_id = self.allocate_partition_id()
+        build.dictionary.partition_id = partition_id
+        self.partition_builds.append(build)
+        self.partition_ids.append(partition_id)
+        return partition_id
 
     @property
     def main_build(self) -> BuildResult | None:

@@ -154,15 +154,33 @@ def _read_plain_column(reader: _Reader, spec: ColumnSpec) -> PlainStoredColumn:
     return column
 
 
+def _write_encrypted_partition(
+    writer: _Writer, build: BuildResult, partition_id: int
+) -> None:
+    """One main-store partition as its on-disk frame sequence."""
+    dictionary = build.dictionary
+    writer.u64(partition_id)
+    writer.array(dictionary.offsets)
+    writer.bytes_frame(dictionary.tail)
+    writer.bytes_frame(dictionary.enc_rnd_offset or b"")
+    _write_packed_av(writer, build.attribute_vector, len(dictionary))
+
+
+def encrypted_partition_frame(build: BuildResult, partition_id: int) -> bytes:
+    """The exact bytes :func:`save_database` persists for one partition.
+
+    Gives tests (and audits) partition-granular byte identity: two builds
+    are interchangeable on disk iff their frames compare equal.
+    """
+    writer = _Writer()
+    _write_encrypted_partition(writer, build, partition_id)
+    return writer.getvalue()
+
+
 def _write_encrypted_column(writer: _Writer, column: EncryptedStoredColumn) -> None:
     writer.u64(len(column.partition_builds))
     for build, partition_id in zip(column.partition_builds, column.partition_ids):
-        dictionary = build.dictionary
-        writer.u64(partition_id)
-        writer.array(dictionary.offsets)
-        writer.bytes_frame(dictionary.tail)
-        writer.bytes_frame(dictionary.enc_rnd_offset or b"")
-        _write_packed_av(writer, build.attribute_vector, len(dictionary))
+        _write_encrypted_partition(writer, build, partition_id)
     writer.u64(column._next_partition_id)
     writer.u64(len(column.delta_blobs))
     for blob in column.delta_blobs:

@@ -26,7 +26,9 @@ equal plaintexts encrypt to different ciphertexts.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
+from typing import Sequence
 
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.gcm import AesGcm
@@ -59,6 +61,12 @@ class Pae(ABC):
 
     Instances are stateless with respect to keys: the key is passed to each
     call, matching the paper where the enclave derives ``SKD`` per query.
+
+    The operation counters are lock-protected so concurrent build and scan
+    workers can share one backend without losing counts; the internal IV
+    generator is likewise guarded, but deterministic callers (the parallel
+    build pipeline) should pass an explicit per-task ``rng`` instead so the
+    IV stream does not depend on thread scheduling.
     """
 
     #: Human-readable backend name, used in benchmark reports.
@@ -66,17 +74,78 @@ class Pae(ABC):
 
     def __init__(self, *, rng: HmacDrbg | None = None) -> None:
         self._rng = rng if rng is not None else HmacDrbg(b"repro-pae-default")
+        self._counter_lock = threading.Lock()
         self.encrypt_count = 0
         self.decrypt_count = 0
 
-    def encrypt(self, key: bytes, plaintext: bytes, aad: bytes = b"") -> bytes:
-        """``PAE_Enc``: encrypt under a fresh random IV; returns IV||ct||tag."""
+    def add_operation_counts(self, encrypts: int = 0, decrypts: int = 0) -> None:
+        """Fold operation counts performed elsewhere (e.g. a build worker
+        process) into this backend's counters, atomically."""
+        with self._counter_lock:
+            self.encrypt_count += encrypts
+            self.decrypt_count += decrypts
+
+    def _draw_iv(self, rng: HmacDrbg | None) -> bytes:
+        if rng is not None:
+            return rng.random_bytes(PAE_NONCE_BYTES)
+        with self._counter_lock:
+            return self._rng.random_bytes(PAE_NONCE_BYTES)
+
+    def encrypt(
+        self,
+        key: bytes,
+        plaintext: bytes,
+        aad: bytes = b"",
+        *,
+        rng: HmacDrbg | None = None,
+    ) -> bytes:
+        """``PAE_Enc``: encrypt under a fresh random IV; returns IV||ct||tag.
+
+        ``rng`` overrides the backend's internal IV generator for this call —
+        the parallel build pipeline passes a per-(column, partition) DRBG so
+        ciphertexts do not depend on which worker encrypts first.
+        """
         if len(key) != PAE_KEY_BYTES:
             raise CryptoError(f"PAE key must be {PAE_KEY_BYTES} bytes")
-        self.encrypt_count += 1
-        iv = self._rng.random_bytes(PAE_NONCE_BYTES)
+        self.add_operation_counts(encrypts=1)
+        iv = self._draw_iv(rng)
         ciphertext, tag = self._seal(key, iv, plaintext, aad)
         return iv + ciphertext + tag
+
+    def encrypt_many(
+        self,
+        key: bytes,
+        plaintexts: Sequence[bytes],
+        aad: bytes = b"",
+        *,
+        rng: HmacDrbg | None = None,
+    ) -> list[bytes]:
+        """Seal a whole batch in one vectorized pass.
+
+        Bit-for-bit identical to calling :meth:`encrypt` once per plaintext
+        with the same ``rng`` (each IV is a separate 12-byte draw, exactly
+        the sequential stream), but the key schedule, counter update and —
+        without an explicit ``rng`` — the IV-generator lock are amortized
+        over the batch instead of paid per value.
+        """
+        if len(key) != PAE_KEY_BYTES:
+            raise CryptoError(f"PAE key must be {PAE_KEY_BYTES} bytes")
+        if not plaintexts:
+            return []
+        if rng is not None:
+            ivs = [rng.random_bytes(PAE_NONCE_BYTES) for _ in plaintexts]
+            self.add_operation_counts(encrypts=len(plaintexts))
+        else:
+            with self._counter_lock:
+                ivs = [
+                    self._rng.random_bytes(PAE_NONCE_BYTES) for _ in plaintexts
+                ]
+                self.encrypt_count += len(plaintexts)
+        blobs = []
+        for iv, plaintext in zip(ivs, plaintexts):
+            ciphertext, tag = self._seal(key, iv, plaintext, aad)
+            blobs.append(iv + ciphertext + tag)
+        return blobs
 
     def decrypt(self, key: bytes, blob: bytes, aad: bytes = b"") -> bytes:
         """``PAE_Dec``: authenticate and decrypt an IV||ct||tag blob."""
@@ -84,11 +153,32 @@ class Pae(ABC):
             raise CryptoError(f"PAE key must be {PAE_KEY_BYTES} bytes")
         if len(blob) < PAE_OVERHEAD_BYTES:
             raise AuthenticationError("ciphertext too short to be authentic")
-        self.decrypt_count += 1
+        self.add_operation_counts(decrypts=1)
         iv = blob[:PAE_NONCE_BYTES]
         ciphertext = blob[PAE_NONCE_BYTES:-PAE_TAG_BYTES]
         tag = blob[-PAE_TAG_BYTES:]
         return self._open(key, iv, ciphertext, tag, aad)
+
+    def decrypt_many(
+        self, key: bytes, blobs: Sequence[bytes], aad: bytes = b""
+    ) -> list[bytes]:
+        """Authenticate and open a whole batch (one counter update)."""
+        if len(key) != PAE_KEY_BYTES:
+            raise CryptoError(f"PAE key must be {PAE_KEY_BYTES} bytes")
+        for blob in blobs:
+            if len(blob) < PAE_OVERHEAD_BYTES:
+                raise AuthenticationError("ciphertext too short to be authentic")
+        self.add_operation_counts(decrypts=len(blobs))
+        return [
+            self._open(
+                key,
+                blob[:PAE_NONCE_BYTES],
+                blob[PAE_NONCE_BYTES:-PAE_TAG_BYTES],
+                blob[-PAE_TAG_BYTES:],
+                aad,
+            )
+            for blob in blobs
+        ]
 
     def ciphertext_length(self, plaintext_length: int) -> int:
         """Size in bytes of the PAE blob for a plaintext of the given size."""
@@ -96,8 +186,9 @@ class Pae(ABC):
 
     def reset_counters(self) -> None:
         """Zero the operation counters used by the cost model."""
-        self.encrypt_count = 0
-        self.decrypt_count = 0
+        with self._counter_lock:
+            self.encrypt_count = 0
+            self.decrypt_count = 0
 
     @abstractmethod
     def _seal(

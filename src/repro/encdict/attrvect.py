@@ -188,8 +188,8 @@ def attr_vect_search_many(
     """Scan many (attribute vector, search result) pairs — one per column
     partition — returning per-job RecordID arrays (partition-local).
 
-    Cost accounting happens up front in the caller thread (``CostModel``
-    counters are plain ints, not thread-safe) and equals the sum of the
+    Cost accounting happens up front in the caller thread (one charge per
+    call, independent of worker scheduling) and equals the sum of the
     per-job uniform charges — identical to scanning the concatenated vector,
     so partitioning a column never changes its comparison count. Each job is
     scanned single-shot (no nested chunking: the jobs themselves are the

@@ -72,12 +72,20 @@ def encdb_build(
     key: bytes | None,
     pae: Pae | None,
     rng: HmacDrbg,
+    iv_rng: HmacDrbg | None = None,
     bsmax: int = 10,
     table_name: str = "",
     column_name: str = "",
     encrypted: bool = True,
 ) -> BuildResult:
-    """Split, arrange, and encrypt one column according to ``kind``."""
+    """Split, arrange, and encrypt one column according to ``kind``.
+
+    ``iv_rng`` is a dedicated DRBG for the PAE IVs of this build. Without it
+    IVs come from the backend's internal generator (the historical single-
+    build behaviour); with it the build touches no shared mutable state, so
+    builds of different (column, partition) tasks can run on any worker in
+    any order and still produce bit-for-bit the ciphertexts of a serial run.
+    """
     if len(values) == 0:
         raise CatalogError("cannot build a dictionary for an empty column")
     if encrypted and (key is None or pae is None):
@@ -91,16 +99,21 @@ def encdb_build(
     )
     attribute_vector = _build_attribute_vector(values, vid_assignment, rng)
 
-    blobs = []
-    for value in entries:
-        payload = value_type.to_bytes(value)
-        blobs.append(pae.encrypt(key, payload) if encrypted else payload)
+    payloads = [value_type.to_bytes(value) for value in entries]
+    if encrypted:
+        # One vectorized pass over the dictionary instead of one call per
+        # value: same IV stream, amortized key schedule and bookkeeping.
+        blobs = pae.encrypt_many(key, payloads, rng=iv_rng)
+    else:
+        blobs = payloads
 
     enc_rnd_offset = None
     if rnd_offset is not None:
         offset_bytes = rnd_offset.to_bytes(8, "big")
         enc_rnd_offset = (
-            pae.encrypt(key, offset_bytes) if encrypted else offset_bytes
+            pae.encrypt(key, offset_bytes, rng=iv_rng)
+            if encrypted
+            else offset_bytes
         )
 
     dictionary = EncryptedDictionary.from_blobs(
@@ -123,6 +136,26 @@ def encdb_build(
     return BuildResult(dictionary, attribute_vector, stats)
 
 
+def derive_partition_rngs(
+    rng: HmacDrbg, count: int
+) -> list[tuple[HmacDrbg, HmacDrbg]]:
+    """Pre-derive the per-partition ``(build_rng, iv_rng)`` DRBG pairs.
+
+    The children are forked from the column's DRBG **in partition order,
+    before any build starts** — the HMAC-DRBG fork is the derivation step
+    (the same keyed-HMAC construction the KDF uses), so each child stream is
+    a pure function of (column seed, partition index). After this point a
+    partition build touches no shared randomness: the serial loop and the
+    parallel pipeline consume identical streams, which is what makes their
+    artifacts bit-for-bit identical.
+    """
+    pairs = []
+    for index in range(count):
+        build_rng = rng.fork(f"part-{index}")
+        pairs.append((build_rng, build_rng.fork("pae-iv")))
+    return pairs
+
+
 def encdb_build_partitioned(
     values: Sequence[Any],
     kind: EncryptedDictionaryKind,
@@ -140,12 +173,15 @@ def encdb_build_partitioned(
     """``EncDB`` over fixed-row-count partitions: one independent build per
     chunk of ``partition_rows`` consecutive rows.
 
-    Each partition gets its own dictionary (fresh IVs, its own rotation
-    offset / shuffle from a forked DRBG stream), so partitions are
-    independently searchable and independently rebuildable at merge time.
-    Row order is preserved: concatenating the partitions' rows reproduces
-    ``values`` exactly, which keeps global RecordIDs identical to an
-    unpartitioned build.
+    Each partition gets its own dictionary (its own IV stream, rotation
+    offset and shuffle from DRBGs pre-derived by
+    :func:`derive_partition_rngs`), so partitions are independently
+    searchable, independently rebuildable at merge time — and independently
+    *buildable*: this serial loop is the reference the parallel pipeline
+    (:mod:`repro.encdict.pipeline`) must reproduce byte-for-byte. Row order
+    is preserved: concatenating the partitions' rows reproduces ``values``
+    exactly, which keeps global RecordIDs identical to an unpartitioned
+    build.
     """
     from repro.columnstore.partition import partition_lengths, slice_rows
 
@@ -154,6 +190,7 @@ def encdb_build_partitioned(
     parts = slice_rows(
         list(values), partition_lengths(len(values), partition_rows)
     )
+    rngs = derive_partition_rngs(rng, len(parts))
     return [
         encdb_build(
             part,
@@ -161,13 +198,14 @@ def encdb_build_partitioned(
             value_type=value_type,
             key=key,
             pae=pae,
-            rng=rng.fork(f"part-{index}"),
+            rng=build_rng,
+            iv_rng=iv_rng,
             bsmax=bsmax,
             table_name=table_name,
             column_name=column_name,
             encrypted=encrypted,
         )
-        for index, part in enumerate(parts)
+        for part, (build_rng, iv_rng) in zip(parts, rngs)
     ]
 
 

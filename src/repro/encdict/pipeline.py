@@ -1,0 +1,442 @@
+"""The parallel, batched, streaming build pipeline (PR 4).
+
+``EncDB`` — splitting a column, arranging its dictionary, and PAE-sealing
+every value — is the write path the paper evaluates in Table 6, and until
+this module it was fully serial and materialized whole tables before a
+single byte was encrypted. The pipeline turns a bulk load (or the dirty
+half of a merge) into a DAG of independent **(column × partition) build
+tasks** executed on a bounded worker pool, with the source rows streamed
+in partition-sized slices:
+
+.. code-block:: text
+
+    slice(p)  ──►  build(c₀, p) ─┐
+              ──►  build(c₁, p) ─┼──►  assemble(p)  ──►  yield p (in order)
+              ──►  build(c₂, p) ─┘
+
+    slice(p+1) … runs while p's builds are still in flight (bounded window)
+
+- **Parallel.** Tasks run on a shared thread pool (the pattern of
+  ``attrvect.py``'s scan pool) or a process pool for CPU-bound multi-core
+  builds; the fan-out defaults to the same knob as the scan pool
+  (``ENCDBDB_SCAN_WORKERS``, :mod:`repro.runtime`).
+- **Deterministic.** Every task's randomness (bucket splits, rotation
+  offsets, shuffles, PAE IVs) comes from DRBGs pre-derived per (column,
+  partition) by :func:`~repro.encdict.builder.derive_partition_rngs`, so a
+  parallel build is **bit-for-bit identical** to the serial
+  :func:`~repro.encdict.builder.encdb_build_partitioned` loop — same
+  ciphertexts, same attribute vectors, same ``BuildStats``.
+- **Streaming with backpressure.** At most ``max_inflight_partitions``
+  partitions of plaintext are resident at once; completed partitions are
+  yielded in order while later slices are still being read, so peak memory
+  on the build side is O(partition), not O(table).
+
+Security: parallelism changes *when* each ciphertext is produced, never
+*what* is produced (byte-identity with the serial build is tested), so the
+Table 5 leakage profile is unchanged — see DESIGN.md §7.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.columnstore.types import ColumnSpec, ValueType
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.pae import Pae, default_pae
+from repro.encdict.builder import BuildResult, encdb_build
+from repro.encdict.options import EncryptedDictionaryKind
+from repro.exceptions import CatalogError
+from repro.runtime import configured_workers
+
+#: Executor kinds the pipeline can run build tasks on.
+EXECUTOR_KINDS = ("serial", "thread", "process")
+
+
+# ----------------------------------------------------------------------
+# Shared pools (one per kind, process-wide — the attrvect.py pattern)
+# ----------------------------------------------------------------------
+_pool_lock = threading.Lock()
+_thread_pool: ThreadPoolExecutor | None = None
+_thread_pool_workers = 0
+_process_pool: ProcessPoolExecutor | None = None
+_process_pool_workers = 0
+
+
+def _shared_thread_pool(max_workers: int) -> ThreadPoolExecutor:
+    """The lazily created process-wide build thread pool, resized upward."""
+    global _thread_pool, _thread_pool_workers
+    with _pool_lock:
+        if _thread_pool is None or _thread_pool_workers < max_workers:
+            old = _thread_pool
+            _thread_pool = ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="encdb-build"
+            )
+            _thread_pool_workers = max_workers
+            if old is not None:
+                old.shutdown(wait=False)
+        return _thread_pool
+
+
+def _shared_process_pool(max_workers: int) -> ProcessPoolExecutor:
+    """The lazily created process-wide build process pool.
+
+    Worker processes import this module and run :func:`_run_build_task`
+    with their own PAE backend; ciphertexts depend only on the task's key
+    and DRBGs, never on which process seals them.
+    """
+    global _process_pool, _process_pool_workers
+    with _pool_lock:
+        if _process_pool is None or _process_pool_workers < max_workers:
+            old = _process_pool
+            _process_pool = ProcessPoolExecutor(max_workers=max_workers)
+            _process_pool_workers = max_workers
+            if old is not None:
+                old.shutdown(wait=False)
+        return _process_pool
+
+
+def shutdown_build_pools(wait: bool = True) -> None:
+    """Release the shared build pools (server shutdown hook). Idempotent."""
+    global _thread_pool, _thread_pool_workers
+    global _process_pool, _process_pool_workers
+    with _pool_lock:
+        thread_pool, _thread_pool, _thread_pool_workers = _thread_pool, None, 0
+        process_pool, _process_pool, _process_pool_workers = (
+            _process_pool,
+            None,
+            0,
+        )
+    if thread_pool is not None:
+        thread_pool.shutdown(wait=wait)
+    if process_pool is not None:
+        process_pool.shutdown(wait=wait)
+
+
+def map_on_build_pool(func, items, *, max_workers: int | None = None) -> list:
+    """Run a side-effect-free function over items on the build thread pool.
+
+    The incremental merge uses this for its untrusted preparation — blob
+    collection and plaintext dictionary rebuilds across dirty partitions —
+    while the enclave rebuild ecalls stay strictly serial. Falls back to a
+    plain loop when the fan-out cannot help (one item or one worker), so
+    results are always exactly ``[func(item) for item in items]``.
+    """
+    items = list(items)
+    workers = max_workers if max_workers is not None else configured_workers()
+    if workers <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    pool = _shared_thread_pool(workers)
+    return list(pool.map(func, items))
+
+
+# ----------------------------------------------------------------------
+# Build tasks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BuildTask:
+    """One (column × partition) unit of the build DAG.
+
+    Self-contained and picklable: the values slice plus the pre-derived
+    DRBGs. Executing it touches no shared mutable state, which is exactly
+    why tasks may run on any worker in any order.
+    """
+
+    table_name: str
+    column_name: str
+    kind: EncryptedDictionaryKind
+    value_type: ValueType
+    key: bytes
+    bsmax: int
+    partition_index: int
+    values: tuple
+    build_rng: HmacDrbg
+    iv_rng: HmacDrbg
+
+
+def _execute_build_task(task: BuildTask, pae: Pae) -> BuildResult:
+    return encdb_build(
+        list(task.values),
+        task.kind,
+        value_type=task.value_type,
+        key=task.key,
+        pae=pae,
+        rng=task.build_rng,
+        iv_rng=task.iv_rng,
+        bsmax=task.bsmax,
+        table_name=task.table_name,
+        column_name=task.column_name,
+        encrypted=True,
+    )
+
+
+def _run_build_task(task: BuildTask) -> BuildResult:
+    """Process-pool entry point: build with a worker-local PAE backend.
+
+    AES-GCM is deterministic given (key, IV), so the backend instance is
+    irrelevant to the produced bytes; operation counts are reconciled into
+    the parent's backend by the pipeline (:meth:`BuildPipeline._collect`).
+    """
+    return _execute_build_task(task, default_pae())
+
+
+def build_encrypt_operations(build: BuildResult) -> int:
+    """PAE encryptions one build performed (entries + rotation offset)."""
+    count = build.stats.dictionary_entries
+    if build.dictionary.enc_rnd_offset is not None:
+        count += 1
+    return count
+
+
+# ----------------------------------------------------------------------
+# Pipeline inputs and outputs
+# ----------------------------------------------------------------------
+@dataclass
+class ColumnPlan:
+    """One column's contribution to a streamed build.
+
+    ``source`` may be any iterable — including a generator — consumed in
+    row order, one partition slice at a time. Encrypted columns need their
+    per-column key ``SKD`` and column DRBG (the owner derives both);
+    plaintext columns pass values through unencrypted.
+    """
+
+    spec: ColumnSpec
+    source: Iterable[Any]
+    key: bytes | None = None
+    rng: HmacDrbg | None = None
+
+    def __post_init__(self) -> None:
+        if self.spec.is_encrypted and (self.key is None or self.rng is None):
+            raise CatalogError(
+                f"encrypted column {self.spec.name!r} needs a key and a DRBG"
+            )
+
+
+@dataclass
+class PartitionBuild:
+    """One completed partition, every column aligned to the same rows."""
+
+    index: int
+    row_count: int
+    builds: dict[str, BuildResult] = field(default_factory=dict)
+    plain_values: dict[str, list] = field(default_factory=dict)
+
+
+@dataclass
+class _PendingPartition:
+    index: int
+    row_count: int
+    futures: dict[str, Future] = field(default_factory=dict)
+    plain_values: dict[str, list] = field(default_factory=dict)
+
+
+def _partition_rng_stream(
+    rng: HmacDrbg,
+) -> Iterator[tuple[HmacDrbg, HmacDrbg]]:
+    """Lazily yield the ``(build_rng, iv_rng)`` pairs of
+    :func:`~repro.encdict.builder.derive_partition_rngs`, one partition at
+    a time — identical streams, but usable when the partition count is not
+    known up front (streamed sources)."""
+    index = 0
+    while True:
+        build_rng = rng.fork(f"part-{index}")
+        yield build_rng, build_rng.fork("pae-iv")
+        index += 1
+
+
+class BuildPipeline:
+    """Orchestrates a streamed multi-column build over a bounded pool.
+
+    ``executor`` selects where build tasks run:
+
+    - ``"serial"`` — inline in the calling thread (the reference path;
+      still streamed and batched);
+    - ``"thread"`` — the shared build thread pool. Useful when the PAE
+      backend releases the GIL and always safe; the default.
+    - ``"process"`` — the shared process pool, for multi-core speedups on
+      CPU-bound builds (the Python split/arrange stages hold the GIL).
+
+    All three produce byte-identical artifacts; only wall-clock differs.
+    """
+
+    def __init__(
+        self,
+        *,
+        pae: Pae,
+        max_workers: int | None = None,
+        executor: str = "thread",
+        max_inflight_partitions: int | None = None,
+    ) -> None:
+        if executor not in EXECUTOR_KINDS:
+            raise CatalogError(
+                f"unknown build executor {executor!r}; pick from {EXECUTOR_KINDS}"
+            )
+        self.pae = pae
+        self.max_workers = (
+            max_workers if max_workers is not None else configured_workers()
+        )
+        self.executor = executor if self.max_workers > 1 else "serial"
+        # The backpressure window: how many partitions may hold plaintext
+        # (and in-flight build state) at once. Bounds peak build-side
+        # memory at O(max_inflight_partitions * partition_rows).
+        self.max_inflight_partitions = (
+            max_inflight_partitions
+            if max_inflight_partitions is not None
+            else max(2, 2 * self.max_workers)
+        )
+        if self.max_inflight_partitions < 1:
+            raise CatalogError("max_inflight_partitions must be at least 1")
+
+    # ------------------------------------------------------------------
+    def _pool(self) -> Executor | None:
+        if self.executor == "thread":
+            return _shared_thread_pool(self.max_workers)
+        if self.executor == "process":
+            return _shared_process_pool(self.max_workers)
+        return None
+
+    def _submit(self, pool: Executor | None, task: BuildTask) -> Future:
+        future: Future
+        if pool is None:
+            future = Future()
+            try:
+                future.set_result(_execute_build_task(task, self.pae))
+            except BaseException as exc:  # pragma: no cover - propagated
+                future.set_exception(exc)
+            return future
+        if self.executor == "process":
+            return pool.submit(_run_build_task, task)
+        return pool.submit(_execute_build_task, task, self.pae)
+
+    def _collect(self, pending: _PendingPartition) -> PartitionBuild:
+        finished = PartitionBuild(
+            index=pending.index,
+            row_count=pending.row_count,
+            plain_values=pending.plain_values,
+        )
+        for name, future in pending.futures.items():
+            build = future.result()
+            if self.executor == "process":
+                # Worker processes count on their own backends; fold the
+                # exact operation count back so accounting stays additive.
+                self.pae.add_operation_counts(
+                    encrypts=build_encrypt_operations(build)
+                )
+            finished.builds[name] = build
+        return finished
+
+    # ------------------------------------------------------------------
+    def build_stream(
+        self,
+        table_name: str,
+        plans: Mapping[str, ColumnPlan],
+        *,
+        partition_rows: int,
+    ) -> Iterator[PartitionBuild]:
+        """Stream the (column × partition) DAG, yielding partitions in order.
+
+        Slicing, encryption, and downstream consumption (storage-frame
+        writing at the server) overlap: while partition *p* is being
+        yielded, up to ``max_inflight_partitions`` later slices are already
+        building on the pool. Raises :class:`CatalogError` when column
+        sources run out of rows at different points.
+        """
+        if partition_rows <= 0:
+            raise CatalogError("partition_rows must be positive")
+        if not plans:
+            raise CatalogError("bulk load requires at least one column")
+        iterators = {name: iter(plan.source) for name, plan in plans.items()}
+        rng_streams = {
+            name: _partition_rng_stream(plan.rng)
+            for name, plan in plans.items()
+            if plan.spec.is_encrypted
+        }
+        pool = self._pool()
+        window: deque[_PendingPartition] = deque()
+        index = 0
+        try:
+            while True:
+                chunks = {
+                    name: list(islice(iterator, partition_rows))
+                    for name, iterator in iterators.items()
+                }
+                lengths = {len(chunk) for chunk in chunks.values()}
+                if lengths == {0}:
+                    break
+                if len(lengths) != 1:
+                    raise CatalogError(
+                        f"columns of {table_name!r} ran out of rows at "
+                        f"different points (partition {index})"
+                    )
+                (row_count,) = lengths
+                pending = _PendingPartition(index=index, row_count=row_count)
+                for name, plan in plans.items():
+                    if plan.spec.is_encrypted:
+                        build_rng, iv_rng = next(rng_streams[name])
+                        pending.futures[name] = self._submit(
+                            pool,
+                            BuildTask(
+                                table_name=table_name,
+                                column_name=plan.spec.name,
+                                kind=plan.spec.protection,
+                                value_type=plan.spec.value_type,
+                                key=plan.key,
+                                bsmax=plan.spec.bsmax,
+                                partition_index=index,
+                                values=tuple(chunks[name]),
+                                build_rng=build_rng,
+                                iv_rng=iv_rng,
+                            ),
+                        )
+                    else:
+                        pending.plain_values[name] = chunks[name]
+                window.append(pending)
+                index += 1
+                # Backpressure: drain the oldest partition before slicing
+                # beyond the window, keeping resident plaintext bounded.
+                while len(window) >= self.max_inflight_partitions:
+                    yield self._collect(window.popleft())
+            while window:
+                yield self._collect(window.popleft())
+        finally:
+            # On abandonment (consumer stopped early, or a task failed)
+            # drop references to whatever was still in flight.
+            for pending in window:
+                for future in pending.futures.values():
+                    future.cancel()
+
+    def build_columns(
+        self,
+        table_name: str,
+        plans: Mapping[str, ColumnPlan],
+        *,
+        partition_rows: int,
+    ) -> tuple[dict[str, list[BuildResult]], dict[str, list]]:
+        """Non-streaming convenience: run the DAG, collect whole columns.
+
+        Returns ``(encrypted_builds, plain_columns)`` in the shape
+        :meth:`repro.server.dbms.EncDBDBServer.bulk_load` consumes — the
+        owner uses this when the server cannot accept a partition stream
+        (e.g. a remote deployment whose wire protocol ships one payload).
+        """
+        encrypted: dict[str, list[BuildResult]] = {
+            name: [] for name, plan in plans.items() if plan.spec.is_encrypted
+        }
+        plain: dict[str, list] = {
+            name: []
+            for name, plan in plans.items()
+            if not plan.spec.is_encrypted
+        }
+        for partition in self.build_stream(
+            table_name, plans, partition_rows=partition_rows
+        ):
+            for name, build in partition.builds.items():
+                encrypted[name].append(build)
+            for name, values in partition.plain_values.items():
+                plain[name].extend(values)
+        return encrypted, plain

@@ -1,7 +1,7 @@
 """``EnclDictSearch``: the dictionary searches that run inside the enclave.
 
 This module is part of the reproduction's trusted computing base (see
-DESIGN.md §7). It deliberately contains *only* the search logic; the enclave
+DESIGN.md §8). It deliberately contains *only* the search logic; the enclave
 program in :mod:`repro.encdict.enclave_app` wires it to ecalls and key
 material.
 

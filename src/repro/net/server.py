@@ -13,7 +13,10 @@ in-process deployment does not:
   query, exact decryption counts) only stays meaningful if boundary
   crossings do not interleave, so every RPC holds the ecall lock while it
   executes. RPC bodies run in a worker thread, which keeps the event loop
-  free to accept frames from other sessions in the meantime.
+  free to accept frames from other sessions in the meantime. Bulk imports
+  perform no ecalls at all (the owner ships finished ciphertext), so they
+  run off the lock entirely — a long load never starves other sessions'
+  queries (:data:`LOCK_FREE_METHODS`).
 - **One provisioning at a time.** The enclave holds a single handshake slot
   (offer → accept → provision), so the server grants it to one session at a
   time and reclaims it if that session disconnects mid-handshake.
@@ -34,6 +37,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.encdict.attrvect import shutdown_scan_pools
+from repro.encdict.pipeline import shutdown_build_pools
 from repro.exceptions import EnclaveSecurityError, NetworkError, ProtocolError
 from repro.net.errors import redact_exception
 from repro.net.protocol import (
@@ -66,6 +70,12 @@ RPC_METHODS: dict[str, str] = {
     "enclave_restore": "enclave_restore",
 }
 
+#: RPC methods that perform **no** enclave calls — the data owner ships
+#: finished ciphertext and the server only installs it. They run on worker
+#: threads *without* the ecall lock, so a long bulk import cannot starve
+#: concurrent queries of other sessions.
+LOCK_FREE_METHODS = frozenset({"bulk_load"})
+
 
 @dataclass
 class Session:
@@ -89,8 +99,16 @@ class NetServer:
         max_sessions: int = 8,
         admission_timeout: float = 1.0,
         sealed_key_path: str | Path | None = None,
+        scan_workers: int | None = None,
     ) -> None:
-        self.dbms = dbms if dbms is not None else EncDBDBServer()
+        # ``scan_workers`` sizes the shared scan/build worker pools of a
+        # server this front end constructs itself; with an injected DBMS the
+        # caller configures the DBMS directly.
+        self.dbms = (
+            dbms
+            if dbms is not None
+            else EncDBDBServer(scan_workers=scan_workers)
+        )
         self.host = host
         self._requested_port = port
         self.max_sessions = max_sessions
@@ -131,10 +149,11 @@ class NetServer:
             self._asyncio_server.close()
             await self._asyncio_server.wait_closed()
             self._asyncio_server = None
-        # Release the process-wide attribute-vector scan pool. wait=False:
-        # in-flight chunk scans finish in the background instead of blocking
-        # the event loop; the pool is lazily recreated if ever needed again.
+        # Release the process-wide attribute-vector scan and build pools.
+        # wait=False: in-flight chunk scans finish in the background instead
+        # of blocking the event loop; pools are lazily recreated if needed.
         shutdown_scan_pools(wait=False)
+        shutdown_build_pools(wait=False)
 
     def _maybe_restore_sealed_key(self) -> None:
         """Boot path of a restarted server: unseal ``SKDB`` if a sealed blob
@@ -352,9 +371,16 @@ class NetServer:
         if not isinstance(args, (list, tuple)) or not isinstance(kwargs, dict):
             raise ProtocolError("rpc args/kwargs malformed")
         session.queries += 1
-        value = await self._run_ecall(
-            getattr(self.dbms, target), *args, **kwargs
-        )
+        if method in LOCK_FREE_METHODS:
+            # No boundary crossing to serialize: run on a worker thread
+            # while other sessions keep querying through the ecall lock.
+            value = await asyncio.to_thread(
+                getattr(self.dbms, target), *args, **kwargs
+            )
+        else:
+            value = await self._run_ecall(
+                getattr(self.dbms, target), *args, **kwargs
+            )
         return FrameType.RESULT, {"value": value}
 
 

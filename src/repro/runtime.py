@@ -1,0 +1,44 @@
+"""Process-wide tuning knobs shared by the worker pools.
+
+One knob governs the parallel fan-out of both untrusted hot paths: the
+attribute-vector *scan* pool (``repro.encdict.attrvect``) and the data
+owner's *build* pipeline (``repro.encdict.pipeline``). It is resolved in
+priority order:
+
+1. an explicit value passed through the server / pipeline configuration,
+2. the ``ENCDBDB_SCAN_WORKERS`` environment variable,
+3. the built-in default of :data:`DEFAULT_WORKERS`.
+
+This module deliberately has no repro-internal imports so every layer
+(``sgx.cache``, ``encdict.attrvect``, ``encdict.pipeline``, ``net.server``)
+can read the knob without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Built-in worker-pool fan-out when neither configuration nor environment
+#: says otherwise (the hard-coded value of the pre-PR-4 scan pool).
+DEFAULT_WORKERS = 4
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV = "ENCDBDB_SCAN_WORKERS"
+
+
+def configured_workers(default: int | None = None) -> int:
+    """Resolve the shared worker-count knob (always at least 1).
+
+    A malformed environment value is ignored rather than fatal — a typo in
+    an operator's shell must not take the server down — and any resolved
+    value is clamped to ``>= 1`` so pool construction never fails.
+    """
+    if default is None:
+        default = DEFAULT_WORKERS
+    raw = os.environ.get(WORKERS_ENV)
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return max(1, default)

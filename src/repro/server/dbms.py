@@ -10,7 +10,9 @@ rotation offset — tests assert exactly that.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
@@ -36,6 +38,10 @@ from repro.sql.planner import (
 )
 from repro.sql.result import ServerResult
 
+if TYPE_CHECKING:  # the stream item type lives owner-side; only needed for
+    # annotations — the server treats arriving partitions as opaque builds.
+    from repro.encdict.pipeline import PartitionBuild
+
 
 class EncDBDBServer:
     """One DBaaS deployment: catalog + executor + loaded enclave."""
@@ -47,13 +53,21 @@ class EncDBDBServer:
         pae: Pae | None = None,
         rng: HmacDrbg | None = None,
         fastpath: FastPathConfig | None = None,
+        scan_workers: int | None = None,
     ) -> None:
         rng = rng if rng is not None else HmacDrbg(b"encdbdb-server")
         self.attestation = attestation if attestation is not None else AttestationService()
         self.catalog = Catalog()
         # Production deployments run the query fast path (PR 1) by default;
         # pass FastPathConfig.disabled() for the paper-faithful baseline.
+        # ``scan_workers`` overrides the worker fan-out of the chunked
+        # attribute-vector scans (and, through the same knob, the parallel
+        # merge preparation) without spelling out a whole FastPathConfig.
         self.fastpath = fastpath if fastpath is not None else FastPathConfig()
+        if scan_workers is not None:
+            self.fastpath = replace(
+                self.fastpath, scan_max_workers=max(1, int(scan_workers))
+            )
         self._enclave = EncDBDBEnclave(
             attestation=self.attestation,
             pae=pae if pae is not None else default_pae(rng=rng.fork("enclave-pae")),
@@ -199,6 +213,76 @@ class EncDBDBServer:
         table.attach_columns(columns, row_count)
         if template:
             table.partition_rows = max(template)
+        return row_count
+
+    def bulk_load_stream(
+        self, table_name: str, partitions: "Iterable[PartitionBuild]"
+    ) -> int:
+        """Import a table from a stream of completed partitions.
+
+        ``partitions`` yields :class:`~repro.encdict.pipeline.PartitionBuild`
+        items in partition order — typically straight out of the data
+        owner's :meth:`~repro.encdict.pipeline.BuildPipeline.build_stream` —
+        and each is installed into the column store as it arrives, while the
+        owner is still building later partitions. The resulting catalog
+        state is identical to a :meth:`bulk_load` of the collected builds;
+        only the peak transient memory differs (O(partition), not O(table)).
+        """
+        table = self.catalog.table(table_name)
+        if table.row_count:
+            raise CatalogError(f"table {table_name!r} already holds data")
+        expected = set(table.column_names)
+        columns: dict[str, PlainStoredColumn | EncryptedStoredColumn] = {}
+        for spec in table.specs:
+            if spec.is_encrypted:
+                column = EncryptedStoredColumn(spec, None)
+                column.bind(table.name)
+            else:
+                column = PlainStoredColumn(spec)
+            columns[spec.name] = column
+        row_count = 0
+        largest_partition = 0
+        partition_count = 0
+        for partition in partitions:
+            provided = set(partition.builds) | set(partition.plain_values)
+            if provided != expected:
+                raise CatalogError(
+                    f"bulk load must cover exactly the columns of {table_name!r}"
+                )
+            lengths = {
+                len(build.attribute_vector)
+                for build in partition.builds.values()
+            } | {len(values) for values in partition.plain_values.values()}
+            if len(lengths) != 1:
+                raise CatalogError(
+                    f"partition {partition_count} of {table_name!r} has "
+                    "columns of inconsistent lengths"
+                )
+            for name, build in partition.builds.items():
+                spec = table.spec(name)
+                if not spec.is_encrypted:
+                    raise CatalogError(f"column {name!r} is not encrypted")
+                if build.dictionary.kind != spec.protection:
+                    raise CatalogError(
+                        f"column {name!r} was built as "
+                        f"{build.dictionary.kind} but is declared {spec.protection}"
+                    )
+                columns[name].append_partition(build)
+            for name, values in partition.plain_values.items():
+                spec = table.spec(name)
+                if spec.is_encrypted:
+                    raise CatalogError(
+                        f"column {name!r} requires an encrypted build"
+                    )
+                columns[name].append_partition_values(values)
+            (partition_rows,) = lengths
+            row_count += partition_rows
+            largest_partition = max(largest_partition, partition_rows)
+            partition_count += 1
+        if partition_count == 0:
+            raise CatalogError("bulk load stream produced no partitions")
+        table.attach_columns(columns, row_count)
+        table.partition_rows = largest_partition
         return row_count
 
     def drop_table(self, table_name: str) -> None:

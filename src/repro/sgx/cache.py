@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
 from repro.exceptions import EnclaveMemoryError
+from repro.runtime import configured_workers
 from repro.sgx.costs import CostModel
 from repro.sgx.memory import EpcModel
 
@@ -227,8 +228,9 @@ class FastPathConfig:
     parallel_scan: bool = True
     #: Rows per scan chunk; scans at or below this size stay single-shot.
     scan_chunk_rows: int = 1 << 18
-    #: Worker threads for chunked scans.
-    scan_max_workers: int = 4
+    #: Worker threads for chunked scans. Defaults to the process-wide knob
+    #: (``ENCDBDB_SCAN_WORKERS``), which the build pipeline shares.
+    scan_max_workers: int = field(default_factory=configured_workers)
     #: Reuse scan results across identical filters on one column per query.
     reuse_scan_masks: bool = True
 

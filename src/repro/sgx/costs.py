@@ -16,6 +16,7 @@ AES-NI ~1-2 cycles/byte plus fixed setup.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -40,7 +41,10 @@ class CostModel:
 
     The enclave runtime increments these counters as a side effect of every
     boundary crossing, memory access and decryption; benchmarks read them to
-    report architectural costs next to wall-clock numbers.
+    report architectural costs next to wall-clock numbers. All ``record_*``
+    methods (and :meth:`snapshot`/:meth:`reset`) are guarded by one reentrant
+    lock so concurrent build and scan workers can charge the same model
+    without losing increments — counts stay exactly additive under threads.
     """
 
     parameters: CostParameters = field(default_factory=CostParameters)
@@ -57,31 +61,40 @@ class CostModel:
     #: this to assert *which* boundary crossings a query plan performed
     #: (one ``dict_search_batch`` vs N ``dict_search`` calls).
     ecalls_by_name: dict = field(default_factory=dict)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def record_ecall(
         self, bytes_in: int = 0, bytes_out: int = 0, name: str | None = None
     ) -> None:
-        self.ecalls += 1
-        self.bytes_copied_in += bytes_in
-        self.bytes_copied_out += bytes_out
-        if name is not None:
-            self.ecalls_by_name[name] = self.ecalls_by_name.get(name, 0) + 1
+        with self._lock:
+            self.ecalls += 1
+            self.bytes_copied_in += bytes_in
+            self.bytes_copied_out += bytes_out
+            if name is not None:
+                self.ecalls_by_name[name] = self.ecalls_by_name.get(name, 0) + 1
 
     def record_ocall(self) -> None:
-        self.ocalls += 1
+        with self._lock:
+            self.ocalls += 1
 
     def record_page_fault(self, count: int = 1) -> None:
-        self.epc_page_faults += count
+        with self._lock:
+            self.epc_page_faults += count
 
     def record_untrusted_load(self, count: int = 1) -> None:
-        self.untrusted_loads += count
+        with self._lock:
+            self.untrusted_loads += count
 
     def record_decryption(self, nbytes: int) -> None:
-        self.decryptions += 1
-        self.decrypted_bytes += nbytes
+        with self._lock:
+            self.decryptions += 1
+            self.decrypted_bytes += nbytes
 
     def record_comparison(self, count: int = 1) -> None:
-        self.comparisons += count
+        with self._lock:
+            self.comparisons += count
 
     def estimated_cycles(self) -> int:
         """Total architectural cycles implied by the recorded events."""
@@ -102,23 +115,25 @@ class CostModel:
 
     def snapshot(self) -> dict[str, int]:
         """A plain-dict copy of the counters, convenient for reports."""
-        return {
-            "ecalls": self.ecalls,
-            "ocalls": self.ocalls,
-            "epc_page_faults": self.epc_page_faults,
-            "untrusted_loads": self.untrusted_loads,
-            "decryptions": self.decryptions,
-            "decrypted_bytes": self.decrypted_bytes,
-            "comparisons": self.comparisons,
-            "bytes_copied_in": self.bytes_copied_in,
-            "bytes_copied_out": self.bytes_copied_out,
-        }
+        with self._lock:
+            return {
+                "ecalls": self.ecalls,
+                "ocalls": self.ocalls,
+                "epc_page_faults": self.epc_page_faults,
+                "untrusted_loads": self.untrusted_loads,
+                "decryptions": self.decryptions,
+                "decrypted_bytes": self.decrypted_bytes,
+                "comparisons": self.comparisons,
+                "bytes_copied_in": self.bytes_copied_in,
+                "bytes_copied_out": self.bytes_copied_out,
+            }
 
     def reset(self) -> None:
         """Zero every counter (the weights are kept)."""
-        for name in self.snapshot():
-            setattr(self, name, 0)
-        self.ecalls_by_name.clear()
+        with self._lock:
+            for name in self.snapshot():
+                setattr(self, name, 0)
+            self.ecalls_by_name.clear()
 
     def diff(self, earlier: dict[str, int]) -> dict[str, int]:
         """Counters accumulated since an earlier :meth:`snapshot`."""

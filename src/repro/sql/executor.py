@@ -20,6 +20,7 @@ from repro.columnstore.column import EncryptedStoredColumn, PlainStoredColumn
 from repro.columnstore.dictionary import DictionaryEncodedColumn
 from repro.columnstore.partition import DEFAULT_PARTITION_ROWS, PartitionMap
 from repro.columnstore.table import Table
+from repro.encdict.pipeline import map_on_build_pool
 from repro.exceptions import QueryError
 from repro.sgx.cache import FastPathConfig
 from repro.sgx.enclave import EnclaveHost
@@ -352,6 +353,13 @@ class Executor:
         the final partition when they fit, otherwise they become fresh tail
         partitions of at most ``partition_rows`` rows each. The merge cost
         is therefore proportional to the dirty rows, not the table size.
+
+        The *untrusted* per-partition preparation — collecting surviving
+        ciphertext blobs, rebuilding plaintext dictionaries — fans out over
+        the shared build pool (the scan-worker knob); the per-partition
+        ``rebuild_for_merge`` ecalls stay strictly serial, in partition
+        order, so the enclave's cost accounting and randomness consumption
+        are identical to a fully serial merge.
         """
         table = self._catalog.table(plan.table)
         valid = np.asarray(table.validity, dtype=bool)
@@ -420,9 +428,15 @@ class Executor:
             tail_chunks = []
         stats.tail_partitions_added = len(tail_chunks)
 
+        # Same knob as the parallel scans; the disabled (paper-faithful)
+        # configuration keeps the whole merge serial.
+        _, scan_workers = self._scan_config()
+        merge_workers = scan_workers if scan_workers is not None else 1
         for name, column in zip(table.column_names, columns):
             if isinstance(column, PlainStoredColumn):
-                new_parts: list[DictionaryEncodedColumn] = []
+                new_parts: list[DictionaryEncodedColumn | None] = []
+                rebuild_slots: list[int] = []
+                rebuild_values: list[list] = []
                 for action, index in decisions:
                     if action == "keep":
                         new_parts.append(column.partitions[index])
@@ -439,21 +453,48 @@ class Executor:
                             values.extend(
                                 column.delta_values[int(i)] for i in delta_indices
                             )
-                        new_parts.append(
-                            DictionaryEncodedColumn.from_values(values)
-                        )
+                        new_parts.append(None)
+                        rebuild_slots.append(len(new_parts) - 1)
+                        rebuild_values.append(values)
                 for chunk in tail_chunks:
-                    new_parts.append(
-                        DictionaryEncodedColumn.from_values(
-                            [column.delta_values[int(i)] for i in chunk]
-                        )
+                    new_parts.append(None)
+                    rebuild_slots.append(len(new_parts) - 1)
+                    rebuild_values.append(
+                        [column.delta_values[int(i)] for i in chunk]
                     )
+                for slot, part in zip(
+                    rebuild_slots,
+                    map_on_build_pool(
+                        DictionaryEncodedColumn.from_values,
+                        rebuild_values,
+                        max_workers=merge_workers,
+                    ),
+                ):
+                    new_parts[slot] = part
                 column.partitions = new_parts
                 column.delta_values = []
                 column.partition_rows = partition_rows
             else:
                 if self._host is None:
                     raise QueryError("no enclave available for merge")
+                # Untrusted preparation in parallel: surviving blobs of
+                # every dirty partition. Reading ciphertext frames needs no
+                # enclave and no lock.
+                rebuild_indices = [
+                    index for action, index in decisions if action == "rebuild"
+                ]
+                prepared_blobs = dict(
+                    zip(
+                        rebuild_indices,
+                        map_on_build_pool(
+                            lambda idx, column=column: column.partition_blobs(
+                                idx, keep_masks[idx]
+                            ),
+                            rebuild_indices,
+                            max_workers=merge_workers,
+                        ),
+                    )
+                )
                 new_builds = []
                 new_ids = []
                 for action, index in decisions:
@@ -461,7 +502,7 @@ class Executor:
                         new_builds.append(column.partition_builds[index])
                         new_ids.append(column.partition_ids[index])
                     elif action == "rebuild":
-                        blobs = column.partition_blobs(index, keep_masks[index])
+                        blobs = prepared_blobs[index]
                         if index == absorb_index:
                             blobs.extend(
                                 column.delta_blobs[int(i)] for i in delta_indices

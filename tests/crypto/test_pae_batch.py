@@ -1,0 +1,95 @@
+"""Batch PAE interface and counter thread-safety (PR 4).
+
+``encrypt_many``/``decrypt_many`` must be *bit-for-bit* the loop they
+replace (the build pipeline's determinism rests on it), and the operation
+counters must stay exactly additive when many build/scan workers share one
+backend.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.exceptions import AuthenticationError, CryptoError
+
+KEY = b"\x42" * 16
+PLAINTEXTS = [f"value-{i}".encode() for i in range(37)]
+
+
+def test_encrypt_many_is_bit_identical_to_sequential_encrypts(any_pae):
+    # Same dedicated IV DRBG seed -> the batch must reproduce the loop.
+    loop_rng = HmacDrbg(b"iv-stream")
+    sequential = [any_pae.encrypt(KEY, pt, rng=loop_rng) for pt in PLAINTEXTS]
+    batched = any_pae.encrypt_many(KEY, PLAINTEXTS, rng=HmacDrbg(b"iv-stream"))
+    assert batched == sequential
+
+
+def test_encrypt_many_without_rng_matches_backend_stream(any_pae):
+    other = type(any_pae)(rng=HmacDrbg(b"test-suite-seed"))
+    sequential = [other.encrypt(KEY, pt) for pt in PLAINTEXTS]
+    batched = any_pae.encrypt_many(KEY, PLAINTEXTS)
+    assert batched == sequential
+    assert any_pae.encrypt_count == len(PLAINTEXTS)
+
+
+def test_decrypt_many_round_trip_and_counts(any_pae):
+    blobs = any_pae.encrypt_many(KEY, PLAINTEXTS)
+    assert any_pae.decrypt_many(KEY, blobs) == PLAINTEXTS
+    assert any_pae.decrypt_count == len(PLAINTEXTS)
+    assert any_pae.decrypt_many(KEY, []) == []
+    assert any_pae.encrypt_many(KEY, []) == []
+
+
+def test_decrypt_many_authenticates_every_blob(any_pae):
+    blobs = any_pae.encrypt_many(KEY, PLAINTEXTS[:3])
+    tampered = blobs[:2] + [blobs[2][:-1] + bytes([blobs[2][-1] ^ 1])]
+    with pytest.raises(AuthenticationError):
+        any_pae.decrypt_many(KEY, tampered)
+    with pytest.raises(AuthenticationError):
+        any_pae.decrypt_many(KEY, [b"short"])
+
+
+def test_batch_calls_validate_key_length(any_pae):
+    with pytest.raises(CryptoError):
+        any_pae.encrypt_many(b"bad", PLAINTEXTS[:1])
+    with pytest.raises(CryptoError):
+        any_pae.decrypt_many(b"bad", [])
+
+
+def test_counters_exactly_additive_under_eight_threads(pae):
+    """The hammer: 8 workers share one backend; no increment may be lost."""
+    threads = 8
+    per_thread = 50
+    blob = pae.encrypt(KEY, b"seed-blob")
+    pae.reset_counters()
+    barrier = threading.Barrier(threads)
+
+    def worker(index: int) -> None:
+        rng = HmacDrbg(f"worker-{index}")
+        barrier.wait()
+        for i in range(per_thread):
+            if i % 3 == 0:
+                pae.encrypt_many(KEY, PLAINTEXTS[:4], rng=rng)
+            else:
+                pae.encrypt(KEY, b"x", rng=rng)
+            pae.decrypt(KEY, blob)
+        pae.add_operation_counts(encrypts=2, decrypts=1)
+
+    pool = [
+        threading.Thread(target=worker, args=(index,)) for index in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+
+    batched_rounds = len(range(0, per_thread, 3))
+    expected_encrypts = threads * (
+        batched_rounds * 4 + (per_thread - batched_rounds) + 2
+    )
+    expected_decrypts = threads * (per_thread + 1)
+    assert pae.encrypt_count == expected_encrypts
+    assert pae.decrypt_count == expected_decrypts

@@ -1,0 +1,62 @@
+"""CostModel counters stay exactly additive under concurrent recorders.
+
+The net server runs RPC bodies on worker threads and the build/scan pools
+charge the same model; a single lost increment would silently break the
+paper's cost accounting, so the hammer asserts byte-exact totals.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.sgx.costs import CostModel
+
+THREADS = 8
+ROUNDS = 300
+
+
+def test_counters_exactly_additive_under_eight_threads():
+    model = CostModel()
+    barrier = threading.Barrier(THREADS)
+
+    def worker(index: int) -> None:
+        barrier.wait()
+        for i in range(ROUNDS):
+            model.record_ecall(bytes_in=3, bytes_out=2, name=f"op{index % 2}")
+            model.record_ocall()
+            model.record_page_fault(2)
+            model.record_untrusted_load(5)
+            model.record_decryption(10)
+            model.record_comparison(7)
+            if i % 50 == 0:
+                model.snapshot()  # concurrent readers must not corrupt
+
+    pool = [
+        threading.Thread(target=worker, args=(index,)) for index in range(THREADS)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+
+    total = THREADS * ROUNDS
+    snapshot = model.snapshot()
+    assert snapshot["ecalls"] == total
+    assert snapshot["ocalls"] == total
+    assert snapshot["epc_page_faults"] == 2 * total
+    assert snapshot["untrusted_loads"] == 5 * total
+    assert snapshot["decryptions"] == total
+    assert snapshot["decrypted_bytes"] == 10 * total
+    assert snapshot["comparisons"] == 7 * total
+    assert snapshot["bytes_copied_in"] == 3 * total
+    assert snapshot["bytes_copied_out"] == 2 * total
+    assert sum(model.ecalls_by_name.values()) == total
+
+
+def test_reset_is_safe_and_reentrant():
+    model = CostModel()
+    model.record_ecall(name="x")
+    model.record_decryption(4)
+    model.reset()  # reset() snapshots under the same reentrant lock
+    assert model.snapshot() == dict.fromkeys(model.snapshot(), 0)
+    assert model.ecalls_by_name == {}
