@@ -24,7 +24,7 @@ from repro.bench.report import format_table
 from repro.bench.storage import plaintext_file_bytes, storage_table_for_column
 from repro.columnstore.types import VarcharType
 
-#: The reproduction's trusted computing base (DESIGN.md §8): everything
+#: The reproduction's trusted computing base (DESIGN.md §9): everything
 #: that executes inside the simulated enclave.
 TCB_FILES = (
     "encdict/enclave_app.py",

@@ -1,0 +1,78 @@
+"""CLI: ``python -m repro.analysis [paths...] [--root src] [--format ...]``.
+
+Exit status 0 when every finding is suppressed (with justification), 1 when
+any active finding remains, 2 on usage/parse errors — so CI can gate on it
+directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.engine import analyze_paths
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Trust-boundary, crypto-discipline and lock-discipline linter "
+            "for the EncDBDB reproduction."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: the source root)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path("src"),
+        help="source root used to map file paths to module names",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the report to a file instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths or [args.root]
+    missing = [str(path) for path in paths if not path.exists()]
+    if missing:
+        print(f"error: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    try:
+        report = analyze_paths(paths, root=args.root)
+    except SyntaxError as exc:
+        print(f"error: {exc.filename}:{exc.lineno}: {exc.msg}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        rendered = json.dumps(report.to_json(), indent=2)
+    else:
+        rendered = report.render()
+
+    if args.output is not None:
+        args.output.write_text(rendered + "\n", encoding="utf-8")
+    else:
+        print(rendered)
+
+    return 1 if report.active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

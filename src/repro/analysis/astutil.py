@@ -1,0 +1,92 @@
+"""Small AST helpers shared by the analysis passes."""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from typing import Iterator
+
+
+def iter_comments(source: str) -> Iterator[tuple[int, str]]:
+    """Yield ``(lineno, text)`` for every real ``#`` comment token.
+
+    Directive parsing (``guarded-by``, ``lint: allow``, ``lint-module``)
+    must go through the tokenizer rather than raw line scanning, otherwise
+    docstrings *describing* the directives would activate them.
+    """
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except (tokenize.TokenError, IndentationError):
+        return
+
+
+def is_type_checking_test(test: ast.expr) -> bool:
+    """True for ``if TYPE_CHECKING:`` / ``if typing.TYPE_CHECKING:`` tests."""
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def walk_runtime(node: ast.AST) -> Iterator[ast.AST]:
+    """Like :func:`ast.walk`, but skips ``if TYPE_CHECKING:`` bodies.
+
+    Imports under ``TYPE_CHECKING`` exist for annotations only and give the
+    importing module no runtime access to the imported object, so boundary
+    rules do not apply to them.
+    """
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, ast.If) and is_type_checking_test(current.test):
+            stack.extend(current.orelse)
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def resolve_import(node: ast.ImportFrom, importer: str) -> str | None:
+    """Absolute dotted module a ``from ... import`` statement targets.
+
+    Relative imports are resolved against the importing module's package;
+    returns ``None`` when the relative depth escapes the package root.
+    """
+    if node.level == 0:
+        return node.module
+    parts = importer.split(".")
+    # ``from . import x`` inside package ``a.b`` targets ``a.b`` when the
+    # importer is a package __init__; we treat the importer name itself as
+    # the package (engine maps __init__.py files to their package name).
+    if node.level > len(parts):
+        return None
+    prefix = ".".join(parts[: len(parts) - (node.level - 1)])
+    if not prefix:
+        return node.module
+    return f"{prefix}.{node.module}" if node.module else prefix
+
+
+def attribute_root_path(node: ast.expr) -> tuple[str, ...] | None:
+    """The dotted name path of an attribute/subscript chain, root first.
+
+    ``self.stats.hits`` -> ``("self", "stats", "hits")``;
+    ``self._entries[key]`` -> ``("self", "_entries")`` (subscripts collapse
+    onto their value). Returns ``None`` when the root is not a plain name.
+    """
+    parts: list[str] = []
+    current = node
+    while True:
+        if isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        elif isinstance(current, ast.Subscript):
+            current = current.value
+        elif isinstance(current, ast.Name):
+            parts.append(current.id)
+            return tuple(reversed(parts))
+        else:
+            return None

@@ -1,0 +1,201 @@
+"""Crypto-discipline lint (pass 2).
+
+Three invariants the build/query determinism and the wire format rest on:
+
+- **DRBG-only randomness in deterministic paths.** PR 4 made parallel
+  builds bit-for-bit identical to serial ones by sourcing every IV, shuffle
+  and rotation offset from caller-provided DRBGs. Any ``os.urandom`` /
+  ``random`` / ``secrets`` / ``numpy.random`` call inside
+  ``trustmap.DETERMINISTIC_PREFIXES`` silently breaks that property.
+- **No PAE bypass.** All AES/GCM use goes through the counted
+  :class:`~repro.crypto.pae.Pae` interface — its operation counters feed
+  the cost model, and its IV draws are what the DRBG discipline audits.
+  Direct use of ``repro.crypto.gcm``/``repro.crypto.aes`` or of PAE
+  internals (``_seal``/``_open``/``_draw_iv``) outside ``repro.crypto``
+  is uncounted crypto.
+- **No plaintext on the wire.** ``repro.net`` must not import symbols that
+  hold or rebuild plaintext column data, and nothing in ``src`` may use
+  ambient object serialization (``pickle``/``marshal``/``shelve``/
+  ``dill``) — frames carry registered ciphertext containers only.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutil import resolve_import, walk_runtime
+from repro.analysis.findings import (
+    RULE_NONDET_RANDOMNESS,
+    RULE_PAE_BYPASS,
+    RULE_UNSAFE_SERIALIZATION,
+    RULE_WIRE_PLAINTEXT,
+    Finding,
+)
+from repro.analysis.trustmap import DETERMINISTIC_PREFIXES, WIRE_PLAINTEXT_SYMBOLS
+
+#: Module names whose import is ambient (non-DRBG) randomness.
+_RANDOM_MODULES = frozenset({"random", "secrets"})
+
+#: Module names that deserialize arbitrary objects.
+_SERIALIZATION_MODULES = frozenset({"pickle", "marshal", "shelve", "dill"})
+
+#: Primitive modules only ``repro.crypto`` itself may touch.
+_PRIMITIVE_MODULES = frozenset({"repro.crypto.gcm", "repro.crypto.aes"})
+
+#: PAE/primitive internals whose mention outside ``repro.crypto`` bypasses
+#: the counted interface.
+_PRIMITIVE_SYMBOLS = frozenset(
+    {"AesGcm", "Aes128", "ghash", "_seal", "_open", "_draw_iv", "_gcm", "_aead"}
+)
+
+
+def _in_deterministic_path(module: str) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in DETERMINISTIC_PREFIXES
+    )
+
+
+def check(tree: ast.AST, *, module: str, path: str) -> list[Finding]:
+    findings: list[Finding] = []
+    deterministic = _in_deterministic_path(module)
+    in_crypto = module == "repro.crypto" or module.startswith("repro.crypto.")
+    in_net = module == "repro.net" or module.startswith("repro.net.")
+
+    def report(rule: str, node: ast.AST, message: str, symbol: str | None) -> None:
+        findings.append(
+            Finding(
+                rule=rule,
+                module=module,
+                path=path,
+                line=getattr(node, "lineno", 1),
+                message=message,
+                symbol=symbol,
+            )
+        )
+
+    for node in walk_runtime(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root in _SERIALIZATION_MODULES:
+                    report(
+                        RULE_UNSAFE_SERIALIZATION,
+                        node,
+                        f"ambient object serialization ({alias.name}) — wire "
+                        "frames and storage carry registered types only",
+                        alias.name,
+                    )
+                if deterministic and root in _RANDOM_MODULES:
+                    report(
+                        RULE_NONDET_RANDOMNESS,
+                        node,
+                        f"{module} is a deterministic build path; "
+                        f"{alias.name!r} randomness must come from a caller "
+                        "DRBG instead",
+                        alias.name,
+                    )
+                if not in_crypto and alias.name in _PRIMITIVE_MODULES:
+                    report(
+                        RULE_PAE_BYPASS,
+                        node,
+                        f"{alias.name} may only be used inside repro.crypto; "
+                        "go through the counted Pae interface",
+                        alias.name,
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            target = resolve_import(node, module) or ""
+            root = target.split(".")[0]
+            if root in _SERIALIZATION_MODULES:
+                report(
+                    RULE_UNSAFE_SERIALIZATION,
+                    node,
+                    f"ambient object serialization ({target}) — wire frames "
+                    "and storage carry registered types only",
+                    target,
+                )
+            if deterministic and root in _RANDOM_MODULES:
+                report(
+                    RULE_NONDET_RANDOMNESS,
+                    node,
+                    f"{module} is a deterministic build path; {target!r} "
+                    "randomness must come from a caller DRBG instead",
+                    target,
+                )
+            if deterministic and target == "os":
+                for alias in node.names:
+                    if alias.name == "urandom":
+                        report(
+                            RULE_NONDET_RANDOMNESS,
+                            node,
+                            "os.urandom in a deterministic build path; IVs "
+                            "and keys here must come from a caller DRBG",
+                            "os.urandom",
+                        )
+            if not in_crypto and target in _PRIMITIVE_MODULES:
+                for alias in node.names:
+                    report(
+                        RULE_PAE_BYPASS,
+                        node,
+                        f"{alias.name!r} imported from {target}; primitives "
+                        "may only be used via the counted Pae interface",
+                        alias.name,
+                    )
+            if in_net:
+                for alias in node.names:
+                    if alias.name in WIRE_PLAINTEXT_SYMBOLS:
+                        report(
+                            RULE_WIRE_PLAINTEXT,
+                            node,
+                            f"plaintext-bearing symbol {alias.name!r} "
+                            "imported into repro.net; plaintext types must "
+                            "never become serializable into frames",
+                            alias.name,
+                        )
+        elif isinstance(node, ast.Attribute):
+            # os.urandom / np.random / random.* attribute chains.
+            if (
+                deterministic
+                and node.attr == "urandom"
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "os"
+            ):
+                report(
+                    RULE_NONDET_RANDOMNESS,
+                    node,
+                    "os.urandom in a deterministic build path; IVs and keys "
+                    "here must come from a caller DRBG",
+                    "os.urandom",
+                )
+            if (
+                deterministic
+                and node.attr == "random"
+                and isinstance(node.value, ast.Name)
+                and node.value.id in ("np", "numpy")
+            ):
+                report(
+                    RULE_NONDET_RANDOMNESS,
+                    node,
+                    "numpy.random in a deterministic build path; use the "
+                    "caller's HmacDrbg stream instead",
+                    "numpy.random",
+                )
+            if not in_crypto and node.attr in _PRIMITIVE_SYMBOLS:
+                report(
+                    RULE_PAE_BYPASS,
+                    node,
+                    f"reference to PAE/primitive internal {node.attr!r} "
+                    "outside repro.crypto bypasses the counted interface",
+                    node.attr,
+                )
+        elif isinstance(node, ast.Name):
+            if not in_crypto and node.id in ("AesGcm", "Aes128", "ghash"):
+                report(
+                    RULE_PAE_BYPASS,
+                    node,
+                    f"direct use of primitive {node.id!r} outside "
+                    "repro.crypto; go through the counted Pae interface",
+                    node.id,
+                )
+
+    return findings

@@ -1,0 +1,159 @@
+"""Analysis engine: file walking, module naming, pass orchestration.
+
+``analyze_paths`` maps each ``.py`` file to its dotted ``repro`` module
+name, runs the three passes (:mod:`~repro.analysis.boundary`,
+:mod:`~repro.analysis.cryptolint`, :mod:`~repro.analysis.locks`), resolves
+inline suppressions, and aggregates everything into a :class:`Report`.
+
+Module naming: a file under the source root becomes its dotted path
+(``src/repro/sgx/cache.py`` -> ``repro.sgx.cache``; ``__init__.py`` maps to
+the package itself). Files outside the root — lint fixtures, scratch
+reproductions — declare their identity with a directive comment in the
+first few lines::
+
+    # lint-module: repro.columnstore.evil_boundary
+
+so they are held to exactly the trust level that module name implies.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis import boundary, cryptolint, locks
+from repro.analysis.astutil import iter_comments
+from repro.analysis.findings import FileReport, Finding
+from repro.analysis.suppressions import (
+    FILE_SCOPE_LINES,
+    apply_suppressions,
+    parse_suppressions,
+)
+
+SCHEMA_VERSION = 1
+
+_MODULE_DIRECTIVE_RE = re.compile(r"#\s*lint-module:\s*(?P<name>[\w\.]+)")
+
+
+def module_name_for(path: Path, root: Path) -> str | None:
+    """Dotted module name of ``path`` relative to the source root."""
+    try:
+        relative = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        return None
+    parts = list(relative.parts)
+    if not parts or not parts[-1].endswith(".py"):
+        return None
+    parts[-1] = parts[-1][: -len(".py")]
+    if parts[-1] == "__init__":
+        parts.pop()
+    if not parts:
+        return None
+    return ".".join(parts)
+
+
+def declared_module(source: str) -> str | None:
+    """The ``# lint-module:`` directive, if the file carries one."""
+    for lineno, text in iter_comments(source):
+        if lineno > FILE_SCOPE_LINES:
+            break
+        match = _MODULE_DIRECTIVE_RE.search(text)
+        if match is not None:
+            return match.group("name")
+    return None
+
+
+@dataclass
+class Report:
+    """Aggregate result of one analysis run."""
+
+    files: list[FileReport] = field(default_factory=list)
+
+    @property
+    def findings(self) -> list[Finding]:
+        return [finding for file in self.files for finding in file.findings]
+
+    @property
+    def active(self) -> list[Finding]:
+        return [finding for finding in self.findings if not finding.suppressed]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    def by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.active:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_json(self) -> dict:
+        return {
+            "version": SCHEMA_VERSION,
+            "files_analyzed": len(self.files),
+            "findings": [finding.to_json() for finding in self.findings],
+            "summary": {
+                "total": len(self.findings),
+                "active": len(self.active),
+                "suppressed": len(self.suppressed),
+                "by_rule": self.by_rule(),
+            },
+        }
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        summary = self.by_rule()
+        lines.append(
+            f"{len(self.files)} file(s) analyzed: "
+            f"{len(self.active)} active finding(s), "
+            f"{len(self.suppressed)} suppressed"
+        )
+        if summary:
+            lines.append(
+                "active by rule: "
+                + ", ".join(f"{rule}={count}" for rule, count in summary.items())
+            )
+        return "\n".join(lines)
+
+
+def analyze_source(source: str, *, module: str, path: str) -> list[Finding]:
+    """Run every pass over one file's source and resolve suppressions."""
+    tree = ast.parse(source, filename=path)
+    index = parse_suppressions(source, path=path, module=module)
+    findings: list[Finding] = []
+    findings.extend(boundary.check(tree, module=module, path=path))
+    findings.extend(cryptolint.check(tree, module=module, path=path))
+    findings.extend(locks.check(tree, module=module, path=path, source=source))
+    apply_suppressions(findings, index)
+    findings.extend(index.findings)
+    findings.sort(key=lambda finding: (finding.line, finding.rule))
+    return findings
+
+
+def analyze_file(path: Path, root: Path) -> FileReport:
+    source = path.read_text(encoding="utf-8")
+    module = declared_module(source) or module_name_for(path, root)
+    if module is None:
+        module = path.stem
+    findings = analyze_source(source, module=module, path=str(path))
+    return FileReport(path=str(path), module=module, findings=findings)
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def analyze_paths(paths: Iterable[Path], *, root: Path) -> Report:
+    report = Report()
+    for file_path in iter_python_files(paths):
+        report.files.append(analyze_file(file_path, root))
+    return report

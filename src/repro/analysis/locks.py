@@ -1,0 +1,308 @@
+"""Lock-discipline lint (pass 3) — static half of the race checker.
+
+Shared mutable state is declared with a trailing ``# guarded-by:`` comment
+on the line that defines it::
+
+    self._entries: OrderedDict[str, bytes] = OrderedDict()  # guarded-by: self._lock
+    _pools: dict[str, Executor] = {}  # guarded-by: _pools_lock
+
+The pass then proves, per module, that every *mutation* of an annotated
+attribute — rebinding, augmented assignment, subscript/attribute stores
+through it, ``del``, and calls to known mutator methods (``append``,
+``pop``, ``update``, ...) — happens lexically inside a ``with <lock>:``
+block whose context expression matches the annotation text exactly.
+
+Scope rules:
+
+- ``self.X`` annotations attach to the enclosing class; mutations are
+  checked in every method of that class. Prefix matching applies, so
+  annotating ``self.stats`` also covers ``self.stats.hits += 1``.
+- Plain-name annotations at module level guard module globals.
+- ``__init__``/``__post_init__``/``__new__`` are exempt — construction
+  happens before the object is shared.
+- Reads are never checked; this is a write-discipline pass. Mutations that
+  flow through a local alias (``d = self._entries; d[k] = v``) are outside
+  its reach — the runtime detector in :mod:`repro.analysis.racecheck`
+  backstops those.
+
+An annotation naming a lock the module never defines, or sitting on a line
+that defines no attribute, is itself a ``bad-annotation`` finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+from repro.analysis.astutil import attribute_root_path, iter_comments
+from repro.analysis.findings import (
+    RULE_BAD_ANNOTATION,
+    RULE_UNGUARDED_MUTATION,
+    Finding,
+)
+
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*(?P<lock>[A-Za-z_][\w\.]*)")
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "remove",
+        "sort",
+        "reverse",
+        "pop",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "add",
+        "discard",
+        "move_to_end",
+        "appendleft",
+        "popleft",
+    }
+)
+
+#: Functions where unlocked writes are construction, not sharing.
+EXEMPT_FUNCTIONS = frozenset({"__init__", "__post_init__", "__new__"})
+
+
+@dataclass(frozen=True)
+class GuardedAttr:
+    """One ``# guarded-by:`` declaration.
+
+    ``owner`` is the enclosing class name for ``self.X`` guards and ``None``
+    for module globals; ``path`` is the root-first attribute path
+    (``("self", "stats")`` / ``("_pools",)``); ``lock`` is the annotation's
+    lock expression verbatim.
+    """
+
+    owner: str | None
+    path: tuple[str, ...]
+    lock: str
+    line: int
+
+
+def collect_guards(
+    tree: ast.AST, source: str, *, module: str, path: str
+) -> tuple[dict[str | None, list[GuardedAttr]], list[Finding]]:
+    """Parse ``guarded-by`` annotations and validate them against the AST."""
+    annotations: dict[int, str] = {}
+    for lineno, text in iter_comments(source):
+        match = _GUARDED_RE.search(text)
+        if match is not None:
+            annotations[lineno] = match.group("lock")
+
+    guards: dict[str | None, list[GuardedAttr]] = {}
+    findings: list[Finding] = []
+    consumed: set[int] = set()
+    module_names: set[str] = set()
+    class_attrs: dict[str, set[str]] = {}
+
+    def report(line: int, message: str, symbol: str | None = None) -> None:
+        findings.append(
+            Finding(
+                rule=RULE_BAD_ANNOTATION,
+                module=module,
+                path=path,
+                line=line,
+                message=message,
+                symbol=symbol,
+            )
+        )
+
+    def add_guard(owner: str | None, attr_path: tuple[str, ...], line: int) -> None:
+        guards.setdefault(owner, []).append(
+            GuardedAttr(owner=owner, path=attr_path, lock=annotations[line], line=line)
+        )
+        consumed.add(line)
+
+    def record_definition(owner: str | None, target: ast.expr, in_func: bool) -> None:
+        if isinstance(target, ast.Name):
+            if owner is None and not in_func:
+                module_names.add(target.id)
+            elif owner is not None and not in_func:
+                class_attrs.setdefault(owner, set()).add(target.id)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and owner is not None
+        ):
+            class_attrs.setdefault(owner, set()).add(target.attr)
+
+    def bind_annotation(owner: str | None, target: ast.expr, node: ast.stmt, in_func: bool) -> None:
+        if node.lineno not in annotations or node.lineno in consumed:
+            return
+        if isinstance(target, ast.Name):
+            if owner is None and not in_func:
+                add_guard(None, (target.id,), node.lineno)
+            elif owner is not None and not in_func:
+                # dataclass-style field declaration in the class body
+                add_guard(owner, ("self", target.id), node.lineno)
+            else:
+                report(
+                    node.lineno,
+                    "guarded-by cannot annotate a function-local name",
+                    target.id,
+                )
+                consumed.add(node.lineno)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            if owner is None:
+                report(
+                    node.lineno,
+                    "guarded-by on a self attribute outside any class",
+                    target.attr,
+                )
+                consumed.add(node.lineno)
+            else:
+                add_guard(owner, ("self", target.attr), node.lineno)
+
+    def walk(node: ast.AST, owner: str | None, in_func: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                walk(child, child.name, False)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                walk(child, owner, True)
+            else:
+                if isinstance(child, ast.Assign):
+                    for target in child.targets:
+                        record_definition(owner, target, in_func)
+                        bind_annotation(owner, target, child, in_func)
+                elif isinstance(child, ast.AnnAssign):
+                    record_definition(owner, child.target, in_func)
+                    bind_annotation(owner, child.target, child, in_func)
+                walk(child, owner, in_func)
+
+    walk(tree, None, False)
+
+    for lineno in sorted(set(annotations) - consumed):
+        report(
+            lineno,
+            "guarded-by comment does not annotate an attribute definition",
+        )
+
+    # Every declared lock must actually exist in the module.
+    for owner, owner_guards in guards.items():
+        for guard in owner_guards:
+            lock = guard.lock
+            if lock.startswith("self."):
+                lock_attr = lock.split(".", 1)[1].split(".")[0]
+                known = class_attrs.get(owner or "", set())
+                if lock_attr not in known:
+                    report(
+                        guard.line,
+                        f"guarded-by names unknown lock {lock!r}: class "
+                        f"{owner} never defines self.{lock_attr}",
+                        lock,
+                    )
+            elif "." not in lock:
+                if lock not in module_names:
+                    report(
+                        guard.line,
+                        f"guarded-by names unknown lock {lock!r}: no such "
+                        "module-level name",
+                        lock,
+                    )
+
+    return guards, findings
+
+
+def _mutation_targets(node: ast.AST) -> list[ast.expr]:
+    """Expressions this node mutates (assignment targets, mutator receivers)."""
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, ast.AugAssign):
+        return [node.target]
+    if isinstance(node, ast.AnnAssign) and node.value is not None:
+        return [node.target]
+    if isinstance(node, ast.Delete):
+        return list(node.targets)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in MUTATOR_METHODS
+    ):
+        return [node.func.value]
+    return []
+
+
+def check(
+    tree: ast.AST, *, module: str, path: str, source: str
+) -> list[Finding]:
+    guards, findings = collect_guards(tree, source, module=module, path=path)
+    if not guards:
+        return findings
+
+    def matching_guard(
+        owner: str | None, mut_path: tuple[str, ...]
+    ) -> GuardedAttr | None:
+        candidates: list[GuardedAttr] = []
+        if mut_path[0] == "self" and owner is not None:
+            candidates.extend(guards.get(owner, ()))
+        candidates.extend(g for g in guards.get(None, ()) if g.path[0] != "self")
+        for guard in candidates:
+            if mut_path[: len(guard.path)] == guard.path:
+                return guard
+        return None
+
+    def scan(
+        node: ast.AST,
+        owner: str | None,
+        func: str | None,
+        exempt: bool,
+        held: frozenset[str],
+    ) -> None:
+        if func is not None and not exempt:
+            for target in _mutation_targets(node):
+                mut_path = attribute_root_path(target)
+                if mut_path is None:
+                    continue
+                guard = matching_guard(owner, mut_path)
+                if guard is not None and guard.lock not in held:
+                    findings.append(
+                        Finding(
+                            rule=RULE_UNGUARDED_MUTATION,
+                            module=module,
+                            path=path,
+                            line=getattr(node, "lineno", guard.line),
+                            message=(
+                                f"{'.'.join(mut_path)} is guarded by "
+                                f"{guard.lock} (declared line {guard.line}) "
+                                f"but {func} mutates it outside "
+                                f"'with {guard.lock}:'"
+                            ),
+                            symbol=".".join(guard.path),
+                        )
+                    )
+
+        if isinstance(node, ast.ClassDef):
+            for child in ast.iter_child_nodes(node):
+                scan(child, node.name, None, False, frozenset())
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fresh = node.name in EXEMPT_FUNCTIONS
+            for child in node.body:
+                scan(child, owner, node.name, fresh, frozenset())
+        elif isinstance(node, ast.Lambda):
+            scan(node.body, owner, func or "<lambda>", False, frozenset())
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = frozenset(
+                ast.unparse(item.context_expr) for item in node.items
+            )
+            for item in node.items:
+                scan(item, owner, func, exempt, held)
+            for child in node.body:
+                scan(child, owner, func, exempt, held | acquired)
+        else:
+            for child in ast.iter_child_nodes(node):
+                scan(child, owner, func, exempt, held)
+
+    scan(tree, None, None, False, frozenset())
+    return findings

@@ -1,0 +1,210 @@
+"""Runtime race detector — dynamic half of the lock-discipline checker.
+
+The static pass (:mod:`repro.analysis.locks`) proves lexical discipline;
+this module enforces the same ``# guarded-by:`` contracts while tests
+actually hammer the objects from many threads. It patches ``__setattr__``
+on instrumented classes so that every *rebinding* of a guarded attribute
+checks whether the declared lock is currently held by the writing thread:
+
+- first binding (the attribute is not yet in ``obj.__dict__``) is
+  construction and exempt, matching the static ``__init__`` exemption;
+- ``RLock`` ownership is checked via ``_is_owned()``; plain ``Lock`` falls
+  back to ``locked()`` (held by *someone* — the best a non-owned primitive
+  can attest);
+- violations are recorded, never raised at the write site, so the racing
+  code keeps running and a single test run can surface every undisciplined
+  writer. ``RaceReport.assert_clean()`` fails the test afterwards.
+
+Like the static pass, only rebindings are seen — in-place mutation of a
+guarded container (``self._entries[k] = v``) bypasses ``__setattr__``.
+Between the two halves: the static pass catches in-place writes lexically,
+the dynamic pass catches rebindings through aliases and helpers.
+
+Wire-up: ``ENCDBDB_RACE_DETECT=1 python -m pytest ...`` (see
+``tests/conftest.py``) instruments the default classes for the whole
+session and asserts a clean report at teardown.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import sys
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.locks import collect_guards
+
+
+def lock_is_held(lock: Any) -> bool:
+    """Best-effort "does the calling thread hold this lock" test."""
+    is_owned = getattr(lock, "_is_owned", None)
+    if callable(is_owned):
+        return bool(is_owned())
+    locked = getattr(lock, "locked", None)
+    if callable(locked):
+        return bool(locked())
+    return False
+
+
+@dataclass(frozen=True)
+class RaceViolation:
+    """One unlocked rebinding of a guarded attribute."""
+
+    cls: str
+    attr: str
+    lock_attr: str
+    thread: str
+    location: str
+
+    def render(self) -> str:
+        return (
+            f"{self.cls}.{self.attr} rebound without holding "
+            f"{self.lock_attr} (thread {self.thread}, at {self.location})"
+        )
+
+
+@dataclass
+class RaceReport:
+    """Thread-safe accumulator for violations."""
+
+    violations: list[RaceViolation] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, violation: RaceViolation) -> None:
+        with self._lock:
+            self.violations.append(violation)
+
+    def snapshot(self) -> list[RaceViolation]:
+        with self._lock:
+            return list(self.violations)
+
+    def drain(self) -> list[RaceViolation]:
+        """Return the recorded violations and clear the report.
+
+        Tests that *deliberately* seed a race use this to consume their
+        expected violations so a session-scoped detector (which also saw
+        the write) does not fail the whole run at teardown.
+        """
+        with self._lock:
+            drained = list(self.violations)
+            self.violations.clear()
+            return drained
+
+    def assert_clean(self) -> None:
+        found = self.snapshot()
+        if found:
+            rendered = "\n  ".join(v.render() for v in found)
+            raise AssertionError(
+                f"race detector recorded {len(found)} unlocked write(s):\n"
+                f"  {rendered}"
+            )
+
+
+class RaceDetector:
+    """Patches ``__setattr__`` on instrumented classes; restorable."""
+
+    def __init__(self) -> None:
+        self.report = RaceReport()
+        self._patched: list[tuple[type, Any]] = []
+
+    # -- instrumentation ------------------------------------------------
+
+    def instrument(self, cls: type, attr_locks: dict[str, str]) -> None:
+        """Watch ``cls`` rebindings of ``attr_locks`` keys.
+
+        ``attr_locks`` maps attribute name -> name of the instance
+        attribute holding its lock (e.g. ``{"hits": "_lock"}`` for a
+        ``# guarded-by: self._lock`` annotation).
+        """
+        if not attr_locks:
+            return
+        original = cls.__setattr__
+        had_own = "__setattr__" in cls.__dict__
+        report = self.report
+
+        def guarded_setattr(obj: Any, name: str, value: Any) -> None:
+            lock_attr = attr_locks.get(name)
+            if lock_attr is not None and name in obj.__dict__:
+                lock = obj.__dict__.get(lock_attr)
+                if lock is not None and not lock_is_held(lock):
+                    frame = sys._getframe(1)
+                    report.record(
+                        RaceViolation(
+                            cls=type(obj).__name__,
+                            attr=name,
+                            lock_attr=lock_attr,
+                            thread=threading.current_thread().name,
+                            location=f"{frame.f_code.co_filename}:{frame.f_lineno}",
+                        )
+                    )
+            original(obj, name, value)
+
+        cls.__setattr__ = guarded_setattr  # type: ignore[method-assign]
+        self._patched.append((cls, original if had_own else None))
+
+    def instrument_module(self, module: Any) -> list[type]:
+        """Instrument every class the module annotates with ``guarded-by``.
+
+        Reads the module's own source, reuses the static pass's guard
+        collector, and patches each owning class for its ``self.X`` guards
+        whose lock is itself a ``self.<lock>`` attribute. Returns the
+        classes patched.
+        """
+        source = inspect.getsource(module)
+        tree = ast.parse(source)
+        guards, _ = collect_guards(
+            tree,
+            source,
+            module=module.__name__,
+            path=getattr(module, "__file__", module.__name__) or module.__name__,
+        )
+        patched: list[type] = []
+        for owner, owner_guards in guards.items():
+            if owner is None:
+                continue
+            cls = getattr(module, owner, None)
+            if not isinstance(cls, type):
+                continue
+            attr_locks = {
+                guard.path[1]: guard.lock.split(".", 1)[1]
+                for guard in owner_guards
+                if len(guard.path) >= 2 and guard.lock.startswith("self.")
+            }
+            if attr_locks:
+                self.instrument(cls, attr_locks)
+                patched.append(cls)
+        return patched
+
+    def instrument_default(self) -> list[type]:
+        """Instrument the annotated shared-state classes of the repo."""
+        import repro.crypto.pae
+
+        # lint: allow(boundary-import) justification="the detector instruments annotated classes in-process; it runs in tests only, never in a deployment role"
+        import repro.sgx.cache
+        import repro.sgx.costs
+
+        patched: list[type] = []
+        for module in (repro.sgx.costs, repro.sgx.cache, repro.crypto.pae):
+            patched.extend(self.instrument_module(module))
+        return patched
+
+    # -- teardown -------------------------------------------------------
+
+    def restore(self) -> None:
+        while self._patched:
+            cls, original = self._patched.pop()
+            if original is None:
+                try:
+                    del cls.__setattr__  # fall back to the inherited slot
+                except AttributeError:
+                    pass
+            else:
+                cls.__setattr__ = original  # type: ignore[method-assign]
+
+    def __enter__(self) -> "RaceDetector":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.restore()

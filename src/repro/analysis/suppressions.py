@@ -1,0 +1,145 @@
+"""Inline suppression comments with mandatory justifications.
+
+A finding may only be silenced where a human wrote down *why* the rule does
+not apply. Two forms are recognized:
+
+- **Line scope** — on the finding's line or the line directly above it::
+
+      key = pae_gen()  # lint: allow(forbidden-symbol) justification="bench plays the data owner"
+
+- **File scope** — anywhere in the first ``FILE_SCOPE_LINES`` lines::
+
+      # lint: allow-file(boundary-import) justification="harness drives every deployment role"
+
+Several rules can share one comment: ``allow(rule-a, rule-b)``. An ``allow``
+without a non-empty ``justification="..."`` is itself reported as a
+:data:`~repro.analysis.findings.RULE_BAD_SUPPRESSION` finding and silences
+nothing — the mechanism cannot be used to hide its own misuse.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.analysis.astutil import iter_comments
+from repro.analysis.findings import ALL_RULES, RULE_BAD_SUPPRESSION, Finding
+
+#: File-scope ``allow-file`` comments must appear within this many lines of
+#: the top of the file, next to the module docstring they annotate.
+FILE_SCOPE_LINES = 15
+
+_ALLOW_RE = re.compile(
+    r"#\s*lint:\s*allow(?P<file>-file)?\s*\(\s*(?P<rules>[a-z0-9_,\-\s]+?)\s*\)"
+    r"(?P<rest>.*)$"
+)
+_JUSTIFICATION_RE = re.compile(r'justification\s*=\s*"(?P<text>[^"]*)"')
+
+
+@dataclass
+class Suppression:
+    """One parsed ``lint: allow`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    justification: str
+    file_scope: bool = False
+
+
+@dataclass
+class SuppressionIndex:
+    """Suppressions of one file plus findings about malformed ones."""
+
+    suppressions: list[Suppression] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+
+    def lookup(self, rule: str, line: int) -> Suppression | None:
+        """The suppression covering ``rule`` at ``line``, if any.
+
+        Line-scope comments cover their own line and the line below them
+        (so a comment can sit above a long statement); file-scope comments
+        cover the whole file.
+        """
+        for suppression in self.suppressions:
+            if rule not in suppression.rules:
+                continue
+            if suppression.file_scope:
+                return suppression
+            if line in (suppression.line, suppression.line + 1):
+                return suppression
+        return None
+
+
+def parse_suppressions(source: str, *, path: str, module: str) -> SuppressionIndex:
+    """Extract every ``lint: allow`` comment (and complain about bad ones)."""
+    index = SuppressionIndex()
+    for lineno, text in iter_comments(source):
+        match = _ALLOW_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            rule.strip() for rule in match.group("rules").split(",") if rule.strip()
+        )
+        unknown = [rule for rule in rules if rule not in ALL_RULES]
+        justification_match = _JUSTIFICATION_RE.search(match.group("rest"))
+        justification = (
+            justification_match.group("text").strip() if justification_match else ""
+        )
+        problem: str | None = None
+        if not rules:
+            problem = "suppression lists no rules"
+        elif unknown:
+            problem = f"suppression names unknown rule(s): {', '.join(unknown)}"
+        elif RULE_BAD_SUPPRESSION in rules:
+            problem = f"{RULE_BAD_SUPPRESSION!r} cannot be suppressed"
+        elif not justification:
+            problem = 'suppression is missing its mandatory justification="..."'
+        if problem is not None:
+            index.findings.append(
+                Finding(
+                    rule=RULE_BAD_SUPPRESSION,
+                    module=module,
+                    path=path,
+                    line=lineno,
+                    message=problem,
+                )
+            )
+            continue
+        file_scope = match.group("file") is not None
+        if file_scope and lineno > FILE_SCOPE_LINES:
+            index.findings.append(
+                Finding(
+                    rule=RULE_BAD_SUPPRESSION,
+                    module=module,
+                    path=path,
+                    line=lineno,
+                    message=(
+                        "allow-file suppressions must sit in the first "
+                        f"{FILE_SCOPE_LINES} lines of the file"
+                    ),
+                )
+            )
+            continue
+        index.suppressions.append(
+            Suppression(
+                line=lineno,
+                rules=rules,
+                justification=justification,
+                file_scope=file_scope,
+            )
+        )
+    return index
+
+
+def apply_suppressions(
+    findings: list[Finding], index: SuppressionIndex
+) -> list[Finding]:
+    """Mark suppressed findings in place; returns the same list."""
+    for finding in findings:
+        if finding.rule == RULE_BAD_SUPPRESSION:
+            continue
+        suppression = index.lookup(finding.rule, finding.line)
+        if suppression is not None:
+            finding.suppressed = True
+            finding.justification = suppression.justification
+    return findings

@@ -1,3 +1,5 @@
+# lint: allow-file(boundary-import) justification="storage accounting plays the data owner: it builds every ED variant locally to measure Table 6 sizes; it never runs in the server role"
+# lint: allow-file(forbidden-symbol) justification="key generation happens in-process because the harness is the data owner for its own builds"
 """Storage accounting regenerating paper Table 6.
 
 For one column, computes the size of:

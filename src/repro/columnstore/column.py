@@ -38,7 +38,7 @@ from repro.encdict.attrvect import attr_vect_search, attr_vect_search_many
 from repro.encdict.builder import BuildResult
 from repro.encdict.dictionary import EncryptedDictionary
 from repro.encdict.options import ED9
-from repro.encdict.search import OrdinalRange, SearchResult
+from repro.encdict.search import SearchResult
 from repro.exceptions import CatalogError, QueryError
 from repro.sgx.enclave import EnclaveHost
 

@@ -28,7 +28,6 @@ from repro.columnstore.catalog import Catalog
 from repro.columnstore.column import EncryptedStoredColumn, PlainStoredColumn
 from repro.columnstore.dictionary import DictionaryEncodedColumn
 from repro.columnstore.packed import pack_attribute_vector, unpack_attribute_vector
-from repro.columnstore.table import Table
 from repro.columnstore.types import ColumnSpec, parse_type
 from repro.encdict.builder import BuildResult, BuildStats
 from repro.encdict.dictionary import EncryptedDictionary

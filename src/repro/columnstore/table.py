@@ -9,7 +9,7 @@ the main stores from the surviving rows and compacts RecordIDs.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -23,58 +23,37 @@ result shape. The explicit-ValueID path (unsorted dictionaries) charges
 
 from __future__ import annotations
 
-import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Executor
 from typing import Sequence
 
 import numpy as np
 
 from repro.encdict.search import DUMMY_RANGE, SearchResult
+from repro.runtime import SCAN_POOL, shared_pool, shutdown_pool
 from repro.sgx.costs import CostModel
 
 #: Default rows per chunk when a chunked scan is requested without a size.
 DEFAULT_SCAN_CHUNK_ROWS = 1 << 18
 
-_pool_lock = threading.Lock()
-_pool: ThreadPoolExecutor | None = None
-_pool_workers = 0
 
+def _shared_pool(max_workers: int) -> Executor:
+    """The process-wide scan pool (named slot in the runtime registry).
 
-def _shared_pool(max_workers: int) -> ThreadPoolExecutor:
-    """The single lazily created, process-wide scan pool.
-
-    Creating a ``ThreadPoolExecutor`` per call would cost more than the
-    chunked scan saves, and one pool per requested worker count (the old
-    scheme) leaked a pool for every distinct ``max_workers`` seen over the
-    process lifetime. Instead one pool is kept and resized upward: a request
-    for more workers than the current pool replaces it (the old pool drains
-    in the background); a request for fewer just reuses the bigger pool —
-    the caller still bounds its own fan-out by how much work it submits.
-    Call :func:`shutdown_scan_pools` to release the threads explicitly.
+    The registry keeps one lazily created pool per name and resizes it
+    upward only — a request for fewer workers reuses the bigger pool; the
+    caller still bounds its own fan-out by how much work it submits. Call
+    :func:`shutdown_scan_pools` to release the threads explicitly.
     """
-    global _pool, _pool_workers
-    with _pool_lock:
-        if _pool is None or _pool_workers < max_workers:
-            old = _pool
-            _pool = ThreadPoolExecutor(
-                max_workers=max_workers, thread_name_prefix="attrvect-scan"
-            )
-            _pool_workers = max_workers
-            if old is not None:
-                old.shutdown(wait=False)
-        return _pool
+    return shared_pool(SCAN_POOL, max_workers, thread_name_prefix="attrvect-scan")
 
 
 def shutdown_scan_pools(wait: bool = True) -> None:
     """Explicitly release the shared scan pool (server shutdown hook).
 
-    Idempotent; the next scan that wants a pool lazily recreates one.
+    Idempotent and concurrent-safe (the registry guarantees each executor
+    is shut down exactly once); the next scan lazily recreates the pool.
     """
-    global _pool, _pool_workers
-    with _pool_lock:
-        pool, _pool, _pool_workers = _pool, None, 0
-    if pool is not None:
-        pool.shutdown(wait=wait)
+    shutdown_pool(SCAN_POOL, wait=wait)
 
 
 def _prepare_scan(

@@ -21,7 +21,7 @@ analogue of the paper's 1129-LOC C enclave. Its ecalls are:
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Sequence
 
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.kdf import derive_column_key

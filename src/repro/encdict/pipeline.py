@@ -38,9 +38,8 @@ Table 5 leakage profile is unchanged — see DESIGN.md §7.
 
 from __future__ import annotations
 
-import threading
 from collections import deque
-from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Executor, Future
 from dataclasses import dataclass, field
 from itertools import islice
 from typing import Any, Iterable, Iterator, Mapping
@@ -51,87 +50,54 @@ from repro.crypto.pae import Pae, default_pae
 from repro.encdict.builder import BuildResult, encdb_build
 from repro.encdict.options import EncryptedDictionaryKind
 from repro.exceptions import CatalogError
-from repro.runtime import configured_workers
+from repro.runtime import (
+    BUILD_PROCESS_POOL,
+    BUILD_THREAD_POOL,
+    configured_workers,
+    map_on_build_pool,
+    shared_pool,
+    shutdown_pool,
+)
+
+__all__ = [
+    "BuildPipeline",
+    "BuildTask",
+    "ColumnPlan",
+    "EXECUTOR_KINDS",
+    "PartitionBuild",
+    "build_encrypt_operations",
+    "map_on_build_pool",  # re-export; lives in repro.runtime since PR 5
+    "shutdown_build_pools",
+]
 
 #: Executor kinds the pipeline can run build tasks on.
 EXECUTOR_KINDS = ("serial", "thread", "process")
 
 
 # ----------------------------------------------------------------------
-# Shared pools (one per kind, process-wide — the attrvect.py pattern)
+# Shared pools (named slots in the repro.runtime registry)
 # ----------------------------------------------------------------------
-_pool_lock = threading.Lock()
-_thread_pool: ThreadPoolExecutor | None = None
-_thread_pool_workers = 0
-_process_pool: ProcessPoolExecutor | None = None
-_process_pool_workers = 0
+def _shared_thread_pool(max_workers: int) -> Executor:
+    """The process-wide build thread pool, resized upward."""
+    return shared_pool(
+        BUILD_THREAD_POOL, max_workers, thread_name_prefix="encdb-build"
+    )
 
 
-def _shared_thread_pool(max_workers: int) -> ThreadPoolExecutor:
-    """The lazily created process-wide build thread pool, resized upward."""
-    global _thread_pool, _thread_pool_workers
-    with _pool_lock:
-        if _thread_pool is None or _thread_pool_workers < max_workers:
-            old = _thread_pool
-            _thread_pool = ThreadPoolExecutor(
-                max_workers=max_workers, thread_name_prefix="encdb-build"
-            )
-            _thread_pool_workers = max_workers
-            if old is not None:
-                old.shutdown(wait=False)
-        return _thread_pool
-
-
-def _shared_process_pool(max_workers: int) -> ProcessPoolExecutor:
-    """The lazily created process-wide build process pool.
+def _shared_process_pool(max_workers: int) -> Executor:
+    """The process-wide build process pool.
 
     Worker processes import this module and run :func:`_run_build_task`
     with their own PAE backend; ciphertexts depend only on the task's key
     and DRBGs, never on which process seals them.
     """
-    global _process_pool, _process_pool_workers
-    with _pool_lock:
-        if _process_pool is None or _process_pool_workers < max_workers:
-            old = _process_pool
-            _process_pool = ProcessPoolExecutor(max_workers=max_workers)
-            _process_pool_workers = max_workers
-            if old is not None:
-                old.shutdown(wait=False)
-        return _process_pool
+    return shared_pool(BUILD_PROCESS_POOL, max_workers, kind="process")
 
 
 def shutdown_build_pools(wait: bool = True) -> None:
     """Release the shared build pools (server shutdown hook). Idempotent."""
-    global _thread_pool, _thread_pool_workers
-    global _process_pool, _process_pool_workers
-    with _pool_lock:
-        thread_pool, _thread_pool, _thread_pool_workers = _thread_pool, None, 0
-        process_pool, _process_pool, _process_pool_workers = (
-            _process_pool,
-            None,
-            0,
-        )
-    if thread_pool is not None:
-        thread_pool.shutdown(wait=wait)
-    if process_pool is not None:
-        process_pool.shutdown(wait=wait)
-
-
-def map_on_build_pool(func, items, *, max_workers: int | None = None) -> list:
-    """Run a side-effect-free function over items on the build thread pool.
-
-    The incremental merge uses this for its untrusted preparation — blob
-    collection and plaintext dictionary rebuilds across dirty partitions —
-    while the enclave rebuild ecalls stay strictly serial. Falls back to a
-    plain loop when the fan-out cannot help (one item or one worker), so
-    results are always exactly ``[func(item) for item in items]``.
-    """
-    items = list(items)
-    workers = max_workers if max_workers is not None else configured_workers()
-    if workers <= 1 or len(items) <= 1:
-        return [func(item) for item in items]
-    pool = _shared_thread_pool(workers)
-    return list(pool.map(func, items))
+    shutdown_pool(BUILD_THREAD_POOL, wait=wait)
+    shutdown_pool(BUILD_PROCESS_POOL, wait=wait)
 
 
 # ----------------------------------------------------------------------

@@ -1,7 +1,7 @@
 """``EnclDictSearch``: the dictionary searches that run inside the enclave.
 
 This module is part of the reproduction's trusted computing base (see
-DESIGN.md §8). It deliberately contains *only* the search logic; the enclave
+DESIGN.md §9). It deliberately contains *only* the search logic; the enclave
 program in :mod:`repro.encdict.enclave_app` wires it to ecalls and key
 material.
 
@@ -33,7 +33,7 @@ memory use is constant.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.columnstore.types import ValueType
@@ -214,10 +214,12 @@ class DictionaryAccessor:
         blob = self._dictionary.entry(index)
         cost = self._cost
         if cost is not None:
-            # Inlined record_untrusted_load()/record_comparison(): this is
-            # the hottest line of every search (once per probe).
-            cost.untrusted_loads += 1
-            cost.comparisons += 1
+            # Inlined record_untrusted_load()/record_comparison() under one
+            # lock acquisition: this is the hottest line of every search
+            # (once per probe), and the counters stay lock-disciplined.
+            with cost._lock:
+                cost.untrusted_loads += 1
+                cost.comparisons += 1
         if not self._dictionary.encrypted:
             return self._dictionary.value_type.ordinal(
                 self._dictionary.value_type.from_bytes(blob)

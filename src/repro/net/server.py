@@ -36,8 +36,6 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from repro.encdict.attrvect import shutdown_scan_pools
-from repro.encdict.pipeline import shutdown_build_pools
 from repro.exceptions import EnclaveSecurityError, NetworkError, ProtocolError
 from repro.net.errors import redact_exception
 from repro.net.protocol import (
@@ -48,6 +46,7 @@ from repro.net.protocol import (
     encode_payload,
     read_frame_async,
 )
+from repro.runtime import shutdown_pools
 from repro.server.dbms import EncDBDBServer
 
 #: RPC surface a remote proxy / data owner may invoke, mapped to the method
@@ -149,11 +148,11 @@ class NetServer:
             self._asyncio_server.close()
             await self._asyncio_server.wait_closed()
             self._asyncio_server = None
-        # Release the process-wide attribute-vector scan and build pools.
-        # wait=False: in-flight chunk scans finish in the background instead
-        # of blocking the event loop; pools are lazily recreated if needed.
-        shutdown_scan_pools(wait=False)
-        shutdown_build_pools(wait=False)
+        # Release every registered worker pool (scan + build). wait=False:
+        # in-flight chunk scans finish in the background instead of blocking
+        # the event loop; pools are lazily recreated if needed. The registry
+        # makes this idempotent even when several servers stop concurrently.
+        shutdown_pools(wait=False)
 
     def _maybe_restore_sealed_key(self) -> None:
         """Boot path of a restarted server: unseal ``SKDB`` if a sealed blob
@@ -278,7 +277,7 @@ class NetServer:
                 await self._send_error(writer, exc)
                 return
             try:
-                reply_type, reply = await self._dispatch(
+                reply_type, reply = await self._dispatch_frame(
                     session, frame_type, decode_payload(raw)
                 )
             except Exception as exc:  # noqa: BLE001 — redacted at the boundary
@@ -299,7 +298,7 @@ class NetServer:
         async with self._ecall_lock:
             return await asyncio.to_thread(func, *args, **kwargs)
 
-    async def _dispatch(
+    async def _dispatch_frame(
         self, session: Session, frame_type: FrameType, payload: Any
     ) -> tuple[FrameType, Any]:
         if not isinstance(payload, dict):

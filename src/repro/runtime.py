@@ -1,4 +1,4 @@
-"""Process-wide tuning knobs shared by the worker pools.
+"""Process-wide tuning knobs and the shared worker-pool registry.
 
 One knob governs the parallel fan-out of both untrusted hot paths: the
 attribute-vector *scan* pool (``repro.encdict.attrvect``) and the data
@@ -9,14 +9,26 @@ priority order:
 2. the ``ENCDBDB_SCAN_WORKERS`` environment variable,
 3. the built-in default of :data:`DEFAULT_WORKERS`.
 
+The registry below replaces the per-module pool globals that used to live
+in ``attrvect.py`` and ``pipeline.py``. Pools are named, created lazily,
+resized only upward (an executor serving in-flight work is never shrunk),
+and torn down idempotently — :func:`shutdown_pools` may race with itself,
+with :func:`shared_pool`, and with late ``shutdown_pool`` calls from
+several server instances without double-shutdown or leaked executors. All
+registry state is guarded by :data:`_pools_lock`; executor ``shutdown()``
+itself runs outside the lock so a ``wait=True`` teardown cannot block pool
+creation on other threads.
+
 This module deliberately has no repro-internal imports so every layer
 (``sgx.cache``, ``encdict.attrvect``, ``encdict.pipeline``, ``net.server``)
-can read the knob without creating an import cycle.
+can use it without creating an import cycle.
 """
 
 from __future__ import annotations
 
 import os
+import threading
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 
 #: Built-in worker-pool fan-out when neither configuration nor environment
 #: says otherwise (the hard-coded value of the pre-PR-4 scan pool).
@@ -24,6 +36,15 @@ DEFAULT_WORKERS = 4
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV = "ENCDBDB_SCAN_WORKERS"
+
+#: Registry names of the three long-lived pools.
+SCAN_POOL = "attrvect-scan"
+BUILD_THREAD_POOL = "build-thread"
+BUILD_PROCESS_POOL = "build-process"
+
+_pools_lock = threading.RLock()
+_pools: dict[str, Executor] = {}  # guarded-by: _pools_lock
+_pool_workers: dict[str, int] = {}  # guarded-by: _pools_lock
 
 
 def configured_workers(default: int | None = None) -> int:
@@ -42,3 +63,97 @@ def configured_workers(default: int | None = None) -> int:
         except ValueError:
             pass
     return max(1, default)
+
+
+def shared_pool(
+    name: str,
+    max_workers: int,
+    *,
+    kind: str = "thread",
+    thread_name_prefix: str | None = None,
+) -> Executor:
+    """The named process-wide executor, created or grown on demand.
+
+    Creating an executor per call would cost more than the fan-out saves,
+    so each name maps to one long-lived pool. A request for more workers
+    than the current pool has replaces it (the old pool drains in the
+    background); a request for fewer reuses the larger pool — resizing is
+    upward-only, matching the pre-registry semantics of both hot paths.
+    """
+    if kind not in ("thread", "process"):
+        raise ValueError(f"unknown pool kind {kind!r}")
+    stale: Executor | None = None
+    with _pools_lock:
+        pool = _pools.get(name)
+        if pool is None or _pool_workers.get(name, 0) < max_workers:
+            stale = pool
+            if kind == "process":
+                pool = ProcessPoolExecutor(max_workers=max_workers)
+            else:
+                pool = ThreadPoolExecutor(
+                    max_workers=max_workers,
+                    thread_name_prefix=thread_name_prefix or f"encdbdb-{name}",
+                )
+            _pools[name] = pool
+            _pool_workers[name] = max_workers
+    if stale is not None:
+        stale.shutdown(wait=False)
+    return pool
+
+
+def active_pool(name: str) -> Executor | None:
+    """The live executor registered under ``name``, if any (no creation)."""
+    with _pools_lock:
+        return _pools.get(name)
+
+
+def pool_workers(name: str) -> int:
+    """Worker count of the named pool (0 when it does not exist)."""
+    with _pools_lock:
+        return _pool_workers.get(name, 0)
+
+
+def shutdown_pool(name: str, *, wait: bool = True) -> None:
+    """Release one named pool. Idempotent and concurrent-safe.
+
+    The registry entry is atomically removed under the lock, so at most one
+    caller observes (and shuts down) any given executor; everyone else sees
+    an already-empty slot and returns.
+    """
+    with _pools_lock:
+        pool = _pools.pop(name, None)
+        _pool_workers.pop(name, None)
+    if pool is not None:
+        pool.shutdown(wait=wait)
+
+
+def shutdown_pools(wait: bool = True) -> None:
+    """Release every registered pool (server shutdown hook). Idempotent.
+
+    Concurrent calls partition the registry between themselves: each
+    executor is shut down exactly once, and a ``shared_pool`` racing with
+    the teardown simply creates a fresh pool afterwards.
+    """
+    with _pools_lock:
+        pools = list(_pools.values())
+        _pools.clear()
+        _pool_workers.clear()
+    for pool in pools:
+        pool.shutdown(wait=wait)
+
+
+def map_on_build_pool(func, items, *, max_workers: int | None = None) -> list:
+    """Run a side-effect-free function over items on the build thread pool.
+
+    The incremental merge uses this for its untrusted preparation — blob
+    collection and plaintext dictionary rebuilds across dirty partitions —
+    while the enclave rebuild ecalls stay strictly serial. Falls back to a
+    plain loop when the fan-out cannot help (one item or one worker), so
+    results are always exactly ``[func(item) for item in items]``.
+    """
+    items = list(items)
+    workers = max_workers if max_workers is not None else configured_workers()
+    if workers <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    pool = shared_pool(BUILD_THREAD_POOL, workers)
+    return list(pool.map(func, items))

@@ -29,6 +29,7 @@ recorded in the accessor's probe log whether it hits or misses.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
@@ -72,6 +73,12 @@ class EnclaveLruCache:
     ``budget_bytes``: inserts evict least-recently-used entries first and
     each eviction is charged to the cost model as an EPC paging event —
     the architectural price of churning enclave-resident state.
+
+    All cache state is guarded by one re-entrant lock, so concurrent ecalls
+    (the server interleaves sessions) can probe and fill the cache without
+    corrupting the LRU order or the byte accounting. The lock is ordered
+    before the cost model's own lock (``put`` reports evictions while
+    holding it); nothing ever acquires them in the opposite order.
     """
 
     def __init__(
@@ -90,9 +97,10 @@ class EnclaveLruCache:
         # for its cache region whether or not it is full, exactly like a
         # static in-enclave buffer would.
         self._allocation = epc.allocate(self._budget) if epc is not None else None
-        self._entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()
-        self._used = 0
-        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[Hashable, tuple[Any, int]] = OrderedDict()  # guarded-by: self._lock
+        self._used = 0  # guarded-by: self._lock
+        self.stats = CacheStats()  # guarded-by: self._lock
 
     # ------------------------------------------------------------------
     @property
@@ -115,14 +123,15 @@ class EnclaveLruCache:
         irrelevant and the ``move_to_end`` would be pure overhead on the
         hottest path of a query (approximate LRU, standard cache practice).
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return default
-        self.stats.hits += 1
-        if 2 * self._used >= self._budget:
-            self._entries.move_to_end(key)
-        return entry[0]
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return default
+            self.stats.hits += 1
+            if 2 * self._used >= self._budget:
+                self._entries.move_to_end(key)
+            return entry[0]
 
     def put(self, key: Hashable, value: Any, nbytes: int) -> bool:
         """Insert ``value`` charged at ``nbytes``; evicts LRU entries first.
@@ -132,35 +141,37 @@ class EnclaveLruCache:
         wiping the cache for one oversized resident.
         """
         nbytes = int(nbytes)
-        if nbytes > self._budget:
-            self.stats.rejected += 1
-            return False
-        previous = self._entries.pop(key, None)
-        if previous is not None:
-            self._used -= previous[1]
-        while self._used + nbytes > self._budget:
-            _, (_, evicted_bytes) = self._entries.popitem(last=False)
-            self._used -= evicted_bytes
-            self.stats.evictions += 1
-            if self._cost is not None:
-                # Evicting enclave-resident state is a paging event: the
-                # page's worth of cached plaintext has to be re-established
-                # (re-decrypted) if it is ever needed again.
-                self._cost.record_page_fault()
-        self._entries[key] = (value, nbytes)
-        self._used += nbytes
-        self.stats.insertions += 1
-        self.stats.peak_bytes = max(self.stats.peak_bytes, self._used)
-        return True
+        with self._lock:
+            if nbytes > self._budget:
+                self.stats.rejected += 1
+                return False
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._used -= previous[1]
+            while self._used + nbytes > self._budget:
+                _, (_, evicted_bytes) = self._entries.popitem(last=False)
+                self._used -= evicted_bytes
+                self.stats.evictions += 1
+                if self._cost is not None:
+                    # Evicting enclave-resident state is a paging event: the
+                    # page's worth of cached plaintext has to be
+                    # re-established (re-decrypted) if it is needed again.
+                    self._cost.record_page_fault()
+            self._entries[key] = (value, nbytes)
+            self._used += nbytes
+            self.stats.insertions += 1
+            self.stats.peak_bytes = max(self.stats.peak_bytes, self._used)
+            return True
 
     def invalidate(self, predicate: Callable[[Hashable], bool]) -> int:
         """Drop every entry whose key satisfies ``predicate``."""
-        doomed = [key for key in self._entries if predicate(key)]
-        for key in doomed:
-            _, nbytes = self._entries.pop(key)
-            self._used -= nbytes
-        self.stats.invalidations += len(doomed)
-        return len(doomed)
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                _, nbytes = self._entries.pop(key)
+                self._used -= nbytes
+            self.stats.invalidations += len(doomed)
+            return len(doomed)
 
     def invalidate_prefix(self, prefix: tuple) -> int:
         """Drop every tuple key starting with ``prefix``.
@@ -187,7 +198,9 @@ class EnclaveLruCache:
         or short keys are pooled under the empty group ``()``.
         """
         usage: dict[tuple, int] = {}
-        for key, (_, nbytes) in self._entries.items():
+        with self._lock:
+            entries = list(self._entries.items())
+        for key, (_, nbytes) in entries:
             group = (
                 key[:prefix_width]
                 if isinstance(key, tuple) and len(key) >= prefix_width
@@ -198,11 +211,12 @@ class EnclaveLruCache:
 
     def clear(self) -> int:
         """Drop everything (e.g. on re-provisioning of key material)."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        self._used = 0
-        self.stats.invalidations += dropped
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._used = 0
+            self.stats.invalidations += dropped
+            return dropped
 
 
 @dataclass(frozen=True)

@@ -48,19 +48,19 @@ class CostModel:
     """
 
     parameters: CostParameters = field(default_factory=CostParameters)
-    ecalls: int = 0
-    ocalls: int = 0
-    epc_page_faults: int = 0
-    untrusted_loads: int = 0
-    decryptions: int = 0
-    decrypted_bytes: int = 0
-    comparisons: int = 0
-    bytes_copied_in: int = 0
-    bytes_copied_out: int = 0
+    ecalls: int = 0  # guarded-by: self._lock
+    ocalls: int = 0  # guarded-by: self._lock
+    epc_page_faults: int = 0  # guarded-by: self._lock
+    untrusted_loads: int = 0  # guarded-by: self._lock
+    decryptions: int = 0  # guarded-by: self._lock
+    decrypted_bytes: int = 0  # guarded-by: self._lock
+    comparisons: int = 0  # guarded-by: self._lock
+    bytes_copied_in: int = 0  # guarded-by: self._lock
+    bytes_copied_out: int = 0  # guarded-by: self._lock
     #: Per-entry-point ecall counts, e.g. {"dict_search": 3}. Benchmarks use
     #: this to assert *which* boundary crossings a query plan performed
     #: (one ``dict_search_batch`` vs N ``dict_search`` calls).
-    ecalls_by_name: dict = field(default_factory=dict)
+    ecalls_by_name: dict = field(default_factory=dict)  # guarded-by: self._lock
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
     )

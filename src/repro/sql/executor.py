@@ -20,8 +20,8 @@ from repro.columnstore.column import EncryptedStoredColumn, PlainStoredColumn
 from repro.columnstore.dictionary import DictionaryEncodedColumn
 from repro.columnstore.partition import DEFAULT_PARTITION_ROWS, PartitionMap
 from repro.columnstore.table import Table
-from repro.encdict.pipeline import map_on_build_pool
 from repro.exceptions import QueryError
+from repro.runtime import map_on_build_pool
 from repro.sgx.cache import FastPathConfig
 from repro.sgx.enclave import EnclaveHost
 from repro.sql.planner import (

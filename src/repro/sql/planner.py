@@ -17,7 +17,7 @@ filtered encrypted columns back and the trusted side finishes the job.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.columnstore.catalog import Catalog

@@ -12,15 +12,12 @@ from typing import Any
 from repro.exceptions import QueryError
 from repro.sql.ast_nodes import (
     Aggregate,
-    ColumnDef,
     Comparison,
     CreateTable,
     Delete,
     Insert,
-    Join,
     Logical,
     MergeTable,
-    OrderItem,
     Select,
     Update,
 )

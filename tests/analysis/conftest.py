@@ -1,0 +1,21 @@
+"""Shared helpers for the linter self-tests."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import analyze_file
+from repro.analysis.findings import FileReport
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_ROOT = Path(__file__).parents[2] / "src"
+
+
+@pytest.fixture
+def analyze_fixture():
+    def _analyze(name: str) -> FileReport:
+        return analyze_file(FIXTURES / name, SRC_ROOT)
+
+    return _analyze

@@ -1,0 +1,19 @@
+# lint-module: repro.columnstore.evil_boundary
+"""Known-bad fixture: an untrusted module crossing the trust boundary.
+
+Never imported at runtime — the linter self-tests analyze this file
+statically and assert each seeded violation is reported.
+"""
+
+import repro.sgx.enclave  # whole-module import of a trusted module
+from repro.crypto.kdf import derive_column_key  # key derivation off-surface
+from repro.crypto.pae import pae_gen  # key generation off-surface
+from repro.sgx.enclave import EnclaveHost  # on the surface: allowed
+
+
+def steal_keys(host: EnclaveHost) -> bytes:
+    SKDB = pae_gen()  # forbidden symbol: names the master key
+    host.ecall("read_master_key")  # unregistered ecall name
+    enclave = repro.sgx.enclave
+    state = enclave.Enclave._protected  # enclave-internal member
+    return derive_column_key(SKDB, "tab", "col"), state

@@ -1,0 +1,16 @@
+# lint-module: repro.encdict.evil_build
+"""Known-bad fixture: crypto-discipline violations in a build path."""
+
+import os
+import pickle
+import random
+
+from repro.crypto.gcm import AesGcm  # primitive import bypassing Pae
+
+
+def undisciplined_build(values):
+    iv = os.urandom(12)  # ambient randomness in a deterministic path
+    shuffled = sorted(values, key=lambda _: random.random())
+    gcm = AesGcm(b"\x00" * 16)  # direct primitive use
+    blob = pickle.dumps(shuffled)  # ambient serialization
+    return gcm.encrypt(iv, blob, b"")

@@ -1,0 +1,29 @@
+# lint-module: repro.columnstore.evil_locks
+"""Known-bad fixture: guarded-by contracts that are declared then broken."""
+
+import threading
+
+_registry_lock = threading.Lock()
+_registry = {}  # guarded-by: _registry_lock
+
+
+def register(name, value):
+    _registry[name] = value  # unguarded mutation of a module global
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.total = 0  # guarded-by: self._lock
+        self.events = []  # guarded-by: self._lock
+        self.phantom = 0  # guarded-by: self._missing_lock
+
+    def locked_increment(self):
+        with self._lock:
+            self.total += 1  # fine: lock held
+
+    def racy_increment(self):
+        self.total += 1  # unguarded mutation
+
+    def racy_append(self, event):
+        self.events.append(event)  # unguarded mutator-method call

@@ -1,0 +1,84 @@
+"""Crypto-discipline pass: randomness, PAE bypass, serialization, wire."""
+
+from __future__ import annotations
+
+from repro.analysis.engine import analyze_source
+from repro.analysis.findings import (
+    RULE_NONDET_RANDOMNESS,
+    RULE_PAE_BYPASS,
+    RULE_UNSAFE_SERIALIZATION,
+    RULE_WIRE_PLAINTEXT,
+)
+
+
+def _rules(findings):
+    return {f.rule for f in findings if not f.suppressed}
+
+
+def test_bad_crypto_fixture_is_fully_reported(analyze_fixture):
+    report = analyze_fixture("bad_crypto.py")
+    assert report.module == "repro.encdict.evil_build"
+    rules = _rules(report.findings)
+    assert RULE_NONDET_RANDOMNESS in rules
+    assert RULE_PAE_BYPASS in rules
+    assert RULE_UNSAFE_SERIALIZATION in rules
+
+    symbols = {f.symbol for f in report.findings}
+    assert "os.urandom" in symbols
+    assert "random" in symbols
+    assert "AesGcm" in symbols
+    assert "pickle" in symbols
+
+
+def test_urandom_outside_deterministic_paths_is_fine():
+    source = "import os\ntoken = os.urandom(16)\n"
+    findings = analyze_source(
+        source, module="repro.net.server", path="server.py"
+    )
+    assert findings == []
+
+
+def test_drbg_randomness_in_build_path_is_fine():
+    source = (
+        "from repro.crypto.drbg import HmacDrbg\n"
+        "def build(rng: HmacDrbg):\n"
+        "    return rng.random_bytes(12)\n"
+    )
+    findings = analyze_source(
+        source, module="repro.encdict.builder", path="builder.py"
+    )
+    assert findings == []
+
+
+def test_pae_internals_are_crypto_only():
+    source = "def sneak(pae, key, iv, pt):\n    return pae._seal(key, iv, pt, b'')\n"
+    findings = analyze_source(
+        source, module="repro.sql.executor", path="executor.py"
+    )
+    assert _rules(findings) == {RULE_PAE_BYPASS}
+    # the same reference inside repro.crypto is the implementation itself
+    assert (
+        analyze_source(source, module="repro.crypto.pae", path="pae.py") == []
+    )
+
+
+def test_wire_plaintext_symbols_are_banned_in_net():
+    source = "from repro.encdict.builder import encdb_build\n"
+    findings = analyze_source(
+        source, module="repro.net.protocol", path="protocol.py"
+    )
+    assert RULE_WIRE_PLAINTEXT in _rules(findings)
+    # the same import from the owner-side build pipeline is fine
+    assert (
+        analyze_source(
+            source, module="repro.encdict.pipeline", path="pipeline.py"
+        )
+        == []
+    )
+
+
+def test_pickle_is_banned_everywhere():
+    source = "import pickle\n"
+    for module in ("repro.net.protocol", "repro.encdict.builder", "repro.cli"):
+        findings = analyze_source(source, module=module, path="x.py")
+        assert _rules(findings) == {RULE_UNSAFE_SERIALIZATION}, module

@@ -1,0 +1,92 @@
+"""Engine plumbing and the ``python -m repro.analysis`` CLI contract."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.__main__ import main
+from repro.analysis.engine import declared_module, module_name_for
+from repro.analysis.findings import ALL_RULES
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_ROOT = Path(__file__).parents[2] / "src"
+
+
+def test_module_name_mapping():
+    root = Path("src")
+    assert module_name_for(Path("src/repro/sgx/cache.py"), root) == "repro.sgx.cache"
+    assert module_name_for(Path("src/repro/encdict/__init__.py"), root) == "repro.encdict"
+    assert module_name_for(Path("elsewhere/x.py"), root) is None
+
+
+def test_lint_module_directive_wins():
+    assert declared_module("# lint-module: repro.sql.evil\n") == "repro.sql.evil"
+    assert declared_module("'''# lint-module: repro.sql.evil'''\n") is None
+    assert declared_module("x = 1\n") is None
+
+
+def test_cli_exits_nonzero_on_each_bad_fixture(capsys):
+    for fixture in ("bad_boundary.py", "bad_crypto.py", "bad_locks.py"):
+        code = main([str(FIXTURES / fixture), "--root", str(SRC_ROOT)])
+        out = capsys.readouterr().out
+        assert code == 1, fixture
+        assert "active finding" in out
+
+
+def test_cli_exits_zero_on_clean_fixture(capsys):
+    code = main([str(FIXTURES / "good_clean.py"), "--root", str(SRC_ROOT)])
+    capsys.readouterr()
+    assert code == 0
+
+
+def test_cli_json_schema(capsys):
+    code = main(
+        [str(FIXTURES), "--root", str(SRC_ROOT), "--format", "json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["version"] == 1
+    assert payload["files_analyzed"] == 4
+    summary = payload["summary"]
+    assert summary["total"] == summary["active"] + summary["suppressed"]
+    assert summary["active"] > 0
+    assert set(summary["by_rule"]) <= set(ALL_RULES)
+    for finding in payload["findings"]:
+        assert {
+            "rule",
+            "module",
+            "path",
+            "line",
+            "message",
+            "symbol",
+            "suppressed",
+            "justification",
+        } <= set(finding)
+        assert finding["rule"] in ALL_RULES
+
+
+def test_cli_output_file(tmp_path, capsys):
+    out_file = tmp_path / "report.json"
+    code = main(
+        [
+            str(FIXTURES / "good_clean.py"),
+            "--root",
+            str(SRC_ROOT),
+            "--format",
+            "json",
+            "--output",
+            str(out_file),
+        ]
+    )
+    assert code == 0
+    assert capsys.readouterr().out == ""
+    payload = json.loads(out_file.read_text())
+    assert payload["summary"]["active"] == 0
+
+
+def test_cli_rejects_missing_paths(capsys):
+    code = main(["definitely/not/here.py"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "no such path" in captured.err

@@ -1,0 +1,109 @@
+"""Lock-discipline pass: guarded-by parsing, with-scope matching, exemptions."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import analyze_source
+from repro.analysis.findings import RULE_BAD_ANNOTATION, RULE_UNGUARDED_MUTATION
+from repro.analysis.locks import collect_guards
+
+
+def _active(findings, rule):
+    return [f for f in findings if f.rule == rule and not f.suppressed]
+
+
+def test_bad_locks_fixture_is_fully_reported(analyze_fixture):
+    report = analyze_fixture("bad_locks.py")
+    mutations = _active(report.findings, RULE_UNGUARDED_MUTATION)
+    mutated = sorted(f.symbol for f in mutations)
+    assert mutated == ["_registry", "self.events", "self.total"]
+    bad = _active(report.findings, RULE_BAD_ANNOTATION)
+    assert len(bad) == 1 and "self._missing_lock" in bad[0].message
+
+
+def test_clean_fixture_has_no_active_findings(analyze_fixture):
+    report = analyze_fixture("good_clean.py")
+    assert [f for f in report.findings if not f.suppressed] == []
+    assert len([f for f in report.findings if f.suppressed]) == 1
+
+
+def test_init_is_exempt_and_prefix_matching_covers_nested_attrs():
+    source = (
+        "import threading\n"
+        "class Model:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.RLock()\n"
+        "        self.stats = {}  # guarded-by: self._lock\n"
+        "    def good(self):\n"
+        "        with self._lock:\n"
+        "            self.stats['hits'] = 1\n"
+        "    def bad(self):\n"
+        "        self.stats['hits'] = 1\n"
+    )
+    findings = analyze_source(source, module="repro.sgx.cache", path="m.py")
+    mutations = _active(findings, RULE_UNGUARDED_MUTATION)
+    assert len(mutations) == 1
+    assert "bad" in mutations[0].message
+
+
+def test_dataclass_field_annotations_bind_to_self():
+    source = (
+        "import threading\n"
+        "from dataclasses import dataclass, field\n"
+        "@dataclass\n"
+        "class Counters:\n"
+        "    hits: int = 0  # guarded-by: self._lock\n"
+        "    _lock: threading.RLock = field(default_factory=threading.RLock)\n"
+        "    def bump(self):\n"
+        "        self.hits += 1\n"
+    )
+    findings = analyze_source(source, module="repro.sgx.costs", path="c.py")
+    assert len(_active(findings, RULE_UNGUARDED_MUTATION)) == 1
+
+
+def test_guarded_by_in_docstring_is_inert():
+    source = '"""Docs mention # guarded-by: self._lock but define nothing."""\n'
+    guards, findings = collect_guards(
+        ast.parse(source), source, module="m", path="m.py"
+    )
+    assert guards == {} and findings == []
+
+
+def test_unconsumed_annotation_is_reported():
+    source = "# guarded-by: lock\ndef f():\n    return 1\n"
+    findings = analyze_source(source, module="repro.sgx.cache", path="m.py")
+    assert [f.rule for f in findings] == [RULE_BAD_ANNOTATION]
+
+
+def test_module_lock_acquired_via_with_covers_all_mutation_kinds():
+    source = (
+        "import threading\n"
+        "_lock = threading.Lock()\n"
+        "_items = []  # guarded-by: _lock\n"
+        "def ok(x):\n"
+        "    with _lock:\n"
+        "        _items.append(x)\n"
+        "        _items[0] = x\n"
+        "        del _items[0]\n"
+        "def bad(x):\n"
+        "    _items.append(x)\n"
+        "    _items[0] = x\n"
+        "    del _items[0]\n"
+    )
+    findings = analyze_source(source, module="repro.sgx.cache", path="m.py")
+    assert len(_active(findings, RULE_UNGUARDED_MUTATION)) == 3
+
+
+def test_repo_annotations_collect_on_real_modules():
+    """The annotated production classes expose their guards to the tools."""
+    import repro.sgx.costs as costs_mod
+
+    source = open(costs_mod.__file__, encoding="utf-8").read()
+    guards, findings = collect_guards(
+        ast.parse(source), source, module="repro.sgx.costs", path="costs.py"
+    )
+    assert findings == []
+    paths = {g.path for g in guards.get("CostModel", [])}
+    assert ("self", "ecalls") in paths
+    assert ("self", "ecalls_by_name") in paths

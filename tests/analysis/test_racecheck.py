@@ -1,0 +1,130 @@
+"""Runtime race detector: seeded races are caught, disciplined code is not."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis.racecheck import RaceDetector, lock_is_held
+from repro.sgx.cache import EnclaveLruCache
+from repro.sgx.costs import CostModel
+
+
+class Shared:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.value = 0  # guarded-by: self._lock
+
+    def disciplined(self):
+        with self._lock:
+            self.value += 1
+
+    def racy(self):
+        self.value += 1
+
+
+def test_lock_is_held_semantics():
+    rlock = threading.RLock()
+    assert not lock_is_held(rlock)
+    with rlock:
+        assert lock_is_held(rlock)
+    assert not lock_is_held(rlock)
+    assert not lock_is_held(object())
+
+
+def test_first_binding_in_init_is_exempt():
+    with RaceDetector() as detector:
+        detector.instrument(Shared, {"value": "_lock"})
+        obj = Shared()  # unlocked first binding: construction
+        obj.disciplined()
+        detector.report.assert_clean()
+        assert obj.value == 1
+
+
+def test_seeded_unlocked_rebinding_is_caught():
+    with RaceDetector() as detector:
+        detector.instrument(Shared, {"value": "_lock"})
+        obj = Shared()
+        obj.racy()  # rebinding without the lock
+        violations = detector.report.snapshot()
+    assert len(violations) == 1
+    violation = violations[0]
+    assert violation.cls == "Shared" and violation.attr == "value"
+    assert violation.lock_attr == "_lock"
+    with pytest.raises(AssertionError, match="unlocked write"):
+        detector.report.assert_clean()
+
+
+def test_eight_thread_hammer_on_seeded_race():
+    with RaceDetector() as detector:
+        detector.instrument(Shared, {"value": "_lock"})
+        obj = Shared()
+        obj.disciplined()  # bind once under the lock
+
+        def hammer():
+            for _ in range(50):
+                obj.racy()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        violations = detector.report.snapshot()
+    assert len(violations) == 8 * 50
+    assert {v.thread for v in violations} == {t.name for t in threads}
+
+
+def test_restore_unpatches_the_class():
+    detector = RaceDetector()
+    detector.instrument(Shared, {"value": "_lock"})
+    assert "__setattr__" in Shared.__dict__
+    detector.restore()
+    assert "__setattr__" not in Shared.__dict__
+    obj = Shared()
+    obj.racy()  # no longer instrumented
+    detector.report.assert_clean()
+
+
+def test_instrument_module_picks_up_annotated_classes(_race_detector):
+    import repro.sgx.costs as costs_mod
+
+    with RaceDetector() as detector:
+        patched = detector.instrument_module(costs_mod)
+        assert CostModel in patched
+        model = CostModel()
+        model.record_ecall(name="dict_search")  # lock-disciplined
+        model.reset()
+        detector.report.assert_clean()
+        model.ecalls = 99  # direct unlocked rebinding
+        assert [v.attr for v in detector.report.snapshot()] == ["ecalls"]
+    if _race_detector is not None:
+        # The session-scoped detector saw the deliberate write too; drain
+        # it so the seeded race does not fail the run at teardown, keeping
+        # any unrelated violations.
+        for v in _race_detector.report.drain():
+            if not (v.cls == "CostModel" and v.attr == "ecalls"):
+                _race_detector.report.record(v)
+
+
+def test_instrumented_cache_is_clean_under_threads():
+    import repro.sgx.cache as cache_mod
+
+    with RaceDetector() as detector:
+        patched = detector.instrument_module(cache_mod)
+        assert EnclaveLruCache in patched
+        cache = EnclaveLruCache(budget_bytes=4096)
+
+        def hammer(seed: int):
+            for i in range(100):
+                cache.put((seed, i), i, 32)
+                cache.get((seed, i))
+            cache.clear()
+
+        threads = [threading.Thread(target=hammer, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        detector.report.assert_clean()

@@ -1,0 +1,115 @@
+"""Suppression mechanism: mandatory justification, scoping, misuse reports."""
+
+from __future__ import annotations
+
+from repro.analysis.engine import analyze_source
+from repro.analysis.findings import (
+    RULE_BAD_SUPPRESSION,
+    RULE_FORBIDDEN_SYMBOL,
+)
+from repro.analysis.suppressions import parse_suppressions
+
+
+def test_justified_line_suppression_silences_the_finding():
+    source = (
+        'SKDB = None  # lint: allow(forbidden-symbol) justification="test"\n'
+    )
+    findings = analyze_source(
+        source, module="repro.columnstore.x", path="x.py"
+    )
+    assert len(findings) == 1
+    assert findings[0].suppressed and findings[0].justification == "test"
+
+
+def test_comment_on_line_above_covers_the_statement_below():
+    source = (
+        '# lint: allow(forbidden-symbol) justification="covers next line"\n'
+        "SKDB = None\n"
+    )
+    findings = analyze_source(
+        source, module="repro.columnstore.x", path="x.py"
+    )
+    assert [f.suppressed for f in findings] == [True]
+
+
+def test_suppression_does_not_reach_two_lines_down():
+    source = (
+        '# lint: allow(forbidden-symbol) justification="too far away"\n'
+        "ok = 1\n"
+        "SKDB = None\n"
+    )
+    findings = analyze_source(
+        source, module="repro.columnstore.x", path="x.py"
+    )
+    assert [f.suppressed for f in findings] == [False]
+
+
+def test_missing_justification_is_reported_and_silences_nothing():
+    source = "SKDB = None  # lint: allow(forbidden-symbol)\n"
+    findings = analyze_source(
+        source, module="repro.columnstore.x", path="x.py"
+    )
+    rules = {f.rule: f.suppressed for f in findings}
+    assert rules == {RULE_FORBIDDEN_SYMBOL: False, RULE_BAD_SUPPRESSION: False}
+
+
+def test_empty_justification_is_rejected():
+    source = 'SKDB = None  # lint: allow(forbidden-symbol) justification="  "\n'
+    findings = analyze_source(
+        source, module="repro.columnstore.x", path="x.py"
+    )
+    assert {f.rule for f in findings} == {
+        RULE_FORBIDDEN_SYMBOL,
+        RULE_BAD_SUPPRESSION,
+    }
+
+
+def test_unknown_rule_is_reported():
+    index = parse_suppressions(
+        '# lint: allow(no-such-rule) justification="x"\n', path="x.py", module="m"
+    )
+    assert index.suppressions == []
+    assert [f.rule for f in index.findings] == [RULE_BAD_SUPPRESSION]
+    assert "no-such-rule" in index.findings[0].message
+
+
+def test_bad_suppression_rule_cannot_be_suppressed():
+    index = parse_suppressions(
+        '# lint: allow(bad-suppression) justification="nice try"\n',
+        path="x.py",
+        module="m",
+    )
+    assert index.suppressions == []
+    assert [f.rule for f in index.findings] == [RULE_BAD_SUPPRESSION]
+
+
+def test_allow_file_must_sit_near_the_top():
+    source = "\n" * 20 + (
+        '# lint: allow-file(forbidden-symbol) justification="buried"\n'
+    )
+    index = parse_suppressions(source, path="x.py", module="m")
+    assert index.suppressions == []
+    assert [f.rule for f in index.findings] == [RULE_BAD_SUPPRESSION]
+
+
+def test_allow_file_covers_the_whole_file():
+    source = (
+        '# lint: allow-file(forbidden-symbol) justification="role fixture"\n'
+        + "\n" * 30
+        + "SKDB = None\n"
+    )
+    findings = analyze_source(
+        source, module="repro.columnstore.x", path="x.py"
+    )
+    assert [f.suppressed for f in findings] == [True]
+
+
+def test_one_comment_may_list_several_rules():
+    source = (
+        "import pickle, random  "
+        '# lint: allow(unsafe-serialization, nondet-randomness) justification="fixture"\n'
+    )
+    findings = analyze_source(
+        source, module="repro.encdict.builder", path="x.py"
+    )
+    assert findings and all(f.suppressed for f in findings)

@@ -2,10 +2,35 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.pae import LibraryPae, Pae, PurePythonPae, default_pae
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _race_detector():
+    """Opt-in runtime race detection (``ENCDBDB_RACE_DETECT=1``).
+
+    Instruments every ``# guarded-by:`` annotated class for the whole
+    session, so the existing multi-thread hammer tests double as race
+    tests; any unlocked rebinding of a guarded attribute fails the run at
+    teardown with the offending class, attribute, thread and location.
+    """
+    if os.environ.get("ENCDBDB_RACE_DETECT") != "1":
+        yield None
+        return
+    from repro.analysis.racecheck import RaceDetector
+
+    detector = RaceDetector()
+    detector.instrument_default()
+    try:
+        yield detector
+    finally:
+        detector.restore()
+        detector.report.assert_clean()
 
 
 @pytest.fixture

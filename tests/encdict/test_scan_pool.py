@@ -4,13 +4,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.encdict import attrvect
 from repro.encdict.attrvect import (
     attr_vect_search,
     attr_vect_search_many,
     shutdown_scan_pools,
 )
 from repro.encdict.search import DUMMY_RANGE, SearchResult
+from repro.runtime import SCAN_POOL, active_pool, pool_workers
 from repro.sgx.costs import CostModel
 
 
@@ -27,30 +27,30 @@ def _scan_with_pool(max_workers: int) -> None:
 def test_single_pool_reused_across_worker_counts():
     shutdown_scan_pools()
     _scan_with_pool(4)
-    first = attrvect._pool
-    assert first is not None and attrvect._pool_workers == 4
+    first = active_pool(SCAN_POOL)
+    assert first is not None and pool_workers(SCAN_POOL) == 4
     _scan_with_pool(2)  # fewer workers: the bigger pool is reused
-    assert attrvect._pool is first
-    assert attrvect._pool_workers == 4
+    assert active_pool(SCAN_POOL) is first
+    assert pool_workers(SCAN_POOL) == 4
 
 
 def test_pool_grows_by_replacement():
     shutdown_scan_pools()
     _scan_with_pool(2)
-    small = attrvect._pool
+    small = active_pool(SCAN_POOL)
     _scan_with_pool(6)
-    assert attrvect._pool is not small
-    assert attrvect._pool_workers == 6
+    assert active_pool(SCAN_POOL) is not small
+    assert pool_workers(SCAN_POOL) == 6
     shutdown_scan_pools()
 
 
 def test_shutdown_is_idempotent_and_pool_is_lazily_recreated():
     _scan_with_pool(3)
     shutdown_scan_pools()
-    assert attrvect._pool is None and attrvect._pool_workers == 0
+    assert active_pool(SCAN_POOL) is None and pool_workers(SCAN_POOL) == 0
     shutdown_scan_pools()  # second call is a no-op
     _scan_with_pool(3)
-    assert attrvect._pool is not None
+    assert active_pool(SCAN_POOL) is not None
     shutdown_scan_pools()
 
 
