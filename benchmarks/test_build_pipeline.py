@@ -30,13 +30,15 @@ import pytest
 
 from conftest import RESULTS_DIR, write_result
 from repro import EncDBDBSystem
+from repro.bench import BenchStats
 from repro.bench.report import format_table
 from repro.columnstore.types import parse_type
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.pae import default_pae
 from repro.encdict.builder import encdb_build_partitioned
 from repro.encdict.options import kind_by_name
-from repro.encdict.pipeline import shutdown_build_pools
+from repro.encdict.pipeline import BUILD_DISPATCH, shutdown_build_pools
+from repro.runtime import last_dispatch
 
 BUILD_ROWS = int(os.environ.get("ENCDBDB_BUILD_BENCH_ROWS", 1 << 20))
 BUILD_PARTITIONS = 8
@@ -117,8 +119,15 @@ def load_runs(tmp_path_factory):
         f"c{i}": _column_values(100 + i, BUILD_ROWS)
         for i in range(1, len(KINDS) + 1)
     }
-    serial_s, serial_system = _deploy("serial", 1, columns)
-    parallel_s, parallel_system = _deploy("process", BUILD_WORKERS, columns)
+    # Best of two interleaved rounds: a single full-load measurement carries
+    # several percent of wall-clock noise, enough to flake the >= 0.95x
+    # dispatch floor when both paths resolve to the same serial build.
+    serial_s = parallel_s = float("inf")
+    for _ in range(2):
+        elapsed, serial_system = _deploy("serial", 1, columns)
+        serial_s = min(serial_s, elapsed)
+        elapsed, parallel_system = _deploy("process", BUILD_WORKERS, columns)
+        parallel_s = min(parallel_s, elapsed)
     shutdown_build_pools()
 
     tmp = tmp_path_factory.mktemp("build-bench")
@@ -140,6 +149,7 @@ def load_runs(tmp_path_factory):
         "parallel_s": parallel_s,
         "speedup": serial_s / parallel_s,
         "byte_identical": byte_identical,
+        "dispatch": last_dispatch(BUILD_DISPATCH),
     }
 
 
@@ -173,6 +183,13 @@ def test_parallel_load_speedup(load_runs):
     assert load_runs["speedup"] >= 2.0, load_runs
 
 
+def test_parallel_request_never_slower_than_serial(load_runs):
+    """PR 6 floor on every host: requesting the process pool must not lose
+    wall-clock — adaptive dispatch falls back to the serial builder when
+    forking workers cannot pay for itself (0.81x on one core before)."""
+    assert load_runs["speedup"] >= 0.95, load_runs
+
+
 def test_report_build_bench(kind_runs, load_runs):
     rows = [
         (
@@ -200,7 +217,11 @@ def test_report_build_bench(kind_runs, load_runs):
     )
     write_result("build_pipeline", text)
 
-    payload = {"kinds": kind_runs, "load": load_runs}
+    payload = {
+        "kinds": kind_runs,
+        "load": load_runs,
+        "bench_stats": BenchStats.capture().to_dict(),
+    }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_build.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -31,6 +31,7 @@ import pytest
 
 from conftest import RESULTS_DIR, write_result
 from repro import EncDBDBSystem
+from repro.bench import BenchStats
 from repro.bench.report import format_table
 from repro.crypto.drbg import HmacDrbg
 from repro.encdict.attrvect import (
@@ -39,6 +40,7 @@ from repro.encdict.attrvect import (
     shutdown_scan_pools,
 )
 from repro.encdict.search import DUMMY_RANGE, SearchResult
+from repro.runtime import SCAN_POOL, last_dispatch
 from repro.workloads.queries import expected_result_rows, random_range_queries
 
 SCAN_ROWS = 1 << 20  # >= 1M rows, the acceptance floor
@@ -114,6 +116,7 @@ def scan_runs(attribute_vector):
             "sequential_s": sequential_s,
             "parallel_s": parallel_s,
             "speedup": sequential_s / parallel_s,
+            "dispatch": last_dispatch(SCAN_POOL),
         }
     shutdown_scan_pools()
     return runs
@@ -127,6 +130,14 @@ def test_parallel_partition_scan_beats_single_partition(scan_runs):
         pytest.skip(f"needs >= 2 CPU cores to parallelize (have {CORES})")
     for kind, run in scan_runs.items():
         assert run["parallel_s"] < run["sequential_s"], (kind, run)
+
+
+def test_parallel_request_never_slower_than_serial(scan_runs):
+    """The PR 6 floor, enforced on every host: asking for workers must not
+    lose wall-clock — adaptive dispatch picks serial when a pool cannot win
+    (the pre-PR-6 numbers on one core were 0.82x)."""
+    for kind, run in scan_runs.items():
+        assert run["speedup"] >= 0.95, (kind, run)
 
 
 # ----------------------------------------------------------------------
@@ -253,6 +264,7 @@ def test_report_partition_bench(scan_runs, merge_runs, figure7_equivalence):
         "scan": scan_runs,
         "merge": merge_runs,
         "figure7_equivalence": figure7_equivalence,
+        "bench_stats": BenchStats.capture().to_dict(),
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "BENCH_partition.json").write_text(

@@ -24,11 +24,12 @@ from repro.bench.report import format_table
 from repro.bench.storage import plaintext_file_bytes, storage_table_for_column
 from repro.columnstore.types import VarcharType
 
-#: The reproduction's trusted computing base (DESIGN.md §9): everything
+#: The reproduction's trusted computing base (DESIGN.md §10): everything
 #: that executes inside the simulated enclave.
 TCB_FILES = (
     "encdict/enclave_app.py",
     "encdict/search.py",
+    "encdict/kernels.py",  # vectorized in-enclave search kernels (PR 6)
     "encdict/encode.py",
     "encdict/builder.py",  # rebuild_for_merge runs EncDB inside the enclave
     "encdict/buckets.py",

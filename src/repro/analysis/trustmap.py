@@ -56,6 +56,7 @@ MODULE_TRUST: dict[str, str] = {
     "repro.encdict": TRUST_OWNER,  # package facade re-exporting EncDB helpers
     "repro.encdict.enclave_app": TRUST_ENCLAVE,
     "repro.encdict.search": TRUST_ENCLAVE,
+    "repro.encdict.kernels": TRUST_ENCLAVE,  # vectorized search kernels
     "repro.encdict.builder": TRUST_OWNER,
     "repro.encdict.pipeline": TRUST_OWNER,
     "repro.encdict.buckets": TRUST_OWNER,

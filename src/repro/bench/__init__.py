@@ -13,10 +13,12 @@ from repro.bench.engines import (
     build_engines,
 )
 from repro.bench.harness import BenchSettings, LatencyStats, measure_query_latency
+from repro.bench.stats import BenchStats
 from repro.bench.storage import storage_table_for_column
 from repro.bench.report import format_table
 
 __all__ = [
+    "BenchStats",
     "MonetDbColumnEngine",
     "PlainDbdbColumnEngine",
     "EncDbdbColumnEngine",

@@ -96,9 +96,17 @@ class Proxy:
         # Partition fan-out is only visible in-process: remote deployments
         # expose a schema mirror without column stores, so the annotation is
         # silently absent there (partition layout never crosses the wire).
-        fanout = partition_fanout_lines(plan, getattr(self._server, "catalog", None))
-        if fanout:
-            description = description + "\n" + "\n".join(fanout)
+        catalog = getattr(self._server, "catalog", None)
+        lines = partition_fanout_lines(plan, catalog)
+        if catalog is not None:
+            # Same visibility rule for the runtime's serial/parallel
+            # dispatch state: host facts (cores, past decisions), shown
+            # only where the server itself is observable.
+            from repro.runtime import dispatch_summary
+
+            lines.append(f"dispatch: {dispatch_summary()}")
+        if lines:
+            description = description + "\n" + "\n".join(lines)
         return description
 
     def _describe_batching(self, plan) -> str | None:

@@ -387,16 +387,18 @@ class EncryptedStoredColumn:
         chunk_rows: int | None = None,
         max_workers: int | None = None,
         scan_cache: dict | None = None,
+        adaptive: bool | None = None,
     ) -> np.ndarray:
         """Turn the enclave's per-store :class:`SearchResult`\\ s into global
         RecordIDs (the untrusted ``AttrVectSearch`` half of a query).
 
         Main-partition scans fan out on the shared pool when more than one
-        partition is involved; partition-local RecordIDs are offset by the
-        partition start so the union is the global answer. ``scan_cache``
-        (per-query, executor-owned) memoizes each partition scan by
-        ``(column, partition, result shape)`` so identical filters on one
-        column within a query scan each attribute vector once.
+        partition is involved and adaptive dispatch judges the fan-out
+        worthwhile; partition-local RecordIDs are offset by the partition
+        start so the union is the global answer. ``scan_cache`` (per-query,
+        executor-owned) memoizes each partition scan by ``(column,
+        partition, result shape)`` so identical filters on one column
+        within a query scan each attribute vector once.
         """
         parts: list[np.ndarray | None] = []
         starts = self.partition_starts
@@ -438,6 +440,7 @@ class EncryptedStoredColumn:
                 cost_model=cost_model,
                 chunk_rows=chunk_rows,
                 max_workers=max_workers,
+                adaptive=adaptive,
             )
             global_rids = rids + starts[index]
             if signature is not None:
@@ -453,6 +456,7 @@ class EncryptedStoredColumn:
                 ],
                 cost_model=cost_model,
                 max_workers=max_workers,
+                adaptive=adaptive,
             )
             for (slot, index, _, signature), rids in zip(pending, rids_list):
                 global_rids = rids + starts[index]
@@ -472,6 +476,7 @@ class EncryptedStoredColumn:
         chunk_rows: int | None = None,
         max_workers: int | None = None,
         scan_cache: dict | None = None,
+        adaptive: bool | None = None,
     ) -> np.ndarray:
         """Global RecordIDs matching the encrypted range ``τ``.
 
@@ -489,6 +494,7 @@ class EncryptedStoredColumn:
             chunk_rows=chunk_rows,
             max_workers=max_workers,
             scan_cache=scan_cache,
+            adaptive=adaptive,
         )
 
     def blob_at(self, record_id: int) -> bytes:

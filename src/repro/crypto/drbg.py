@@ -49,6 +49,33 @@ class HmacDrbg:
         self._update()
         return bytes(out[:n])
 
+    def random_bytes_many(self, n: int, count: int) -> list[bytes]:
+        """``count`` draws of ``n`` bytes each, in one call.
+
+        Byte-for-byte identical to ``[self.random_bytes(n) for _ in
+        range(count)]`` — each draw still ratchets the generator state
+        exactly as a standalone call would (one ``HMAC`` block per 32 output
+        bytes plus the SP 800-90A post-generate update), so existing IV
+        streams are unchanged. The batch only amortizes Python call and
+        attribute-lookup overhead, which matters when a PAE backend seals
+        thousands of dictionary entries per partition.
+        """
+        if count <= 0:
+            return []
+        out: list[bytes] = []
+        hmac_fn = self._hmac
+        for _ in range(count):
+            key = self._key
+            value = self._value
+            buf = bytearray()
+            while len(buf) < n:
+                value = hmac_fn(key, value)
+                buf.extend(value)
+            self._value = value
+            self._update()
+            out.append(bytes(buf[:n]))
+        return out
+
     def randint(self, low: int, high: int) -> int:
         """Uniform integer in the closed interval ``[low, high]``.
 

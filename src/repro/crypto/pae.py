@@ -133,20 +133,19 @@ class Pae(ABC):
             raise CryptoError(f"PAE key must be {PAE_KEY_BYTES} bytes")
         if not plaintexts:
             return []
+        # All N IVs come from the DRBG in one batched call (byte-identical
+        # to N separate draws) and the counter is bumped once — the only
+        # lock traffic of a batch is a single acquisition either way.
         if rng is not None:
-            ivs = [rng.random_bytes(PAE_NONCE_BYTES) for _ in plaintexts]
+            ivs = rng.random_bytes_many(PAE_NONCE_BYTES, len(plaintexts))
             self.add_operation_counts(encrypts=len(plaintexts))
         else:
             with self._counter_lock:
-                ivs = [
-                    self._rng.random_bytes(PAE_NONCE_BYTES) for _ in plaintexts
-                ]
+                ivs = self._rng.random_bytes_many(
+                    PAE_NONCE_BYTES, len(plaintexts)
+                )
                 self.encrypt_count += len(plaintexts)
-        blobs = []
-        for iv, plaintext in zip(ivs, plaintexts):
-            ciphertext, tag = self._seal(key, iv, plaintext, aad)
-            blobs.append(iv + ciphertext + tag)
-        return blobs
+        return self._seal_batch(key, ivs, plaintexts, aad)
 
     def decrypt(self, key: bytes, blob: bytes, aad: bytes = b"") -> bytes:
         """``PAE_Dec``: authenticate and decrypt an IV||ct||tag blob."""
@@ -170,16 +169,7 @@ class Pae(ABC):
             if len(blob) < PAE_OVERHEAD_BYTES:
                 raise AuthenticationError("ciphertext too short to be authentic")
         self.add_operation_counts(decrypts=len(blobs))
-        return [
-            self._open(
-                key,
-                blob[:PAE_NONCE_BYTES],
-                blob[PAE_NONCE_BYTES:-PAE_TAG_BYTES],
-                blob[-PAE_TAG_BYTES:],
-                aad,
-            )
-            for blob in blobs
-        ]
+        return self._open_batch(key, blobs, aad)
 
     def ciphertext_length(self, plaintext_length: int) -> int:
         """Size in bytes of the PAE blob for a plaintext of the given size."""
@@ -202,6 +192,34 @@ class Pae(ABC):
         self, key: bytes, iv: bytes, ciphertext: bytes, tag: bytes, aad: bytes
     ) -> bytes:
         """Verify and decrypt; raise :class:`AuthenticationError` on failure."""
+
+    def _seal_batch(
+        self,
+        key: bytes,
+        ivs: Sequence[bytes],
+        plaintexts: Sequence[bytes],
+        aad: bytes,
+    ) -> list[bytes]:
+        """Seal a batch; backends override to reuse one cipher context."""
+        return [
+            iv + b"".join(self._seal(key, iv, plaintext, aad))
+            for iv, plaintext in zip(ivs, plaintexts)
+        ]
+
+    def _open_batch(
+        self, key: bytes, blobs: Sequence[bytes], aad: bytes
+    ) -> list[bytes]:
+        """Open a batch; backends override to reuse one cipher context."""
+        return [
+            self._open(
+                key,
+                blob[:PAE_NONCE_BYTES],
+                blob[PAE_NONCE_BYTES:-PAE_TAG_BYTES],
+                blob[-PAE_TAG_BYTES:],
+                aad,
+            )
+            for blob in blobs
+        ]
 
 
 class PurePythonPae(Pae):
@@ -230,6 +248,27 @@ class PurePythonPae(Pae):
 
     def _open(self, key, iv, ciphertext, tag, aad):
         return self._gcm(key).decrypt(iv, ciphertext, tag, aad)
+
+    def _seal_batch(self, key, ivs, plaintexts, aad):
+        # One cache-lock acquisition and key-schedule lookup per batch.
+        gcm = self._gcm(key)
+        blobs = []
+        for iv, plaintext in zip(ivs, plaintexts):
+            ciphertext, tag = gcm.encrypt(iv, plaintext, aad)
+            blobs.append(iv + ciphertext + tag)
+        return blobs
+
+    def _open_batch(self, key, blobs, aad):
+        gcm = self._gcm(key)
+        return [
+            gcm.decrypt(
+                blob[:PAE_NONCE_BYTES],
+                blob[PAE_NONCE_BYTES:-PAE_TAG_BYTES],
+                blob[-PAE_TAG_BYTES:],
+                aad,
+            )
+            for blob in blobs
+        ]
 
 
 class LibraryPae(Pae):

@@ -23,13 +23,21 @@ result shape. The explicit-ValueID path (unsorted dictionaries) charges
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import Executor
 from typing import Sequence
 
 import numpy as np
 
 from repro.encdict.search import DUMMY_RANGE, SearchResult
-from repro.runtime import SCAN_POOL, shared_pool, shutdown_pool
+from repro.runtime import (
+    SCAN_POOL,
+    dispatch_decision,
+    kernel_cost,
+    note_kernel_cost,
+    shared_pool,
+    shutdown_pool,
+)
 from repro.sgx.costs import CostModel
 
 #: Default rows per chunk when a chunked scan is requested without a size.
@@ -103,6 +111,12 @@ def _scan_mask(
     return mask
 
 
+def _estimated_scan_s(rows: int) -> float | None:
+    """Estimated serial cost of scanning ``rows``, from measured history."""
+    rate = kernel_cost(SCAN_POOL)
+    return rate * rows if rate is not None else None
+
+
 def attr_vect_search(
     attribute_vector: np.ndarray,
     result: SearchResult,
@@ -110,6 +124,7 @@ def attr_vect_search(
     cost_model: CostModel | None = None,
     chunk_rows: int | None = None,
     max_workers: int | None = None,
+    adaptive: bool | None = None,
 ) -> np.ndarray:
     """RecordIDs whose ValueID matches the dictionary-search result.
 
@@ -120,9 +135,13 @@ def attr_vect_search(
     cost of Table 4.
 
     When ``chunk_rows`` is given (and ``max_workers > 1``), vectors larger
-    than one chunk are scanned in slices on a shared thread pool. The result
-    is bit-identical to the single-shot scan and the cost accounting is
-    unaffected — chunking changes wall-clock time only.
+    than one chunk are scanned in slices on a shared thread pool — unless
+    adaptive dispatch (:func:`repro.runtime.dispatch_decision`) determines
+    the fan-out cannot win (too few cores, or the estimated work is smaller
+    than the pool's own per-task overhead), in which case the scan stays
+    serial. ``adaptive=False`` forces the legacy always-parallel behaviour.
+    Either way the result is bit-identical to the single-shot scan and the
+    cost accounting is unaffected — dispatch changes wall-clock time only.
     """
     n = len(attribute_vector)
     comparisons, matchable_ranges, vids = _prepare_scan(attribute_vector, result)
@@ -139,9 +158,18 @@ def attr_vect_search(
     if chunk_rows is None:
         chunk_rows = DEFAULT_SCAN_CHUNK_ROWS
     workers = max_workers if max_workers is not None else 1
+    decision = None
     if workers > 1 and n > chunk_rows:
+        decision = dispatch_decision(
+            SCAN_POOL,
+            requested_workers=workers,
+            jobs=(n + chunk_rows - 1) // chunk_rows,
+            estimated_serial_s=_estimated_scan_s(n),
+            adaptive=adaptive,
+        )
+    if decision is not None and decision.parallel:
         starts = range(0, n, chunk_rows)
-        pool = _shared_pool(workers)
+        pool = _shared_pool(decision.workers)
         masks = list(
             pool.map(
                 lambda start: _scan_mask(
@@ -154,7 +182,9 @@ def attr_vect_search(
         )
         mask = np.concatenate(masks)
     else:
+        start = time.perf_counter()
         mask = _scan_mask(attribute_vector, matchable_ranges, vids)
+        note_kernel_cost(SCAN_POOL, (time.perf_counter() - start) / n)
     return np.nonzero(mask)[0].astype(np.int64)
 
 
@@ -163,6 +193,7 @@ def attr_vect_search_many(
     *,
     cost_model: CostModel | None = None,
     max_workers: int | None = None,
+    adaptive: bool | None = None,
 ) -> list[np.ndarray]:
     """Scan many (attribute vector, search result) pairs — one per column
     partition — returning per-job RecordID arrays (partition-local).
@@ -177,11 +208,13 @@ def attr_vect_search_many(
     """
     prepared = []
     total_comparisons = 0
+    total_rows = 0
     for attribute_vector, result in jobs:
         comparisons, matchable_ranges, vids = _prepare_scan(
             attribute_vector, result
         )
         total_comparisons += comparisons
+        total_rows += len(attribute_vector)
         prepared.append((attribute_vector, matchable_ranges, vids))
     if cost_model is not None:
         cost_model.record_comparison(total_comparisons)
@@ -194,7 +227,20 @@ def attr_vect_search_many(
         return np.nonzero(mask)[0].astype(np.int64)
 
     workers = max_workers if max_workers is not None else 1
+    decision = None
     if workers > 1 and len(prepared) > 1:
-        pool = _shared_pool(workers)
+        decision = dispatch_decision(
+            SCAN_POOL,
+            requested_workers=workers,
+            jobs=len(prepared),
+            estimated_serial_s=_estimated_scan_s(total_rows),
+            adaptive=adaptive,
+        )
+    if decision is not None and decision.parallel:
+        pool = _shared_pool(decision.workers)
         return list(pool.map(scan, prepared))
-    return [scan(job) for job in prepared]
+    start = time.perf_counter()
+    out = [scan(job) for job in prepared]
+    if total_rows > 0:
+        note_kernel_cost(SCAN_POOL, (time.perf_counter() - start) / total_rows)
+    return out

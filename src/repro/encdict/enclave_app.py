@@ -99,7 +99,10 @@ class EncDBDBEnclave(Enclave):
         # partition leaves every other partition's cached plaintext valid.
         self._column_epochs: dict[tuple[str, str, int], int] = {}
         self._searcher = DictionarySearcher(
-            self._pae, self.cost_model, cache=self._entry_cache
+            self._pae,
+            self.cost_model,
+            cache=self._entry_cache,
+            vectorized=self.fastpath.vectorized_kernels_enabled,
         )
 
     # ------------------------------------------------------------------

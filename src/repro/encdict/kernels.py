@@ -1,0 +1,118 @@
+"""Vectorized search kernels over packed-ordinal dictionaries (PR 6).
+
+Part of the trusted computing base (DESIGN.md §9–§10): these kernels model the
+enclave decrypting a partition dictionary *once* into a contiguous ordinal
+array held in enclave-protected memory, then answering searches with bulk
+integer comparisons instead of one decrypt-and-compare per probe. That is
+the DuckDB-SGX2 lesson — vectorized execution, not threads, makes enclave
+analytics competitive — applied to ``EnclDictSearch``.
+
+Two representations back one API:
+
+- ``int64``: the fast path. Every ordinal of an INTEGER/DATE column (and
+  any VARCHAR short enough) fits a machine word, so the packed dictionary
+  is a plain numpy array and the kernels are single C loops.
+- ``object``: the correctness fallback. VARCHAR ordinals are base-257
+  positional codes that can exceed 64 bits (``ORDINAL_BOUND_BYTES`` in
+  :mod:`repro.encdict.search` is 40 bytes for a reason); those pack into an
+  object-dtype array of Python ints. The kernels still vectorize the loop
+  structure (numpy broadcasts rich comparisons elementwise), just without
+  machine-word arithmetic.
+
+Leakage and cost contract: the kernels change *how fast* a search runs,
+never *what* the cost model records or what probe sequence the accessor
+logs — the caller (:mod:`repro.encdict.search`) charges the same logical
+untrusted loads, comparisons and decryptions the scalar reference path
+charges, and the equivalence suite (tests/encdict/test_kernels.py) pins
+results, probes and cost counters against that oracle. No randomness is
+drawn here; the kernels are pure functions of the packed array.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "INT64_MAX",
+    "INT64_MIN",
+    "pack_ordinals",
+    "packed_footprint",
+    "sorted_bounds",
+    "unsorted_scan",
+]
+
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
+
+#: Conservative resident bytes per element of an object-dtype packed array
+#: (pointer + small-int object). Used only for cache accounting.
+_OBJECT_ELEMENT_BYTES = 48
+
+
+def pack_ordinals(ordinals: Sequence[int]) -> np.ndarray:
+    """Pack a dictionary's ordinals into a contiguous numpy array.
+
+    ``int64`` when every ordinal fits a machine word, else ``object`` dtype
+    holding arbitrary-precision Python ints (large VARCHAR ordinals). Both
+    shapes are accepted by every kernel in this module.
+    """
+    if all(INT64_MIN <= ordinal <= INT64_MAX for ordinal in ordinals):
+        return np.asarray(ordinals, dtype=np.int64)
+    packed = np.empty(len(ordinals), dtype=object)
+    packed[:] = list(ordinals)
+    return packed
+
+
+def packed_footprint(packed: np.ndarray) -> int:
+    """Bytes a packed-ordinal array is charged for in the enclave cache.
+
+    Mirrors :func:`repro.encdict.search.cached_entry_footprint`'s role for
+    single entries: data bytes plus a fixed bookkeeping constant. A packed
+    partition is far smaller than the per-entry plaintext cache it
+    replaces (8 machine bytes vs. blob + plaintext + overhead per entry).
+    """
+    if packed.dtype == object:
+        return _OBJECT_ELEMENT_BYTES * len(packed) + 64
+    return int(packed.nbytes) + 64
+
+
+def _clamped_bounds(
+    packed: np.ndarray, low: int, high: int
+) -> tuple[int, int, bool]:
+    """Clamp a closed ordinal range into the packed array's value domain.
+
+    An ``int64`` array cannot hold values outside the machine-word range,
+    so bounds beyond it clamp to the extremes (or mark the range as
+    provably empty) before numpy ever sees them — some numpy versions
+    raise ``OverflowError`` on out-of-range Python-int comparisons.
+    """
+    if packed.dtype == object:
+        return low, high, False
+    if low > INT64_MAX or high < INT64_MIN:
+        return 0, -1, True
+    return max(low, INT64_MIN), min(high, INT64_MAX), False
+
+
+def unsorted_scan(packed: np.ndarray, low: int, high: int) -> tuple[int, ...]:
+    """Algorithm 4 as one boolean-mask kernel: ValueIDs with ordinal in
+    ``[low, high]``, in index order — exactly the scalar linear scan's
+    output over the same dictionary."""
+    low, high, empty = _clamped_bounds(packed, low, high)
+    if empty or len(packed) == 0:
+        return ()
+    mask = (packed >= low) & (packed <= high)
+    return tuple(np.nonzero(mask)[0].tolist())
+
+
+def sorted_bounds(packed: np.ndarray, low: int, high: int) -> tuple[int, int]:
+    """Algorithm 1 as an ``np.searchsorted`` kernel over a sorted packed
+    array: ``(vid_min, vid_max)`` of the entries in ``[low, high]``, with
+    ``vid_min > vid_max`` when nothing matches."""
+    low, high, empty = _clamped_bounds(packed, low, high)
+    if empty or len(packed) == 0:
+        return (0, -1)
+    vid_min = int(np.searchsorted(packed, low, side="left"))
+    vid_max = int(np.searchsorted(packed, high, side="right")) - 1
+    return vid_min, vid_max

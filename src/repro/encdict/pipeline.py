@@ -54,10 +54,15 @@ from repro.runtime import (
     BUILD_PROCESS_POOL,
     BUILD_THREAD_POOL,
     configured_workers,
+    dispatch_decision,
     map_on_build_pool,
     shared_pool,
     shutdown_pool,
 )
+
+#: Dispatch-log kind under which the pipeline records its serial/parallel
+#: choice (shown by EXPLAIN and BenchStats).
+BUILD_DISPATCH = "build-pipeline"
 
 __all__ = [
     "BuildPipeline",
@@ -237,6 +242,7 @@ class BuildPipeline:
         max_workers: int | None = None,
         executor: str = "thread",
         max_inflight_partitions: int | None = None,
+        adaptive: bool | None = None,
     ) -> None:
         if executor not in EXECUTOR_KINDS:
             raise CatalogError(
@@ -246,7 +252,23 @@ class BuildPipeline:
         self.max_workers = (
             max_workers if max_workers is not None else configured_workers()
         )
+        #: The executor kind the caller asked for, before any downgrade.
+        self.requested_executor = executor
         self.executor = executor if self.max_workers > 1 else "serial"
+        if self.executor != "serial":
+            # Adaptive dispatch: on a host where workers cannot overlap,
+            # downgrade to the inline serial path — artifacts are
+            # byte-identical either way, only wall-clock differs. Thread
+            # pools never beat serial on one core, and process pools lose
+            # their fork/pickle cost too. ``adaptive=False`` pins the
+            # requested executor (tests exercise the real pools with it).
+            decision = dispatch_decision(
+                BUILD_DISPATCH,
+                requested_workers=self.max_workers,
+                adaptive=adaptive,
+            )
+            if not decision.parallel:
+                self.executor = "serial"
         # The backpressure window: how many partitions may hold plaintext
         # (and in-flight build state) at once. Bounds peak build-side
         # memory at O(max_inflight_partitions * partition_rows).

@@ -1,7 +1,7 @@
 """``EnclDictSearch``: the dictionary searches that run inside the enclave.
 
 This module is part of the reproduction's trusted computing base (see
-DESIGN.md §9). It deliberately contains *only* the search logic; the enclave
+DESIGN.md §10). It deliberately contains *only* the search logic; the enclave
 program in :mod:`repro.encdict.enclave_app` wires it to ecalls and key
 material.
 
@@ -38,6 +38,7 @@ from typing import Callable
 
 from repro.columnstore.types import ValueType
 from repro.crypto.pae import Pae
+from repro.encdict import kernels
 from repro.encdict.dictionary import EncryptedDictionary
 from repro.encdict.options import EncryptedDictionaryKind, OrderOption
 from repro.exceptions import QueryError
@@ -45,6 +46,16 @@ from repro.sgx.costs import CostModel
 
 #: The dummy range the rotated search uses to pad single-range results.
 DUMMY_RANGE = (-1, -1)
+
+#: Cache-key sentinel for a partition's packed-ordinal array. A string can
+#: never collide with the ``bytes`` ciphertext blobs the per-entry keys end
+#: in, and the key shares the ``(table, column, partition, epoch)`` prefix,
+#: so partition-granular invalidation and ``group_usage`` accounting work
+#: unchanged. The full key also carries the dictionary's length and first
+#: ciphertext blob: PAE IVs are draw-unique, so — exactly like the
+#: blob-keyed entry cache — a different dictionary under the same name can
+#: never be served another dictionary's packed ordinals.
+PACKED_SENTINEL = "packed-ordinals"
 
 #: Serialized width of one ordinal bound. 40 bytes fit the largest ordinal a
 #: supported column domain can produce (a VARCHAR(255)-scale ordinal far
@@ -173,6 +184,7 @@ class DictionaryAccessor:
             getattr(dictionary, "partition_id", 0),
             cache_epoch,
         )
+        self._packed: object | None = None  # numpy array once attached
         self.probes: list[int] = []
 
     def __len__(self) -> int:
@@ -208,8 +220,90 @@ class DictionaryAccessor:
             return self._dictionary.value_type.from_bytes(blob)
         return self._decrypt_blob(blob).value
 
+    @property
+    def packed(self):
+        """The attached packed-ordinal array, or ``None``."""
+        return self._packed
+
+    def charge_probes(self, count: int) -> None:
+        """Charge ``count`` probes (one untrusted load + one comparison
+        each) in a single locked update — the batched equivalent of the
+        per-probe charge in :meth:`ordinal`."""
+        cost = self._cost
+        if cost is not None and count > 0:
+            with cost._lock:
+                cost.untrusted_loads += count
+                cost.comparisons += count
+
+    def packed_ordinals(self, *, fill: bool):
+        """The partition's packed-ordinal array, via the enclave cache.
+
+        Returns the array when it is already resident (or already attached
+        to this accessor); with ``fill=True`` a missing array is built by
+        decrypting the whole dictionary once (every entry charged to the
+        cost model, exactly like a cold linear scan) and cached under the
+        partition's key prefix. ``fill=False`` never decrypts — the
+        logarithmic searches use the packed array opportunistically but
+        must not trade their O(log n) decryption count for an O(n) fill.
+        """
+        if self._packed is not None:
+            return self._packed
+        cache = self._cache
+        cache_key = None
+        if cache is not None:
+            dictionary = self._dictionary
+            n = len(dictionary)
+            cache_key = self._cache_prefix + (
+                PACKED_SENTINEL,
+                n,
+                dictionary.entry(0) if n else b"",
+            )
+            packed = cache.get(cache_key)
+            if packed is not None:
+                self._packed = packed
+                return packed
+        if not fill:
+            return None
+        packed = self._fill_packed()
+        if cache is not None:
+            cache.put(cache_key, packed, kernels.packed_footprint(packed))
+        self._packed = packed
+        return packed
+
+    def _fill_packed(self):
+        """Decrypt-once: every entry's ordinal, packed into one array.
+
+        Charges one decryption per entry (the same logical count a cold
+        scalar linear scan pays) in a single locked cost-model update, and
+        decrypts through the PAE batch API so the whole partition reuses
+        one cipher context.
+        """
+        dictionary = self._dictionary
+        value_type = dictionary.value_type
+        blobs = [dictionary.entry(i) for i in range(len(dictionary))]
+        if not dictionary.encrypted:
+            plaintexts = blobs
+        else:
+            plaintexts = self._pae.decrypt_many(self._key, blobs)
+            if self._cost is not None:
+                self._cost.record_decryption_batch(
+                    len(blobs), sum(len(blob) for blob in blobs)
+                )
+        return kernels.pack_ordinals(
+            [value_type.ordinal(value_type.from_bytes(p)) for p in plaintexts]
+        )
+
     def ordinal(self, index: int) -> int:
         """``ENCODE`` of entry ``index`` (one comparison-ready integer)."""
+        packed = self._packed
+        if packed is not None:
+            # Packed fast path: the plaintext ordinal is enclave-resident,
+            # so no decryption happens — but the probe is still logged and
+            # charged as a load + comparison, the same contract as an
+            # entry-cache hit (module docstring of repro.sgx.cache).
+            self.probes.append(index)
+            self.charge_probes(1)
+            return int(packed[index])
         self.probes.append(index)
         blob = self._dictionary.entry(index)
         cost = self._cost
@@ -288,9 +382,24 @@ def search_sorted(accessor: DictionaryAccessor, search: OrdinalRange) -> SearchR
 
 
 def search_unsorted(accessor: DictionaryAccessor, search: OrdinalRange) -> SearchResult:
-    """``EnclDictSearch`` for ED3/ED6/ED9 (Algorithm 4): linear scan."""
+    """``EnclDictSearch`` for ED3/ED6/ED9 (Algorithm 4): linear scan.
+
+    With a packed-ordinal array attached the scan is one boolean-mask
+    kernel (:func:`repro.encdict.kernels.unsorted_scan`); results, the
+    probe log, and the logical cost charges (one untrusted load + one
+    comparison per entry) are identical to the scalar loop, which remains
+    below as the reference oracle.
+    """
     if search.is_empty:
         return SearchResult(vids=())
+    packed = accessor.packed
+    if packed is not None:
+        n = len(accessor)
+        accessor.probes.extend(range(n))
+        accessor.charge_probes(n)
+        return SearchResult(
+            vids=kernels.unsorted_scan(packed, search.low, search.high)
+        )
     vids = tuple(
         index
         for index in range(len(accessor))
@@ -384,17 +493,29 @@ _SEARCHERS = {
 
 
 class DictionarySearcher:
-    """Dispatches ``EnclDictSearch`` by encrypted-dictionary kind."""
+    """Dispatches ``EnclDictSearch`` by encrypted-dictionary kind.
+
+    With ``vectorized=True`` (the fast path's default) each search first
+    tries the partition's packed-ordinal array: the unsorted family fills
+    it eagerly (decrypt-once, then the boolean-mask kernel — its cold cost
+    already equals a full decrypt pass), while the logarithmic sorted and
+    rotated searches attach it only when already resident, keeping their
+    O(log n) decryption profile intact. ``vectorized=False`` is the scalar
+    reference path the paper figures are reproduced against.
+    """
 
     def __init__(
         self,
         pae: Pae,
         cost_model: CostModel | None = None,
         cache=None,
+        *,
+        vectorized: bool = True,
     ) -> None:
         self._pae = pae
         self._cost = cost_model
         self._cache = cache
+        self._vectorized = vectorized
 
     def search(
         self,
@@ -414,6 +535,8 @@ class DictionarySearcher:
             cache=self._cache,
             cache_epoch=cache_epoch,
         )
+        if self._vectorized and len(dictionary) > 0 and not search.is_empty:
+            accessor.packed_ordinals(fill=order is OrderOption.UNSORTED)
         return _SEARCHERS[order](accessor, search)
 
 

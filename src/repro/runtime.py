@@ -26,9 +26,12 @@ can use it without creating an import cycle.
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 
 #: Built-in worker-pool fan-out when neither configuration nor environment
 #: says otherwise (the hard-coded value of the pre-PR-4 scan pool).
@@ -36,6 +39,12 @@ DEFAULT_WORKERS = 4
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV = "ENCDBDB_SCAN_WORKERS"
+
+#: Environment variable switching adaptive serial/parallel dispatch off
+#: (``0`` disables it; anything else — including unset — leaves it on).
+ADAPTIVE_ENV = "ENCDBDB_ADAPTIVE_DISPATCH"
+
+_logger = logging.getLogger("repro.runtime")
 
 #: Registry names of the three long-lived pools.
 SCAN_POOL = "attrvect-scan"
@@ -47,22 +56,59 @@ _pools: dict[str, Executor] = {}  # guarded-by: _pools_lock
 _pool_workers: dict[str, int] = {}  # guarded-by: _pools_lock
 
 
+def detected_cores() -> int:
+    """CPU cores actually available to this process (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+_clamp_lock = threading.Lock()
+_clamp_logged = False  # guarded-by: _clamp_lock
+
+
+def _log_clamp_once(workers: int, cores: int) -> None:
+    """Report the cpu-count clamp exactly once per process."""
+    global _clamp_logged
+    with _clamp_lock:
+        if _clamp_logged:
+            return
+        _clamp_logged = True
+    _logger.info(
+        "worker default clamped from %d to %d (%d CPU core(s) available; "
+        "set %s to override)",
+        DEFAULT_WORKERS,
+        workers,
+        cores,
+        WORKERS_ENV,
+    )
+
+
 def configured_workers(default: int | None = None) -> int:
     """Resolve the shared worker-count knob (always at least 1).
 
     A malformed environment value is ignored rather than fatal — a typo in
     an operator's shell must not take the server down — and any resolved
-    value is clamped to ``>= 1`` so pool construction never fails.
+    value is clamped to ``>= 1`` so pool construction never fails. Explicit
+    values (environment or ``default``) are taken as operator intent; the
+    built-in default alone is additionally clamped to the detected CPU
+    count, so an unconfigured 1-core host never spins a 4-worker pool that
+    only adds scheduling overhead. The clamp is logged once per process.
     """
-    if default is None:
-        default = DEFAULT_WORKERS
     raw = os.environ.get(WORKERS_ENV)
     if raw:
         try:
             return max(1, int(raw))
         except ValueError:
             pass
-    return max(1, default)
+    if default is not None:
+        return max(1, default)
+    cores = detected_cores()
+    workers = max(1, min(DEFAULT_WORKERS, cores))
+    if workers < DEFAULT_WORKERS:
+        _log_clamp_once(workers, cores)
+    return workers
 
 
 def shared_pool(
@@ -140,6 +186,176 @@ def shutdown_pools(wait: bool = True) -> None:
         _pool_workers.clear()
     for pool in pools:
         pool.shutdown(wait=wait)
+
+
+# ----------------------------------------------------------------------
+# Adaptive serial/parallel dispatch (PR 6)
+# ----------------------------------------------------------------------
+#: How much larger than the measured pool-dispatch overhead the total work
+#: must be before fanning out can plausibly win wall-clock.
+PARALLEL_WORK_MARGIN = 4.0
+
+_dispatch_lock = threading.Lock()
+_dispatch_overhead: float | None = None  # guarded-by: _dispatch_lock
+_kernel_costs: dict[str, float] = {}  # guarded-by: _dispatch_lock
+_dispatch_log: dict[str, dict] = {}  # guarded-by: _dispatch_lock
+
+
+@dataclass(frozen=True)
+class DispatchDecision:
+    """One serial-vs-parallel choice, with the reason it was made."""
+
+    parallel: bool
+    workers: int
+    reason: str
+
+
+def adaptive_dispatch_enabled() -> bool:
+    """Whether adaptive dispatch is on (``ENCDBDB_ADAPTIVE_DISPATCH != 0``)."""
+    return os.environ.get(ADAPTIVE_ENV, "1") != "0"
+
+
+def dispatch_overhead_s() -> float:
+    """Measured per-task overhead of routing work through a thread pool.
+
+    Calibrated lazily, once per process: a burst of no-op tasks through a
+    throwaway two-worker pool times the submit/schedule/collect round trip
+    that every parallel fan-out pays per item. Parallelism can only win
+    when the real per-item work dwarfs this number.
+    """
+    global _dispatch_overhead
+    with _dispatch_lock:
+        if _dispatch_overhead is not None:
+            return _dispatch_overhead
+    tasks = 256
+    pool = ThreadPoolExecutor(max_workers=2, thread_name_prefix="encdbdb-cal")
+    try:
+        list(pool.map(_noop, range(16)))  # warm the workers up
+        start = time.perf_counter()
+        list(pool.map(_noop, range(tasks)))
+        elapsed = time.perf_counter() - start
+    finally:
+        pool.shutdown(wait=False)
+    per_task = max(elapsed / tasks, 1e-7)
+    with _dispatch_lock:
+        if _dispatch_overhead is None:
+            _dispatch_overhead = per_task
+        return _dispatch_overhead
+
+
+def _noop(_item) -> None:
+    return None
+
+
+def note_kernel_cost(kind: str, per_item_s: float) -> None:
+    """Fold one measured per-item kernel cost into the running estimate.
+
+    Callers on the hot paths (e.g. the attribute-vector scan) report how
+    long one unit of serial work took; :func:`dispatch_decision` compares
+    the estimate against the calibrated pool overhead. An exponential
+    moving average smooths scheduling noise.
+    """
+    if per_item_s <= 0.0:
+        return
+    with _dispatch_lock:
+        previous = _kernel_costs.get(kind)
+        _kernel_costs[kind] = (
+            per_item_s if previous is None else 0.5 * previous + 0.5 * per_item_s
+        )
+
+
+def kernel_cost(kind: str) -> float | None:
+    """The current per-item cost estimate for ``kind`` (None = unmeasured)."""
+    with _dispatch_lock:
+        return _kernel_costs.get(kind)
+
+
+def dispatch_decision(
+    kind: str,
+    *,
+    requested_workers: int,
+    jobs: int | None = None,
+    estimated_serial_s: float | None = None,
+    adaptive: bool | None = None,
+    record: bool = True,
+) -> DispatchDecision:
+    """Choose serial or parallel execution for one fan-out opportunity.
+
+    The decision combines what is free to know (requested workers, job
+    count, detected cores) with what calibration measured (pool dispatch
+    overhead vs. the caller's estimated serial cost). ``adaptive=False``
+    forces the legacy behaviour — parallel whenever workers and jobs allow
+    — which tests use to pin the pool machinery on any host; ``None``
+    defers to :func:`adaptive_dispatch_enabled`.
+    """
+    workers = max(1, requested_workers)
+    if workers <= 1:
+        decision = DispatchDecision(False, 1, "a single worker was requested")
+    elif jobs is not None and jobs <= 1:
+        decision = DispatchDecision(False, 1, "a single work item cannot fan out")
+    elif adaptive is False or (adaptive is None and not adaptive_dispatch_enabled()):
+        decision = DispatchDecision(True, workers, "adaptive dispatch disabled")
+    else:
+        cores = detected_cores()
+        if cores < 2:
+            decision = DispatchDecision(
+                False, 1, f"{cores} CPU core(s): threads cannot overlap"
+            )
+        elif (
+            estimated_serial_s is not None
+            and estimated_serial_s
+            < PARALLEL_WORK_MARGIN * (jobs or workers) * dispatch_overhead_s()
+        ):
+            decision = DispatchDecision(
+                False, 1, "estimated work is smaller than pool dispatch overhead"
+            )
+        else:
+            decision = DispatchDecision(
+                True, min(workers, cores), f"{cores} CPU core(s) available"
+            )
+    if record:
+        with _dispatch_lock:
+            log = _dispatch_log.setdefault(kind, {"serial": 0, "parallel": 0})
+            log["parallel" if decision.parallel else "serial"] += 1
+            log["last"] = {
+                "parallel": decision.parallel,
+                "workers": decision.workers,
+                "reason": decision.reason,
+            }
+    return decision
+
+
+def dispatch_stats() -> dict[str, dict]:
+    """Per-kind dispatch counters and last decisions (for BenchStats)."""
+    with _dispatch_lock:
+        return {kind: dict(log) for kind, log in _dispatch_log.items()}
+
+
+def last_dispatch(kind: str) -> dict | None:
+    """The most recent decision recorded for ``kind``, if any."""
+    with _dispatch_lock:
+        log = _dispatch_log.get(kind)
+        return dict(log["last"]) if log and "last" in log else None
+
+
+def reset_dispatch_stats() -> None:
+    """Zero the dispatch log (test/benchmark isolation)."""
+    with _dispatch_lock:
+        _dispatch_log.clear()
+
+
+def dispatch_summary() -> str:
+    """One human-readable line of dispatch state (EXPLAIN annotation)."""
+    parts = [
+        f"adaptive {'on' if adaptive_dispatch_enabled() else 'off'}",
+        f"{detected_cores()} core(s)",
+    ]
+    for kind, log in sorted(dispatch_stats().items()):
+        last = log.get("last")
+        if last is not None:
+            mode = "parallel" if last["parallel"] else "serial"
+            parts.append(f"{kind}: {mode} ({last['reason']})")
+    return "; ".join(parts)
 
 
 def map_on_build_pool(func, items, *, max_workers: int | None = None) -> list:

@@ -247,6 +247,9 @@ class FastPathConfig:
     scan_max_workers: int = field(default_factory=configured_workers)
     #: Reuse scan results across identical filters on one column per query.
     reuse_scan_masks: bool = True
+    #: Decrypt-once packed-ordinal dictionaries + vectorized search kernels
+    #: (``repro.encdict.kernels``). Logical cost accounting is unchanged.
+    vectorized_kernels: bool = True
 
     @classmethod
     def disabled(cls) -> "FastPathConfig":
@@ -273,3 +276,7 @@ class FastPathConfig:
     @property
     def scan_mask_reuse_enabled(self) -> bool:
         return self.enabled and self.reuse_scan_masks
+
+    @property
+    def vectorized_kernels_enabled(self) -> bool:
+        return self.enabled and self.vectorized_kernels

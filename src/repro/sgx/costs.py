@@ -92,6 +92,14 @@ class CostModel:
             self.decryptions += 1
             self.decrypted_bytes += nbytes
 
+    def record_decryption_batch(self, count: int, nbytes: int) -> None:
+        """Charge ``count`` decryptions totalling ``nbytes`` in one locked
+        update — identical counters to ``count`` single calls, one lock
+        acquisition (the packed-dictionary fill decrypts whole partitions)."""
+        with self._lock:
+            self.decryptions += count
+            self.decrypted_bytes += nbytes
+
     def record_comparison(self, count: int = 1) -> None:
         with self._lock:
             self.comparisons += count

@@ -140,6 +140,48 @@ def test_hiding_kind_roundtrip(tmp_path):
     loaded = load_database(path)
     assert len(loaded.table("t").column("v").main_build.dictionary) == 3
 
+def test_storage_bytes_unchanged_by_batched_encryption(tmp_path):
+    """Byte-identity of storage files across the batch-IV change (PR 6).
+
+    The same seeded build, once with the vectorized ``encrypt_many`` and once
+    with it forced back to the per-item ``encrypt`` loop, must produce
+    byte-for-byte identical database files: the batched DRBG draw replays the
+    exact sequential IV stream.
+    """
+    from repro import EncDBDBSystem
+    from repro.crypto.pae import Pae
+
+    def _build_and_save(path):
+        system = EncDBDBSystem.create(seed=47)
+        system.execute("CREATE TABLE b (v ED3 VARCHAR(10), u ED8 VARCHAR(10))")
+        system.bulk_load(
+            "b",
+            {
+                "v": [f"v{i % 7:03d}" for i in range(25)],
+                "u": [f"u{(i * 5) % 11:03d}" for i in range(25)],
+            },
+            partition_rows=8,
+        )
+        system.save(path)
+
+    batched_path = tmp_path / "batched.encdbdb"
+    _build_and_save(batched_path)
+
+    naive_path = tmp_path / "naive.encdbdb"
+    original = Pae.encrypt_many
+
+    def per_item_loop(self, key, plaintexts, aad=b"", *, rng=None):
+        return [self.encrypt(key, pt, aad, rng=rng) for pt in plaintexts]
+
+    Pae.encrypt_many = per_item_loop
+    try:
+        _build_and_save(naive_path)
+    finally:
+        Pae.encrypt_many = original
+
+    assert batched_path.read_bytes() == naive_path.read_bytes()
+
+
 def test_partitioned_roundtrip_preserves_layout_and_answers(tmp_path):
     """Save/load of a multi-partition table keeps partition ids, layout,
     and query answers intact (the v2 storage frames)."""

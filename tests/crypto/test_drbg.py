@@ -21,6 +21,19 @@ def test_different_seeds_diverge():
     assert HmacDrbg(b"seed-a").random_bytes(32) != HmacDrbg(b"seed-b").random_bytes(32)
 
 
+@pytest.mark.parametrize("n,count", [(12, 1), (12, 37), (16, 5), (1, 100), (12, 0)])
+def test_random_bytes_many_replays_per_call_chain(n: int, count: int):
+    """The batched draw is byte-identical to ``count`` sequential calls —
+    including the per-call ratchet, so the generator state afterwards matches
+    too (the next draw from either instance is identical)."""
+    loop = HmacDrbg(b"batch-identity")
+    batch = HmacDrbg(b"batch-identity")
+    assert batch.random_bytes_many(n, count) == [
+        loop.random_bytes(n) for _ in range(count)
+    ]
+    assert batch.random_bytes(n) == loop.random_bytes(n)
+
+
 def test_seed_types_accepted():
     for seed in (b"bytes", "string", 42, -7, 0):
         assert len(HmacDrbg(seed).random_bytes(8)) == 8

@@ -93,3 +93,42 @@ def test_counters_exactly_additive_under_eight_threads(pae):
     expected_decrypts = threads * (per_thread + 1)
     assert pae.encrypt_count == expected_encrypts
     assert pae.decrypt_count == expected_decrypts
+
+
+def test_batch_counters_exactly_additive_under_eight_threads(pae):
+    """PR 6 variant of the hammer: all eight workers use the *batched* calls
+    (one locked counter bump per batch), interleaved with scalar ops and
+    out-of-band folds. Exact additivity must survive."""
+    threads = 8
+    per_thread = 40
+    batch = PLAINTEXTS[:5]
+    warm = pae.encrypt_many(KEY, batch)
+    pae.reset_counters()
+    barrier = threading.Barrier(threads)
+
+    def worker(index: int) -> None:
+        rng = HmacDrbg(f"batch-worker-{index}")
+        barrier.wait()
+        for i in range(per_thread):
+            blobs = pae.encrypt_many(KEY, batch, rng=rng)
+            assert pae.decrypt_many(KEY, blobs) == batch
+            if i % 4 == 0:
+                pae.encrypt(KEY, b"x", rng=rng)
+                pae.decrypt_many(KEY, warm)
+        pae.add_operation_counts(encrypts=3, decrypts=2)
+
+    pool = [
+        threading.Thread(target=worker, args=(index,)) for index in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+
+    scalar_rounds = len(range(0, per_thread, 4))
+    expected_encrypts = threads * (per_thread * len(batch) + scalar_rounds + 3)
+    expected_decrypts = threads * (
+        per_thread * len(batch) + scalar_rounds * len(batch) + 2
+    )
+    assert pae.encrypt_count == expected_encrypts
+    assert pae.decrypt_count == expected_decrypts

@@ -130,9 +130,13 @@ def test_warm_cache_skips_decryptions():
     warm = host.cost_model.diff(before)["decryptions"]
     assert warm == 2  # only the τ bounds; all 64 entries hit the cache
 
-    # Probes are still recorded identically: access pattern is unchanged.
+    # The warm run served the whole partition from the cached packed-ordinal
+    # array (PR 6): one hit replaces the 64 per-entry hits of the scalar
+    # path, and the per-entry plaintext never needed caching at all.
     stats = host._enclave.fastpath_stats()
-    assert stats["hits"] >= 64
+    assert stats["hits"] >= 1
+    usage = host._enclave.fastpath_partition_usage()
+    assert sum(usage.values()) > 0  # the packed array is EPC-accounted
 
 
 # ----------------------------------------------------------------------
@@ -141,8 +145,13 @@ def test_warm_cache_skips_decryptions():
 
 
 def test_eviction_under_epc_pressure_stays_correct():
-    """A cache far smaller than the dictionary evicts but never corrupts."""
-    tiny = FastPathConfig(dictionary_cache_bytes=4096)
+    """A cache far smaller than the dictionary evicts but never corrupts.
+
+    Runs with vectorized kernels off: the packed-ordinal array of this
+    dictionary exceeds the whole budget (served pass-through, nothing to
+    evict), and this test is about the per-entry LRU eviction machinery.
+    """
+    tiny = FastPathConfig(dictionary_cache_bytes=4096, vectorized_kernels=False)
     host, master_key, pae, rng = _provisioned_host(tiny)
     values = [f"v{i:03d}" for i in range(200)]
     build = _build(master_key, pae, rng, values, ED3)

@@ -187,11 +187,15 @@ def test_single_worker_falls_back_to_serial(pae):
 
 
 def test_worker_knob_env_override(monkeypatch, pae):
+    from repro.runtime import DEFAULT_WORKERS, detected_cores
+
     monkeypatch.setenv("ENCDBDB_SCAN_WORKERS", "7")
     assert configured_workers() == 7
     assert BuildPipeline(pae=pae).max_workers == 7
     monkeypatch.setenv("ENCDBDB_SCAN_WORKERS", "not-a-number")
-    assert configured_workers() == 4  # malformed values are ignored
+    # Malformed values are ignored; the built-in default is additionally
+    # clamped to the detected core count (never a 4-worker pool on 1 core).
+    assert configured_workers() == max(1, min(DEFAULT_WORKERS, detected_cores()))
     monkeypatch.setenv("ENCDBDB_SCAN_WORKERS", "-3")
     assert configured_workers() == 1  # clamped to a working pool size
 

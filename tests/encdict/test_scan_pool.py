@@ -21,6 +21,10 @@ def _scan_with_pool(max_workers: int) -> None:
         SearchResult(ranges=((10, 20),)),
         chunk_rows=100,
         max_workers=max_workers,
+        # These tests pin the pool registry itself; force the parallel path
+        # so they exercise it on any host (adaptive dispatch would choose
+        # serial on a single-core runner).
+        adaptive=False,
     )
 
 
@@ -63,7 +67,7 @@ def test_search_many_matches_per_partition_scans():
     jobs.append((np.arange(100, dtype=np.int64), SearchResult(vids=(3, 7))))
 
     for workers in (1, 4):
-        results = attr_vect_search_many(jobs, max_workers=workers)
+        results = attr_vect_search_many(jobs, max_workers=workers, adaptive=False)
         assert len(results) == len(jobs)
         for (av, search), rids in zip(jobs, results):
             expected = attr_vect_search(av, search)

@@ -105,12 +105,15 @@ def test_nonpositive_budget_rejected():
 
 
 def test_fastpath_config_master_flag_gates_every_layer():
-    on = FastPathConfig()
+    # The default worker count is host-clamped (1 on a single-core runner),
+    # so pin an explicit multi-worker config when asserting the gate.
+    on = FastPathConfig(scan_max_workers=2)
     assert on.entry_cache_enabled
     assert on.key_cache_enabled
     assert on.batching_enabled
     assert on.parallel_scan_enabled
     assert on.scan_mask_reuse_enabled
+    assert on.vectorized_kernels_enabled
 
     off = FastPathConfig.disabled()
     assert not off.entry_cache_enabled
@@ -118,6 +121,7 @@ def test_fastpath_config_master_flag_gates_every_layer():
     assert not off.batching_enabled
     assert not off.parallel_scan_enabled
     assert not off.scan_mask_reuse_enabled
+    assert not off.vectorized_kernels_enabled
 
     single_worker = FastPathConfig(scan_max_workers=1)
     assert not single_worker.parallel_scan_enabled
