@@ -1,0 +1,185 @@
+"""Cluster throughput scaling under concurrent load (PR 7).
+
+Drives 64 concurrent simulated clients against live 1-, 2- and 3-shard
+topologies of real TCP servers and emits machine-readable
+``results/BENCH_cluster.json`` (uploaded by the ``cluster-bench`` CI job).
+
+The scaling lever is aggregate **enclave memory**, not host cores: each
+shard's enclave gets a dictionary-entry cache (PR 1) far smaller than the
+table's total decrypted dictionary. A single shard holding every partition
+thrashes the cache — each range query re-decrypts evicted partitions inside
+the enclave — while three shards hold a third of the partitions each, fit
+their spans in cache, and serve mostly cache-warm searches. That is the
+paper's DBaaS story at cluster scale: EPC is the scarce resource, and
+sharding multiplies it.
+
+Acceptance: >=1.5x query throughput from 1 shard to 3 shards at 64
+concurrent clients, with p50/p99 latencies recorded per topology.
+
+Scale knobs: ``ENCDBDB_CLUSTER_BENCH_ROWS`` (default 12,000),
+``ENCDBDB_CLUSTER_BENCH_CLIENTS`` (default 64).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+
+import pytest
+
+from conftest import RESULTS_DIR, write_result
+from repro.bench.report import format_table
+from repro.cluster import ClusterSystem, LoadGenerator, ShardMap
+from repro.net import NetServer, RetryPolicy, ServerThread
+from repro.server.dbms import EncDBDBServer
+from repro.sgx.cache import FastPathConfig
+
+ROWS = int(os.environ.get("ENCDBDB_CLUSTER_BENCH_ROWS", 12_000))
+CLIENTS = int(os.environ.get("ENCDBDB_CLUSTER_BENCH_CLIENTS", 64))
+REQUESTS_PER_CLIENT = 2
+PARTITION_ROWS = max(1, ROWS // 15)  # 15 partitions over up to 3 shards
+#: Per-shard enclave cache budget: sized so one shard cannot hold the whole
+#: table's decrypted dictionaries but a 3-shard span fits comfortably.
+CACHE_BYTES = 48 * 1024
+TOPOLOGIES = (1, 2, 3)
+SCALING_FLOOR = 1.5
+
+#: 997 distinct values keep per-partition dictionaries large relative to
+#: CACHE_BYTES; the multiplicative stride spreads them over every partition.
+VALUES = [(i * 7919) % 997 for i in range(ROWS)]
+QUERIES = [(q * 37 % 900, q * 37 % 900 + 40) for q in range(32)]
+
+
+@contextlib.contextmanager
+def _topology(shards: int):
+    handles = []
+    try:
+        endpoints = []
+        for shard_id in range(shards):
+            fastpath = FastPathConfig(dictionary_cache_bytes=CACHE_BYTES)
+            handle = ServerThread(
+                NetServer(
+                    EncDBDBServer(fastpath=fastpath),
+                    max_sessions=32,
+                    shard=shard_id,
+                )
+            )
+            handle.__enter__()
+            handles.append(handle)
+            endpoints.append([("127.0.0.1", handle.port)])
+        yield ShardMap.of_endpoints(endpoints)
+    finally:
+        for handle in reversed(handles):
+            handle.__exit__(None, None, None)
+
+
+def _run_topology(shards: int) -> dict:
+    with _topology(shards) as shard_map:
+        with ClusterSystem.connect(
+            shard_map,
+            seed=13,
+            retry=RetryPolicy(attempts=5, base_delay=0.02, max_delay=0.25),
+        ) as cluster:
+            cluster.execute("CREATE TABLE bench (v ED3 INTEGER)")
+            cluster.bulk_load(
+                "bench", {"v": VALUES}, partition_rows=PARTITION_ROWS
+            )
+            expected = {
+                (lo, hi): sum(1 for v in VALUES if lo <= v <= hi)
+                for lo, hi in QUERIES
+            }
+
+            def issue(client_id: int, seq: int):
+                lo, hi = QUERIES[(client_id * 7 + seq) % len(QUERIES)]
+                result = cluster.query(
+                    f"SELECT v FROM bench WHERE v BETWEEN {lo} AND {hi}"
+                )
+                return (lo, hi), len(result.column("v"))
+
+            def check(client_id: int, seq: int, response) -> None:
+                bounds, count = response
+                if count != expected[bounds]:
+                    raise AssertionError(
+                        f"{bounds}: {count} rows, expected {expected[bounds]}"
+                    )
+
+            for lo, hi in QUERIES[:4]:  # connection + cache warmup
+                cluster.query(f"SELECT v FROM bench WHERE v BETWEEN {lo} AND {hi}")
+            stats = LoadGenerator(
+                issue,
+                clients=CLIENTS,
+                requests_per_client=REQUESTS_PER_CLIENT,
+                check=check,
+            ).run()
+    summary = stats.as_dict()
+    summary["shards"] = shards
+    summary["partitions_per_shard"] = -(-15 // shards)
+    return summary
+
+
+@pytest.fixture(scope="module")
+def scaling_runs():
+    return {shards: _run_topology(shards) for shards in TOPOLOGIES}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_results(scaling_runs):
+    """Write BENCH_cluster.json + the human-readable scaling table."""
+    baseline = scaling_runs[1]["throughput_qps"]
+    payload = {
+        "rows": ROWS,
+        "partition_rows": PARTITION_ROWS,
+        "clients": CLIENTS,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "dictionary_cache_bytes": CACHE_BYTES,
+        "scaling_floor": SCALING_FLOOR,
+        "topologies": [scaling_runs[shards] for shards in TOPOLOGIES],
+        "scaling_1_to_3": round(
+            scaling_runs[3]["throughput_qps"] / baseline, 3
+        ),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_cluster.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    rows = [
+        [
+            str(shards),
+            f"{scaling_runs[shards]['throughput_qps']:.1f}",
+            f"{scaling_runs[shards]['p50_ms']:.1f}",
+            f"{scaling_runs[shards]['p99_ms']:.1f}",
+            f"{scaling_runs[shards]['throughput_qps'] / baseline:.2f}x",
+        ]
+        for shards in TOPOLOGIES
+    ]
+    write_result(
+        "cluster_scaling",
+        f"Cluster throughput scaling — {CLIENTS} concurrent clients, "
+        f"{ROWS} rows, {CACHE_BYTES // 1024} KiB enclave cache per shard\n\n"
+        + format_table(
+            "throughput by topology",
+            ["shards", "qps", "p50 ms", "p99 ms", "vs 1 shard"],
+            rows,
+        ),
+    )
+    return payload
+
+
+def test_every_topology_completes_error_free(shape, scaling_runs):
+    for shards, run in scaling_runs.items():
+        assert run["errors"] == 0, (shards, run["first_error"])
+        assert run["completed"] == CLIENTS * REQUESTS_PER_CLIENT, shards
+
+
+def test_latency_percentiles_are_recorded(shape, scaling_runs):
+    for run in scaling_runs.values():
+        assert 0 < run["p50_ms"] <= run["p99_ms"]
+
+
+def test_throughput_scales_with_shard_count(shape, scaling_runs, emit_results):
+    ratio = emit_results["scaling_1_to_3"]
+    assert ratio >= SCALING_FLOOR, (
+        f"1->3 shard throughput scaling {ratio:.2f}x below the "
+        f"{SCALING_FLOOR}x floor: {emit_results}"
+    )

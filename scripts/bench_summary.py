@@ -3,11 +3,12 @@
 
 Each benchmark suite writes a machine-readable result file under
 ``benchmarks/results/`` (``BENCH_net.json``, ``BENCH_fastpath.json``,
-``BENCH_partition.json``, ``BENCH_build.json``, ...). The CI
-``bench-summary`` job downloads the per-job artifacts and runs this
-script to publish one combined document keyed by benchmark name::
+``BENCH_partition.json``, ``BENCH_build.json``, ``BENCH_cluster.json``,
+...). The CI ``bench-summary`` job downloads the per-job artifacts and
+runs this script to publish one combined document keyed by benchmark
+name::
 
-    {"build": {...}, "fastpath": {...}, "net": {...}, "partition": {...}}
+    {"build": {...}, "cluster": {...}, "fastpath": {...}, "net": {...}}
 
 Usage: ``python scripts/bench_summary.py [results_dir] [output_path]``
 (defaults: ``benchmarks/results``, ``<results_dir>/BENCH_summary.json``).

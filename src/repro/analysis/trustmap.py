@@ -48,6 +48,13 @@ MODULE_TRUST: dict[str, str] = {
     "repro.analysis": TRUST_OWNER,  # dev/CI tooling; runs owner-side only
     "repro.cli": TRUST_OWNER,
     "repro.client": TRUST_OWNER,
+    # Cluster layer (PR 7): coordinator/router/loadgen run in the data
+    # owner's realm — they hold connections that carry provisioning and
+    # relay the enclave-to-enclave key replication, but never key material
+    # in the clear. The shard map is pure topology data (endpoints and
+    # partition ranges), importable from anywhere.
+    "repro.cluster": TRUST_OWNER,
+    "repro.cluster.shardmap": TRUST_PUBLIC,
     "repro.crypto": TRUST_CRYPTO,
     "repro.sgx": TRUST_ENCLAVE,
     "repro.sgx.costs": TRUST_PUBLIC,
@@ -170,6 +177,7 @@ REGISTERED_ECALLS: tuple[str, ...] = (
     "channel_offer",
     "channel_accept",
     "provision_master_key",
+    "replicate_master_key",  # primary-side cluster key hand-off (PR 7)
     "is_provisioned",
     "seal_master_key",
     "restore_master_key",

@@ -224,17 +224,36 @@ def serve_main(argv: list[str]) -> int:
         help="worker threads for parallel attribute-vector scans and merge "
         "preparation (default: ENCDBDB_SCAN_WORKERS or 4)",
     )
+    parser.add_argument(
+        "--shard",
+        type=int,
+        default=None,
+        help="shard id advertised in the hello frame (cluster deployments)",
+    )
+    parser.add_argument(
+        "--replica-of",
+        metavar="HOST:PORT",
+        help="pull SKDB from the (provisioned) primary at this address "
+        "before serving: the local enclave offers a secure channel, the "
+        "primary enclave wraps the key for it — enclave to enclave, never "
+        "through this process in the clear",
+    )
     args = parser.parse_args(argv)
 
     dbms = EncDBDBServer(scan_workers=args.scan_workers)
     if args.load:
         dbms.load(args.load)
+    if args.replica_of:
+        host, port = _parse_endpoint(args.replica_of)
+        _pull_replica_key(dbms, host, port)
+        print(f"replica key pulled from {args.replica_of}", flush=True)
     server = NetServer(
         dbms,
         host=args.host,
         port=args.port,
         max_sessions=args.max_sessions,
         sealed_key_path=args.sealed_key,
+        shard=args.shard,
     )
 
     async def _serve() -> None:
@@ -249,10 +268,97 @@ def serve_main(argv: list[str]) -> int:
     return 0
 
 
+def _pull_replica_key(dbms, host: str, port: int, *, attempts: int = 30) -> None:
+    """Boot-time key pull for ``serve --replica-of``, patient by design.
+
+    Retries both transport failures (primary not up yet) and the primary's
+    "not provisioned yet" rejection, so shard fleets may start in any order;
+    the data owner only ever attests and provisions one primary.
+    """
+    import time as _time
+
+    from repro.cluster import pull_master_key_from
+    from repro.exceptions import EnclaveSecurityError, NetworkError
+    from repro.net import RetryPolicy
+
+    retry = RetryPolicy(attempts=3, base_delay=0.1)
+    for attempt in range(attempts):
+        try:
+            pull_master_key_from(dbms, host, port, retry=retry)
+            return
+        except (NetworkError, EnclaveSecurityError) as error:
+            if attempt == attempts - 1:
+                raise SystemExit(
+                    f"could not replicate key from {host}:{port}: {error}"
+                )
+            _time.sleep(min(2.0, 0.1 * (attempt + 1)))
+
+
+def cluster_main(argv: list[str]) -> int:
+    """``python -m repro.cli cluster``: an in-process cluster + shell.
+
+    Boots ``--shards`` × (1 + ``--replicas``) TCP servers in this process,
+    provisions them through the coordinator (one attestation round, then
+    enclave-to-enclave key replication), and opens the ordinary shell
+    against the scatter-gather router.
+    """
+    import contextlib
+
+    from repro.cluster import ClusterSystem, ShardMap
+    from repro.net import NetServer, ServerThread
+    from repro.server.dbms import EncDBDBServer
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli cluster", description="in-process EncDBDB cluster shell"
+    )
+    parser.add_argument("--shards", type=int, default=2, help="shard count")
+    parser.add_argument(
+        "--replicas", type=int, default=0, help="replicas per shard"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="deployment seed")
+    parser.add_argument("--script", type=Path, help="run a SQL script and exit")
+    parser.add_argument(
+        "--max-sessions", type=int, default=16, help="per-server session limit"
+    )
+    args = parser.parse_args(argv)
+    if args.shards < 1 or args.replicas < 0:
+        raise SystemExit("need --shards >= 1 and --replicas >= 0")
+
+    with contextlib.ExitStack() as stack:
+        endpoints = []
+        for shard_id in range(args.shards):
+            group = []
+            for _replica in range(1 + args.replicas):
+                handle = stack.enter_context(
+                    ServerThread(
+                        NetServer(
+                            EncDBDBServer(),
+                            max_sessions=args.max_sessions,
+                            shard=shard_id,
+                        )
+                    )
+                )
+                group.append(("127.0.0.1", handle.port))
+            endpoints.append(group)
+        shard_map = ShardMap.of_endpoints(endpoints)
+        with ClusterSystem.connect(shard_map, seed=args.seed) as system:
+            print(
+                f"cluster up: {args.shards} shard(s) x "
+                f"{1 + args.replicas} endpoint(s), all enclaves keyed",
+                flush=True,
+            )
+            shell = Shell(system)
+            if args.script:
+                shell.run_script(args.script.read_text())
+            else:
+                shell.run_interactive()
+    return 0
+
+
 def _parse_endpoint(endpoint: str) -> tuple[str, int]:
     host, _, port = endpoint.rpartition(":")
     if not host or not port.isdigit():
-        raise SystemExit(f"--connect expects host:port, got {endpoint!r}")
+        raise SystemExit(f"expected host:port, got {endpoint!r}")
     return host, int(port)
 
 
@@ -260,6 +366,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        return cluster_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="EncDBDB reproduction SQL shell"
     )

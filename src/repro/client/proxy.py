@@ -105,6 +105,12 @@ class Proxy:
             from repro.runtime import dispatch_summary
 
             lines.append(f"dispatch: {dispatch_summary()}")
+        # Cluster deployments surface their shard routing the same way: the
+        # router exposes an ``explain_routing`` hook over its shard map
+        # (topology facts only — endpoints and partition spans).
+        explain_routing = getattr(self._server, "explain_routing", None)
+        if explain_routing is not None:
+            lines.extend(explain_routing(plan))
         if lines:
             description = description + "\n" + "\n".join(lines)
         return description

@@ -1,0 +1,59 @@
+"""Replicated enclave cluster: sharding, key replication, scatter-gather.
+
+EncDBDB's paper evaluates one server; this package scales the same trust
+architecture out to many (ROADMAP: "millions of users"). A cluster is a set
+of **shards** — each a replica group of ``repro.net`` servers holding a
+contiguous range of every table's partitions — plus:
+
+- :mod:`repro.cluster.shardmap` — pure topology data: endpoints per shard,
+  contiguous partition spans per table, RecordID row bases.
+- :mod:`repro.cluster.coordinator` — owner-side deployment: one attested
+  provisioning round against the shard-0 primary, enclave-to-enclave
+  ``SKDB`` replication to every other enclave (the relay sees only DH
+  publics, a quote, and a PAE blob), and span-wise data fan-out through the
+  streaming build pipeline.
+- :mod:`repro.cluster.router` — the scatter-gather client: encrypted plans
+  fan out to one healthy endpoint per shard, padded per-partition result
+  unions concatenate in partition order with per-shard RecordID rebasing,
+  failed endpoints retry on their replicas.
+- :mod:`repro.cluster.loadgen` — a concurrent closed-loop load harness with
+  admission control, emitting p50/p99 latency and throughput.
+
+See DESIGN.md §12 for the failure model and the leakage argument.
+"""
+
+from repro.cluster.coordinator import (
+    ClusterCoordinator,
+    ClusterSystem,
+    pull_master_key_from,
+    replicate_key,
+)
+from repro.cluster.loadgen import LoadGenerator, LoadStats, percentile
+from repro.cluster.router import ClusterRouter, EndpointPool, ShardGroup
+from repro.cluster.shardmap import (
+    Endpoint,
+    Shard,
+    ShardMap,
+    ShardSpan,
+    TableAssignment,
+    assign_spans,
+)
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterRouter",
+    "ClusterSystem",
+    "Endpoint",
+    "EndpointPool",
+    "LoadGenerator",
+    "LoadStats",
+    "Shard",
+    "ShardGroup",
+    "ShardMap",
+    "ShardSpan",
+    "TableAssignment",
+    "assign_spans",
+    "percentile",
+    "pull_master_key_from",
+    "replicate_key",
+]

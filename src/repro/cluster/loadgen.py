@@ -1,0 +1,162 @@
+"""Concurrent load generation against a cluster (or any query callable).
+
+Drives ``clients`` worker threads against one ``issue(client_id, seq)``
+callable — typically a closure over a shared :class:`~repro.client.proxy.
+Proxy`, whose SELECT path is thread-safe — and reports latency percentiles
+and throughput. Two forms of flow control:
+
+- **Admission control**: at most ``max_inflight`` requests are issued at
+  once; a client past the limit *blocks* before issuing (client-side
+  backpressure, complementing the server's admission semaphore and the
+  router's bounded connection pools).
+- **Bounded work**: each client issues exactly ``requests_per_client``
+  requests, so a run is deterministic in the amount of work performed and
+  comparable across topologies.
+
+Latency is recorded per request (monotonic clock, milliseconds); the merged
+distribution yields p50/p99. Failures are counted, never swallowed silently
+— the stats carry the first error message so a misconfigured topology shows
+up in benchmark output instead of as a silently empty run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class LoadStats:
+    """The outcome of one load-generation run."""
+
+    clients: int
+    requests_per_client: int
+    completed: int
+    errors: int
+    duration_s: float
+    throughput_qps: float
+    p50_ms: float
+    p99_ms: float
+    mean_ms: float
+    max_ms: float
+    max_inflight: int
+    first_error: str | None = None
+    latencies_ms: list[float] = field(default_factory=list, repr=False)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready summary (drops the raw latency list)."""
+        return {
+            "clients": self.clients,
+            "requests_per_client": self.requests_per_client,
+            "completed": self.completed,
+            "errors": self.errors,
+            "duration_s": round(self.duration_s, 4),
+            "throughput_qps": round(self.throughput_qps, 2),
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "mean_ms": round(self.mean_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+            "max_inflight": self.max_inflight,
+            "first_error": self.first_error,
+        }
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 for empty input)."""
+    if not sorted_values:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile fraction {q} outside [0, 1]")
+    rank = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+class LoadGenerator:
+    """Fixed-fleet closed-loop load driver with admission control."""
+
+    def __init__(
+        self,
+        issue: Callable[[int, int], Any],
+        *,
+        clients: int = 64,
+        requests_per_client: int = 4,
+        max_inflight: int | None = None,
+        check: Callable[[int, int, Any], None] | None = None,
+    ) -> None:
+        if clients <= 0 or requests_per_client <= 0:
+            raise ValueError("clients and requests_per_client must be positive")
+        self.issue = issue
+        self.clients = clients
+        self.requests_per_client = requests_per_client
+        self.max_inflight = (
+            max_inflight if max_inflight is not None else clients
+        )
+        #: Optional per-response validation hook ``check(client, seq,
+        #: response)`` — raising marks the request failed.
+        self.check = check
+        self._admission = threading.BoundedSemaphore(self.max_inflight)
+        self._lock = threading.Lock()
+        self._latencies: list[float] = []  # guarded-by: self._lock
+        self._errors = 0  # guarded-by: self._lock
+        self._first_error: str | None = None  # guarded-by: self._lock
+
+    def _client_main(self, client_id: int, start_barrier: threading.Barrier):
+        start_barrier.wait()
+        for seq in range(self.requests_per_client):
+            with self._admission:
+                begin = time.perf_counter()
+                try:
+                    response = self.issue(client_id, seq)
+                    if self.check is not None:
+                        self.check(client_id, seq, response)
+                except Exception as exc:  # noqa: BLE001 — counted, reported
+                    with self._lock:
+                        self._errors += 1
+                        if self._first_error is None:
+                            self._first_error = f"{type(exc).__name__}: {exc}"
+                    continue
+                elapsed_ms = (time.perf_counter() - begin) * 1000.0
+            with self._lock:
+                self._latencies.append(elapsed_ms)
+
+    def run(self) -> LoadStats:
+        """Execute the full fleet; returns merged statistics."""
+        barrier = threading.Barrier(self.clients + 1)
+        threads = [
+            threading.Thread(
+                target=self._client_main,
+                args=(client_id, barrier),
+                name=f"loadgen-{client_id}",
+                daemon=True,
+            )
+            for client_id in range(self.clients)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()  # all clients ready: start the clock together
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        duration = max(time.perf_counter() - start, 1e-9)
+        with self._lock:
+            latencies = sorted(self._latencies)
+            errors = self._errors
+            first_error = self._first_error
+        completed = len(latencies)
+        return LoadStats(
+            clients=self.clients,
+            requests_per_client=self.requests_per_client,
+            completed=completed,
+            errors=errors,
+            duration_s=duration,
+            throughput_qps=completed / duration,
+            p50_ms=percentile(latencies, 0.50),
+            p99_ms=percentile(latencies, 0.99),
+            mean_ms=(sum(latencies) / completed) if completed else 0.0,
+            max_ms=latencies[-1] if latencies else 0.0,
+            max_inflight=self.max_inflight,
+            first_error=first_error,
+            latencies_ms=latencies,
+        )

@@ -1,0 +1,547 @@
+"""Scatter-gather query routing across a sharded EncDBDB cluster.
+
+:class:`ClusterRouter` duck-types the :class:`~repro.server.dbms.
+EncDBDBServer` surface the trusted proxy calls, so the existing
+:class:`~repro.client.proxy.Proxy` — plan encryption, result decryption,
+post-processing — runs against a whole cluster unchanged. Routing only ever
+sees what a single untrusted server would see anyway: encrypted plans in,
+padded per-partition result unions out.
+
+- **Scatter.** A SELECT on a sharded table fans the *same* encrypted plan
+  out to one healthy endpoint of every populated shard, concurrently on a
+  shared worker pool. Each shard runs the ordinary ``EnclDictSearch`` over
+  its resident partitions.
+- **Gather.** Per-shard results are concatenated in shard order — which is
+  global partition order by construction (contiguous spans) — and shard-
+  local RecordIDs are rebased by the span's ``row_base``. The merged result
+  is exactly the padded union a single node would produce, so the §6
+  leakage argument carries over (DESIGN.md §12).
+- **Failover.** Endpoints of one shard are replicas; a transport failure
+  against one retries the call on the next, sticking to whichever endpoint
+  last answered.
+- **Writes.** Inserts go to the shard holding the table's tail (keeping
+  delta RecordIDs globally contiguous) and are broadcast to all of its
+  replicas; deletes/merges broadcast to every populated shard.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.cluster.shardmap import Shard, ShardMap, TableAssignment
+from repro.exceptions import ClusterError, NetworkError, QueryError
+from repro.net.client import (
+    FrameTap,
+    NetConnection,
+    RemoteServer,
+    RetryPolicy,
+    _RemoteTable,
+)
+from repro.runtime import CLUSTER_POOL, shared_pool
+from repro.sql.result import ResultColumn, ServerResult
+
+
+class EndpointPool:
+    """A bounded pool of client connections to one server endpoint.
+
+    ``capacity`` is the admission control on the client side: at most that
+    many connections (and therefore server sessions) exist per endpoint, and
+    a caller needing one past capacity *blocks* until a lease frees up —
+    backpressure instead of an unbounded connection storm. Connections are
+    reused LIFO; a lease that ends in a transport error discards its
+    connection instead of returning it.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        capacity: int = 8,
+        timeout: float = 60.0,
+        retry: RetryPolicy | None = None,
+        tap: FrameTap | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retry = retry
+        self.tap = tap
+        self._slots = threading.BoundedSemaphore(capacity)
+        self._lock = threading.Lock()
+        self._idle: list[RemoteServer] = []  # guarded-by: self._lock
+        self._closed = False  # guarded-by: self._lock
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def _checkout(self) -> RemoteServer:
+        with self._lock:
+            if self._closed:
+                raise ClusterError(f"endpoint pool {self.address} is closed")
+            if self._idle:
+                return self._idle.pop()
+        return RemoteServer(
+            NetConnection(
+                self.host,
+                self.port,
+                timeout=self.timeout,
+                tap=self.tap,
+                retry=self.retry,
+            )
+        )
+
+    def _checkin(self, server: RemoteServer) -> None:
+        with self._lock:
+            if not self._closed:
+                self._idle.append(server)
+                return
+        server.close()
+
+    @contextmanager
+    def lease(self):
+        """One connection, held across every request issued inside the
+        block (required by session-bound sequences like provisioning)."""
+        with self._slots:
+            server = self._checkout()
+            try:
+                yield server
+            except NetworkError:
+                # Transport state is unknown — do not reuse the socket.
+                server.close()
+                raise
+            except BaseException:
+                self._checkin(server)  # typed server errors leave it usable
+                raise
+            else:
+                self._checkin(server)
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        with self.lease() as server:
+            return getattr(server, method)(*args, **kwargs)
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for server in idle:
+            server.close()
+
+
+class ShardGroup:
+    """One shard's endpoints (primary + replicas) with failover."""
+
+    def __init__(self, shard: Shard, pools: list[EndpointPool]) -> None:
+        self.shard = shard
+        self.pools = pools
+        self._preferred = 0  # guarded-by: self._preferred_lock
+        self._preferred_lock = threading.Lock()
+
+    def _order(self) -> list[int]:
+        with self._preferred_lock:
+            start = self._preferred
+        count = len(self.pools)
+        return [(start + i) % count for i in range(count)]
+
+    def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Run one RPC on the first endpoint that answers.
+
+        Only transport failures fail over — a typed server error (query,
+        catalog, security) is an *answer* and propagates as-is, so replicas
+        are never asked to re-run a semantically rejected request.
+        """
+        failures: list[str] = []
+        for index in self._order():
+            pool = self.pools[index]
+            try:
+                value = pool.call(method, *args, **kwargs)
+            except NetworkError as exc:
+                failures.append(f"{pool.address}: {exc}")
+                continue
+            with self._preferred_lock:
+                self._preferred = index
+            return value
+        raise ClusterError(
+            f"shard {self.shard.shard_id}: every endpoint failed "
+            f"({'; '.join(failures)})"
+        )
+
+    def broadcast(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Run one RPC on **every** reachable endpoint (replica writes).
+
+        Returns the first successful result; raises only when no endpoint
+        succeeded. A replica that is down simply misses the write — it is
+        stale, not inconsistent, and the topology treats it as failed.
+        """
+        result = None
+        succeeded = False
+        failures: list[str] = []
+        for pool in self.pools:
+            try:
+                value = pool.call(method, *args, **kwargs)
+            except NetworkError as exc:
+                failures.append(f"{pool.address}: {exc}")
+                continue
+            if not succeeded:
+                result = value
+                succeeded = True
+        if not succeeded:
+            raise ClusterError(
+                f"shard {self.shard.shard_id}: broadcast {method!r} failed "
+                f"on every endpoint ({'; '.join(failures)})"
+            )
+        return result
+
+    def close(self) -> None:
+        for pool in self.pools:
+            pool.close()
+
+
+class _RouterCostModel:
+    """Aggregated cost-model view (drives the shell's ``.stats``)."""
+
+    def __init__(self, router: "ClusterRouter") -> None:
+        self._router = router
+
+    def snapshot(self) -> dict:
+        return self._router.cost_snapshot()
+
+    @property
+    def ecalls(self) -> int:
+        return self.snapshot()["ecalls"]
+
+    @property
+    def decryptions(self) -> int:
+        return self.snapshot()["decryptions"]
+
+    @property
+    def untrusted_loads(self) -> int:
+        return self.snapshot()["untrusted_loads"]
+
+    def estimated_cycles(self) -> float:
+        return self.snapshot()["estimated_cycles"]
+
+
+class _RouterCatalog:
+    """Schema-only catalog shim, served by shard 0 (all shards agree)."""
+
+    def __init__(self, router: "ClusterRouter") -> None:
+        self._router = router
+
+    def table_names(self) -> list[str]:
+        return self._router.group(0).call("table_names")
+
+    def table(self, name: str) -> _RemoteTable:
+        return _RemoteTable(name, self._router.group(0).call("table_specs", name))
+
+
+class ClusterRouter:
+    """The scatter-gather client of a replicated EncDBDB cluster."""
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        *,
+        capacity: int = 8,
+        timeout: float = 60.0,
+        retry: RetryPolicy | None = None,
+        tap: FrameTap | None = None,
+        scatter_workers: int | None = None,
+    ) -> None:
+        self.shard_map = shard_map
+        self.groups = [
+            ShardGroup(
+                shard,
+                [
+                    EndpointPool(
+                        endpoint.host,
+                        endpoint.port,
+                        capacity=capacity,
+                        timeout=timeout,
+                        retry=retry,
+                        tap=tap,
+                    )
+                    for endpoint in shard.endpoints
+                ],
+            )
+            for shard in shard_map.shards
+        ]
+        self._scatter_workers = (
+            scatter_workers
+            if scatter_workers is not None
+            else max(2, 2 * shard_map.shard_count)
+        )
+        self.catalog = _RouterCatalog(self)
+        self.cost_model = _RouterCostModel(self)
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    def group(self, shard_id: int) -> ShardGroup:
+        return self.groups[shard_id]
+
+    def _assignment(self, table_name: str) -> TableAssignment | None:
+        return self.shard_map.assignment(table_name)
+
+    def _read_targets(self, table_name: str) -> list[tuple[Any, ShardGroup]]:
+        """(span | None, group) pairs a read of ``table_name`` must visit.
+
+        A table never deployed through the coordinator (DDL + inserts only)
+        has no assignment; all of its rows live on shard 0 by convention.
+        """
+        assignment = self._assignment(table_name)
+        if assignment is None:
+            return [(None, self.groups[0])]
+        return [
+            (span, self.groups[span.shard_id])
+            for span in assignment.populated_spans()
+        ]
+
+    def _scatter(self, thunks: list[Callable[[], Any]]) -> list[Any]:
+        """Run the per-shard thunks concurrently; propagate the first error."""
+        if len(thunks) == 1:
+            return [thunks[0]()]
+        pool = shared_pool(
+            CLUSTER_POOL, self._scatter_workers, thread_name_prefix="cluster"
+        )
+        futures = [pool.submit(thunk) for thunk in thunks]
+        try:
+            return [future.result() for future in futures]
+        finally:
+            for future in futures:
+                future.cancel()
+
+    # ------------------------------------------------------------------
+    # Reads: scatter the plan, gather the padded unions
+    # ------------------------------------------------------------------
+    def execute_select(self, plan) -> ServerResult:
+        targets = self._read_targets(plan.table)
+        results = self._scatter(
+            [
+                (lambda group=group: group.call("execute_select", plan))
+                for _span, group in targets
+            ]
+        )
+        if len(targets) == 1 and targets[0][0] is None:
+            return results[0]
+        return self._merge_results(
+            plan.table, [span for span, _group in targets], results
+        )
+
+    def _merge_results(
+        self, table_name: str, spans: list, results: list[ServerResult]
+    ) -> ServerResult:
+        """Union per-shard results exactly as a single node unions its
+        per-partition results: concatenate in (shard =) partition order and
+        rebase shard-local RecordIDs by the span's ``row_base``."""
+        record_ids: list[np.ndarray] = []
+        columns: dict[str, ResultColumn] = {}
+        for span, result in zip(spans, results):
+            rebased = np.asarray(result.record_ids, dtype=np.int64)
+            record_ids.append(rebased + span.row_base)
+            for name, column in result.columns.items():
+                merged = columns.get(name)
+                if merged is None:
+                    columns[name] = ResultColumn(
+                        column.table_name,
+                        column.column_name,
+                        column.encrypted,
+                        list(column.data),
+                    )
+                else:
+                    merged.data.extend(column.data)
+        merged_ids = (
+            np.concatenate(record_ids)
+            if record_ids
+            else np.empty(0, dtype=np.int64)
+        )
+        return ServerResult(table_name, merged_ids, columns)
+
+    def execute_join_select(self, plan, salt: bytes) -> ServerResult:
+        """Joins pass through only when both tables live on one shard.
+
+        Cross-shard joins would need the proxy to match enclave-issued join
+        tokens across shard results; that is future work and refused loudly
+        rather than answered wrong.
+        """
+        shard_ids = set()
+        for table_name in (plan.left_table, plan.right_table):
+            for _span, group in self._read_targets(table_name):
+                shard_ids.add(group.shard.shard_id)
+        if len(shard_ids) > 1:
+            raise QueryError(
+                f"join of {plan.left_table!r} and {plan.right_table!r} "
+                f"spans shards {sorted(shard_ids)}; cross-shard joins are "
+                "not supported"
+            )
+        return self.group(shard_ids.pop()).call(
+            "execute_join_select", plan, salt
+        )
+
+    # ------------------------------------------------------------------
+    # Writes: route to the owning shard group, broadcast to its replicas
+    # ------------------------------------------------------------------
+    def _tail_group(self, table_name: str) -> ShardGroup:
+        assignment = self._assignment(table_name)
+        if assignment is None:
+            return self.groups[0]
+        return self.groups[assignment.last_span().shard_id]
+
+    def execute_insert(self, table_name: str, prepared_rows: list[dict]) -> int:
+        return self._tail_group(table_name).broadcast(
+            "execute_insert", table_name, prepared_rows
+        )
+
+    def execute_delete(self, plan) -> int:
+        counts = self._scatter(
+            [
+                (lambda group=group: group.broadcast("execute_delete", plan))
+                for _span, group in self._read_targets(plan.table)
+            ]
+        )
+        return sum(counts)
+
+    def delete_record_ids(self, table_name: str, record_ids) -> int:
+        assignment = self._assignment(table_name)
+        if assignment is None:
+            return self.groups[0].broadcast(
+                "delete_record_ids", table_name, record_ids
+            )
+        by_shard: dict[int, list[int]] = {}
+        for global_id in np.asarray(record_ids, dtype=np.int64):
+            span = assignment.span_for_row(int(global_id))
+            by_shard.setdefault(span.shard_id, []).append(
+                int(global_id) - span.row_base
+            )
+        deleted = 0
+        for shard_id, local_ids in by_shard.items():
+            deleted += self.groups[shard_id].broadcast(
+                "delete_record_ids", table_name, local_ids
+            )
+        return deleted
+
+    def execute_merge(self, plan) -> int:
+        counts = self._scatter(
+            [
+                (lambda group=group: group.broadcast("execute_merge", plan))
+                for _span, group in self._read_targets(plan.table)
+            ]
+        )
+        return sum(counts)
+
+    # ------------------------------------------------------------------
+    # DDL and bulk import
+    # ------------------------------------------------------------------
+    def create_table(self, plan) -> None:
+        for group in self.groups:
+            group.broadcast("create_table", plan)
+
+    def bulk_load_stream(self, table_name: str, partitions: Iterable) -> int:
+        """Deploy a partition stream according to the table's assignment.
+
+        Consumes :class:`~repro.encdict.pipeline.PartitionBuild` items in
+        partition order, buffering only the current shard's span; when a
+        span completes, its builds are shipped to every endpoint of that
+        shard as one ``bulk_load`` (replicas receive byte-identical
+        ciphertext — the build is deterministic and already done). Peak
+        client memory is O(largest span), not O(table).
+        """
+        assignment = self._assignment(table_name)
+        if assignment is None:
+            raise ClusterError(
+                f"table {table_name!r} has no shard assignment; "
+                "assign it on the shard map before deploying"
+            )
+        spans = list(assignment.populated_spans())
+        span_index = 0
+        builds: dict[str, list] = {}
+        plains: dict[str, list] = {}
+        total_rows = 0
+        next_partition = 0
+        for partition in partitions:
+            if span_index >= len(spans):
+                raise ClusterError(
+                    f"table {table_name!r}: more partitions streamed than "
+                    "assigned"
+                )
+            for name, build in partition.builds.items():
+                builds.setdefault(name, []).append(build)
+            for name, values in partition.plain_values.items():
+                plains.setdefault(name, []).extend(values)
+            next_partition += 1
+            if next_partition == spans[span_index].partition_hi:
+                total_rows += self._flush_span(
+                    table_name, spans[span_index], builds, plains
+                )
+                builds, plains = {}, {}
+                span_index += 1
+        if span_index != len(spans) or builds or plains:
+            raise ClusterError(
+                f"table {table_name!r}: partition stream ended before the "
+                "assigned layout was covered"
+            )
+        return total_rows
+
+    def _flush_span(
+        self,
+        table_name: str,
+        span,
+        builds: dict[str, list],
+        plains: dict[str, list],
+    ) -> int:
+        group = self.groups[span.shard_id]
+        return group.broadcast(
+            "bulk_load",
+            table_name,
+            plain_columns=plains or None,
+            encrypted_builds=builds or None,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def table_names(self) -> list[str]:
+        return self.group(0).call("table_names")
+
+    def table_specs(self, table_name: str) -> tuple:
+        return tuple(self.group(0).call("table_specs", table_name))
+
+    def cost_snapshot(self) -> dict:
+        """Aggregate enclave cost counters over every shard primary."""
+        shard_snapshots = [
+            group.call("cost_snapshot") for group in self.groups
+        ]
+        merged: dict[str, Any] = {}
+        for snapshot in shard_snapshots:
+            for key, value in snapshot.items():
+                if isinstance(value, (int, float)):
+                    merged[key] = merged.get(key, 0) + value
+                elif isinstance(value, dict):
+                    bucket = merged.setdefault(key, {})
+                    for name, count in value.items():
+                        bucket[name] = bucket.get(name, 0) + count
+        merged["shards"] = shard_snapshots
+        return merged
+
+    def save(self, path) -> None:
+        raise ClusterError(
+            "cluster-wide save is not supported; persist each shard through "
+            "its own server"
+        )
+
+    # ------------------------------------------------------------------
+    # EXPLAIN support (consumed by Proxy.explain via duck typing)
+    # ------------------------------------------------------------------
+    def explain_routing(self, plan) -> list[str]:
+        from repro.sql.printer import cluster_routing_lines
+
+        return cluster_routing_lines(plan, self.shard_map)
+
+    def close(self) -> None:
+        for group in self.groups:
+            group.close()

@@ -1,0 +1,214 @@
+"""Cluster topology data: shards, endpoints, and partition assignments.
+
+Pure data, importable from anywhere (trust level ``public``): which TCP
+endpoints form each shard (primary first, then replicas) and which
+contiguous range of a table's partitions every shard holds. Nothing here
+touches connections, ciphertext, or key material — the shard map is what
+the untrusted routing tier is *allowed* to know, which is exactly the
+partition layout the servers store anyway (DESIGN.md §12).
+
+Assignment is deterministic and contiguous: partition ``p`` of a table with
+``P`` partitions over ``S`` shards lands on shard ``k`` iff
+``k*P//S <= p < (k+1)*P//S`` — near-even spans in partition order, so the
+concatenation of per-shard results in shard order equals the single-node
+partition order and RecordIDs rebase by a per-shard constant
+(:attr:`ShardSpan.row_base`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ClusterError
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One server address (host, port)."""
+
+    host: str
+    port: int
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One replica group: the endpoints holding identical data.
+
+    ``endpoints[0]`` is the primary (the preferred target); the rest are
+    replicas a router may fail over to. All endpoints of a shard hold the
+    same rows, so reads are served by any one of them and writes are
+    broadcast to all of them.
+    """
+
+    shard_id: int
+    endpoints: tuple[Endpoint, ...]
+
+    def __post_init__(self) -> None:
+        if not self.endpoints:
+            raise ClusterError(f"shard {self.shard_id} has no endpoints")
+
+    @property
+    def primary(self) -> Endpoint:
+        return self.endpoints[0]
+
+    @property
+    def replicas(self) -> tuple[Endpoint, ...]:
+        return self.endpoints[1:]
+
+
+@dataclass(frozen=True)
+class ShardSpan:
+    """The contiguous slice of one table that lives on one shard."""
+
+    shard_id: int
+    #: Half-open partition range ``[partition_lo, partition_hi)`` in the
+    #: table's global partition order.
+    partition_lo: int
+    partition_hi: int
+    #: Global RecordID of the span's first row: a shard-local main-store
+    #: RecordID ``i`` is global ``row_base + i``.
+    row_base: int
+    #: Main-store rows resident in this span.
+    row_count: int
+
+    @property
+    def partitions(self) -> int:
+        return self.partition_hi - self.partition_lo
+
+    def contains_row(self, global_row: int) -> bool:
+        return self.row_base <= global_row < self.row_base + self.row_count
+
+
+@dataclass(frozen=True)
+class TableAssignment:
+    """Where one table's partitions live across the cluster."""
+
+    table_name: str
+    partition_rows: int
+    total_rows: int
+    spans: tuple[ShardSpan, ...]
+
+    @property
+    def partition_count(self) -> int:
+        return self.spans[-1].partition_hi if self.spans else 0
+
+    def populated_spans(self) -> tuple[ShardSpan, ...]:
+        """Spans that actually hold partitions (skips empty assignments
+        when a table has fewer partitions than the cluster has shards)."""
+        return tuple(span for span in self.spans if span.partitions > 0)
+
+    def last_span(self) -> ShardSpan:
+        """The span holding the table's tail — also where the delta store
+        (inserts) lives, so delta RecordIDs stay globally contiguous."""
+        populated = self.populated_spans()
+        if not populated:
+            raise ClusterError(
+                f"table {self.table_name!r} has no populated shard span"
+            )
+        return populated[-1]
+
+    def span_for_row(self, global_row: int) -> ShardSpan:
+        """The span owning a global RecordID.
+
+        RecordIDs at or past ``total_rows`` address delta rows, which all
+        live with the last span (inserts are routed there).
+        """
+        if global_row >= self.total_rows:
+            return self.last_span()
+        for span in self.populated_spans():
+            if span.contains_row(global_row):
+                return span
+        raise ClusterError(
+            f"record id {global_row} outside every span of "
+            f"{self.table_name!r}"
+        )
+
+
+def assign_spans(
+    total_rows: int, partition_rows: int, shard_count: int
+) -> list[tuple[int, int, int, int]]:
+    """Contiguous near-even ``(lo, hi, row_base, row_count)`` per shard.
+
+    Every partition holds exactly ``partition_rows`` rows except the last,
+    which holds the remainder — the layout the streaming build pipeline
+    produces — so row bases follow directly from partition indices.
+    """
+    if total_rows <= 0:
+        raise ClusterError("cannot assign an empty table to shards")
+    if partition_rows <= 0:
+        raise ClusterError("partition_rows must be positive")
+    partition_count = -(-total_rows // partition_rows)  # ceil
+
+    def rows_before(partition: int) -> int:
+        return min(partition * partition_rows, total_rows)
+
+    spans = []
+    for shard_id in range(shard_count):
+        lo = shard_id * partition_count // shard_count
+        hi = (shard_id + 1) * partition_count // shard_count
+        base = rows_before(lo)
+        spans.append((lo, hi, base, rows_before(hi) - base))
+    return spans
+
+
+class ShardMap:
+    """The cluster's shards plus the per-table partition assignments."""
+
+    def __init__(self, shards: list[Shard] | tuple[Shard, ...]) -> None:
+        shards = tuple(shards)
+        if not shards:
+            raise ClusterError("a cluster needs at least one shard")
+        if [shard.shard_id for shard in shards] != list(range(len(shards))):
+            raise ClusterError("shard ids must be contiguous from 0")
+        self.shards = shards
+        self._assignments: dict[str, TableAssignment] = {}
+
+    @classmethod
+    def of_endpoints(
+        cls, endpoints: list[list[tuple[str, int]]]
+    ) -> "ShardMap":
+        """Build a map from ``[[(host, port), ...], ...]`` — one inner list
+        per shard, primary first."""
+        return cls(
+            [
+                Shard(
+                    shard_id,
+                    tuple(Endpoint(host, int(port)) for host, port in group),
+                )
+                for shard_id, group in enumerate(endpoints)
+            ]
+        )
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def assign(
+        self, table_name: str, total_rows: int, partition_rows: int
+    ) -> TableAssignment:
+        """Record the contiguous span assignment for one table load."""
+        if table_name in self._assignments:
+            raise ClusterError(f"table {table_name!r} is already assigned")
+        assignment = TableAssignment(
+            table_name,
+            partition_rows,
+            total_rows,
+            tuple(
+                ShardSpan(shard_id, lo, hi, base, rows)
+                for shard_id, (lo, hi, base, rows) in enumerate(
+                    assign_spans(total_rows, partition_rows, self.shard_count)
+                )
+            ),
+        )
+        self._assignments[table_name] = assignment
+        return assignment
+
+    def assignment(self, table_name: str) -> TableAssignment | None:
+        return self._assignments.get(table_name)
+
+    def drop(self, table_name: str) -> None:
+        self._assignments.pop(table_name, None)

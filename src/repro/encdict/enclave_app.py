@@ -204,6 +204,36 @@ class EncDBDBEnclave(Enclave):
         self._reset_caches()
 
     @ecall
+    def replicate_master_key(self, offer: ChannelOffer) -> tuple[int, bytes]:
+        """Primary-side key hand-off to a replica enclave (cluster role).
+
+        ``offer`` is the attested channel offer of another enclave running
+        the *same* program. This enclave — already provisioned — plays the
+        data owner's role of the §4.2 handshake entirely inside the ecall:
+        it verifies the replica's quote against its **own** measurement,
+        derives the DH channel, and wraps ``SKDB`` under the session key.
+        The return value ``(client_public, wire_blob)`` is relayed by the
+        untrusted coordinator to the replica's ``channel_accept`` and
+        ``provision_master_key`` ecalls; the relay observes only a public
+        DH value and a PAE blob, so the master key moves enclave-to-enclave
+        without ever existing unwrapped outside either TCB.
+        """
+        if not self.protected_has(_MASTER_KEY):
+            raise EnclaveSecurityError(
+                "cannot replicate: master key has not been provisioned"
+            )
+        from repro.sgx.channel import SecureChannel
+
+        channel, client_public = SecureChannel.connect(
+            offer,
+            self._attestation,
+            self.measurement,
+            rng=self._rng.fork("replicate"),
+            pae=self._pae,
+        )
+        return client_public, channel.send(self.protected_get(_MASTER_KEY))
+
+    @ecall
     def is_provisioned(self) -> bool:
         """Whether ``SKDB`` is currently resident in the enclave.
 

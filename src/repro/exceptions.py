@@ -50,6 +50,19 @@ class ProtocolError(NetworkError):
     mismatch, malformed payload, oversized frame, unregistered type)."""
 
 
+class ServerBusyError(NetworkError):
+    """The server declined the request because a bounded resource is
+    exhausted right now (admission control, the provisioning slot). The
+    condition is transient by construction, so clients may retry with
+    backoff where the request is idempotent."""
+
+
+class ClusterError(NetworkError):
+    """A cluster operation failed across every candidate endpoint (all
+    replicas of a shard down, topology misconfigured, unsupported
+    cross-shard operation)."""
+
+
 class CatalogError(EncDBDBError):
     """Schema-level failure: unknown/duplicate table or column, bad type."""
 

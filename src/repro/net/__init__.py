@@ -25,6 +25,7 @@ from repro.net.client import (
     RemoteDataOwner,
     RemoteProxy,
     RemoteServer,
+    RetryPolicy,
     connect_system,
 )
 from repro.net.protocol import PROTOCOL_VERSION, FrameType
@@ -38,6 +39,7 @@ __all__ = [
     "RemoteDataOwner",
     "RemoteProxy",
     "RemoteServer",
+    "RetryPolicy",
     "ServerThread",
     "connect_system",
 ]

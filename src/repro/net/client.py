@@ -17,7 +17,10 @@ attestation + provisioning sequence — run against it unchanged.
 
 from __future__ import annotations
 
+import random
 import socket
+import time
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.client.owner import DataOwner
@@ -25,7 +28,12 @@ from repro.client.proxy import Proxy
 from repro.crypto.drbg import HmacDrbg
 from repro.crypto.pae import default_pae
 from repro.encdict.builder import BuildResult, BuildStats
-from repro.exceptions import AttestationError, NetworkError, ProtocolError
+from repro.exceptions import (
+    AttestationError,
+    NetworkError,
+    ProtocolError,
+    ServerBusyError,
+)
 from repro.net.errors import raise_wire_error
 from repro.net.protocol import (
     PROTOCOL_VERSION,
@@ -42,6 +50,39 @@ from repro.net.protocol import (
 FrameTap = Callable[[str, FrameType, bytes], None]
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, jittered exponential backoff for transient failures.
+
+    Applied by :class:`NetConnection` to the connect path (socket refused /
+    reset, server at admission capacity) and — on request — to the server's
+    "another session is attesting" rejection, the two conditions the server
+    raises as :class:`~repro.exceptions.ServerBusyError` precisely because
+    they are transient. ``attempts`` caps the total tries so tests (and
+    genuinely-down endpoints) fail fast instead of hanging; the jitter
+    de-synchronizes a thundering herd of clients retrying the same server.
+    """
+
+    attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.25
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """Single attempt, no backoff (the pre-PR-7 behaviour)."""
+        return cls(attempts=1)
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Sleep before retry number ``attempt`` (1-based), jittered."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        if self.jitter <= 0:
+            return raw
+        spread = self.jitter * raw
+        return max(0.0, raw - spread + rng.random() * 2.0 * spread)
+
+
 class NetConnection:
     """One synchronous client connection speaking the EncDBDB wire protocol."""
 
@@ -52,14 +93,37 @@ class NetConnection:
         *,
         timeout: float = 60.0,
         tap: FrameTap | None = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.tap = tap
-        try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
-        except OSError as exc:
-            raise NetworkError(f"cannot connect to {host}:{port}: {exc}") from None
-        self._closed = False
-        self.hello: dict = self._handshake()
+        self.retry = retry if retry is not None else RetryPolicy()
+        # Jitter source only — nothing cryptographic rides on it, and a
+        # nondeterministic seed is the point (herd de-synchronization).
+        self._jitter_rng = random.Random()
+        attempt = 0
+        while True:
+            failure: NetworkError
+            try:
+                self._sock = socket.create_connection((host, port), timeout=timeout)
+            except OSError as exc:
+                failure = NetworkError(f"cannot connect to {host}:{port}: {exc}")
+            else:
+                self._closed = False
+                try:
+                    self.hello: dict = self._handshake()
+                    return
+                except ServerBusyError as exc:
+                    # Admission rejection arrives as an ERROR reply to the
+                    # hello; drop this socket and try again from scratch.
+                    self.close()
+                    failure = exc
+                except BaseException:
+                    self.close()
+                    raise
+            attempt += 1
+            if attempt >= self.retry.attempts:
+                raise failure from None
+            time.sleep(self.retry.delay(attempt, self._jitter_rng))
 
     # ------------------------------------------------------------------
     def _read_exact(self, n: int) -> bytes:
@@ -92,12 +156,28 @@ class NetConnection:
             raise_wire_error(payload["kind"], payload["message"])
         return frame_type, payload
 
-    def request(self, frame_type: FrameType, payload: Any) -> tuple[FrameType, Any]:
-        """One round trip; wire error frames re-raise as typed exceptions."""
+    def request(
+        self, frame_type: FrameType, payload: Any, *, retry_busy: bool = False
+    ) -> tuple[FrameType, Any]:
+        """One round trip; wire error frames re-raise as typed exceptions.
+
+        ``retry_busy`` opts a request into the connection's backoff policy
+        for :class:`ServerBusyError` replies. Only safe for requests whose
+        rejection provably left no server-side state behind (the attest
+        *offer* — the server rejects it before any enclave call).
+        """
         if self._closed:
             raise NetworkError("connection is closed")
-        self._send_frame(frame_type, payload)
-        return self._recv_frame()
+        attempt = 0
+        while True:
+            self._send_frame(frame_type, payload)
+            try:
+                return self._recv_frame()
+            except ServerBusyError:
+                attempt += 1
+                if not retry_busy or attempt >= self.retry.attempts:
+                    raise
+                time.sleep(self.retry.delay(attempt, self._jitter_rng))
 
     def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
         """One server RPC: QUERY out, RESULT (or typed error) back."""
@@ -245,7 +325,12 @@ class RemoteServer:
 
     # -- attestation + provisioning (paper §4.2 steps 2, over sockets) ---
     def enclave_channel_offer(self):
-        _, payload = self.connection.request(FrameType.ATTEST, {"op": "offer"})
+        # The server holds one provisioning slot; a lost race surfaces as
+        # ServerBusyError before any enclave state changes, so the offer is
+        # safe to retry under the connection's backoff policy.
+        _, payload = self.connection.request(
+            FrameType.ATTEST, {"op": "offer"}, retry_busy=True
+        )
         return payload["offer"]
 
     def enclave_channel_accept(self, client_public: int) -> None:
@@ -256,6 +341,15 @@ class RemoteServer:
     def enclave_provision(self, wire_blob: bytes) -> None:
         self.connection.request(FrameType.PROVISION, {"blob": wire_blob})
         self.connection.hello["provisioned"] = True
+
+    def enclave_replicate_key(self, offer):
+        """Primary-side key replication (cluster PR 7): relay a replica
+        enclave's channel offer in; DH public + PAE-wrapped ``SKDB`` out.
+        The relay sees only those two opaque values."""
+        return self.connection.call("enclave_replicate_key", offer)
+
+    def enclave_is_provisioned(self) -> bool:
+        return bool(self.connection.call("enclave_is_provisioned"))
 
     # -- DDL / import ------------------------------------------------------
     def create_table(self, plan) -> None:
@@ -352,6 +446,7 @@ def connect_system(
     expected_measurement: bytes | None = None,
     timeout: float = 60.0,
     tap: FrameTap | None = None,
+    retry: RetryPolicy | None = None,
 ):
     """Stand up an :class:`~repro.client.session.EncDBDBSystem` over TCP.
 
@@ -366,7 +461,7 @@ def connect_system(
     from repro.client.session import EncDBDBSystem
 
     rng = HmacDrbg(seed if isinstance(seed, (bytes, str)) else int(seed))
-    connection = NetConnection(host, port, timeout=timeout, tap=tap)
+    connection = NetConnection(host, port, timeout=timeout, tap=tap, retry=retry)
     try:
         server = RemoteServer(connection)
         owner = RemoteDataOwner(rng=rng.fork("owner"), master_key=master_key)

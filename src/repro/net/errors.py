@@ -43,6 +43,7 @@ WIRE_SAFE_EXCEPTIONS: dict[str, type[EncDBDBError]] = {
         exceptions.PlanError,
         exceptions.NetworkError,
         exceptions.ProtocolError,
+        exceptions.ServerBusyError,
     )
 }
 

@@ -36,7 +36,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from repro.exceptions import EnclaveSecurityError, NetworkError, ProtocolError
+from repro.exceptions import (
+    EnclaveSecurityError,
+    NetworkError,
+    ProtocolError,
+    ServerBusyError,
+)
 from repro.net.errors import redact_exception
 from repro.net.protocol import (
     PROTOCOL_VERSION,
@@ -67,6 +72,11 @@ RPC_METHODS: dict[str, str] = {
     "cost_snapshot": "cost_snapshot",
     "enclave_seal": "enclave_seal",
     "enclave_restore": "enclave_restore",
+    # Cluster key replication (primary side): hand SKDB to an attested
+    # replica enclave through a secure channel terminated inside both
+    # enclaves. The relay sees only a quote and PAE blobs.
+    "enclave_replicate_key": "enclave_replicate_key",
+    "enclave_is_provisioned": "enclave_is_provisioned",
 }
 
 #: RPC methods that perform **no** enclave calls — the data owner ships
@@ -84,6 +94,10 @@ class Session:
     peer: str
     queries: int = 0
     holds_provision_lock: bool = field(default=False, repr=False)
+    #: Frames currently being dispatched for this session. Only the event
+    #: loop thread touches it; ``NetServer.stop`` polls it to let in-flight
+    #: RPCs finish (and their replies flush) before cancelling the session.
+    inflight: int = field(default=0, repr=False)
 
 
 class NetServer:
@@ -99,6 +113,8 @@ class NetServer:
         admission_timeout: float = 1.0,
         sealed_key_path: str | Path | None = None,
         scan_workers: int | None = None,
+        shard: int | None = None,
+        drain_timeout: float = 1.0,
     ) -> None:
         # ``scan_workers`` sizes the shared scan/build worker pools of a
         # server this front end constructs itself; with an injected DBMS the
@@ -113,12 +129,19 @@ class NetServer:
         self.max_sessions = max_sessions
         self.admission_timeout = admission_timeout
         self.sealed_key_path = Path(sealed_key_path) if sealed_key_path else None
+        #: Shard id advertised in the hello frame (cluster deployments);
+        #: purely informational — routing is decided client-side.
+        self.shard = shard
+        #: How long ``stop`` waits for in-flight RPCs before cancelling.
+        self.drain_timeout = drain_timeout
         self.sessions: dict[int, Session] = {}
         self._next_session_id = 1
         self._asyncio_server: asyncio.AbstractServer | None = None
         self._admission: asyncio.Semaphore | None = None
         self._ecall_lock: asyncio.Lock | None = None
         self._provision_lock: asyncio.Lock | None = None
+        # Live per-connection tasks; event-loop thread only.
+        self._conn_tasks: set[asyncio.Task] = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -148,11 +171,35 @@ class NetServer:
             self._asyncio_server.close()
             await self._asyncio_server.wait_closed()
             self._asyncio_server = None
+        # Drain before releasing the pools: RPCs already dispatched get up
+        # to ``drain_timeout`` to finish and flush their replies, then every
+        # remaining connection task — idle keep-alive sessions and any
+        # waiter still parked on the admission semaphore — is cancelled and
+        # awaited. Once the drain returns, ``self.sessions`` is empty and
+        # no task holds the provision lock, so the same NetServer instance
+        # can be ``start()``-ed again in-process without leaking sessions
+        # (the cluster tests restart shards exactly this way).
+        await self._drain_sessions()
         # Release every registered worker pool (scan + build). wait=False:
         # in-flight chunk scans finish in the background instead of blocking
         # the event loop; pools are lazily recreated if needed. The registry
         # makes this idempotent even when several servers stop concurrently.
         shutdown_pools(wait=False)
+
+    async def _drain_sessions(self) -> None:
+        tasks = {task for task in self._conn_tasks if not task.done()}
+        if tasks:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.drain_timeout
+            while (
+                any(s.inflight for s in self.sessions.values())
+                and loop.time() < deadline
+            ):
+                await asyncio.sleep(0.02)
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+        self._conn_tasks.clear()
 
     def _maybe_restore_sealed_key(self) -> None:
         """Boot path of a restarted server: unseal ``SKDB`` if a sealed blob
@@ -184,6 +231,9 @@ class NetServer:
     ) -> None:
         session: Session | None = None
         admitted = False
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
         try:
             try:
                 await asyncio.wait_for(
@@ -193,7 +243,7 @@ class NetServer:
             except (asyncio.TimeoutError, TimeoutError):
                 await self._send_error(
                     writer,
-                    NetworkError(
+                    ServerBusyError(
                         f"server at capacity ({self.max_sessions} sessions)"
                     ),
                 )
@@ -218,6 +268,8 @@ class NetServer:
                 self.sessions.pop(session.session_id, None)
             if admitted:
                 self._admission.release()
+            if task is not None:
+                self._conn_tasks.discard(task)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -259,6 +311,7 @@ class NetServer:
                     self.dbms.enclave_is_provisioned
                 ),
                 "max_sessions": self.max_sessions,
+                "shard": self.shard,
             },
         )
         return session
@@ -276,14 +329,18 @@ class NetServer:
                 # A peer that breaks framing cannot be resynchronized.
                 await self._send_error(writer, exc)
                 return
+            session.inflight += 1
             try:
-                reply_type, reply = await self._dispatch_frame(
-                    session, frame_type, decode_payload(raw)
-                )
-            except Exception as exc:  # noqa: BLE001 — redacted at the boundary
-                await self._send_error(writer, exc)
-                continue
-            await self._send(writer, reply_type, reply)
+                try:
+                    reply_type, reply = await self._dispatch_frame(
+                        session, frame_type, decode_payload(raw)
+                    )
+                except Exception as exc:  # noqa: BLE001 — redacted at the boundary
+                    await self._send_error(writer, exc)
+                    continue
+                await self._send(writer, reply_type, reply)
+            finally:
+                session.inflight -= 1
 
     # ------------------------------------------------------------------
     # Frame dispatch
@@ -324,7 +381,7 @@ class NetServer:
                         self._provision_lock.acquire(), self.admission_timeout * 5
                     )
                 except (asyncio.TimeoutError, TimeoutError):
-                    raise NetworkError(
+                    raise ServerBusyError(
                         "another session is attesting; retry later"
                     ) from None
                 session.holds_provision_lock = True

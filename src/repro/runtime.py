@@ -46,10 +46,11 @@ ADAPTIVE_ENV = "ENCDBDB_ADAPTIVE_DISPATCH"
 
 _logger = logging.getLogger("repro.runtime")
 
-#: Registry names of the three long-lived pools.
+#: Registry names of the long-lived pools.
 SCAN_POOL = "attrvect-scan"
 BUILD_THREAD_POOL = "build-thread"
 BUILD_PROCESS_POOL = "build-process"
+CLUSTER_POOL = "cluster-scatter"
 
 _pools_lock = threading.RLock()
 _pools: dict[str, Executor] = {}  # guarded-by: _pools_lock

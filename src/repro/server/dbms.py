@@ -100,6 +100,11 @@ class EncDBDBServer:
     def enclave_is_provisioned(self) -> bool:
         return self.enclave_host.ecall("is_provisioned")
 
+    def enclave_replicate_key(self, offer) -> tuple:
+        """Primary side of cluster key replication: wrap ``SKDB`` for the
+        attested replica enclave whose channel offer is relayed in."""
+        return self.enclave_host.ecall("replicate_master_key", offer)
+
     def enclave_seal(self) -> bytes:
         """Seal ``SKDB`` to the enclave identity (restart persistence)."""
         return self.enclave_host.ecall("seal_master_key")

@@ -227,6 +227,73 @@ def partition_fanout_lines(plan, catalog) -> list[str]:
     return lines
 
 
+def cluster_routing_lines(plan, shard_map) -> list[str]:
+    """EXPLAIN annotation: how a plan routes across a sharded cluster.
+
+    ``shard_map`` is a :class:`repro.cluster.shardmap.ShardMap` (topology
+    data only — endpoints and partition spans). The annotation reports what
+    the routing tier knows: which shards a statement visits and why. It
+    never mentions filter values — those are ciphertext by the time a plan
+    exists.
+    """
+    from repro.sql.planner import (
+        DeletePlan,
+        JoinSelectPlan,
+        MergePlan,
+        SelectPlan,
+    )
+
+    if shard_map is None:
+        return []
+    tables: list[str] = []
+    if isinstance(plan, (SelectPlan, DeletePlan, MergePlan)):
+        tables = [plan.table]
+    elif isinstance(plan, JoinSelectPlan):
+        tables = [plan.left_table, plan.right_table]
+    if not tables:
+        return []
+    lines = [f"cluster routing ({shard_map.shard_count} shard(s)):"]
+    for table_name in tables:
+        assignment = shard_map.assignment(table_name)
+        if assignment is None:
+            shard = shard_map.shards[0]
+            lines.append(
+                f"  {table_name}: unassigned -> shard 0 "
+                f"({shard.primary.address}"
+                + (
+                    f", {len(shard.replicas)} replica(s))"
+                    if shard.replicas
+                    else ")"
+                )
+            )
+            continue
+        spans = assignment.populated_spans()
+        lines.append(
+            f"  {table_name}: scatter over {len(spans)} shard(s), "
+            f"{assignment.partition_count} partition(s); delta on shard "
+            f"{assignment.last_span().shard_id}"
+        )
+        for span in spans:
+            shard = shard_map.shards[span.shard_id]
+            lines.append(
+                f"    shard {span.shard_id}: partitions "
+                f"[{span.partition_lo},{span.partition_hi}) rows "
+                f"[{span.row_base},{span.row_base + span.row_count}) via "
+                f"{shard.primary.address}"
+                + (
+                    f" (+{len(shard.replicas)} replica(s))"
+                    if shard.replicas
+                    else ""
+                )
+            )
+    if isinstance(plan, SelectPlan):
+        lines.append(
+            "  gather: per-shard padded unions concatenate in partition "
+            "order; RecordIDs rebase by span row base"
+        )
+    return lines
+
+
 def render_explain(plan, schema_catalog=None, data_catalog=None) -> str:
     """EXPLAIN-style rendering of one query plan.
 

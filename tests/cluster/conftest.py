@@ -1,0 +1,66 @@
+"""Shared fixtures for the cluster tests: live multi-server topologies.
+
+``live_cluster`` stands up one real TCP server per endpoint (each with its
+own simulated enclave) and yields the matching :class:`ShardMap`. The
+returned handle list allows tests to kill individual servers for failover
+scenarios.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import pytest
+
+from repro.cluster import ShardMap
+from repro.net import NetServer, RetryPolicy, ServerThread
+from repro.server.dbms import EncDBDBServer
+
+
+# Tests should fail fast, not sit through production-sized backoff.
+FAST_RETRY = RetryPolicy(attempts=3, base_delay=0.02, max_delay=0.2)
+
+
+class ClusterHandles:
+    """The live servers of one topology, addressable by (shard, replica)."""
+
+    def __init__(self) -> None:
+        self.by_endpoint: dict[tuple[int, int], ServerThread] = {}
+        self.shard_map: ShardMap | None = None
+
+    def stop(self, shard_id: int, replica: int = 0) -> None:
+        """Kill one server (primary is replica 0) to simulate a crash."""
+        self.by_endpoint.pop((shard_id, replica)).__exit__(None, None, None)
+
+
+@contextlib.contextmanager
+def live_cluster(shards: int, *, replicas: int = 0, max_sessions: int = 32):
+    """``shards`` servers (each plus ``replicas`` extras) on ephemeral ports."""
+    handles = ClusterHandles()
+    try:
+        endpoints = []
+        for shard_id in range(shards):
+            group = []
+            for replica in range(1 + replicas):
+                handle = ServerThread(
+                    NetServer(
+                        EncDBDBServer(),
+                        max_sessions=max_sessions,
+                        shard=shard_id,
+                    )
+                )
+                handle.__enter__()
+                handles.by_endpoint[(shard_id, replica)] = handle
+                group.append(("127.0.0.1", handle.port))
+            endpoints.append(group)
+        handles.shard_map = ShardMap.of_endpoints(endpoints)
+        yield handles
+    finally:
+        for handle in reversed(list(handles.by_endpoint.values())):
+            handle.__exit__(None, None, None)
+        handles.by_endpoint.clear()
+
+
+@pytest.fixture
+def fast_retry() -> RetryPolicy:
+    return FAST_RETRY

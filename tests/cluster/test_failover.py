@@ -1,0 +1,84 @@
+"""Replica failover: killing one of two replicas must not change results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ClusterSystem
+from repro.exceptions import ClusterError
+from repro.net import RetryPolicy
+
+from tests.cluster.conftest import live_cluster
+
+ROWS = 42
+VALUES = [(i * 11) % 17 for i in range(ROWS)]
+SQL = "SELECT id FROM t WHERE v BETWEEN 4 AND 12"
+
+# Dead-endpoint detection should be quick: one connect attempt, no backoff.
+IMPATIENT = RetryPolicy.none()
+
+
+def _load(system) -> None:
+    system.execute("CREATE TABLE t (id INTEGER, v ED3 INTEGER)")
+    system.bulk_load(
+        "t",
+        {"id": list(range(ROWS)), "v": list(VALUES)},
+        partition_rows=6,
+    )
+
+
+def _expected():
+    return sorted(i for i, v in enumerate(VALUES) if 4 <= v <= 12)
+
+
+def test_query_survives_primary_crash():
+    """2 shards x 2 replicas; shard 1 loses its primary mid-session."""
+    with live_cluster(2, replicas=1) as handles:
+        with ClusterSystem.connect(
+            handles.shard_map, seed=5, retry=IMPATIENT
+        ) as cluster:
+            _load(cluster)
+            expected = _expected()
+            assert sorted(cluster.query(SQL).column("id")) == expected
+            handles.stop(1, replica=0)  # crash shard 1's primary
+            # The router retries the shard on its replica — same rows, same
+            # padded union, RecordIDs rebased identically.
+            assert sorted(cluster.query(SQL).column("id")) == expected
+            # Failover is sticky: subsequent queries keep working too.
+            assert sorted(cluster.query(SQL).column("id")) == expected
+
+
+def test_query_survives_replica_crash_of_every_shard():
+    with live_cluster(2, replicas=1) as handles:
+        with ClusterSystem.connect(
+            handles.shard_map, seed=5, retry=IMPATIENT
+        ) as cluster:
+            _load(cluster)
+            handles.stop(0, replica=1)
+            handles.stop(1, replica=1)
+            assert sorted(cluster.query(SQL).column("id")) == _expected()
+
+
+def test_losing_every_endpoint_of_a_shard_is_a_loud_error():
+    with live_cluster(2, replicas=1) as handles:
+        with ClusterSystem.connect(
+            handles.shard_map, seed=5, retry=IMPATIENT
+        ) as cluster:
+            _load(cluster)
+            handles.stop(1, replica=0)
+            handles.stop(1, replica=1)
+            with pytest.raises(ClusterError, match="every endpoint failed"):
+                cluster.query(SQL)
+
+
+def test_writes_reach_surviving_replica():
+    """An insert broadcast still lands when the tail primary is down."""
+    with live_cluster(2, replicas=1) as handles:
+        with ClusterSystem.connect(
+            handles.shard_map, seed=5, retry=IMPATIENT
+        ) as cluster:
+            _load(cluster)
+            handles.stop(1, replica=0)  # shard 1 owns the table's tail
+            cluster.execute("INSERT INTO t VALUES (999, 8)")
+            got = sorted(cluster.query(SQL).column("id"))
+            assert got == _expected() + [999]

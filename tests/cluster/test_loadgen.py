@@ -1,0 +1,99 @@
+"""Unit tests for the load-test harness (no network required)."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import LoadGenerator, percentile
+
+
+def test_percentile_nearest_rank():
+    values = [float(v) for v in range(1, 101)]
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 0.50) == 51.0
+    assert percentile(values, 0.99) == 99.0
+    assert percentile(values, 1.0) == 100.0
+    assert percentile([], 0.5) == 0.0
+    with pytest.raises(ValueError):
+        percentile(values, 1.5)
+
+
+def test_run_completes_every_request_and_orders_latencies():
+    seen = set()
+    lock = threading.Lock()
+
+    def issue(client_id, seq):
+        with lock:
+            seen.add((client_id, seq))
+
+    stats = LoadGenerator(issue, clients=8, requests_per_client=3).run()
+    assert stats.completed == 24
+    assert stats.errors == 0
+    assert len(seen) == 24
+    assert stats.throughput_qps > 0
+    assert 0 <= stats.p50_ms <= stats.p99_ms <= stats.max_ms
+    summary = stats.as_dict()
+    assert summary["completed"] == 24
+    assert summary["first_error"] is None
+    assert "latencies_ms" not in summary
+
+
+def test_admission_control_bounds_inflight_requests():
+    limit = 3
+    inflight = 0
+    peak = 0
+    lock = threading.Lock()
+
+    def issue(client_id, seq):
+        nonlocal inflight, peak
+        with lock:
+            inflight += 1
+            peak = max(peak, inflight)
+        time.sleep(0.002)
+        with lock:
+            inflight -= 1
+
+    stats = LoadGenerator(
+        issue, clients=12, requests_per_client=2, max_inflight=limit
+    ).run()
+    assert stats.completed == 24
+    assert peak <= limit
+    assert stats.max_inflight == limit
+
+
+def test_errors_are_counted_not_raised():
+    def issue(client_id, seq):
+        if client_id == 0:
+            raise RuntimeError("boom")
+        return "ok"
+
+    stats = LoadGenerator(issue, clients=4, requests_per_client=2).run()
+    assert stats.completed == 6
+    assert stats.errors == 2
+    assert "RuntimeError: boom" in stats.first_error
+
+
+def test_check_hook_failures_count_as_errors():
+    def issue(client_id, seq):
+        return seq
+
+    def check(client_id, seq, response):
+        if response == 1:
+            raise AssertionError("wrong answer")
+
+    stats = LoadGenerator(
+        issue, clients=3, requests_per_client=2, check=check
+    ).run()
+    assert stats.errors == 3
+    assert stats.completed == 3
+    assert "wrong answer" in stats.first_error
+
+
+def test_rejects_degenerate_fleet():
+    with pytest.raises(ValueError):
+        LoadGenerator(lambda c, s: None, clients=0)
+    with pytest.raises(ValueError):
+        LoadGenerator(lambda c, s: None, requests_per_client=0)

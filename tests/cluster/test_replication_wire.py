@@ -1,0 +1,106 @@
+"""Key replication never puts secrets — or data-layout hints — on the wire.
+
+A frame tap records every byte every router connection sends or receives.
+During cluster provisioning the untrusted relay (and the network) must see
+nothing but handshake material: DH publics, one quote, PAE ciphertext. In
+particular ``SKDB`` itself must never cross in the clear, and replication
+traffic must not mention tables or partitions (the key hand-off is
+layout-oblivious).
+"""
+
+from __future__ import annotations
+
+from repro.client.owner import DataOwner
+from repro.cluster import ClusterCoordinator, ClusterSystem
+from repro.crypto.drbg import HmacDrbg
+from repro.net.protocol import FrameType
+
+from tests.cluster.conftest import FAST_RETRY, live_cluster
+
+
+class FrameLog:
+    def __init__(self) -> None:
+        self.frames: list[tuple[str, FrameType, bytes]] = []
+
+    def __call__(self, direction: str, frame_type: FrameType, raw: bytes):
+        self.frames.append((direction, frame_type, raw))
+
+    def payloads(self) -> list[bytes]:
+        return [raw for _, _, raw in self.frames]
+
+
+def test_provisioning_frames_carry_only_channel_material():
+    tap = FrameLog()
+    with live_cluster(2, replicas=1) as handles:
+        owner = DataOwner(rng=HmacDrbg(2024).fork("owner"))
+        coordinator = ClusterCoordinator(
+            handles.shard_map, owner, retry=FAST_RETRY, tap=tap
+        )
+        try:
+            assert coordinator.provision() == 4  # one primary + 3 hand-offs
+        finally:
+            coordinator.close()
+
+    assert tap.frames, "tap saw no traffic"
+    replication_frames = [
+        raw for raw in tap.payloads() if b"enclave_replicate_key" in raw
+    ]
+    assert len(replication_frames) >= 3  # one hand-off per secondary
+    for raw in tap.payloads():
+        # SKDB must never cross in the clear — not in the owner's own
+        # provisioning, not in any primary-to-replica hand-off.
+        assert owner.master_key not in raw
+        # Replication is layout-oblivious: no table/partition structure is
+        # negotiated or leaked while keys move.
+        assert b"partition" not in raw
+        assert b"bulk_load" not in raw
+        assert b"create_table" not in raw
+        assert b"execute_" not in raw
+
+
+def test_master_key_never_crosses_during_a_full_lifecycle():
+    """DDL + bulk load + queries: SKDB stays off the wire end to end."""
+    tap = FrameLog()
+    rows = 24
+    with live_cluster(2) as handles:
+        with ClusterSystem.connect(
+            handles.shard_map, seed=77, retry=FAST_RETRY, tap=tap
+        ) as cluster:
+            key = cluster.owner.master_key
+            cluster.execute("CREATE TABLE t (id INTEGER, v ED5 INTEGER)")
+            cluster.bulk_load(
+                "t",
+                {"id": list(range(rows)), "v": [i % 9 for i in range(rows)]},
+                partition_rows=6,
+            )
+            cluster.query("SELECT id FROM t WHERE v BETWEEN 2 AND 6")
+    assert len(tap.frames) > 20
+    for raw in tap.payloads():
+        assert key not in raw
+
+
+def test_plaintext_of_encrypted_columns_stays_off_the_wire():
+    """The ED column's values cross only as ciphertext dictionaries."""
+    tap = FrameLog()
+    # Distinctive plaintext values: any accidental cleartext encoding of
+    # the column (packed ints, decimal strings) would contain these bytes.
+    sentinel = 0x5A5A5A5A
+    values = [sentinel + i for i in range(12)]
+    with live_cluster(1) as handles:
+        with ClusterSystem.connect(
+            handles.shard_map, seed=3, retry=FAST_RETRY, tap=tap
+        ) as cluster:
+            cluster.execute("CREATE TABLE t (v ED1 INTEGER)")
+            cluster.bulk_load("t", {"v": values}, partition_rows=6)
+            cluster.query(
+                f"SELECT v FROM t WHERE v BETWEEN {sentinel} AND {sentinel + 20}"
+            )
+    import struct
+
+    for value in values[:3]:
+        for pattern in (
+            struct.pack("<q", value),
+            struct.pack(">q", value),
+            str(value).encode(),
+        ):
+            assert all(pattern not in raw for raw in tap.payloads()), value

@@ -1,0 +1,95 @@
+"""Unit tests for the pure-data shard map: spans, row bases, ownership."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Endpoint, Shard, ShardMap, assign_spans
+from repro.exceptions import ClusterError
+
+
+def _map(shards: int) -> ShardMap:
+    return ShardMap.of_endpoints(
+        [[("127.0.0.1", 9000 + shard)] for shard in range(shards)]
+    )
+
+
+@pytest.mark.parametrize("total_rows", [1, 6, 42, 100, 101])
+@pytest.mark.parametrize("partition_rows", [1, 6, 40])
+@pytest.mark.parametrize("shard_count", [1, 2, 3, 5])
+def test_assign_spans_is_a_contiguous_cover(
+    total_rows, partition_rows, shard_count
+):
+    spans = assign_spans(total_rows, partition_rows, shard_count)
+    assert len(spans) == shard_count
+    partition_count = -(-total_rows // partition_rows)
+    assert spans[0][0] == 0
+    assert spans[-1][1] == partition_count
+    for (_, hi, base, rows), (next_lo, _, next_base, _) in zip(
+        spans, spans[1:]
+    ):
+        assert hi == next_lo  # no gap, no overlap
+        assert base + rows == next_base
+    assert sum(rows for _, _, _, rows in spans) == total_rows
+
+
+def test_row_bases_match_partition_boundaries():
+    # 42 rows / 6 per partition = 7 partitions over 3 shards: 2 + 2 + 3.
+    spans = assign_spans(42, 6, 3)
+    assert spans == [(0, 2, 0, 12), (2, 4, 12, 12), (4, 7, 24, 18)]
+
+
+def test_short_final_partition_rows_are_counted_exactly():
+    # 40 rows / 6 per partition = 7 partitions, the last holding 4 rows.
+    spans = assign_spans(40, 6, 3)
+    assert sum(rows for *_, rows in spans) == 40
+    assert spans[-1] == (4, 7, 24, 16)
+
+
+def test_more_shards_than_partitions_leaves_empty_spans():
+    shard_map = _map(5)
+    assignment = shard_map.assign("t", 10, 5)  # 2 partitions, 5 shards
+    populated = assignment.populated_spans()
+    assert len(populated) == 2
+    assert all(span.partitions == 1 for span in populated)
+    assert assignment.last_span() is populated[-1]
+
+
+def test_span_for_row_maps_main_and_delta_ids():
+    shard_map = _map(3)
+    assignment = shard_map.assign("t", 42, 6)
+    assert assignment.span_for_row(0).shard_id == 0
+    assert assignment.span_for_row(11).shard_id == 0
+    assert assignment.span_for_row(12).shard_id == 1
+    assert assignment.span_for_row(41).shard_id == 2
+    # Delta RecordIDs (>= total_rows) live with the tail span.
+    assert assignment.span_for_row(42).shard_id == 2
+    assert assignment.span_for_row(10_000).shard_id == 2
+
+
+def test_assignment_errors():
+    shard_map = _map(2)
+    shard_map.assign("t", 10, 5)
+    with pytest.raises(ClusterError, match="already assigned"):
+        shard_map.assign("t", 10, 5)
+    shard_map.drop("t")
+    assert shard_map.assignment("t") is None
+    with pytest.raises(ClusterError):
+        assign_spans(0, 5, 2)
+    with pytest.raises(ClusterError):
+        assign_spans(10, 0, 2)
+
+
+def test_shard_map_validates_topology():
+    with pytest.raises(ClusterError, match="at least one shard"):
+        ShardMap([])
+    with pytest.raises(ClusterError, match="contiguous"):
+        ShardMap([Shard(1, (Endpoint("h", 1),))])
+    with pytest.raises(ClusterError, match="no endpoints"):
+        Shard(0, ())
+
+
+def test_primary_and_replicas_split():
+    shard = Shard(0, (Endpoint("a", 1), Endpoint("b", 2), Endpoint("c", 3)))
+    assert shard.primary.address == "a:1"
+    assert [endpoint.address for endpoint in shard.replicas] == ["b:2", "c:3"]

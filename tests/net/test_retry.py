@@ -1,0 +1,187 @@
+"""Connect/busy retry backoff and server stop ordering (PR 7 satellites)."""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.client.session import EncDBDBSystem
+from repro.exceptions import NetworkError, ServerBusyError
+from repro.net.client import NetConnection, RetryPolicy, connect_system
+from repro.net.server import NetServer, ServerThread
+from repro.server.dbms import EncDBDBServer
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy math
+# ----------------------------------------------------------------------
+def test_delay_grows_exponentially_within_jitter_bounds():
+    policy = RetryPolicy(
+        attempts=6, base_delay=0.1, max_delay=10.0, multiplier=2.0, jitter=0.25
+    )
+    rng = random.Random(7)
+    for attempt, raw in [(1, 0.1), (2, 0.2), (3, 0.4), (4, 0.8)]:
+        for _ in range(50):
+            delay = policy.delay(attempt, rng)
+            assert raw * 0.75 <= delay <= raw * 1.25, attempt
+
+
+def test_delay_is_capped_at_max_delay():
+    policy = RetryPolicy(base_delay=0.1, max_delay=0.5, jitter=0.0)
+    assert policy.delay(1, random.Random(0)) == pytest.approx(0.1)
+    assert policy.delay(10, random.Random(0)) == pytest.approx(0.5)
+
+
+def test_none_policy_is_a_single_attempt():
+    policy = RetryPolicy.none()
+    assert policy.attempts == 1
+
+
+def test_zero_jitter_is_deterministic():
+    policy = RetryPolicy(base_delay=0.2, jitter=0.0)
+    assert policy.delay(2, random.Random(1)) == pytest.approx(0.4)
+
+
+# ----------------------------------------------------------------------
+# Connect-path retry against live servers
+# ----------------------------------------------------------------------
+def _reserve_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def test_connect_retries_until_late_server_comes_up():
+    port = _reserve_port()
+    handle_box: list[ServerThread] = []
+
+    def boot_late():
+        time.sleep(0.3)
+        handle_box.append(
+            ServerThread(NetServer(host="127.0.0.1", port=port)).start()
+        )
+
+    booter = threading.Thread(target=boot_late, daemon=True)
+    booter.start()
+    try:
+        connection = NetConnection(
+            "127.0.0.1",
+            port,
+            retry=RetryPolicy(attempts=40, base_delay=0.05, max_delay=0.1),
+        )
+        assert connection.hello["server"] == "encdbdb"
+        connection.close()
+    finally:
+        booter.join()
+        if handle_box:
+            handle_box[0].stop()
+
+
+def test_connect_without_retry_fails_fast_on_refused_port():
+    port = _reserve_port()
+    begin = time.monotonic()
+    with pytest.raises(NetworkError, match="cannot connect"):
+        NetConnection("127.0.0.1", port, retry=RetryPolicy.none())
+    assert time.monotonic() - begin < 2.0
+
+
+def test_connect_retry_gives_up_after_attempt_cap():
+    port = _reserve_port()
+    with pytest.raises(NetworkError):
+        NetConnection(
+            "127.0.0.1",
+            port,
+            retry=RetryPolicy(attempts=3, base_delay=0.01, max_delay=0.02),
+        )
+
+
+def test_busy_server_rejection_is_retried_until_a_slot_frees():
+    server = NetServer(max_sessions=1, admission_timeout=0.05)
+    with ServerThread(server) as handle:
+        first = NetConnection("127.0.0.1", handle.port)
+
+        def release():
+            time.sleep(0.3)
+            first.close()
+
+        releaser = threading.Thread(target=release, daemon=True)
+        releaser.start()
+        try:
+            second = NetConnection(
+                "127.0.0.1",
+                handle.port,
+                retry=RetryPolicy(attempts=40, base_delay=0.05, max_delay=0.1),
+            )
+            second.close()
+        finally:
+            releaser.join()
+
+
+def test_busy_server_rejection_without_retry_is_immediate():
+    server = NetServer(max_sessions=1, admission_timeout=0.05)
+    with ServerThread(server) as handle:
+        first = NetConnection("127.0.0.1", handle.port)
+        try:
+            with pytest.raises(ServerBusyError):
+                NetConnection(
+                    "127.0.0.1", handle.port, retry=RetryPolicy.none()
+                )
+        finally:
+            first.close()
+
+
+# ----------------------------------------------------------------------
+# Stop ordering: admission waiters wake, stop is prompt, restart works
+# ----------------------------------------------------------------------
+def test_stop_wakes_blocked_admission_waiters():
+    server = NetServer(max_sessions=1, admission_timeout=30.0)
+    handle = ServerThread(server).start()
+    first = NetConnection("127.0.0.1", handle.port)
+    outcome: dict = {}
+
+    def second_client():
+        begin = time.monotonic()
+        try:
+            NetConnection(
+                "127.0.0.1", handle.port, retry=RetryPolicy.none()
+            )
+            outcome["result"] = "connected"
+        except (NetworkError, ServerBusyError) as exc:
+            outcome["result"] = type(exc).__name__
+        outcome["elapsed"] = time.monotonic() - begin
+
+    waiter = threading.Thread(target=second_client, daemon=True)
+    waiter.start()
+    time.sleep(0.2)  # let the second client park in the admission queue
+    begin = time.monotonic()
+    handle.stop()
+    assert time.monotonic() - begin < 5.0, "stop() hung on admission waiters"
+    waiter.join(timeout=5.0)
+    assert not waiter.is_alive()
+    # The waiter was turned away promptly, not after the 30s admission
+    # timeout it signed up for.
+    assert outcome["elapsed"] < 10.0
+    first.close()
+
+
+def test_server_restarts_cleanly_after_stop():
+    dbms = EncDBDBServer()
+    server = NetServer(dbms, max_sessions=4)
+    with ServerThread(server) as handle:
+        with EncDBDBSystem.connect("127.0.0.1", handle.port, seed=11) as system:
+            system.execute("CREATE TABLE t (v ED1 INTEGER)")
+            system.execute("INSERT INTO t VALUES (1), (2), (3)")
+
+    # Same NetServer object, second life: data and keys survive in the
+    # still-provisioned DBMS; only the listener was torn down.
+    with ServerThread(server) as handle:
+        system = connect_system("127.0.0.1", handle.port, seed=11)
+        try:
+            assert system.server.provisioned
+            assert system.query("SELECT COUNT(*) FROM t").scalar() == 3
+        finally:
+            system.close()
