@@ -72,6 +72,11 @@ MODULE_TRUST: dict[str, str] = {
     "repro.encdict.dictionary": TRUST_PUBLIC,  # ciphertext containers only
     "repro.encdict.attrvect": TRUST_UNTRUSTED,
     "repro.columnstore": TRUST_UNTRUSTED,
+    # Online rotation (PR 8): the migration engine runs on the DBaaS side —
+    # it schedules shadow rebuilds and swaps ciphertext partitions, but all
+    # re-encryption happens inside the enclave via the rotate_* ecalls, so
+    # the module never names key material.
+    "repro.migrate": TRUST_UNTRUSTED,
     "repro.sql": TRUST_UNTRUSTED,
     "repro.server": TRUST_UNTRUSTED,
     "repro.net": TRUST_OWNER,  # package facade re-exporting client helpers
@@ -145,6 +150,7 @@ KEY_SYMBOLS = frozenset(
         "_MASTER_KEY",
         "pae_gen",
         "derive_column_key",
+        "derive_rotation_seed",
         "hkdf_sha256",
         "seal",
         "unseal",
@@ -186,6 +192,8 @@ REGISTERED_ECALLS: tuple[str, ...] = (
     "join_tokens",
     "reencrypt_for_delta",
     "rebuild_for_merge",
+    "rotate_partition",  # online rotation shadow rebuild (PR 8)
+    "rotate_delta",  # atomic delta re-seal at a key-rotation flip (PR 8)
 )
 
 #: Module prefixes whose builds must be reproducible from caller-provided

@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli --seed 7 --save db.encdbdb --script load.sql
     python -m repro.cli serve --port 7482    # run the DBaaS side over TCP
     python -m repro.cli --connect 127.0.0.1:7482   # shell against it
+    python -m repro.cli migrate start t c --kind ED9 --connect 127.0.0.1:7482
 
 The CLI stands up a complete deployment (server + enclave + data owner +
 proxy) on startup, optionally restores a persisted database, executes SQL
@@ -355,6 +356,87 @@ def cluster_main(argv: list[str]) -> int:
     return 0
 
 
+def migrate_main(argv: list[str]) -> int:
+    """``python -m repro.cli migrate``: drive an online rotation.
+
+    Operator tooling for the *untrusted* side: starting, watching, or
+    rolling back a rotation needs no keys — the actual re-encryption runs
+    inside the server's enclave — so this connects a bare wire client
+    without attestation or provisioning.
+    """
+    from repro.net.client import NetConnection, RemoteServer
+    from repro.sql.printer import migration_lines
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli migrate",
+        description="online ED-kind / key-epoch rotation of one column",
+    )
+    parser.add_argument(
+        "action", choices=("start", "status", "rollback"), help="what to do"
+    )
+    parser.add_argument("table", nargs="?", help="table name")
+    parser.add_argument("column", nargs="?", help="column name")
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        required=True,
+        help="server (`repro.cli serve`) to operate on",
+    )
+    parser.add_argument(
+        "--kind", metavar="EDn", help="target ED kind (start; default: keep)"
+    )
+    parser.add_argument(
+        "--rotate-key",
+        action="store_true",
+        help="advance the column's storage-key epoch (start)",
+    )
+    parser.add_argument(
+        "--steps",
+        type=int,
+        metavar="N",
+        help="start only: advance N plan steps and return instead of "
+        "driving the rotation to completion",
+    )
+    args = parser.parse_args(argv)
+    if args.action in ("start", "rollback") and not (args.table and args.column):
+        raise SystemExit(f"migrate {args.action} needs <table> <column>")
+
+    host, port = _parse_endpoint(args.connect)
+    connection = NetConnection(host, port)
+    try:
+        server = RemoteServer(connection)
+        if args.action == "start":
+            if not args.kind and not args.rotate_key:
+                raise SystemExit("migrate start needs --kind and/or --rotate-key")
+            server.migrate_start(
+                args.table,
+                args.column,
+                new_kind=args.kind,
+                rotate_key=args.rotate_key,
+            )
+            if args.steps is not None:
+                statuses = [
+                    server.migrate_step(args.table, args.column, args.steps)
+                ]
+            else:
+                statuses = [server.migrate_run(args.table, args.column)]
+        elif args.action == "rollback":
+            statuses = [server.migrate_rollback(args.table, args.column)]
+        else:
+            statuses = server.migrate_status(args.table, args.column)
+            if not isinstance(statuses, list):
+                statuses = [statuses]
+        lines = migration_lines(statuses)
+        print("\n".join(lines) if lines else "(no migrations)", flush=True)
+        failed = [s for s in statuses if s.state == "failed"]
+        return 1 if failed else 0
+    except EncDBDBError as error:
+        print(f"error: {error}", file=sys.stderr, flush=True)
+        return 1
+    finally:
+        connection.close()
+
+
 def _parse_endpoint(endpoint: str) -> tuple[str, int]:
     host, _, port = endpoint.rpartition(":")
     if not host or not port.isdigit():
@@ -368,6 +450,8 @@ def main(argv: list[str] | None = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "cluster":
         return cluster_main(argv[1:])
+    if argv and argv[0] == "migrate":
+        return migrate_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="EncDBDB reproduction SQL shell"
     )

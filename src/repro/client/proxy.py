@@ -111,6 +111,13 @@ class Proxy:
         explain_routing = getattr(self._server, "explain_routing", None)
         if explain_routing is not None:
             lines.extend(explain_routing(plan))
+        # Online rotations in flight on the plan's table(s): which phase the
+        # migration sits in and which partition versions currently serve.
+        explain_migrations = getattr(self._server, "explain_migrations", None)
+        if explain_migrations is not None:
+            from repro.sql.printer import migration_lines
+
+            lines.extend(migration_lines(explain_migrations(plan)))
         if lines:
             description = description + "\n" + "\n".join(lines)
         return description
@@ -252,10 +259,18 @@ class Proxy:
     # ------------------------------------------------------------------
     # Filter encryption (paper §4.2 step 5)
     # ------------------------------------------------------------------
-    def _column_key(self, table_name: str, column_name: str) -> bytes:
+    def _column_key(
+        self, table_name: str, column_name: str, key_epoch: int = 0
+    ) -> bytes:
+        """Epoch 0 (the default) doubles as the permanent transit key for
+        filter bounds and insert blobs; results decrypt under the storage
+        epoch the server stamps on each :class:`ResultColumn` (it advances
+        when an online key rotation finalizes)."""
         from repro.crypto.kdf import derive_column_key
 
-        return derive_column_key(self._master_key, table_name, column_name)
+        return derive_column_key(
+            self._master_key, table_name, column_name, key_epoch=key_epoch
+        )
 
     def _encrypt_filter(
         self, table_name: str, plan: FilterPlan | None
@@ -330,7 +345,11 @@ class Proxy:
         decrypted: dict[str, list] = {}
         for key_name, column in result.columns.items():
             if column.encrypted:
-                key = self._column_key(column.table_name, column.column_name)
+                key = self._column_key(
+                    column.table_name,
+                    column.column_name,
+                    getattr(column, "key_epoch", 0),
+                )
                 value_type = (
                     self._schema.table(column.table_name)
                     .spec(column.column_name)

@@ -117,6 +117,53 @@ class EncDBDBSystem:
         """Trigger the delta-store merge for one table (paper §4.3)."""
         return self.execute(f"MERGE TABLE {table_name}")
 
+    def migrate(
+        self,
+        table_name: str,
+        column_name: str,
+        *,
+        new_kind: str | None = None,
+        rotate_key: bool = False,
+    ):
+        """Online rotation driven to completion (``repro.migrate``).
+
+        Starts the rotation of ``table_name.column_name`` to ``new_kind``
+        (and/or a fresh storage-key epoch) and runs every phase — queries
+        keep flowing throughout; this call just does not return until the
+        column is fully adopted. Returns the final list of
+        :class:`~repro.migrate.plan.MigrationStatus` (one per server
+        endpoint; a single in-process server yields one). Raises
+        :class:`~repro.exceptions.QueryError` if any endpoint failed, in
+        which case the migration is left in place for ``migrate_rollback``.
+        """
+        from repro.exceptions import CatalogError, QueryError
+
+        self.server.migrate_start(
+            table_name, column_name, new_kind=new_kind, rotate_key=rotate_key
+        )
+        finished = self.server.migrate_run(table_name, column_name)
+        statuses = finished if isinstance(finished, list) else [finished]
+        failed = [status for status in statuses if status.state != "done"]
+        if failed:
+            raise QueryError(
+                f"rotation of {table_name}.{column_name} failed: "
+                + "; ".join(status.error or status.state for status in failed)
+            )
+        # Keep the proxy's schema mirror in step with the adopted column so
+        # EXPLAIN and spec lookups describe what the server now serves.
+        status = statuses[0]
+        try:
+            spec = self.proxy._schema.table(table_name).spec(column_name)
+        except CatalogError:
+            spec = None
+        if spec is not None:
+            from repro.encdict.options import kind_by_name
+
+            spec.adopt_protection(
+                kind_by_name(status.new_kind), status.new_key_epoch
+            )
+        return statuses
+
     def save(self, path) -> None:
         self.server.save(path)
 

@@ -27,6 +27,7 @@ padded per-partition result unions out.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterable
 
@@ -54,6 +55,13 @@ class EndpointPool:
     backpressure instead of an unbounded connection storm. Connections are
     reused LIFO; a lease that ends in a transport error discards its
     connection instead of returning it.
+
+    The pool also tracks endpoint **health**: a transport failure marks the
+    endpoint down (and drops every idle socket — they share the dead
+    server), and after ``probe_interval`` seconds the next :meth:`healthy`
+    check re-probes with one fresh connection attempt. A restarted replica
+    therefore rejoins the shard group's read rotation by itself, instead of
+    staying parked behind a sticky preference forever.
     """
 
     def __init__(
@@ -65,20 +73,35 @@ class EndpointPool:
         timeout: float = 60.0,
         retry: RetryPolicy | None = None,
         tap: FrameTap | None = None,
+        probe_interval: float = 2.0,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.retry = retry
         self.tap = tap
+        self.probe_interval = probe_interval
         self._slots = threading.BoundedSemaphore(capacity)
         self._lock = threading.Lock()
         self._idle: list[RemoteServer] = []  # guarded-by: self._lock
         self._closed = False  # guarded-by: self._lock
+        self._healthy = True  # guarded-by: self._lock
+        self._next_probe = 0.0  # guarded-by: self._lock
 
     @property
     def address(self) -> str:
         return f"{self.host}:{self.port}"
+
+    def _connect(self, retry: RetryPolicy | None) -> RemoteServer:
+        return RemoteServer(
+            NetConnection(
+                self.host,
+                self.port,
+                timeout=self.timeout,
+                tap=self.tap,
+                retry=retry,
+            )
+        )
 
     def _checkout(self) -> RemoteServer:
         with self._lock:
@@ -86,15 +109,7 @@ class EndpointPool:
                 raise ClusterError(f"endpoint pool {self.address} is closed")
             if self._idle:
                 return self._idle.pop()
-        return RemoteServer(
-            NetConnection(
-                self.host,
-                self.port,
-                timeout=self.timeout,
-                tap=self.tap,
-                retry=self.retry,
-            )
-        )
+        return self._connect(self.retry)
 
     def _checkin(self, server: RemoteServer) -> None:
         with self._lock:
@@ -112,18 +127,98 @@ class EndpointPool:
             try:
                 yield server
             except NetworkError:
-                # Transport state is unknown — do not reuse the socket.
+                # Transport state is unknown — do not reuse the socket, and
+                # treat the endpoint as down until a probe says otherwise.
                 server.close()
+                self.mark_failed()
                 raise
             except BaseException:
                 self._checkin(server)  # typed server errors leave it usable
                 raise
             else:
                 self._checkin(server)
+                with self._lock:
+                    self._healthy = True
 
     def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
-        with self.lease() as server:
-            return getattr(server, method)(*args, **kwargs)
+        """One RPC on a pooled connection.
+
+        A *reused* idle socket that fails gets one retry on a fresh
+        connection before the endpoint is declared down: a restarted server
+        leaves every pooled socket dead while the endpoint itself is fine,
+        and without the retry the first write after a restart would be
+        skipped as "replica stale" even though the replica is back.
+        """
+        with self._slots:
+            with self._lock:
+                if self._closed:
+                    raise ClusterError(f"endpoint pool {self.address} is closed")
+                reused = self._idle.pop() if self._idle else None
+            server = reused if reused is not None else self._connect(self.retry)
+            for attempt in (0, 1):
+                try:
+                    value = getattr(server, method)(*args, **kwargs)
+                except NetworkError:
+                    server.close()
+                    if attempt == 0 and reused is not None:
+                        try:
+                            server = self._connect(RetryPolicy.none())
+                        except NetworkError:
+                            self.mark_failed()
+                            raise
+                        continue
+                    self.mark_failed()
+                    raise
+                except BaseException:
+                    self._checkin(server)  # typed server errors leave it usable
+                    raise
+                else:
+                    self._checkin(server)
+                    with self._lock:
+                        self._healthy = True
+                    return value
+            raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- health (periodic re-probe; a restarted server rejoins) ----------
+    def mark_failed(self) -> None:
+        """Record a transport failure: down until a probe succeeds, and the
+        idle sockets are dropped (they point at the dead server)."""
+        with self._lock:
+            self._healthy = False
+            self._next_probe = time.monotonic() + self.probe_interval
+            idle, self._idle = self._idle, []
+        for server in idle:
+            server.close()
+
+    def healthy(self) -> bool:
+        """Current health; re-probes at most once per ``probe_interval``."""
+        with self._lock:
+            if self._closed:
+                return False
+            if self._healthy:
+                return True
+            if time.monotonic() < self._next_probe:
+                return False
+        return self.probe()
+
+    def probe(self) -> bool:
+        """One fresh connection attempt (no retries, fails fast). Success
+        marks the endpoint healthy and keeps the socket for reuse."""
+        try:
+            server = self._connect(RetryPolicy.none())
+        except NetworkError:
+            with self._lock:
+                self._healthy = False
+                self._next_probe = time.monotonic() + self.probe_interval
+            return False
+        with self._lock:
+            self._healthy = True
+            if not self._closed:
+                self._idle.append(server)
+                server = None
+        if server is not None:
+            server.close()
+        return True
 
     def close(self) -> None:
         with self._lock:
@@ -134,19 +229,34 @@ class EndpointPool:
 
 
 class ShardGroup:
-    """One shard's endpoints (primary + replicas) with failover."""
+    """One shard's endpoints (primary + replicas) with failover.
+
+    Reads rotate round-robin over the endpoints the pools currently report
+    healthy; endpoints that went down keep being probed on their pools'
+    ``probe_interval`` and re-enter the rotation as soon as a probe
+    succeeds — a restarted replica rejoins without operator action.
+    Unhealthy endpoints are still *tried last* rather than skipped, so a
+    shard whose every endpoint died fails loudly, not silently.
+    """
 
     def __init__(self, shard: Shard, pools: list[EndpointPool]) -> None:
         self.shard = shard
         self.pools = pools
-        self._preferred = 0  # guarded-by: self._preferred_lock
-        self._preferred_lock = threading.Lock()
+        self._rr = 0  # guarded-by: self._rr_lock
+        self._rr_lock = threading.Lock()
 
     def _order(self) -> list[int]:
-        with self._preferred_lock:
-            start = self._preferred
-        count = len(self.pools)
-        return [(start + i) % count for i in range(count)]
+        with self._rr_lock:
+            start = self._rr
+            self._rr += 1
+        healthy = [i for i, pool in enumerate(self.pools) if pool.healthy()]
+        if not healthy:
+            count = len(self.pools)
+            return [(start + i) % count for i in range(count)]
+        rotated = [
+            healthy[(start + i) % len(healthy)] for i in range(len(healthy))
+        ]
+        return rotated + [i for i in range(len(self.pools)) if i not in healthy]
 
     def call(self, method: str, *args: Any, **kwargs: Any) -> Any:
         """Run one RPC on the first endpoint that answers.
@@ -163,8 +273,6 @@ class ShardGroup:
             except NetworkError as exc:
                 failures.append(f"{pool.address}: {exc}")
                 continue
-            with self._preferred_lock:
-                self._preferred = index
             return value
         raise ClusterError(
             f"shard {self.shard.shard_id}: every endpoint failed "
@@ -196,6 +304,39 @@ class ShardGroup:
                 f"on every endpoint ({'; '.join(failures)})"
             )
         return result
+
+    def broadcast_all(self, method: str, *args: Any, **kwargs: Any) -> list[Any]:
+        """Run one RPC on every endpoint, requiring **all** to succeed.
+
+        Migration verbs use this instead of :meth:`broadcast`: a replica
+        that silently misses a rotation would adopt a different schema than
+        its peers, which is divergence, not staleness — so an unreachable
+        endpoint aborts the verb loudly.
+        """
+        values = []
+        for pool in self.pools:
+            try:
+                values.append(pool.call(method, *args, **kwargs))
+            except NetworkError as exc:
+                raise ClusterError(
+                    f"shard {self.shard.shard_id}: {method!r} needs every "
+                    f"replica, but {pool.address} failed: {exc}"
+                ) from exc
+        return values
+
+    def broadcast_each(self, method: str, *args: Any, **kwargs: Any) -> list[Any]:
+        """Run one RPC on every endpoint that answers; skip the dead ones.
+
+        The read-only companion of :meth:`broadcast_all` (migration
+        *status* wants the reachable endpoints' view even when a replica is
+        down — observing is not mutating)."""
+        values = []
+        for pool in self.pools:
+            try:
+                values.append(pool.call(method, *args, **kwargs))
+            except NetworkError:
+                continue
+        return values
 
     def close(self) -> None:
         for pool in self.pools:
@@ -252,6 +393,7 @@ class ClusterRouter:
         retry: RetryPolicy | None = None,
         tap: FrameTap | None = None,
         scatter_workers: int | None = None,
+        probe_interval: float = 2.0,
     ) -> None:
         self.shard_map = shard_map
         self.groups = [
@@ -265,6 +407,7 @@ class ClusterRouter:
                         timeout=timeout,
                         retry=retry,
                         tap=tap,
+                        probe_interval=probe_interval,
                     )
                     for endpoint in shard.endpoints
                 ],
@@ -352,8 +495,18 @@ class ClusterRouter:
                         column.column_name,
                         column.encrypted,
                         list(column.data),
+                        key_epoch=getattr(column, "key_epoch", 0),
                     )
                 else:
+                    if getattr(column, "key_epoch", 0) != merged.key_epoch:
+                        # Shards rotate independently; a scatter that lands
+                        # mid-flip on one shard would need per-span epochs.
+                        # Refuse rather than hand the proxy undecryptable
+                        # blobs under one stamped epoch.
+                        raise ClusterError(
+                            f"column {name!r}: shards answered with mixed "
+                            "key epochs; retry after the rotation settles"
+                        )
                     merged.data.extend(column.data)
         merged_ids = (
             np.concatenate(record_ids)
@@ -433,6 +586,116 @@ class ClusterRouter:
             ]
         )
         return sum(counts)
+
+    # ------------------------------------------------------------------
+    # Online rotation (repro.migrate): every replica of every populated
+    # shard rotates, and the deterministic rotation seed guarantees they
+    # all converge on byte-identical ciphertext.
+    # ------------------------------------------------------------------
+    def _migrate_groups(self, table_name: str) -> list[ShardGroup]:
+        """Populated shard groups of ``table_name``, span-ordered."""
+        groups: list[ShardGroup] = []
+        for _span, group in self._read_targets(table_name):
+            if group not in groups:
+                groups.append(group)
+        return groups
+
+    def _migrate_scatter(
+        self,
+        table_name: str,
+        method: str,
+        *args: Any,
+        strict: bool = True,
+        **kwargs: Any,
+    ) -> list:
+        """Run one migrate verb on every endpoint of every populated shard;
+        the flattened per-endpoint statuses come back in span order (and
+        endpoint order within a shard), so progress reads top-to-bottom as
+        the data lays out. ``strict`` verbs (anything mutating) require
+        every endpoint; status reads settle for the reachable ones."""
+        groups = self._migrate_groups(table_name)
+        fan_out = "broadcast_all" if strict else "broadcast_each"
+        per_group = self._scatter(
+            [
+                (lambda g=group: getattr(g, fan_out)(method, *args, **kwargs))
+                for group in groups
+            ]
+        )
+        statuses: list = []
+        for values in per_group:
+            for value in values:
+                statuses.extend(value if isinstance(value, list) else [value])
+        return statuses
+
+    def migrate_start(
+        self,
+        table_name: str,
+        column_name: str,
+        *,
+        new_kind: str | None = None,
+        rotate_key: bool = False,
+    ) -> list:
+        return self._migrate_scatter(
+            table_name,
+            "migrate_start",
+            table_name,
+            column_name,
+            new_kind=new_kind,
+            rotate_key=rotate_key,
+        )
+
+    def migrate_step(
+        self, table_name: str, column_name: str, steps: int = 1
+    ) -> list:
+        return self._migrate_scatter(
+            table_name, "migrate_step", table_name, column_name, steps
+        )
+
+    def migrate_run(self, table_name: str, column_name: str) -> list:
+        return self._migrate_scatter(
+            table_name, "migrate_run", table_name, column_name
+        )
+
+    def migrate_status(
+        self, table_name: str | None = None, column_name: str | None = None
+    ) -> list:
+        if table_name is None:
+            statuses: list = []
+            for name in self.table_names():
+                statuses.extend(self.migrate_status(name, column_name))
+            return statuses
+        return self._migrate_scatter(
+            table_name, "migrate_status", table_name, column_name, strict=False
+        )
+
+    def migrate_rollback(self, table_name: str, column_name: str) -> list:
+        return self._migrate_scatter(
+            table_name, "migrate_rollback", table_name, column_name
+        )
+
+    def explain_migrations(self, plan) -> list:
+        """EXPLAIN hook: active rotations on the plan's table(s), cluster-
+        wide (span-ordered, one status per endpoint)."""
+        tables = [
+            name
+            for name in (
+                getattr(plan, "table", None),
+                getattr(plan, "left_table", None),
+                getattr(plan, "right_table", None),
+            )
+            if name is not None
+        ]
+        statuses: list = []
+        for table_name in dict.fromkeys(tables):
+            try:
+                statuses.extend(
+                    status
+                    for status in self.migrate_status(table_name)
+                    if status.active
+                )
+            except (ClusterError, NetworkError):
+                continue  # EXPLAIN stays best-effort when shards are down
+        return statuses
 
     # ------------------------------------------------------------------
     # DDL and bulk import

@@ -21,6 +21,8 @@ of per-partition RecordID sets equals the unpartitioned answer.
 from __future__ import annotations
 
 import bisect
+import threading
+from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 import numpy as np
@@ -225,6 +227,29 @@ class PlainStoredColumn:
         return keys
 
 
+@dataclass
+class ShadowPartitions:
+    """Dual-version partition slots of one in-flight online rotation.
+
+    While a column rotates (``repro.migrate``), every main partition owns a
+    second slot holding the shadow build produced by the ``rotate_partition``
+    ecall. A *swap* promotes the shadow build into the serving slot — a
+    single list-item store, atomic under the interpreter — and keeps the
+    original so the step can be rolled back. Key rotations additionally save
+    the pre-flip delta store and epoch so the one-shot finalize flip is
+    reversible too.
+    """
+
+    kind_name: str
+    key_epoch: int
+    builds: list[BuildResult | None]
+    originals: list[BuildResult | None]
+    swapped: list[bool]
+    flipped: bool = False
+    old_delta: list[bytes] = field(default_factory=list)
+    old_key_epoch: int = 0
+
+
 class EncryptedStoredColumn:
     """An encrypted column: encrypted-dictionary partitions + ED9 delta.
 
@@ -254,6 +279,15 @@ class EncryptedStoredColumn:
             if builds:
                 self._table_name = builds[0].dictionary.table_name
         self.delta_blobs: list[bytes] = []
+        # Online rotation state (repro.migrate). The serving structures
+        # (partition_builds item stores, the epoch flip) are mutated only
+        # under the shadow lock so a migration step is atomic with respect
+        # to other steps; readers never take the lock — they work off
+        # per-query snapshots instead (search_requests embeds the build it
+        # searched in each request label).
+        self._shadow_lock = threading.RLock()
+        self._shadow: ShadowPartitions | None = None  # guarded-by: self._shadow_lock
+        self.key_epoch: int = 0  # guarded-by: self._shadow_lock
 
     # -- partition layout ------------------------------------------------
     @property
@@ -339,22 +373,42 @@ class EncryptedStoredColumn:
 
     def append_transit_blob(self, transit_blob: bytes, host: EnclaveHost) -> int:
         """Insert one proxy-encrypted value: re-encrypted in the enclave,
-        appended to the ED9 delta store (paper §4.3)."""
-        stored = host.ecall(
-            "reencrypt_for_delta", self._table_name, self.spec.name, transit_blob
-        )
-        self.delta_blobs.append(stored)
-        return len(self) - 1
+        appended to the ED9 delta store (paper §4.3).
+
+        Transit blobs are always epoch 0 (the permanent proxy↔enclave
+        encoding); the stored blob is sealed under the column's current
+        storage epoch so the delta store stays epoch-uniform with main.
+        """
+        with self._shadow_lock:
+            # Epoch read, re-seal and append are one critical section so an
+            # insert can never straddle a key-rotation flip (which re-seals
+            # the delta under the same lock).
+            stored = host.ecall(
+                "reencrypt_for_delta",
+                self._table_name,
+                self.spec.name,
+                transit_blob,
+                key_epoch=self.key_epoch,
+            )
+            self.delta_blobs.append(stored)
+            return len(self) - 1
 
     def _delta_dictionary(self) -> EncryptedDictionary:
         """The delta store viewed as an ED9 encrypted dictionary."""
+        with self._shadow_lock:
+            # Snapshot blobs and epoch together: a flip replaces both
+            # atomically, and a dictionary pairing old blobs with the new
+            # epoch (or vice versa) would fail authentication in the enclave.
+            blobs = list(self.delta_blobs)
+            epoch = self.key_epoch
         return EncryptedDictionary.from_blobs(
-            self.delta_blobs,
+            blobs,
             kind=ED9,
             value_type=self.spec.value_type,
             table_name=self._table_name,
             column_name=self.spec.name,
             partition_id=DELTA_PARTITION_ID,
+            key_epoch=epoch,
         )
 
     def search_requests(
@@ -362,19 +416,26 @@ class EncryptedStoredColumn:
     ) -> list[tuple[Any, EncryptedDictionary, tuple[bytes, bytes]]]:
         """The labeled ``(store, dictionary, τ)`` searches this column needs.
 
-        One entry per non-empty main partition — labeled ``("main", i)`` —
-        plus one for the delta store (``("delta",)``). The executor collects
-        these across all filters of a query plan so the whole plan can go
-        through a single ``dict_search_batch`` ecall; the labels route each
-        :class:`SearchResult` back through :meth:`record_ids_from_results`.
-        Every per-partition search result is padded to the same fixed shape
-        as a single-partition search, so the fan-out reveals the partition
-        count (a public layout property) but nothing beyond §4.1 leakage.
+        One entry per non-empty main partition — labeled ``("main", i,
+        build)`` — plus one for the delta store (``("delta",)``). The
+        executor collects these across all filters of a query plan so the
+        whole plan can go through a single ``dict_search_batch`` ecall; the
+        labels route each :class:`SearchResult` back through
+        :meth:`record_ids_from_results`. Every per-partition search result
+        is padded to the same fixed shape as a single-partition search, so
+        the fan-out reveals the partition count (a public layout property)
+        but nothing beyond §4.1 leakage.
+
+        The build travels inside the label so the attribute-vector scan later
+        applies the *same* version of the partition that was searched: during
+        an online rotation a swap may promote the shadow build between the
+        dictionary search and the scan, and mixing the old dictionary's
+        ValueIDs with the new attribute vector would corrupt results.
         """
         requests: list[tuple[Any, EncryptedDictionary, tuple[bytes, bytes]]] = []
-        for index, build in enumerate(self.partition_builds):
+        for index, build in enumerate(list(self.partition_builds)):
             if len(build.attribute_vector):
-                requests.append((("main", index), build.dictionary, tau))
+                requests.append((("main", index, build), build.dictionary, tau))
         if self.delta_blobs:
             requests.append((("delta",), self._delta_dictionary(), tau))
         return requests
@@ -402,7 +463,7 @@ class EncryptedStoredColumn:
         """
         parts: list[np.ndarray | None] = []
         starts = self.partition_starts
-        pending: list[tuple[int, int, SearchResult, tuple | None]] = []
+        pending: list[tuple[int, BuildResult, int, SearchResult, tuple | None]] = []
         for label, result in labeled_results:
             if label == "main":
                 label = ("main", 0)
@@ -410,17 +471,26 @@ class EncryptedStoredColumn:
                 index = label[1] if len(label) > 1 else 0
                 if not 0 <= index < len(self.partition_builds):
                     raise QueryError(f"unknown main partition {index}")
+                # Scan the partition version the label carries (the one whose
+                # dictionary produced this result); fall back to the current
+                # build for index-only labels from pre-rotation callers.
+                build = label[2] if len(label) > 2 else self.partition_builds[index]
                 signature = None
                 if scan_cache is not None:
                     signature = (
-                        id(self), "main", index, result.ranges, result.vids
+                        id(self),
+                        "main",
+                        index,
+                        id(build.dictionary),
+                        result.ranges,
+                        result.vids,
                     )
                     cached = scan_cache.get(signature)
                     if cached is not None:
                         parts.append(cached)
                         continue
                 parts.append(None)
-                pending.append((len(parts) - 1, index, result, signature))
+                pending.append((len(parts) - 1, build, index, result, signature))
             elif label == "delta" or (
                 isinstance(label, tuple) and label and label[0] == "delta"
             ):
@@ -433,9 +503,9 @@ class EncryptedStoredColumn:
 
         if len(pending) == 1:
             # Single partition: keep the chunked scan of the one vector.
-            slot, index, result, signature = pending[0]
+            slot, build, index, result, signature = pending[0]
             rids = attr_vect_search(
-                self.partition_builds[index].attribute_vector,
+                build.attribute_vector,
                 result,
                 cost_model=cost_model,
                 chunk_rows=chunk_rows,
@@ -451,14 +521,14 @@ class EncryptedStoredColumn:
             # units, scanned concurrently on the shared pool.
             rids_list = attr_vect_search_many(
                 [
-                    (self.partition_builds[index].attribute_vector, result)
-                    for _, index, result, _ in pending
+                    (build.attribute_vector, result)
+                    for _, build, _, result, _ in pending
                 ],
                 cost_model=cost_model,
                 max_workers=max_workers,
                 adaptive=adaptive,
             )
-            for (slot, index, _, signature), rids in zip(pending, rids_list):
+            for (slot, _, index, _, signature), rids in zip(pending, rids_list):
                 global_rids = rids + starts[index]
                 if signature is not None:
                     scan_cache[signature] = global_rids
@@ -497,17 +567,59 @@ class EncryptedStoredColumn:
             adaptive=adaptive,
         )
 
-    def blob_at(self, record_id: int) -> bytes:
-        """Tuple reconstruction: the PAE blob of one global RecordID."""
-        if record_id < self.main_length:
-            for build, start in zip(self.partition_builds, self.partition_starts):
+    def partition_snapshot(self) -> list[BuildResult]:
+        """A consistent point-in-time copy of the serving partition list.
+
+        ``list()`` of a list is atomic under the interpreter even while a
+        rotation swap stores into an item, and each :class:`BuildResult` is
+        immutable once installed — so one snapshot per query keeps every
+        reconstruction on a single version of the column.
+        """
+        return list(self.partition_builds)
+
+    def render_view(self) -> tuple[list[BuildResult], list[bytes], int]:
+        """``(builds, delta_blobs, key_epoch)`` captured in one critical
+        section, for result rendering.
+
+        A key-rotation flip replaces partitions, delta and epoch together
+        under the shadow lock; taking the same lock here means a rendered
+        result is entirely pre-flip or entirely post-flip, and the returned
+        epoch is exactly the one every returned blob is sealed under — it is
+        stamped on the wire :class:`~repro.sql.result.ResultColumn` so the
+        proxy derives the matching decryption key.
+        """
+        with self._shadow_lock:
+            return list(self.partition_builds), list(self.delta_blobs), self.key_epoch
+
+    def blob_at(
+        self,
+        record_id: int,
+        builds: Sequence[BuildResult] | None = None,
+        delta_blobs: Sequence[bytes] | None = None,
+    ) -> bytes:
+        """Tuple reconstruction: the PAE blob of one global RecordID.
+
+        ``builds`` / ``delta_blobs`` pin the lookup to a
+        :meth:`render_view` (or :meth:`partition_snapshot`) so a multi-row
+        render never mixes partition versions (and thus key epochs) while an
+        online rotation swaps partitions underneath it.
+        """
+        if builds is None:
+            builds = self.partition_builds
+        if delta_blobs is None:
+            delta_blobs = self.delta_blobs
+        main_length = sum(len(build.attribute_vector) for build in builds)
+        if record_id < main_length:
+            start = 0
+            for build in builds:
                 if record_id < start + len(build.attribute_vector):
                     vid = int(build.attribute_vector[record_id - start])
                     return build.dictionary.entry(vid)
-        delta_index = record_id - self.main_length
-        if delta_index >= len(self.delta_blobs):
+                start += len(build.attribute_vector)
+        delta_index = record_id - main_length
+        if delta_index >= len(delta_blobs):
             raise QueryError(f"RecordID {record_id} out of range")
-        return self.delta_blobs[delta_index]
+        return delta_blobs[delta_index]
 
     def partition_blobs(
         self, index: int, keep: np.ndarray | None = None
@@ -533,6 +645,157 @@ class EncryptedStoredColumn:
         """Install the enclave's merge output and clear the delta store."""
         self.set_partitions([build])
         self.delta_blobs = []
+
+    # -- online rotation (repro.migrate) ---------------------------------
+    @property
+    def shadow(self) -> ShadowPartitions | None:
+        return self._shadow
+
+    def rotation_lock(self) -> threading.RLock:
+        """The shadow lock, for callers that must compose several rotation
+        operations into one critical section (e.g. the DBMS's flip step:
+        read delta → ``rotate_delta`` ecall → :meth:`flip_shadow`)."""
+        return self._shadow_lock
+
+    def begin_shadow(self, kind_name: str, key_epoch: int) -> int:
+        """Open dual-version slots for an online rotation; returns the
+        number of main partitions the backfill must rebuild."""
+        with self._shadow_lock:
+            if self._shadow is not None:
+                raise CatalogError(
+                    f"column {self.spec.name} already has a rotation in flight"
+                )
+            count = len(self.partition_builds)
+            self._shadow = ShadowPartitions(
+                kind_name=kind_name,
+                key_epoch=key_epoch,
+                builds=[None] * count,
+                originals=[None] * count,
+                swapped=[False] * count,
+            )
+            return count
+
+    def _require_shadow(self) -> ShadowPartitions:
+        if self._shadow is None:
+            raise CatalogError(
+                f"column {self.spec.name} has no rotation in flight"
+            )
+        return self._shadow
+
+    def install_shadow(self, index: int, build: BuildResult) -> None:
+        """Park one partition's rebuilt (shadow) version without serving it."""
+        with self._shadow_lock:
+            shadow = self._require_shadow()
+            current = self.partition_builds[index]
+            if len(build.attribute_vector) != len(current.attribute_vector):
+                raise CatalogError(
+                    f"shadow partition {index} has "
+                    f"{len(build.attribute_vector)} rows, expected "
+                    f"{len(current.attribute_vector)}"
+                )
+            shadow.builds[index] = build
+
+    def uninstall_shadow(self, index: int) -> None:
+        """Drop one partition's parked shadow build (rotate-step rollback)."""
+        with self._shadow_lock:
+            shadow = self._require_shadow()
+            if shadow.swapped[index]:
+                raise CatalogError(
+                    f"partition {index} is serving its shadow build; unswap first"
+                )
+            shadow.builds[index] = None
+
+    def swap_shadow(self, index: int) -> None:
+        """Atomically promote one shadow build into the serving slot."""
+        with self._shadow_lock:
+            shadow = self._require_shadow()
+            if shadow.builds[index] is None:
+                raise CatalogError(f"partition {index} has no shadow build")
+            if shadow.swapped[index]:
+                return
+            shadow.originals[index] = self.partition_builds[index]
+            self.partition_builds[index] = shadow.builds[index]
+            shadow.swapped[index] = True
+
+    def unswap_shadow(self, index: int) -> None:
+        """Roll one partition back to the version it served before the swap."""
+        with self._shadow_lock:
+            shadow = self._require_shadow()
+            if not shadow.swapped[index]:
+                return
+            self.partition_builds[index] = shadow.originals[index]
+            shadow.originals[index] = None
+            shadow.swapped[index] = False
+
+    def flip_shadow(self, new_delta_blobs: list[bytes] | None = None) -> None:
+        """Key-rotation finalize: swap every remaining partition, re-seal
+        the delta store, and advance the storage epoch in one critical
+        section, so no reader can observe a mixed-epoch column.
+
+        The caller (the DBMS) runs this under its session lock with the
+        re-sealed delta from the ``rotate_delta`` ecall, making the flip
+        atomic against queries and inserts as well.
+        """
+        with self._shadow_lock:
+            shadow = self._require_shadow()
+            for index in range(len(shadow.builds)):
+                self.swap_shadow(index)
+            if new_delta_blobs is not None:
+                if len(new_delta_blobs) != len(self.delta_blobs):
+                    raise CatalogError(
+                        "re-sealed delta store does not match the live delta"
+                    )
+                shadow.old_delta = self.delta_blobs
+                self.delta_blobs = new_delta_blobs
+            shadow.old_key_epoch = self.key_epoch
+            self.key_epoch = shadow.key_epoch
+            shadow.flipped = True
+
+    def unflip_shadow(self, delta_blobs: list[bytes] | None = None) -> None:
+        """Undo :meth:`flip_shadow`: restore every original partition and
+        the previous storage epoch.
+
+        ``delta_blobs`` replaces the delta store; the DBMS passes the
+        pre-flip delta plus any post-flip inserts re-sealed back to the old
+        epoch (``rotate_delta``), again under its session lock.
+        """
+        with self._shadow_lock:
+            shadow = self._require_shadow()
+            if not shadow.flipped:
+                return
+            for index in range(len(shadow.builds)):
+                self.unswap_shadow(index)
+            if delta_blobs is not None:
+                self.delta_blobs = delta_blobs
+            self.key_epoch = shadow.old_key_epoch
+            shadow.flipped = False
+
+    def clear_shadow(self) -> None:
+        """Drop the rotation state, keeping whatever versions now serve."""
+        with self._shadow_lock:
+            self._shadow = None
+
+    def set_key_epoch(self, key_epoch: int) -> None:
+        """Adopt a storage epoch outside a flip (kind-only rotations keep
+        the epoch; restores after a crash re-pin it from sealed metadata)."""
+        with self._shadow_lock:
+            self.key_epoch = int(key_epoch)
+
+    def partition_versions(self) -> list[str]:
+        """Which version each main partition currently serves: ``old`` /
+        ``shadow-ready`` (rebuilt, not yet promoted) / ``new``."""
+        with self._shadow_lock:
+            if self._shadow is None:
+                return ["current"] * len(self.partition_builds)
+            versions = []
+            for index in range(len(self._shadow.builds)):
+                if self._shadow.swapped[index]:
+                    versions.append("new")
+                elif self._shadow.builds[index] is not None:
+                    versions.append("shadow-ready")
+                else:
+                    versions.append("old")
+            return versions
 
     def join_tokens(self, host: EnclaveHost, salt: bytes) -> list[bytes]:
         """Per-row join tokens issued by the enclave (one per global rid)."""

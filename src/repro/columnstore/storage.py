@@ -7,12 +7,16 @@ persistency role disk plays for MonetDB. Encrypted columns are persisted as
 their ciphertext structures: nothing in the file reveals more than the
 in-memory representation already does.
 
-Format: ``ENCDBDB2`` magic, length-prefixed frames, SHA-256 integrity
+Format: ``ENCDBDB3`` magic, length-prefixed frames, SHA-256 integrity
 trailer. Tampering or truncation raises :class:`StorageError`. Version 2
-persists the partitioned main-store layout: each column is a sequence of
+introduced the partitioned main-store layout: each column is a sequence of
 (dictionary, attribute vector) partitions plus the per-table partition-row
 target, and encrypted partitions keep their server-assigned partition ids
-so enclave cache epochs stay consistent across a restart.
+so enclave cache epochs stay consistent across a restart. Version 3 adds
+the per-column storage-key epoch (``repro.migrate`` key rotations), written
+once per encrypted column — the format still records exactly one kind and
+one epoch per column, which is why the server refuses to save while a
+rotation is mid-flight.
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ from repro.encdict.dictionary import EncryptedDictionary
 from repro.encdict.options import kind_by_name
 from repro.exceptions import StorageError
 
-_MAGIC = b"ENCDBDB2"
+_MAGIC = b"ENCDBDB3"
 
 
 class _Writer:
@@ -177,6 +181,8 @@ def encrypted_partition_frame(build: BuildResult, partition_id: int) -> bytes:
 
 
 def _write_encrypted_column(writer: _Writer, column: EncryptedStoredColumn) -> None:
+    # v3: the storage-key epoch every blob of this column is sealed under.
+    writer.u64(column.key_epoch)
     writer.u64(len(column.partition_builds))
     for build, partition_id in zip(column.partition_builds, column.partition_ids):
         _write_encrypted_partition(writer, build, partition_id)
@@ -189,6 +195,7 @@ def _write_encrypted_column(writer: _Writer, column: EncryptedStoredColumn) -> N
 def _read_encrypted_column(
     reader: _Reader, spec: ColumnSpec, table_name: str
 ) -> EncryptedStoredColumn:
+    key_epoch = reader.u64()
     builds = []
     ids = []
     for _ in range(reader.u64()):
@@ -205,6 +212,7 @@ def _read_encrypted_column(
             offsets=offsets,
             tail=tail,
             enc_rnd_offset=enc_rnd_offset,
+            key_epoch=key_epoch,
         )
         stats = BuildStats(
             kind=spec.protection,
@@ -220,6 +228,9 @@ def _read_encrypted_column(
     # Never reuse an id a dropped partition once held: restore the counter.
     column._next_partition_id = max(column._next_partition_id, reader.u64())
     column.bind(table_name)
+    column.set_key_epoch(key_epoch)
+    if key_epoch:
+        spec.metadata["key_epoch"] = key_epoch
     column.delta_blobs = [reader.bytes_frame() for _ in range(reader.u64())]
     return column
 

@@ -289,3 +289,14 @@ class ColumnSpec:
     @property
     def is_encrypted(self) -> bool:
         return self.protection is not None
+
+    def adopt_protection(self, kind: Any, key_epoch: int) -> None:
+        """Rebind this spec to a rotated protection (``repro.migrate``).
+
+        The one sanctioned in-place mutation of a (frozen) spec: the
+        finalize step of an online rotation swaps the ED kind and storage
+        key epoch on the *shared* spec object, so table schema and column
+        agree atomically. Everything else must treat specs as immutable.
+        """
+        object.__setattr__(self, "protection", kind)
+        self.metadata["key_epoch"] = key_epoch

@@ -40,15 +40,27 @@ def hkdf_sha256(
     return blocks[:length]
 
 
-def derive_column_key(master_key: bytes, table_name: str, column_name: str) -> bytes:
+def derive_column_key(
+    master_key: bytes, table_name: str, column_name: str, key_epoch: int = 0
+) -> bytes:
     """Derive the per-column key ``SKD`` from the data owner's ``SKDB``.
 
     The encoding length-prefixes both names so no two distinct
     ``(table, column)`` pairs can collide (e.g. ``("ab", "c")`` vs
     ``("a", "bc")``).
+
+    ``key_epoch`` supports online key rotation (``repro.migrate``): epoch 0
+    is the column's original key and keeps the historical derivation
+    byte-for-byte, epoch ``n > 0`` appends the epoch to the HKDF info so
+    every rotation yields an independent key. Epoch 0 doubles as the
+    *transit* key — the proxy↔enclave encoding of filter bounds and insert
+    values stays pinned to it so clients never need to learn the storage
+    epoch before they can query.
     """
     if not master_key:
         raise CryptoError("master key must not be empty")
+    if key_epoch < 0:
+        raise CryptoError(f"invalid key epoch {key_epoch}")
     table_bytes = table_name.encode("utf-8")
     column_bytes = column_name.encode("utf-8")
     info = (
@@ -58,4 +70,31 @@ def derive_column_key(master_key: bytes, table_name: str, column_name: str) -> b
         + len(column_bytes).to_bytes(4, "big")
         + column_bytes
     )
+    if key_epoch:
+        info += b"\x00epoch" + key_epoch.to_bytes(8, "big")
     return hkdf_sha256(master_key, info=info, length=16)
+
+
+def derive_rotation_seed(
+    master_key: bytes,
+    table_name: str,
+    column_name: str,
+    kind_name: str,
+    key_epoch: int,
+) -> bytes:
+    """The DRBG seed of one online rotation's deterministic rebuild.
+
+    Both the enclave's ``rotate_partition`` ecall and the data owner can
+    derive it (it is a pure function of ``SKDB`` and the rotation target),
+    which is what makes the rotated column byte-identical to a from-scratch
+    deterministic build the owner can reproduce and audit.
+    """
+    if not master_key:
+        raise CryptoError("master key must not be empty")
+    parts = [
+        part.encode("utf-8") for part in (table_name, column_name, kind_name)
+    ]
+    info = b"EncDBDB-rotation\x00" + b"".join(
+        len(part).to_bytes(4, "big") + part for part in parts
+    ) + key_epoch.to_bytes(8, "big")
+    return hkdf_sha256(master_key, info=info, length=32)

@@ -50,6 +50,11 @@ class EncryptedDictionary:
     #: NOT registered on the wire (``net/protocol.py``) — partition layout
     #: is assigned by the server and must not cross the network.
     partition_id: int = 0
+    #: Which column-key epoch the blobs are encrypted under (online key
+    #: rotation, ``repro.migrate``). Epoch 0 is the original column key.
+    #: Like ``partition_id`` this is server-side bookkeeping and is not
+    #: registered on the wire — owner-shipped builds are always epoch 0.
+    key_epoch: int = 0
     #: Number of attribute-vector entries this dictionary serves; only used
     #: for storage accounting of the packed ValueID width.
     load_count: int = field(default=0, repr=False)
@@ -69,6 +74,7 @@ class EncryptedDictionary:
         enc_rnd_offset: bytes | None = None,
         encrypted: bool = True,
         partition_id: int = 0,
+        key_epoch: int = 0,
     ) -> "EncryptedDictionary":
         offsets = np.zeros(len(blobs) + 1, dtype=np.int64)
         np.cumsum([len(blob) for blob in blobs], out=offsets[1:])
@@ -82,6 +88,7 @@ class EncryptedDictionary:
             enc_rnd_offset=enc_rnd_offset,
             encrypted=encrypted,
             partition_id=partition_id,
+            key_epoch=key_epoch,
         )
 
     def __len__(self) -> int:

@@ -257,27 +257,32 @@ class EncDBDBEnclave(Enclave):
         )
         self._reset_caches()
 
-    def _column_key(self, table_name: str, column_name: str) -> bytes:
+    def _column_key(
+        self, table_name: str, column_name: str, key_epoch: int = 0
+    ) -> bytes:
         """``SKD = DeriveKey(SKDB, tabName, colName)`` (Algorithm 1 line 1).
 
-        With the fast path on, derivations are memoized in the protected
-        store — HKDF per ecall is pure overhead once ``SKDB`` is fixed, and
-        the cache is wiped whenever the master key is (re)provisioned.
+        ``key_epoch`` selects the storage-key generation of an online key
+        rotation (``repro.migrate``); epoch 0 is both the original column key
+        and the fixed *transit* key for proxy↔enclave encodings. With the
+        fast path on, derivations are memoized in the protected store — HKDF
+        per ecall is pure overhead once ``SKDB`` is fixed, and the cache is
+        wiped whenever the master key is (re)provisioned.
         """
         if not self.protected_has(_MASTER_KEY):
             raise EnclaveSecurityError("master key has not been provisioned")
         if not self.fastpath.key_cache_enabled:
             return derive_column_key(
-                self.protected_get(_MASTER_KEY), table_name, column_name
+                self.protected_get(_MASTER_KEY), table_name, column_name, key_epoch
             )
         if not self.protected_has(_KEY_CACHE):
             self.protected_set(_KEY_CACHE, {})
         cache: dict = self.protected_get(_KEY_CACHE)
-        cache_key = (table_name, column_name)
+        cache_key = (table_name, column_name, key_epoch)
         derived = cache.get(cache_key)
         if derived is None:
             derived = derive_column_key(
-                self.protected_get(_MASTER_KEY), table_name, column_name
+                self.protected_get(_MASTER_KEY), table_name, column_name, key_epoch
             )
             if len(cache) >= _KEY_CACHE_MAX_ENTRIES:
                 cache.clear()
@@ -290,14 +295,32 @@ class EncDBDBEnclave(Enclave):
     def _dict_search_one(
         self, dictionary: EncryptedDictionary, tau: tuple[bytes, bytes]
     ) -> SearchResult:
-        """One ``EnclDictSearch``: decrypt ``τ``, derive ``SKD``, dispatch."""
-        key = self._column_key(dictionary.table_name, dictionary.column_name)
+        """One ``EnclDictSearch``: decrypt ``τ``, derive ``SKD``, dispatch.
+
+        ``τ`` is always under the transit key (epoch 0) — clients need not
+        know a column's storage-key generation to query it — while the
+        dictionary entries are opened under the dictionary's own
+        ``key_epoch``, so queries keep working across an online key rotation
+        even while old- and new-epoch partitions coexist.
+        """
+        transit_key = self._column_key(
+            dictionary.table_name, dictionary.column_name
+        )
         low_blob, high_blob = tau
         search = OrdinalRange.from_bytes(
-            self._pae.decrypt(key, low_blob) + self._pae.decrypt(key, high_blob)
+            self._pae.decrypt(transit_key, low_blob)
+            + self._pae.decrypt(transit_key, high_blob)
         )
         self.cost_model.record_decryption(len(low_blob))
         self.cost_model.record_decryption(len(high_blob))
+        key_epoch = getattr(dictionary, "key_epoch", 0)
+        key = (
+            transit_key
+            if not key_epoch
+            else self._column_key(
+                dictionary.table_name, dictionary.column_name, key_epoch
+            )
+        )
         return self._searcher.search(
             dictionary,
             search,
@@ -361,7 +384,11 @@ class EncDBDBEnclave(Enclave):
 
         from repro.encdict.search import CachedEntry, cached_entry_footprint
 
-        key = self._column_key(dictionary.table_name, dictionary.column_name)
+        key = self._column_key(
+            dictionary.table_name,
+            dictionary.column_name,
+            getattr(dictionary, "key_epoch", 0),
+        )
         join_key = hkdf_sha256(
             self.protected_get(_MASTER_KEY),
             info=b"EncDBDB-join\x00" + salt,
@@ -409,21 +436,34 @@ class EncDBDBEnclave(Enclave):
     # ------------------------------------------------------------------
     @ecall
     def reencrypt_for_delta(
-        self, table_name: str, column_name: str, transit_blob: bytes
+        self,
+        table_name: str,
+        column_name: str,
+        transit_blob: bytes,
+        *,
+        key_epoch: int = 0,
     ) -> bytes:
         """Re-encrypt an inserted value with a fresh IV for the delta store.
 
         The stored ciphertext is unlinkable to the one that travelled over
-        the network, so neither order nor frequency leaks on insertion.
+        the network, so neither order nor frequency leaks on insertion. The
+        transit blob is always under the epoch-0 key; ``key_epoch`` is the
+        column's current *storage* epoch (post key rotation), so new inserts
+        land under the same key generation as the rotated main store.
         """
         from repro.columnstore.partition import DELTA_PARTITION_ID
 
         # Only the delta store changes: main-partition caches stay warm.
         self._bump_epoch(table_name, column_name, DELTA_PARTITION_ID)
-        key = self._column_key(table_name, column_name)
-        plaintext = self._pae.decrypt(key, transit_blob)
+        transit_key = self._column_key(table_name, column_name)
+        plaintext = self._pae.decrypt(transit_key, transit_blob)
         self.cost_model.record_decryption(len(transit_blob))
-        return self._pae.encrypt(key, plaintext)
+        store_key = (
+            transit_key
+            if not key_epoch
+            else self._column_key(table_name, column_name, key_epoch)
+        )
+        return self._pae.encrypt(store_key, plaintext)
 
     @ecall
     def rebuild_for_merge(
@@ -436,6 +476,8 @@ class EncDBDBEnclave(Enclave):
         *,
         bsmax: int = 10,
         partition_id: int = 0,
+        key_epoch: int = 0,
+        blob_epochs: Sequence[int] | None = None,
     ) -> BuildResult:
         """Merge delta values into a fresh main-store partition.
 
@@ -446,16 +488,29 @@ class EncDBDBEnclave(Enclave):
         (the oblivious-merge requirement of §4.3). ``partition_id`` scopes
         the epoch bump: an incremental merge rebuilding one dirty partition
         leaves the cached plaintext of every clean partition valid.
+
+        After an online key rotation the whole column sits under one storage
+        epoch (the flip re-seals main and delta together): ``key_epoch`` is
+        that uniform epoch, for the input blobs and the rebuilt partition
+        alike. ``blob_epochs`` overrides per input blob for callers merging
+        mixed-epoch ciphertext.
         """
         if not value_blobs:
             raise QueryError("rebuild_for_merge requires at least one value")
+        if blob_epochs is not None and len(blob_epochs) != len(value_blobs):
+            raise QueryError("blob_epochs does not match value_blobs")
         self._bump_epoch(table_name, column_name, partition_id)
         from repro.sgx.oblivious import oblivious_shuffle
 
-        key = self._column_key(table_name, column_name)
+        keys_by_epoch = {
+            epoch: self._column_key(table_name, column_name, epoch)
+            for epoch in set(blob_epochs or ()) | {key_epoch}
+        }
+        key = keys_by_epoch[key_epoch]
         plaintexts = []
-        for blob in value_blobs:
-            plaintext = self._pae.decrypt(key, blob)
+        for index, blob in enumerate(value_blobs):
+            blob_key = keys_by_epoch[blob_epochs[index]] if blob_epochs else key
+            plaintext = self._pae.decrypt(blob_key, blob)
             self.cost_model.record_decryption(len(blob))
             plaintexts.append(value_type.from_bytes(plaintext))
         # Obliviously permute row order before rebuilding: with the fresh
@@ -494,4 +549,119 @@ class EncDBDBEnclave(Enclave):
         realigned[np.asarray(order, dtype=np.int64)] = build.attribute_vector
         build.attribute_vector = realigned
         build.dictionary.partition_id = partition_id
+        build.dictionary.key_epoch = key_epoch
         return build
+
+    # ------------------------------------------------------------------
+    # Online rotation (repro.migrate)
+    # ------------------------------------------------------------------
+    @ecall
+    def rotate_partition(
+        self,
+        old_dictionary: EncryptedDictionary,
+        attribute_vector,
+        *,
+        new_kind: EncryptedDictionaryKind,
+        key_epoch: int = 0,
+        partition_index: int = 0,
+        bsmax: int = 10,
+    ) -> BuildResult:
+        """Re-encrypt one main-store partition to a new ED kind / key epoch.
+
+        The shadow build of an online rotation (``repro.migrate``): the old
+        partition's ciphertext is opened here — plaintext never leaves the
+        TCB — and rebuilt with ``new_kind`` under the ``key_epoch`` storage
+        key. Row order is preserved (the other columns' attribute vectors
+        stay row-aligned, so a rotation must not move rows), and the build
+        DRBG is derived deterministically from ``SKDB`` and the rotation
+        target via :func:`derive_rotation_seed` with the exact per-partition
+        fork discipline of :func:`encdb_build_partitioned`. Consequences:
+        the rotated column is byte-identical to a from-scratch deterministic
+        build the data owner can reproduce, and replicas rotating
+        independently converge on identical ciphertext.
+        """
+        from repro.crypto.kdf import derive_rotation_seed
+        from repro.encdict.builder import derive_partition_rngs
+
+        table_name = old_dictionary.table_name
+        column_name = old_dictionary.column_name
+        value_type = old_dictionary.value_type
+        partition_id = getattr(old_dictionary, "partition_id", 0)
+        if partition_index < 0:
+            raise QueryError(f"invalid partition index {partition_index}")
+        if len(old_dictionary) == 0:
+            raise QueryError("cannot rotate an empty partition")
+        # The old partition's cached plaintext is dropped now (write-ecall
+        # discipline); queries re-warm it from the still-serving old build.
+        self._bump_epoch(table_name, column_name, partition_id)
+        old_key = self._column_key(
+            table_name, column_name, getattr(old_dictionary, "key_epoch", 0)
+        )
+        entry_blobs = list(old_dictionary.entries())
+        entry_plaintexts = self._pae.decrypt_many(old_key, entry_blobs)
+        for blob in entry_blobs:
+            self.cost_model.record_decryption(len(blob))
+        entries = [value_type.from_bytes(raw) for raw in entry_plaintexts]
+        values = [entries[int(vid)] for vid in attribute_vector]
+        # Replay the canonical fork discipline: child i of the rotation root
+        # is a pure function of (SKDB, rotation target, partition index), so
+        # rotating partitions out of order — or in parallel on replicas —
+        # yields the same streams a serial from-scratch build would draw.
+        root = HmacDrbg(
+            derive_rotation_seed(
+                self.protected_get(_MASTER_KEY),
+                table_name,
+                column_name,
+                new_kind.name,
+                key_epoch,
+            )
+        )
+        build_rng, iv_rng = derive_partition_rngs(root, partition_index + 1)[
+            partition_index
+        ]
+        build = encdb_build(
+            values,
+            new_kind,
+            value_type=value_type,
+            key=self._column_key(table_name, column_name, key_epoch),
+            pae=self._pae,
+            rng=build_rng,
+            iv_rng=iv_rng,
+            bsmax=bsmax,
+            table_name=table_name,
+            column_name=column_name,
+            encrypted=True,
+        )
+        build.dictionary.partition_id = partition_id
+        build.dictionary.key_epoch = key_epoch
+        return build
+
+    @ecall
+    def rotate_delta(
+        self,
+        table_name: str,
+        column_name: str,
+        delta_blobs: Sequence[bytes],
+        *,
+        old_key_epoch: int = 0,
+        key_epoch: int = 0,
+    ) -> list[bytes]:
+        """Re-encrypt the ED9 delta store under a new storage-key epoch.
+
+        Runs once, at the atomic flip of a key rotation: every delta blob is
+        opened under the old epoch and resealed under the new one with fresh
+        IVs, order preserved (delta RecordIDs are positional). The untrusted
+        side sees a same-length list of same-size blobs — nothing about the
+        values.
+        """
+        from repro.columnstore.partition import DELTA_PARTITION_ID
+
+        self._bump_epoch(table_name, column_name, DELTA_PARTITION_ID)
+        if not delta_blobs:
+            return []
+        old_key = self._column_key(table_name, column_name, old_key_epoch)
+        new_key = self._column_key(table_name, column_name, key_epoch)
+        plaintexts = self._pae.decrypt_many(old_key, list(delta_blobs))
+        for blob in delta_blobs:
+            self.cost_model.record_decryption(len(blob))
+        return self._pae.encrypt_many(new_key, plaintexts)

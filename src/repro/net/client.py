@@ -391,6 +391,37 @@ class RemoteServer:
     def execute_merge(self, plan) -> int:
         return self.connection.call("execute_merge", plan)
 
+    # -- online rotation (repro.migrate) -----------------------------------
+    def migrate_start(
+        self,
+        table_name: str,
+        column_name: str,
+        *,
+        new_kind: str | None = None,
+        rotate_key: bool = False,
+    ):
+        return self.connection.call(
+            "migrate_start",
+            table_name,
+            column_name,
+            new_kind=new_kind,
+            rotate_key=rotate_key,
+        )
+
+    def migrate_step(self, table_name: str, column_name: str, steps: int = 1):
+        return self.connection.call("migrate_step", table_name, column_name, steps)
+
+    def migrate_run(self, table_name: str, column_name: str):
+        return self.connection.call("migrate_run", table_name, column_name)
+
+    def migrate_status(
+        self, table_name: str | None = None, column_name: str | None = None
+    ) -> list:
+        return self.connection.call("migrate_status", table_name, column_name)
+
+    def migrate_rollback(self, table_name: str, column_name: str):
+        return self.connection.call("migrate_rollback", table_name, column_name)
+
     # -- introspection / persistence (server-side paths) ------------------
     def table_names(self) -> list[str]:
         return self.connection.call("table_names")

@@ -47,6 +47,7 @@ from repro.sql.planner import (
     RangeFilter,
     SelectPlan,
 )
+from repro.migrate.plan import MigrationStatus
 from repro.sql.result import ResultColumn, ServerResult
 
 PROTOCOL_VERSION = 1
@@ -181,8 +182,34 @@ _register(CreatePlan, ("table", "specs"))
 _register(MergePlan, ("table",))
 
 # Results (ciphertext columns + metadata, paper §4.2 step 13) -----------------
-_register(ResultColumn, ("table_name", "column_name", "encrypted", "data"))
+# ``key_epoch`` rides along so the proxy can derive the storage-epoch column
+# key after an online key rotation (repro.migrate) finalizes.
+_register(
+    ResultColumn,
+    ("table_name", "column_name", "encrypted", "data", "key_epoch"),
+)
 _register(ServerResult, ("table_name", "record_ids", "columns"))
+
+# Online rotation progress (repro.migrate): typed frames for the ``migrate``
+# wire verbs — public kinds/epochs/phase metadata only, never ciphertext.
+_register(
+    MigrationStatus,
+    (
+        "migration_id",
+        "table",
+        "column",
+        "old_kind",
+        "new_kind",
+        "old_key_epoch",
+        "new_key_epoch",
+        "state",
+        "phase",
+        "steps_total",
+        "steps_done",
+        "partition_versions",
+        "error",
+    ),
+)
 
 # Encrypted builds (the data owner's EncDB output for bulk import) ------------
 # ``partition_id`` is deliberately NOT registered: partition metadata is

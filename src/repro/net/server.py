@@ -77,13 +77,33 @@ RPC_METHODS: dict[str, str] = {
     # enclaves. The relay sees only a quote and PAE blobs.
     "enclave_replicate_key": "enclave_replicate_key",
     "enclave_is_provisioned": "enclave_is_provisioned",
+    # Online rotation (repro.migrate): typed MigrationStatus progress frames.
+    "migrate_start": "migrate_start",
+    "migrate_step": "migrate_step",
+    "migrate_run": "migrate_run",
+    "migrate_status": "migrate_status",
+    "migrate_rollback": "migrate_rollback",
 }
 
-#: RPC methods that perform **no** enclave calls — the data owner ships
-#: finished ciphertext and the server only installs it. They run on worker
-#: threads *without* the ecall lock, so a long bulk import cannot starve
-#: concurrent queries of other sessions.
-LOCK_FREE_METHODS = frozenset({"bulk_load"})
+#: RPC methods that run on worker threads *without* the ecall lock. Bulk
+#: imports perform no enclave calls at all (the owner ships finished
+#: ciphertext), so a long load cannot starve concurrent queries. Migration
+#: verbs DO cross the boundary, but deliberately run off the asyncio lock
+#: too: a ``migrate_run`` that held it would stall every query for the whole
+#: backfill. Correctness comes from the enclave's boundary lock (one thread
+#: inside per ecall) and the column's shadow lock (atomic swaps/flips), so a
+#: concurrent query waits at most one partition-sized critical section —
+#: the paper-style cost accounting may interleave while a rotation runs.
+LOCK_FREE_METHODS = frozenset(
+    {
+        "bulk_load",
+        "migrate_start",
+        "migrate_step",
+        "migrate_run",
+        "migrate_status",
+        "migrate_rollback",
+    }
+)
 
 
 @dataclass

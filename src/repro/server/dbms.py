@@ -25,6 +25,8 @@ from repro.crypto.pae import Pae, default_pae
 from repro.encdict.builder import BuildResult
 from repro.encdict.enclave_app import EncDBDBEnclave
 from repro.exceptions import CatalogError, QueryError
+from repro.migrate import MigrationManager
+from repro.migrate.plan import MigrationStatus
 from repro.sgx.attestation import AttestationService
 from repro.sgx.cache import FastPathConfig
 from repro.sgx.enclave import EnclaveHost
@@ -76,6 +78,9 @@ class EncDBDBServer:
         )
         self.enclave_host = EnclaveHost(self._enclave)
         self.executor = Executor(self.catalog, self.enclave_host, fastpath=self.fastpath)
+        self.migrations = MigrationManager(
+            self.catalog, self.enclave_host, salt_rng=rng.fork("migration-salts")
+        )
 
     # ------------------------------------------------------------------
     # Enclave surface exposed to the network (provisioning passthrough)
@@ -332,17 +337,78 @@ class EncDBDBServer:
         policy = getattr(self, "_merge_policy", None)
         if policy is None:
             return
+        if table_name in self.migrations.active_tables():
+            # A merge rebuilds the partition layout out from under the
+            # rotation's dual-version slots; the policy simply retries after
+            # the migration finishes or rolls back.
+            return
         table = self.catalog.table(table_name)
         if policy.should_merge(table):
             self.executor.merge(MergePlan(table_name))
 
     def execute_merge(self, plan: MergePlan) -> int:
+        if plan.table in self.migrations.active_tables():
+            raise QueryError(
+                f"table {plan.table!r} has a rotation in flight; "
+                "finish or roll back the migration before merging"
+            )
         return self.executor.merge(plan)
+
+    # ------------------------------------------------------------------
+    # Online rotation (repro.migrate)
+    # ------------------------------------------------------------------
+    def migrate_start(
+        self,
+        table_name: str,
+        column_name: str,
+        *,
+        new_kind: str | None = None,
+        rotate_key: bool = False,
+    ) -> MigrationStatus:
+        return self.migrations.start(
+            table_name, column_name, new_kind=new_kind, rotate_key=rotate_key
+        )
+
+    def migrate_step(
+        self, table_name: str, column_name: str, steps: int = 1
+    ) -> MigrationStatus:
+        return self.migrations.step(table_name, column_name, steps)
+
+    def migrate_run(self, table_name: str, column_name: str) -> MigrationStatus:
+        return self.migrations.run(table_name, column_name)
+
+    def migrate_status(
+        self, table_name: str | None = None, column_name: str | None = None
+    ) -> list[MigrationStatus]:
+        return self.migrations.status(table_name, column_name)
+
+    def migrate_rollback(
+        self, table_name: str, column_name: str
+    ) -> MigrationStatus:
+        return self.migrations.rollback(table_name, column_name)
+
+    def explain_migrations(self, plan) -> list[MigrationStatus]:
+        """EXPLAIN hook: active rotations touching the plan's table(s)."""
+        tables = {getattr(plan, "table", None), getattr(plan, "left_table", None),
+                  getattr(plan, "right_table", None)}
+        return [
+            status
+            for status in self.migrations.status()
+            if status.active and status.table in tables
+        ]
 
     # ------------------------------------------------------------------
     # Persistence (the storage-management box of Figure 5)
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
+        if self.migrations.any_active:
+            # The storage format records one kind and one epoch per column;
+            # a half-swapped column has neither, so persisting mid-rotation
+            # could resurrect into an unservable state.
+            raise QueryError(
+                "cannot save while a migration is in flight; "
+                "finish or roll it back first"
+            )
         save_database(self.catalog, path)
 
     def load(self, path: str | Path) -> None:
@@ -351,3 +417,6 @@ class EncDBDBServer:
             raise QueryError("load() requires an empty server catalog")
         self.catalog = loaded
         self.executor = Executor(self.catalog, self.enclave_host, fastpath=self.fastpath)
+        self.migrations = MigrationManager(
+            self.catalog, self.enclave_host, salt_rng=self.migrations._salt_rng
+        )

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import inspect
+import threading
 from typing import Any, Callable
 
 from repro.crypto.drbg import HmacDrbg
@@ -53,7 +54,13 @@ class Enclave:
         # Enclave-internal randomness (sgx_read_rand in the real SDK).
         self._rng = rng if rng is not None else HmacDrbg(b"enclave-rdrand")
         self._protected: dict[str, Any] = {}
-        self._call_depth = 0
+        # Serializes boundary crossings: real SGX enclaves support multiple
+        # TCS entries, but this program's protected store and call-depth
+        # gating assume one thread inside at a time. Host threads (query
+        # sessions, the online-rotation driver) may therefore share one
+        # enclave; a writer blocks readers for at most one ecall.
+        self._boundary_lock = threading.RLock()
+        self._call_depth = 0  # guarded-by: self._boundary_lock
         self._measurement = measure_enclave_class(type(self))
 
     # ------------------------------------------------------------------
@@ -106,12 +113,13 @@ class Enclave:
         method = getattr(type(self), name, None)
         if method is None or not getattr(method, "__is_ecall__", False):
             raise EnclaveSecurityError(f"{name!r} is not a registered ecall")
-        self.cost_model.record_ecall(name=name)
-        self._call_depth += 1
-        try:
-            return method(self, *args, **kwargs)
-        finally:
-            self._call_depth -= 1
+        with self._boundary_lock:
+            self.cost_model.record_ecall(name=name)
+            self._call_depth += 1
+            try:
+                return method(self, *args, **kwargs)
+            finally:
+                self._call_depth -= 1
 
     def ecall_names(self) -> tuple[str, ...]:
         """The registered entry points, in definition order."""

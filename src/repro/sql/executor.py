@@ -262,8 +262,13 @@ class Executor:
         if isinstance(column, PlainStoredColumn):
             data: list[Any] = [column.value_at(int(rid)) for rid in record_ids]
             return ResultColumn(table.name, name, encrypted=False, data=data)
-        blobs = [column.blob_at(int(rid)) for rid in record_ids]
-        return ResultColumn(table.name, name, encrypted=True, data=blobs)
+        builds, delta_blobs, key_epoch = column.render_view()
+        blobs = [
+            column.blob_at(int(rid), builds, delta_blobs) for rid in record_ids
+        ]
+        return ResultColumn(
+            table.name, name, encrypted=True, data=blobs, key_epoch=key_epoch
+        )
 
     def select_join(self, plan: JoinSelectPlan, salt: bytes) -> ServerResult:
         """Inner equi-join on enclave-issued join tokens.
@@ -516,6 +521,7 @@ class Executor:
                             blobs,
                             bsmax=column.spec.bsmax,
                             partition_id=column.partition_ids[index],
+                            key_epoch=column.key_epoch,
                         )
                         new_builds.append(build)
                         new_ids.append(column.partition_ids[index])
@@ -530,6 +536,7 @@ class Executor:
                         [column.delta_blobs[int(i)] for i in chunk],
                         bsmax=column.spec.bsmax,
                         partition_id=partition_id,
+                        key_epoch=column.key_epoch,
                     )
                     new_builds.append(build)
                     new_ids.append(partition_id)

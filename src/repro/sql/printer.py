@@ -294,6 +294,36 @@ def cluster_routing_lines(plan, shard_map) -> list[str]:
     return lines
 
 
+def migration_lines(statuses) -> list[str]:
+    """EXPLAIN annotation: online rotations in flight on the plan's tables.
+
+    ``statuses`` is the :class:`~repro.migrate.plan.MigrationStatus` list an
+    ``explain_migrations`` hook returned. Reports progress metadata only —
+    phase, step counts, and which version each partition currently serves —
+    all of which the provider observes anyway (§4.1 layout leakage).
+    """
+    lines: list[str] = []
+    for status in statuses or ():
+        target = (
+            f"{status.old_kind}->{status.new_kind}"
+            if status.new_kind != status.old_kind
+            else status.new_kind
+        )
+        if status.new_key_epoch != status.old_key_epoch:
+            target += (
+                f" key epoch {status.old_key_epoch}->{status.new_key_epoch}"
+            )
+        lines.append(
+            f"migration: {status.table}.{status.column} {target} "
+            f"phase={status.phase} [{status.steps_done}/{status.steps_total} "
+            f"steps] ({status.state})"
+        )
+        if status.partition_versions:
+            serving = ",".join(status.partition_versions)
+            lines.append(f"  partitions serve: {serving}")
+    return lines
+
+
 def render_explain(plan, schema_catalog=None, data_catalog=None) -> str:
     """EXPLAIN-style rendering of one query plan.
 

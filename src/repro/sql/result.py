@@ -23,6 +23,9 @@ class ResultColumn:
     encrypted: bool
     #: PAE blobs when ``encrypted`` else plaintext values, one per result row.
     data: list
+    #: Storage-key epoch the blobs are sealed under (0 until a key rotation
+    #: has finalized); the proxy derives the matching column key from it.
+    key_epoch: int = 0
 
     def __len__(self) -> int:
         return len(self.data)

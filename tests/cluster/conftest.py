@@ -26,11 +26,46 @@ class ClusterHandles:
 
     def __init__(self) -> None:
         self.by_endpoint: dict[tuple[int, int], ServerThread] = {}
+        self.ports: dict[tuple[int, int], int] = {}
         self.shard_map: ShardMap | None = None
 
     def stop(self, shard_id: int, replica: int = 0) -> None:
         """Kill one server (primary is replica 0) to simulate a crash."""
         self.by_endpoint.pop((shard_id, replica)).__exit__(None, None, None)
+
+    def restart(
+        self,
+        shard_id: int,
+        replica: int = 0,
+        *,
+        key_from: tuple[int, int] | None = None,
+    ) -> None:
+        """Boot a fresh server on a stopped endpoint's original port.
+
+        The replacement is a brand-new process-equivalent: empty catalog,
+        unkeyed enclave. ``key_from`` (another live (shard, replica)) pulls
+        ``SKDB`` enclave-to-enclave before serving, like
+        ``repro.cli serve --replica-of``.
+        """
+        key = (shard_id, replica)
+        if key in self.by_endpoint:
+            raise AssertionError(f"endpoint {key} is still running")
+        dbms = EncDBDBServer()
+        if key_from is not None:
+            from repro.cluster import pull_master_key_from
+
+            source = self.by_endpoint[key_from]
+            pull_master_key_from(dbms, "127.0.0.1", source.port)
+        handle = ServerThread(
+            NetServer(
+                dbms,
+                port=self.ports[key],
+                max_sessions=32,
+                shard=shard_id,
+            )
+        )
+        handle.__enter__()
+        self.by_endpoint[key] = handle
 
 
 @contextlib.contextmanager
@@ -51,6 +86,7 @@ def live_cluster(shards: int, *, replicas: int = 0, max_sessions: int = 32):
                 )
                 handle.__enter__()
                 handles.by_endpoint[(shard_id, replica)] = handle
+                handles.ports[(shard_id, replica)] = handle.port
                 group.append(("127.0.0.1", handle.port))
             endpoints.append(group)
         handles.shard_map = ShardMap.of_endpoints(endpoints)

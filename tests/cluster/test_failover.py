@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro.cluster import ClusterSystem
@@ -69,6 +71,28 @@ def test_losing_every_endpoint_of_a_shard_is_a_loud_error():
             handles.stop(1, replica=1)
             with pytest.raises(ClusterError, match="every endpoint failed"):
                 cluster.query(SQL)
+
+
+def test_restarted_replica_rejoins_rotation():
+    """Kill a replica, boot a fresh keyed server on its port: it must pick
+    up subsequent writes and re-enter the read rotation — proven by killing
+    the primary afterwards, leaving the rejoined replica as the only copy."""
+    with live_cluster(2, replicas=1) as handles:
+        with ClusterSystem.connect(
+            handles.shard_map, seed=5, retry=IMPATIENT, probe_interval=0.05
+        ) as cluster:
+            handles.stop(1, replica=1)
+            handles.restart(1, replica=1, key_from=(1, 0))
+            time.sleep(0.1)  # past the probe interval
+            _load(cluster)  # broadcasts reach the restarted server
+            expected = _expected()
+            # Round-robin over healthy endpoints must include the rejoined
+            # replica; every rotation position answers identically.
+            for _ in range(4):
+                assert sorted(cluster.query(SQL).column("id")) == expected
+            cluster.execute("INSERT INTO t VALUES (999, 8)")
+            handles.stop(1, replica=0)  # only the rejoined replica remains
+            assert sorted(cluster.query(SQL).column("id")) == expected + [999]
 
 
 def test_writes_reach_surviving_replica():

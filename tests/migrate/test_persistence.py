@@ -1,0 +1,112 @@
+"""Rotation vs. persistence: epochs survive restarts, shadows never do.
+
+The v3 storage format records exactly one kind and one key epoch per
+column. Consequences under test: a rotated column round-trips through
+save/load and still decrypts (the epoch is in the file); saving is refused
+while a rotation is in flight; and a server killed mid-backfill comes back
+serving the *old* column cleanly — the memory-only shadow state vanishes,
+which is the crash-rollback story (never a half-swapped column).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.session import EncDBDBSystem
+from repro.exceptions import QueryError
+
+SEED = 37
+ROWS = 36
+VALUES = [(i * 7) % 13 for i in range(ROWS)]
+PARTITION_ROWS = 9
+SQL = "SELECT tag FROM t WHERE v BETWEEN 3 AND 8"
+
+
+def _deploy() -> EncDBDBSystem:
+    system = EncDBDBSystem.create(seed=SEED)
+    system.execute("CREATE TABLE t (v ED3 INTEGER, tag INTEGER)")
+    system.bulk_load(
+        "t",
+        {"v": list(VALUES), "tag": list(range(ROWS))},
+        partition_rows=PARTITION_ROWS,
+    )
+    return system
+
+
+def _reload(path) -> EncDBDBSystem:
+    """A second process life: same deployment seed (same SKDB), fresh
+    server, catalog restored from the file."""
+    system = EncDBDBSystem.create(seed=SEED)
+    system.server.load(path)
+    for name in system.server.catalog.table_names():
+        system.proxy.register_schema(
+            name, system.server.catalog.table(name).specs
+        )
+    return system
+
+
+def _expected() -> set:
+    return {(i,) for i, v in enumerate(VALUES) if 3 <= v <= 8}
+
+
+def test_rotated_column_round_trips_through_save_load(tmp_path):
+    path = tmp_path / "db.encdbdb"
+    system = _deploy()
+    system.migrate("t", "v", new_kind="ED9", rotate_key=True)
+    system.execute("INSERT INTO t VALUES (5, 500)")  # delta at epoch 1
+    system.save(path)
+
+    reloaded = _reload(path)
+    column = reloaded.server.catalog.table("t").column("v")
+    assert column.key_epoch == 1
+    spec = reloaded.server.catalog.table("t").spec("v")
+    assert spec.protection.name == "ED9"
+    assert spec.metadata["key_epoch"] == 1
+    assert set(map(tuple, reloaded.query(SQL).rows)) == _expected() | {(500,)}
+    # And the next rotation picks up from the persisted epoch.
+    status = reloaded.server.migrate_start("t", "v", rotate_key=True)
+    assert (status.old_key_epoch, status.new_key_epoch) == (1, 2)
+    assert reloaded.server.migrate_run("t", "v").state == "done"
+    assert set(map(tuple, reloaded.query(SQL).rows)) == _expected() | {(500,)}
+
+
+def test_crash_mid_backfill_reloads_the_clean_old_column(tmp_path):
+    """Kill -9 mid-backfill: the reloaded server must serve the original
+    column — every partition "current", old kind, old epoch — because
+    shadow state is memory-only and the file predates the migration."""
+    path = tmp_path / "db.encdbdb"
+    system = _deploy()
+    system.save(path)  # the durable state a crash would fall back to
+    system.server.migrate_start("t", "v", new_kind="ED9", rotate_key=True)
+    system.server.migrate_step("t", "v", steps=3)  # prep + 2 backfills
+    column = system.server.catalog.table("t").column("v")
+    assert "shadow-ready" in column.partition_versions()
+    del system  # the crash
+
+    reloaded = _reload(path)
+    column = reloaded.server.catalog.table("t").column("v")
+    assert column.shadow is None
+    assert column.partition_versions() == ["current"] * len(
+        column.partition_builds
+    )
+    assert column.key_epoch == 0
+    assert reloaded.server.catalog.table("t").spec("v").protection.name == "ED3"
+    assert reloaded.server.migrate_status("t", "v") == []
+    assert set(map(tuple, reloaded.query(SQL).rows)) == _expected()
+    # Not wedged: the whole rotation restarts from scratch and completes.
+    reloaded.server.migrate_start("t", "v", new_kind="ED9", rotate_key=True)
+    assert reloaded.server.migrate_run("t", "v").state == "done"
+    assert set(map(tuple, reloaded.query(SQL).rows)) == _expected()
+
+
+def test_save_is_refused_while_any_rotation_is_active(tmp_path):
+    system = _deploy()
+    system.server.migrate_start("t", "v", new_kind="ED9")
+    with pytest.raises(QueryError, match="migration"):
+        system.save(tmp_path / "db.encdbdb")
+    assert not (tmp_path / "db.encdbdb").exists()
+    system.server.migrate_run("t", "v")
+    system.save(tmp_path / "db.encdbdb")  # idle again: allowed
+    assert set(map(tuple, _reload(tmp_path / "db.encdbdb").query(SQL).rows)) == (
+        _expected()
+    )

@@ -1,0 +1,129 @@
+"""Rollback: every phase of a rotation must undo to the original column.
+
+Every step of a migration plan is reversible until ``adopt`` runs; after a
+rollback the column serves exactly its original builds at the original
+epoch, and a new migration can start from scratch. A finalized migration is
+deliberately not rollable — the answer is a reverse migration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client.session import EncDBDBSystem
+from repro.exceptions import QueryError
+
+ROWS = 48
+VALUES = [(i * 5) % 19 for i in range(ROWS)]
+PARTITION_ROWS = 12
+SQL = "SELECT tag FROM t WHERE v BETWEEN 4 AND 11"
+
+
+def _deploy() -> EncDBDBSystem:
+    system = EncDBDBSystem.create(seed=23)
+    system.execute("CREATE TABLE t (v ED3 INTEGER, tag INTEGER)")
+    system.bulk_load(
+        "t",
+        {"v": list(VALUES), "tag": list(range(ROWS))},
+        partition_rows=PARTITION_ROWS,
+    )
+    return system
+
+
+def _expected() -> set:
+    return {(i,) for i, v in enumerate(VALUES) if 4 <= v <= 11}
+
+
+def _steps_total(system) -> int:
+    status = system.server.migrate_start("t", "v", new_kind="ED9", rotate_key=True)
+    total = status.steps_total
+    system.server.migrate_rollback("t", "v")
+    return total
+
+
+def test_rollback_at_every_position():
+    total = _steps_total(_deploy())
+    for executed in range(total):  # total would be "done": not rollable
+        system = _deploy()
+        column = system.server.catalog.table("t").column("v")
+        original_ids = [id(b) for b in column.partition_builds]
+        system.server.migrate_start("t", "v", new_kind="ED9", rotate_key=True)
+        if executed:
+            status = system.server.migrate_step("t", "v", steps=executed)
+            assert status.steps_done == executed, status.error
+        status = system.server.migrate_rollback("t", "v")
+        assert status.state == "rolled-back"
+        assert column.shadow is None
+        assert column.key_epoch == 0
+        assert [id(b) for b in column.partition_builds] == original_ids
+        spec = system.server.catalog.table("t").spec("v")
+        assert spec.protection.name == "ED3"
+        assert set(map(tuple, system.query(SQL).rows)) == _expected(), executed
+        # The slate is clean: the same rotation starts and completes now.
+        system.server.migrate_start("t", "v", new_kind="ED9", rotate_key=True)
+        final = system.server.migrate_run("t", "v")
+        assert final.state == "done", final.error
+        assert set(map(tuple, system.query(SQL).rows)) == _expected()
+
+
+def test_rollback_after_flip_reseals_new_inserts():
+    """An insert landing *after* the epoch flip is sealed under the new
+    key; rolling back must re-seal it to the old epoch, not lose it."""
+    system = _deploy()
+    status = system.server.migrate_start("t", "v", rotate_key=True)
+    # Key-only rotation finalize is [flip, adopt]: stop right after flip.
+    system.server.migrate_step("t", "v", steps=status.steps_total - 1)
+    column = system.server.catalog.table("t").column("v")
+    assert column.key_epoch == 1  # flipped
+    system.execute("INSERT INTO t VALUES (7, 999)")  # sealed at epoch 1
+    status = system.server.migrate_rollback("t", "v")
+    assert status.state == "rolled-back"
+    assert column.key_epoch == 0
+    assert set(map(tuple, system.query(SQL).rows)) == _expected() | {(999,)}
+
+
+def test_finalized_migration_is_not_rollable():
+    system = _deploy()
+    system.server.migrate_start("t", "v", new_kind="ED9")
+    assert system.server.migrate_run("t", "v").state == "done"
+    with pytest.raises(QueryError, match="no migration in flight"):
+        system.server.migrate_rollback("t", "v")
+
+
+def test_one_rotation_per_column_and_status_history():
+    system = _deploy()
+    system.server.migrate_start("t", "v", new_kind="ED9")
+    with pytest.raises(QueryError, match="in flight"):
+        system.server.migrate_start("t", "v", rotate_key=True)
+    assert system.server.migrations.active_tables() == {"t"}
+    system.server.migrate_rollback("t", "v")
+    # Retired to history, visible in status, column free again.
+    states = [s.state for s in system.server.migrate_status("t", "v")]
+    assert states == ["rolled-back"]
+    system.server.migrate_start("t", "v", new_kind="ED9")
+    assert system.server.migrate_run("t", "v").state == "done"
+    states = [s.state for s in system.server.migrate_status("t", "v")]
+    assert sorted(states) == ["done", "rolled-back"]
+
+
+def test_merge_and_save_are_refused_mid_rotation(tmp_path):
+    system = _deploy()
+    system.execute("INSERT INTO t VALUES (5, 500)")  # a delta row to merge
+    system.server.migrate_start("t", "v", new_kind="ED9")
+    with pytest.raises(QueryError, match="rotation in flight"):
+        system.execute("MERGE TABLE t")
+    with pytest.raises(QueryError, match="migration"):
+        system.save(tmp_path / "db.encdbdb")
+    system.server.migrate_rollback("t", "v")
+    system.execute("MERGE TABLE t")  # fine again
+    system.save(tmp_path / "db.encdbdb")
+
+
+def test_plaintext_and_noop_rotations_are_rejected():
+    system = _deploy()
+    with pytest.raises(QueryError, match="plaintext"):
+        system.server.migrate_start("t", "tag", new_kind="ED9")
+    with pytest.raises(QueryError, match="nothing to migrate"):
+        system.server.migrate_start("t", "v", new_kind="ED3")
+    with pytest.raises(QueryError, match="no migration in flight"):
+        system.server.migrate_step("t", "v")

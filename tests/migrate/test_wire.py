@@ -1,0 +1,132 @@
+"""Migration verbs over real sockets: typed status frames, epoch-stamped
+results, sealed-key restart mid-backfill, and the operator CLI."""
+
+from __future__ import annotations
+
+from repro.client.session import EncDBDBSystem
+from repro.migrate.plan import MigrationStatus
+from repro.net.server import NetServer, ServerThread
+from repro.server.dbms import EncDBDBServer
+from repro import cli
+
+SEED = 41
+ROWS = 40
+VALUES = [(i * 3) % 17 for i in range(ROWS)]
+PARTITION_ROWS = 10
+SQL = "SELECT tag FROM t WHERE v BETWEEN 4 AND 12"
+
+
+def _load(system) -> None:
+    system.execute("CREATE TABLE t (v ED3 INTEGER, tag INTEGER)")
+    system.bulk_load(
+        "t",
+        {"v": list(VALUES), "tag": list(range(ROWS))},
+        partition_rows=PARTITION_ROWS,
+    )
+
+
+def _expected() -> set:
+    return {(i,) for i, v in enumerate(VALUES) if 4 <= v <= 12}
+
+
+def test_migrate_verbs_and_epoch_stamped_results_over_tcp():
+    with ServerThread(NetServer()) as handle:
+        with EncDBDBSystem.connect("127.0.0.1", handle.port, seed=SEED) as system:
+            _load(system)
+            assert set(map(tuple, system.query(SQL).rows)) == _expected()
+
+            status = system.server.migrate_start("t", "v", rotate_key=True)
+            assert isinstance(status, MigrationStatus)  # typed frame decode
+            assert (status.state, status.phase) == ("running", "prep")
+            status = system.server.migrate_step("t", "v", steps=2)
+            assert status.steps_done == 2
+            listed = system.server.migrate_status("t", "v")
+            assert [s.steps_done for s in listed] == [2]
+            assert listed[0].partition_versions  # progress crosses the wire
+            status = system.server.migrate_run("t", "v")
+            assert status.state == "done", status.error
+            assert status.new_key_epoch == 1
+
+            # Results now carry key_epoch=1; the proxy must derive the
+            # matching storage key — over the wire, from the frame field.
+            assert set(map(tuple, system.query(SQL).rows)) == _expected()
+            system.execute("INSERT INTO t VALUES (5, 900)")
+            assert set(map(tuple, system.query(SQL).rows)) == (
+                _expected() | {(900,)}
+            )
+
+
+def test_rollback_over_tcp():
+    with ServerThread(NetServer()) as handle:
+        with EncDBDBSystem.connect("127.0.0.1", handle.port, seed=SEED) as system:
+            _load(system)
+            system.server.migrate_start("t", "v", new_kind="ED9")
+            system.server.migrate_step("t", "v", steps=2)
+            status = system.server.migrate_rollback("t", "v")
+            assert status.state == "rolled-back"
+            assert set(map(tuple, system.query(SQL).rows)) == _expected()
+
+
+def test_sealed_restart_mid_backfill_never_serves_half_swapped(tmp_path):
+    """Server dies mid-backfill; its second life (sealed SKDB + saved
+    database) serves the clean old column and can redo the rotation."""
+    sealed = tmp_path / "skdb.sealed"
+    database = tmp_path / "db.encdbdb"
+
+    with ServerThread(NetServer(sealed_key_path=sealed)) as handle:
+        with EncDBDBSystem.connect("127.0.0.1", handle.port, seed=SEED) as system:
+            _load(system)
+            system.server.save(database)
+            system.server.migrate_start("t", "v", new_kind="ED9", rotate_key=True)
+            system.server.migrate_step("t", "v", steps=3)  # mid-backfill
+            versions = system.server.migrate_status("t", "v")[0].partition_versions
+            assert "shadow-ready" in versions
+        # ServerThread teardown == the crash: shadow state dies with it.
+
+    dbms = EncDBDBServer()
+    dbms.load(database)
+    with ServerThread(NetServer(dbms, sealed_key_path=sealed)) as handle:
+        with EncDBDBSystem.connect("127.0.0.1", handle.port, seed=SEED) as system:
+            assert system.server.migrate_status("t", "v") == []
+            column = dbms.catalog.table("t").column("v")
+            assert column.partition_versions() == ["current"] * len(
+                column.partition_builds
+            )
+            assert set(map(tuple, system.query(SQL).rows)) == _expected()
+            system.server.migrate_start("t", "v", new_kind="ED9", rotate_key=True)
+            assert system.server.migrate_run("t", "v").state == "done"
+            assert set(map(tuple, system.query(SQL).rows)) == _expected()
+
+
+def test_cli_migrate_start_status_rollback(capsys):
+    with ServerThread(NetServer()) as handle:
+        with EncDBDBSystem.connect("127.0.0.1", handle.port, seed=SEED) as system:
+            _load(system)
+            address = f"127.0.0.1:{handle.port}"
+
+            code = cli.main(
+                ["migrate", "start", "t", "v", "--kind", "ED9",
+                 "--rotate-key", "--steps", "2", "--connect", address]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "migration: t.v ED3->ED9 key epoch 0->1" in out
+            assert "phase=backfill" in out
+
+            code = cli.main(["migrate", "status", "--connect", address])
+            assert code == 0
+            assert "(running)" in capsys.readouterr().out
+
+            code = cli.main(
+                ["migrate", "rollback", "t", "v", "--connect", address]
+            )
+            assert code == 0
+            assert "(rolled-back)" in capsys.readouterr().out
+
+            code = cli.main(
+                ["migrate", "start", "t", "v", "--kind", "ED9",
+                 "--connect", address]
+            )
+            assert code == 0
+            assert "(done)" in capsys.readouterr().out
+            assert set(map(tuple, system.query(SQL).rows)) == _expected()
