@@ -1,0 +1,221 @@
+"""Analytics pushdown on the TPC-H-lite workload (PR 9): measured, guarded,
+and emitted as machine-readable ``results/BENCH_workloads.json`` (uploaded
+by the ``workloads-bench`` CI job).
+
+Three claims over a ``lineitem`` fact table of ``ENCDBDB_WORKLOAD_ROWS``
+rows (default 1 000 000; CI runs smaller):
+
+1. **Pushed-down GROUP BY beats row shipping.** The pricing-summary query
+   (low-cardinality group column, ED1 measure) through the enclave's
+   ``aggregate_groups`` ecall must be >= 5x faster end to end than the
+   proxy-side reference path that decrypts every row.
+
+2. **Wire bytes collapse.** The same query's server result must shrink by
+   >= 50x: padded group frames instead of a million ciphertext blobs.
+
+3. **Equivalence.** Every query of the TPC-H-lite mix returns identical
+   rows through both paths, and EXPLAIN names a routing decision for each.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from conftest import RESULTS_DIR, write_result
+from repro.bench import BenchStats
+from repro.bench.report import format_table
+from repro.client.session import EncDBDBSystem
+from repro.net.protocol import encode_payload
+from repro.sql.parser import parse
+from repro.sql.planner import SelectPlan
+from repro.sql.printer import pushdown_lines
+from repro.workloads import (
+    LINEITEM_DDL,
+    evaluate_mix,
+    generate_lineitem,
+    tpch_lite_mix,
+)
+
+WORKLOAD_ROWS = int(os.environ.get("ENCDBDB_WORKLOAD_ROWS", 1_000_000))
+GROUPBY_ROUNDS = 2
+
+#: CI regression guards (the ISSUE's acceptance floors).
+MIN_GROUPBY_SPEEDUP = 5.0
+MIN_WIRE_REDUCTION = 50.0
+
+GROUPBY_SQL = (
+    "SELECT returnflag, COUNT(*), SUM(price), AVG(price), MIN(price), "
+    "MAX(price) FROM lineitem GROUP BY returnflag"
+)
+
+
+def _best_of(fn, rounds: int):
+    best, result = float("inf"), None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def system():
+    system = EncDBDBSystem.create(seed=b"workloads-bench")
+    system.execute(LINEITEM_DDL)
+    system.bulk_load("lineitem", generate_lineitem(WORKLOAD_ROWS))
+    return system
+
+
+def _encrypted_plan(system, sql: str) -> SelectPlan:
+    """The plan as it crosses the trust boundary (filters encrypted)."""
+    proxy = system.proxy
+    plan = proxy._planner.plan(parse(sql))
+    return SelectPlan(
+        plan.table,
+        plan.needed_columns,
+        proxy._encrypt_filter(plan.table, plan.filter),
+        plan.post,
+    )
+
+
+@pytest.fixture(scope="module")
+def groupby_run(system):
+    ref_s, ref = _best_of(lambda: system.query(GROUPBY_SQL), GROUPBY_ROUNDS)
+    system.proxy.enable_pushdown()
+    push_s, push = _best_of(lambda: system.query(GROUPBY_SQL), GROUPBY_ROUNDS)
+    decisions = system.proxy.last_pushdown
+    system.proxy.enable_pushdown(False)
+    assert push.rows == ref.rows  # claim 3, on the headline query itself
+    assert decisions is not None and any(d.pushed for d in decisions)
+
+    plan = _encrypted_plan(system, GROUPBY_SQL)
+    ref_wire = len(encode_payload(system.server.execute_select(plan)))
+    push_result = system.server.execute_select_pushdown(plan)
+    push_wire = len(encode_payload(push_result))
+    return {
+        "rows": WORKLOAD_ROWS,
+        "rounds": GROUPBY_ROUNDS,
+        "sql": GROUPBY_SQL,
+        "reference_s": ref_s,
+        "pushdown_s": push_s,
+        "speedup": ref_s / push_s,
+        "reference_wire_bytes": ref_wire,
+        "pushdown_wire_bytes": push_wire,
+        "wire_reduction": ref_wire / push_wire,
+        "frames": len(push_result.aggregate.frames),
+        "routing": [
+            f"{d.clause} -> {'enclave' if d.pushed else 'proxy'}: {d.reason}"
+            for d in decisions
+        ],
+        "min_speedup": MIN_GROUPBY_SPEEDUP,
+        "min_wire_reduction": MIN_WIRE_REDUCTION,
+    }
+
+
+def test_pushed_down_groupby_speedup(groupby_run):
+    assert groupby_run["speedup"] >= MIN_GROUPBY_SPEEDUP, groupby_run
+
+
+def test_pushed_down_groupby_wire_reduction(groupby_run):
+    assert groupby_run["wire_reduction"] >= MIN_WIRE_REDUCTION, groupby_run
+
+
+@pytest.fixture(scope="module")
+def mix_run(system):
+    proxy = system.proxy
+
+    def reference(sql: str) -> list:
+        proxy.enable_pushdown(False)
+        return system.query(sql).rows
+
+    def pushdown(sql: str) -> list:
+        proxy.enable_pushdown(True)
+        try:
+            return system.query(sql).rows
+        finally:
+            proxy.enable_pushdown(False)
+
+    def routing(sql: str) -> list[str]:
+        plan = _encrypted_plan(system, sql)
+        return pushdown_lines(system.server.explain_pushdown(plan))[1:]
+
+    return evaluate_mix(
+        tpch_lite_mix(),
+        reference=reference,
+        pushdown=pushdown,
+        routing=routing,
+        repeats=1,
+    )
+
+
+def test_mix_equivalence_and_routing(mix_run):
+    for evaluation in mix_run:
+        assert evaluation.equivalent, evaluation.to_dict()
+        # EXPLAIN must name a routing decision for every mix query.
+        assert evaluation.routing, evaluation.query
+        assert all("->" in line for line in evaluation.routing)
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+
+
+def test_report_workloads_bench(groupby_run, mix_run):
+    stats = BenchStats.capture()
+    text = format_table(
+        f"TPC-H-lite pricing summary, {WORKLOAD_ROWS:,} rows (best of "
+        f"{GROUPBY_ROUNDS})",
+        ["path", "seconds", "wire bytes"],
+        [
+            (
+                "proxy-side reference",
+                f"{groupby_run['reference_s']:.3f}",
+                f"{groupby_run['reference_wire_bytes']:,}",
+            ),
+            (
+                "enclave pushdown",
+                f"{groupby_run['pushdown_s']:.3f}",
+                f"{groupby_run['pushdown_wire_bytes']:,}",
+            ),
+        ],
+    )
+    text += (
+        f"\nspeedup {groupby_run['speedup']:.1f}x (floor "
+        f"{MIN_GROUPBY_SPEEDUP}x); wire reduction "
+        f"{groupby_run['wire_reduction']:.0f}x (floor "
+        f"{MIN_WIRE_REDUCTION:.0f}x).\n\n"
+    )
+    text += format_table(
+        "TPC-H-lite mix (reference vs pushdown, equivalence asserted)",
+        ["query", "ref s", "push s", "speedup", "routed"],
+        [
+            (
+                evaluation.query.name,
+                f"{evaluation.reference_seconds:.3f}",
+                f"{evaluation.pushdown_seconds:.3f}",
+                f"{evaluation.speedup:.2f}x",
+                "; ".join(
+                    line.split(":")[0].strip() for line in evaluation.routing
+                ),
+            )
+            for evaluation in mix_run
+        ],
+    )
+    write_result("workloads", text)
+
+    payload = {
+        "rows": WORKLOAD_ROWS,
+        "groupby_pushdown": groupby_run,
+        "mix": [evaluation.to_dict() for evaluation in mix_run],
+        "bench_stats": stats.to_dict(),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_workloads.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    assert (RESULTS_DIR / "BENCH_workloads.json").exists()

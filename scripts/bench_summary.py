@@ -4,14 +4,19 @@
 Each benchmark suite writes a machine-readable result file under
 ``benchmarks/results/`` (``BENCH_net.json``, ``BENCH_fastpath.json``,
 ``BENCH_partition.json``, ``BENCH_build.json``, ``BENCH_cluster.json``,
-...). The CI ``bench-summary`` job downloads the per-job artifacts and
-runs this script to publish one combined document keyed by benchmark
-name::
+``BENCH_workloads.json``, ...). The CI ``bench-summary`` job downloads the
+per-job artifacts and runs this script to publish one combined document
+keyed by benchmark name::
 
-    {"build": {...}, "cluster": {...}, "fastpath": {...}, "net": {...}}
+    {"build": {...}, "cluster": {...}, "net": {...}, "workloads": {...}}
 
-Usage: ``python scripts/bench_summary.py [results_dir] [output_path]``
-(defaults: ``benchmarks/results``, ``<results_dir>/BENCH_summary.json``).
+Failures are loud: a malformed result file or a required-but-missing
+benchmark aborts the summary instead of silently publishing a partial
+document a regression could hide in.
+
+Usage: ``python scripts/bench_summary.py [results_dir] [output_path]
+[--require name,name,...]`` (defaults: ``benchmarks/results``,
+``<results_dir>/BENCH_summary.json``, no required set).
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ from pathlib import Path
 
 
 def summarize(results_dir: Path) -> dict:
+    if not results_dir.is_dir():
+        raise SystemExit(f"{results_dir}: not a directory")
     summary: dict[str, object] = {}
     for path in sorted(results_dir.rglob("BENCH_*.json")):
         if path.name == "BENCH_summary.json":
@@ -35,13 +42,35 @@ def summarize(results_dir: Path) -> dict:
 
 
 def main(argv: list[str]) -> int:
-    results_dir = Path(argv[1]) if len(argv) > 1 else Path("benchmarks/results")
+    required: set[str] = set()
+    positional: list[str] = []
+    arguments = iter(argv[1:])
+    for argument in arguments:
+        if argument == "--require":
+            value = next(arguments, None)
+            if value is None:
+                raise SystemExit("--require needs a comma-separated name list")
+            required.update(name for name in value.split(",") if name)
+        elif argument.startswith("--require="):
+            value = argument.partition("=")[2]
+            required.update(name for name in value.split(",") if name)
+        else:
+            positional.append(argument)
+    results_dir = Path(positional[0]) if positional else Path("benchmarks/results")
     output = (
-        Path(argv[2]) if len(argv) > 2 else results_dir / "BENCH_summary.json"
+        Path(positional[1])
+        if len(positional) > 1
+        else results_dir / "BENCH_summary.json"
     )
     summary = summarize(results_dir)
     if not summary:
         raise SystemExit(f"no BENCH_*.json files found under {results_dir}")
+    missing = sorted(required - set(summary))
+    if missing:
+        raise SystemExit(
+            f"required benchmark result(s) missing under {results_dir}: "
+            + ", ".join(f"BENCH_{name}.json" for name in missing)
+        )
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
     print(f"{output}: {', '.join(sorted(summary))}")

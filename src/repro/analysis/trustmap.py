@@ -133,7 +133,9 @@ UNTRUSTED_SURFACE: dict[str, frozenset[str]] = {
 OWNER_SURFACE: dict[str, frozenset[str]] = {
     "repro.sgx.channel": frozenset({"SecureChannel"}),
     "repro.sgx.cache": frozenset({"EnclaveLruCache"}),  # analysis tooling
-    "repro.encdict.enclave_app": frozenset({"encrypt_search_range"}),
+    "repro.encdict.enclave_app": frozenset(
+        {"encrypt_search_range", "decode_group_frame", "AGGREGATE_KEY_COLUMN"}
+    ),
     "repro.encdict.search": frozenset({"plain_search", "DictionarySearcher"}),
 }
 
@@ -194,6 +196,7 @@ REGISTERED_ECALLS: tuple[str, ...] = (
     "rebuild_for_merge",
     "rotate_partition",  # online rotation shadow rebuild (PR 8)
     "rotate_delta",  # atomic delta re-seal at a key-rotation flip (PR 8)
+    "aggregate_groups",  # ordinal-space GROUP BY / aggregates (PR 9)
 )
 
 #: Module prefixes whose builds must be reproducible from caller-provided

@@ -126,7 +126,7 @@ class Shell:
                 "statements: CREATE TABLE / INSERT / SELECT / UPDATE / DELETE"
                 " / MERGE TABLE / EXPLAIN <statement>\n"
                 "meta: .tables  .schema <table>  .explain <sql>  .stats  "
-                ".save <path>  .quit"
+                ".pushdown on|off  .save <path>  .quit"
             )
         elif command == ".tables":
             names = self.system.server.catalog.table_names()
@@ -155,6 +155,15 @@ class Shell:
                 f"untrusted_loads={cost.untrusted_loads} "
                 f"modeled_cycles={cost.estimated_cycles():,}"
             )
+        elif command == ".pushdown":
+            choice = argument.strip().lower()
+            if choice in ("on", "off"):
+                self.system.proxy.enable_pushdown(choice == "on")
+            elif choice:
+                self._print("usage: .pushdown on|off")
+                return True
+            state = "on" if self.system.proxy.pushdown_enabled else "off"
+            self._print(f"analytics pushdown is {state}")
         elif command == ".explain":
             if not argument.strip():
                 self._print("usage: .explain <statement>")

@@ -58,10 +58,24 @@ class Proxy:
         from repro.crypto.drbg import HmacDrbg
 
         self._salt_rng = HmacDrbg(master_key + b"proxy-join-salt")
+        # Analytics pushdown (PR 9): off by default so the proxy-side
+        # reference path stays the behavior oracle; ``enable_pushdown()``
+        # opts a session in. ``last_pushdown`` records the routing
+        # decisions of the most recent pushdown-eligible SELECT.
+        self._pushdown_enabled = False
+        self.last_pushdown: tuple | None = None
 
     # ------------------------------------------------------------------
     # Public entry point
     # ------------------------------------------------------------------
+    def enable_pushdown(self, enabled: bool = True) -> None:
+        """Toggle in-enclave analytics pushdown for this session (PR 9)."""
+        self._pushdown_enabled = enabled
+
+    @property
+    def pushdown_enabled(self) -> bool:
+        return self._pushdown_enabled
+
     def execute(self, sql: str):
         """Run one SQL statement; returns a QueryResult or affected count."""
         plan = self._planner.plan(parse(sql))
@@ -118,6 +132,39 @@ class Proxy:
             from repro.sql.printer import migration_lines
 
             lines.extend(migration_lines(explain_migrations(plan)))
+        # Analytics pushdown routing (PR 9): where each aggregate/ORDER BY
+        # clause would run and why. Filters are encrypted first — EXPLAIN
+        # plans cross the same trust boundary as executed ones.
+        explain_pushdown = getattr(self._server, "explain_pushdown", None)
+        if self._pushdown_enabled and explain_pushdown is not None:
+            pd_plan = None
+            if isinstance(plan, SelectPlan):
+                pd_plan = SelectPlan(
+                    plan.table,
+                    plan.needed_columns,
+                    self._encrypt_filter(plan.table, plan.filter),
+                    plan.post,
+                )
+            elif isinstance(plan, JoinSelectPlan):
+                pd_plan = JoinSelectPlan(
+                    left_table=plan.left_table,
+                    right_table=plan.right_table,
+                    left_column=plan.left_column,
+                    right_column=plan.right_column,
+                    left_needed=plan.left_needed,
+                    right_needed=plan.right_needed,
+                    left_filter=self._encrypt_filter(
+                        plan.left_table, plan.left_filter
+                    ),
+                    right_filter=self._encrypt_filter(
+                        plan.right_table, plan.right_filter
+                    ),
+                    post=plan.post,
+                )
+            if pd_plan is not None:
+                from repro.sql.printer import pushdown_lines
+
+                lines.extend(pushdown_lines(explain_pushdown(pd_plan)))
         if lines:
             description = description + "\n" + "\n".join(lines)
         return description
@@ -204,9 +251,96 @@ class Proxy:
             self._encrypt_filter(plan.table, plan.filter),
             plan.post,
         )
+        pushdown = getattr(self._server, "execute_select_pushdown", None)
+        if self._pushdown_enabled and pushdown is not None:
+            return self._execute_select_pushdown(plan, encrypted_plan, pushdown)
         server_result = self._server.execute_select(encrypted_plan)
         rows = self._decrypt_rows(plan.table, plan.needed_columns, server_result)
         return self._post_process(plan.post, rows)
+
+    def _execute_select_pushdown(
+        self, plan: SelectPlan, encrypted_plan: SelectPlan, pushdown
+    ) -> QueryResult:
+        """Routed SELECT: aggregates may return as padded group frames.
+
+        Whatever the server pushed, the proxy re-applies its full
+        post-processing tail — ORDER BY/projection/DISTINCT/LIMIT are
+        idempotent over an already-ordered or already-aggregated result, so
+        a lying server can reorder nothing and the proxy-side reference
+        path stays the correctness oracle.
+        """
+        result = pushdown(encrypted_plan)
+        self.last_pushdown = tuple(result.decisions)
+        if result.aggregate is not None:
+            rows = self._merge_aggregate_frames(plan, result.aggregate)
+            return self._finish_rows(plan.post, rows)
+        rows = self._decrypt_rows(plan.table, plan.needed_columns, result.rows)
+        return self._post_process(plan.post, rows)
+
+    def _merge_aggregate_frames(self, plan: SelectPlan, aggregate) -> list[dict]:
+        """Decrypt padded group frames and merge partial aggregate states.
+
+        Frames arrive PAE-encrypted under the dedicated aggregate transit
+        key; dummies (the power-of-two padding) are dropped after
+        decryption. Multi-partition and multi-shard executions return one
+        frame per (segment, group) — states for the same group key merge
+        associatively (COUNT/SUM/AVG add, MIN/MAX fold), preserving
+        first-seen order, which is RecordID order end to end and therefore
+        matches the proxy-side reference grouping exactly.
+        """
+        from repro.encdict.enclave_app import AGGREGATE_KEY_COLUMN, decode_group_frame
+
+        key = self._column_key(aggregate.table_name, AGGREGATE_KEY_COLUMN)
+        aggs = [
+            item for item in plan.post.items if isinstance(item, Aggregate)
+        ]
+        if tuple(item.label for item in aggs) != tuple(aggregate.labels):
+            raise QueryError("aggregate frames do not match the planned query")
+        merged: dict[bytes, list[list[int]]] = {}
+        for frame in aggregate.frames:
+            dummy, key_bytes, states = decode_group_frame(self._pae.decrypt(key, frame))
+            if dummy:
+                continue
+            if len(states) != len(aggs):
+                raise QueryError("aggregate frame arity mismatch")
+            current = merged.get(key_bytes)
+            if current is None:
+                merged[key_bytes] = [list(state) for state in states]
+                continue
+            for item, have, incoming in zip(aggs, current, states):
+                present, a, b = incoming
+                if not present:
+                    continue
+                if not have[0]:
+                    have[:] = [1, a, b]
+                elif item.function == "MIN":
+                    have[1] = min(have[1], a)
+                elif item.function == "MAX":
+                    have[1] = max(have[1], a)
+                else:  # COUNT / SUM / AVG states are additive
+                    have[1] += a
+                    have[2] += b
+        group_type = None
+        if aggregate.group_column is not None:
+            group_type = (
+                self._schema.table(aggregate.table_name)
+                .spec(aggregate.group_column)
+                .value_type
+            )
+        rows: list[dict] = []
+        for key_bytes, states in merged.items():
+            row: dict[str, Any] = {}
+            if group_type is not None:
+                row[aggregate.group_column] = group_type.from_bytes(key_bytes)
+            for item, (present, a, b) in zip(aggs, states):
+                if not present:
+                    row[item.label] = None
+                elif item.function == "AVG":
+                    row[item.label] = a / b if b else None
+                else:
+                    row[item.label] = a
+            rows.append(row)
+        return rows
 
     def _execute_join_select(self, plan: JoinSelectPlan) -> QueryResult:
         encrypted_plan = JoinSelectPlan(
@@ -374,6 +508,13 @@ class Proxy:
                     if isinstance(item, Aggregate)
                 }
             ]
+        return self._finish_rows(post, rows)
+
+    def _finish_rows(self, post: PostProcessing, rows: list[dict]) -> QueryResult:
+        """Shared post-processing tail: ORDER BY, projection, DISTINCT,
+        LIMIT. Both the reference path (after proxy-side grouping) and the
+        pushdown path (after frame merging) end here, pinning the
+        post-processing order to one implementation."""
         if post.order_by:
             for order in reversed(post.order_by):
                 rows = sorted(

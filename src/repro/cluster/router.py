@@ -43,7 +43,13 @@ from repro.net.client import (
     _RemoteTable,
 )
 from repro.runtime import CLUSTER_POOL, shared_pool
-from repro.sql.result import ResultColumn, ServerResult
+from repro.sql.result import (
+    AggregateFrames,
+    PushdownSelectResult,
+    ResultColumn,
+    RoutingDecision,
+    ServerResult,
+)
 
 
 class EndpointPool:
@@ -475,6 +481,134 @@ class ClusterRouter:
         return self._merge_results(
             plan.table, [span for span, _group in targets], results
         )
+
+    def execute_select_pushdown(self, plan) -> PushdownSelectResult:
+        """Scatter a routed SELECT; merge pushed-down partial aggregates.
+
+        Aggregate states are associative (COUNT/SUM add, MIN/MAX fold, AVG
+        is a sum+count pair), so when every shard answers with group frames
+        the router simply concatenates them in span order — the proxy's
+        frame merge folds same-group partials exactly as it folds a single
+        node's per-partition frames. When every shard ships rows, the
+        ordinary padded-union gather applies (a per-shard ORDER BY top-K
+        union is a superset of the global top-K; the proxy re-sorts and
+        re-limits). Only when shards *disagree* — per-shard cost gates can
+        route the same plan differently — is the plan re-issued as plain
+        row shipping, recorded as a ``cluster: pushdown-fallback`` routing
+        decision instead of a refusal.
+        """
+        targets = self._read_targets(plan.table)
+        results = self._scatter(
+            [
+                (lambda group=group: group.call("execute_select_pushdown", plan))
+                for _span, group in targets
+            ]
+        )
+        if len(targets) == 1 and targets[0][0] is None:
+            return results[0]
+        spans = [span for span, _group in targets]
+        have_frames = [result.aggregate is not None for result in results]
+        if all(have_frames):
+            first = results[0].aggregate
+            for result in results[1:]:
+                if (
+                    result.aggregate.group_column != first.group_column
+                    or result.aggregate.labels != first.labels
+                ):
+                    raise ClusterError(
+                        f"table {plan.table!r}: shards answered with "
+                        "mismatched aggregate frame layouts"
+                    )
+            frames = tuple(
+                frame for result in results for frame in result.aggregate.frames
+            )
+            merged = AggregateFrames(
+                first.table_name, first.group_column, first.labels, frames
+            )
+            decisions = results[0].decisions + (
+                RoutingDecision(
+                    "cluster",
+                    True,
+                    f"scatter over {len(results)} shard(s): partial "
+                    "aggregate frames merge at the proxy",
+                ),
+            )
+            return PushdownSelectResult(decisions, aggregate=merged)
+        if not any(have_frames):
+            merged_rows = self._merge_results(
+                plan.table, spans, [result.rows for result in results]
+            )
+            # Per-shard ordering does not survive concatenation; the proxy
+            # re-sorts the union, so the merged result is unordered.
+            return PushdownSelectResult(results[0].decisions, rows=merged_rows)
+        plain = self._scatter(
+            [
+                (lambda group=group: group.call("execute_select", plan))
+                for _span, group in targets
+            ]
+        )
+        merged_rows = self._merge_results(plan.table, spans, plain)
+        decisions = tuple(
+            RoutingDecision(decision.clause, False, decision.reason)
+            for decision in results[0].decisions
+        ) + (
+            RoutingDecision(
+                "cluster",
+                False,
+                "pushdown-fallback: shard cost gates disagreed; "
+                "re-issued as row shipping",
+            ),
+        )
+        return PushdownSelectResult(decisions, rows=merged_rows)
+
+    def explain_pushdown(self, plan) -> tuple:
+        """EXPLAIN hook: per-clause pushdown routing, cluster-wide.
+
+        Shard 0's decisions stand in for the cluster (all shards see the
+        same plan); a trailing ``cluster`` decision reports the gather —
+        or, when the shards' static routing disagrees, the row-shipping
+        fallback execution would take.
+        """
+        table_name = getattr(plan, "table", None)
+        if table_name is None:
+            return tuple(self.group(0).call("explain_pushdown", plan))
+        targets = self._read_targets(table_name)
+        per_shard = self._scatter(
+            [
+                (
+                    lambda group=group: tuple(
+                        group.call("explain_pushdown", plan)
+                    )
+                )
+                for _span, group in targets
+            ]
+        )
+        decisions = per_shard[0]
+        if len(per_shard) == 1:
+            return decisions
+        shapes = {
+            tuple((decision.clause, decision.pushed) for decision in shard)
+            for shard in per_shard
+        }
+        if len(shapes) > 1:
+            return decisions + (
+                RoutingDecision(
+                    "cluster",
+                    False,
+                    f"pushdown-fallback: {len(per_shard)} shard(s) route "
+                    "this plan differently; execution re-issues row shipping",
+                ),
+            )
+        if any(decision.pushed for decision in decisions):
+            return decisions + (
+                RoutingDecision(
+                    "cluster",
+                    True,
+                    f"scatter over {len(per_shard)} shard(s): partial "
+                    "results merge at the proxy",
+                ),
+            )
+        return decisions
 
     def _merge_results(
         self, table_name: str, spans: list, results: list[ServerResult]

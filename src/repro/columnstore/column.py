@@ -440,6 +440,49 @@ class EncryptedStoredColumn:
             requests.append((("delta",), self._delta_dictionary(), tau))
         return requests
 
+    def ordinal_segments(
+        self, record_ids: np.ndarray
+    ) -> list[tuple[EncryptedDictionary, np.ndarray]]:
+        """Per-store ``(dictionary, ValueIDs)`` of the given rows (PR 9).
+
+        The ordinal-domain view the aggregation pushdown feeds to the
+        ``aggregate_groups`` ecall: for each store holding at least one of
+        the (sorted, global) ``record_ids`` — main partitions in order, then
+        the delta — the dictionary reference plus the rows' ValueIDs in
+        RecordID order. Delta "ValueIDs" are the row positions themselves
+        (the ED9 delta dictionary has one entry per row). All columns of a
+        table share one partition layout, so calling this on several columns
+        with the same ``record_ids`` yields row-aligned segment lists.
+        """
+        builds, delta_blobs, key_epoch = self.render_view()
+        record_ids = np.asarray(record_ids, dtype=np.int64)
+        segments: list[tuple[EncryptedDictionary, np.ndarray]] = []
+        start = 0
+        for build in builds:
+            length = len(build.attribute_vector)
+            in_store = record_ids[
+                (record_ids >= start) & (record_ids < start + length)
+            ]
+            if len(in_store):
+                segments.append(
+                    (build.dictionary, build.attribute_vector[in_store - start])
+                )
+            start += length
+        if delta_blobs:
+            in_delta = record_ids[record_ids >= start]
+            if len(in_delta):
+                dictionary = EncryptedDictionary.from_blobs(
+                    delta_blobs,
+                    kind=ED9,
+                    value_type=self.spec.value_type,
+                    table_name=self._table_name,
+                    column_name=self.spec.name,
+                    partition_id=DELTA_PARTITION_ID,
+                    key_epoch=key_epoch,
+                )
+                segments.append((dictionary, in_delta - start))
+        return segments
+
     def record_ids_from_results(
         self,
         labeled_results: Sequence[tuple[Any, SearchResult]],

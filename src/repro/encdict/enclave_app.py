@@ -47,6 +47,13 @@ _CHANNEL = "provisioning-channel"
 _LISTENER = "channel-listener"
 _KEY_CACHE = "SKD-cache"
 
+#: Pseudo-column name under which the per-table *aggregate transit key* is
+#: derived (analytics pushdown, PR 9). '#' cannot appear in a SQL identifier,
+#: so the derivation can never collide with a real column's ``SKD``.
+AGGREGATE_KEY_COLUMN = "#aggregate"
+
+_AGGREGATE_FUNCTIONS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
 #: Upper bound on memoized ``(table, column) -> SKD`` derivations; far above
 #: any realistic schema, it only guards against unbounded growth if a caller
 #: streams made-up column names through the enclave.
@@ -65,6 +72,69 @@ def encrypt_search_range(pae: Pae, key: bytes, search: OrdinalRange) -> tuple[by
         pae.encrypt(key, payload[:ORDINAL_BOUND_BYTES]),
         pae.encrypt(key, payload[ORDINAL_BOUND_BYTES:]),
     )
+
+
+# ----------------------------------------------------------------------
+# Group-frame codec (analytics pushdown, PR 9)
+# ----------------------------------------------------------------------
+# A *group frame* is the fixed-shape unit in which aggregation results leave
+# the enclave: one frame per result group, each PAE-encrypted under the
+# table's aggregate transit key. Frame plaintext layout:
+#
+#   payload_len u32 | payload | zero pad to the uniform frame size
+#   payload = dummy u8 | key_len u32 | key bytes | n_aggs u32
+#             | per aggregate: present u8 | a s64 | b s64
+#
+# ``(a, b)`` is the mergeable state of one aggregate — COUNT/SUM/MIN/MAX in
+# ``a``, AVG as the ``(sum, count)`` pair — so partials from different shards
+# combine without re-decrypting rows. Every frame of a response shares one
+# byte length, and the frame *count* is padded to a power of two with dummy
+# frames, so the ciphertexts reveal only an upper bound on the group
+# cardinality (DESIGN.md §14).
+
+
+def encode_frame_payload(
+    dummy: bool, key_bytes: bytes, states: Sequence[tuple[bool, int, int]]
+) -> bytes:
+    """Serialize one group frame's payload (pre-padding, pre-encryption)."""
+    parts = [
+        b"\x01" if dummy else b"\x00",
+        len(key_bytes).to_bytes(4, "big"),
+        key_bytes,
+        len(states).to_bytes(4, "big"),
+    ]
+    for present, a, b in states:
+        parts.append(b"\x01" if present else b"\x00")
+        parts.append(int(a).to_bytes(8, "big", signed=True))
+        parts.append(int(b).to_bytes(8, "big", signed=True))
+    return b"".join(parts)
+
+
+def decode_group_frame(
+    plaintext: bytes,
+) -> tuple[bool, bytes, list[tuple[bool, int, int]]]:
+    """``(dummy, key_bytes, states)`` from one decrypted group frame."""
+    length = int.from_bytes(plaintext[:4], "big")
+    payload = plaintext[4 : 4 + length]
+    dummy = payload[0] == 1
+    key_len = int.from_bytes(payload[1:5], "big")
+    key_bytes = payload[5 : 5 + key_len]
+    cursor = 5 + key_len
+    n_aggs = int.from_bytes(payload[cursor : cursor + 4], "big")
+    cursor += 4
+    states = []
+    for _ in range(n_aggs):
+        present = payload[cursor] == 1
+        a = int.from_bytes(payload[cursor + 1 : cursor + 9], "big", signed=True)
+        b = int.from_bytes(payload[cursor + 9 : cursor + 17], "big", signed=True)
+        states.append((present, a, b))
+        cursor += 17
+    return dummy, key_bytes, states
+
+
+def padded_frame_count(real_frames: int) -> int:
+    """Next power of two ≥ max(1, real_frames): the padded wire frame count."""
+    return 1 << (max(1, real_frames) - 1).bit_length()
 
 
 class EncDBDBEnclave(Enclave):
@@ -665,3 +735,250 @@ class EncDBDBEnclave(Enclave):
         for blob in delta_blobs:
             self.cost_model.record_decryption(len(blob))
         return self._pae.encrypt_many(new_key, plaintexts)
+
+    # ------------------------------------------------------------------
+    # Analytics pushdown (PR 9)
+    # ------------------------------------------------------------------
+    def _open_distinct_entries(
+        self, dictionary: EncryptedDictionary, indices: Sequence[int]
+    ) -> list[bytes]:
+        """Plaintext bytes of the dictionary entries at ``indices``.
+
+        The caller passes *distinct* ValueIDs — the pushdown's one-decryption-
+        per-distinct-value contract — and the lookups share the dict_search /
+        join entry cache, so a range scan followed by an aggregate over the
+        same column costs no re-decryption.
+        """
+        from repro.encdict.search import CachedEntry, cached_entry_footprint
+
+        key = self._column_key(
+            dictionary.table_name,
+            dictionary.column_name,
+            getattr(dictionary, "key_epoch", 0),
+        )
+        partition_id = getattr(dictionary, "partition_id", 0)
+        epoch = self._epoch(
+            dictionary.table_name, dictionary.column_name, partition_id
+        )
+        plaintexts: list = [None] * len(indices)
+        miss_positions: list[int] = []
+        miss_blobs: list[bytes] = []
+        miss_keys: list[tuple] = []
+        for position, index in enumerate(indices):
+            blob = dictionary.entry(int(index))
+            cache_key = (
+                dictionary.table_name,
+                dictionary.column_name,
+                partition_id,
+                epoch,
+                blob,
+            )
+            entry = (
+                self._entry_cache.get(cache_key)
+                if self._entry_cache is not None
+                else None
+            )
+            if entry is not None:
+                plaintexts[position] = entry.plaintext
+            else:
+                miss_positions.append(position)
+                miss_blobs.append(blob)
+                miss_keys.append(cache_key)
+        if miss_blobs:
+            opened = self._pae.decrypt_many(key, miss_blobs)
+            self.cost_model.record_decryption_batch(
+                len(miss_blobs), sum(len(blob) for blob in miss_blobs)
+            )
+            for position, blob, cache_key, plaintext in zip(
+                miss_positions, miss_blobs, miss_keys, opened
+            ):
+                plaintexts[position] = plaintext
+                if self._entry_cache is not None:
+                    self._entry_cache.put(
+                        cache_key,
+                        CachedEntry(
+                            plaintext, dictionary.value_type.from_bytes(plaintext)
+                        ),
+                        cached_entry_footprint(blob, plaintext),
+                    )
+        return plaintexts
+
+    @ecall
+    def aggregate_groups(
+        self,
+        table_name: str,
+        specs: Sequence[tuple],
+        segments: Sequence[dict],
+        *,
+        group_column: str | None = None,
+    ) -> list[bytes]:
+        """COUNT/SUM/MIN/MAX/AVG (+ GROUP BY) over packed ordinals (PR 9).
+
+        ``specs`` is ``(function, measure_column | None, label)`` per
+        aggregate output; ``segments`` carries, per store (main partitions in
+        order, then delta — i.e. RecordID order), the filtered rows' group
+        ValueIDs with their dictionary and the measure columns' ValueIDs with
+        theirs. Grouping happens entirely in the ordinal domain (one
+        ``np.unique`` + bincount-style reductions); only the *distinct* group
+        and measure entries are ever decrypted — never one row at a time.
+        Groups whose entries decrypt to equal plaintexts (ED1/ED4/ED7
+        duplicate entries, cross-partition dictionaries, delta rows) merge by
+        plaintext, in first-occurrence RecordID order so the result rows line
+        up exactly with the proxy-side reference grouping.
+
+        The reply is a list of padded, PAE-encrypted group frames under the
+        table's aggregate transit key (epoch 0): uniform byte length, count
+        padded to a power of two with dummy frames. The untrusted side learns
+        an upper bound on the group cardinality and nothing else — no row
+        sets, values, or per-group counts (DESIGN.md §14).
+        """
+        import numpy as np
+
+        from repro.encdict.kernels import (
+            group_counts,
+            group_firsts,
+            group_index,
+            group_maxs,
+            group_mins,
+            group_sums,
+        )
+
+        if not specs:
+            raise QueryError("aggregate_groups requires at least one aggregate")
+        for function, column, _label in specs:
+            if function not in _AGGREGATE_FUNCTIONS:
+                raise QueryError(f"unsupported aggregate function {function!r}")
+            if function != "COUNT" and column is None:
+                raise QueryError(f"{function} requires a measure column")
+
+        #: plaintext group key -> per-spec mergeable [a, b] states.
+        merged: dict[bytes, list[list[int]]] = {}
+        for segment in segments:
+            group_ref = segment.get("group")
+            if group_ref is not None:
+                group_dictionary, group_vids = group_ref
+                group_vids = np.asarray(group_vids, dtype=np.int64)
+                rows = len(group_vids)
+                if rows == 0:
+                    continue
+                distinct_vids, dense = group_index(group_vids)
+                key_blobs = self._open_distinct_entries(
+                    group_dictionary, distinct_vids.tolist()
+                )
+            else:
+                rows = int(segment["rows"])
+                if rows == 0:
+                    continue
+                dense = np.zeros(rows, dtype=np.int64)
+                key_blobs = [b""]
+            n_groups = len(key_blobs)
+            counts = group_counts(dense, n_groups)
+            firsts = group_firsts(dense, n_groups)
+            zeros = np.zeros(n_groups, dtype=np.int64)
+
+            measure_values: dict[str, np.ndarray] = {}
+
+            def row_values(column: str) -> np.ndarray:
+                values = measure_values.get(column)
+                if values is None:
+                    reference = segment.get("measures", {}).get(column)
+                    if reference is None:
+                        raise QueryError(
+                            f"aggregate_groups segment is missing measure {column!r}"
+                        )
+                    m_dictionary, m_vids = reference
+                    m_vids = np.asarray(m_vids, dtype=np.int64)
+                    if len(m_vids) != rows:
+                        raise QueryError(
+                            "measure rows do not line up with group rows"
+                        )
+                    m_distinct, m_inverse = np.unique(m_vids, return_inverse=True)
+                    opened = self._open_distinct_entries(
+                        m_dictionary, m_distinct.tolist()
+                    )
+                    decoded = np.asarray(
+                        [
+                            m_dictionary.value_type.from_bytes(plaintext)
+                            for plaintext in opened
+                        ],
+                        dtype=np.int64,
+                    )
+                    values = decoded[m_inverse]
+                    measure_values[column] = values
+                return values
+
+            spec_states = []
+            for function, column, _label in specs:
+                if function == "COUNT":
+                    spec_states.append((counts, zeros))
+                elif function == "SUM":
+                    spec_states.append(
+                        (group_sums(dense, n_groups, row_values(column)), zeros)
+                    )
+                elif function == "AVG":
+                    spec_states.append(
+                        (group_sums(dense, n_groups, row_values(column)), counts)
+                    )
+                elif function == "MIN":
+                    spec_states.append(
+                        (group_mins(dense, n_groups, row_values(column)), zeros)
+                    )
+                else:  # MAX
+                    spec_states.append(
+                        (group_maxs(dense, n_groups, row_values(column)), zeros)
+                    )
+
+            # Fold ValueID-level states into plaintext-keyed groups in
+            # first-occurrence order; segments arrive in RecordID order, so
+            # dict insertion order *is* global first-occurrence order.
+            for group_position in np.argsort(firsts, kind="stable").tolist():
+                key_bytes = bytes(key_blobs[group_position])
+                states = merged.get(key_bytes)
+                if states is None:
+                    merged[key_bytes] = [
+                        [int(a[group_position]), int(b[group_position])]
+                        for a, b in spec_states
+                    ]
+                    continue
+                for index, (function, _column, _label) in enumerate(specs):
+                    a, b = spec_states[index]
+                    if function == "MIN":
+                        states[index][0] = min(states[index][0], int(a[group_position]))
+                    elif function == "MAX":
+                        states[index][0] = max(states[index][0], int(a[group_position]))
+                    else:
+                        states[index][0] += int(a[group_position])
+                        states[index][1] += int(b[group_position])
+
+        # A global (ungrouped) aggregate over zero matching rows still yields
+        # one result row — COUNT(*) = 0, every other aggregate NULL — to
+        # match the proxy-side reference. A grouped aggregate yields none.
+        empty_global = group_column is None and not merged
+        if empty_global:
+            merged[b""] = [[0, 0] for _ in specs]
+
+        payloads = []
+        for key_bytes, states in merged.items():
+            frame_states = []
+            for index, (function, _column, _label) in enumerate(specs):
+                a, b = states[index]
+                if empty_global and function != "COUNT":
+                    frame_states.append((False, 0, 0))
+                else:
+                    frame_states.append((True, a, b))
+            payloads.append(encode_frame_payload(False, key_bytes, frame_states))
+        dummy_payload = encode_frame_payload(
+            True, b"", [(False, 0, 0)] * len(specs)
+        )
+        frame_size = max(len(payload) for payload in payloads + [dummy_payload])
+        payloads.extend(
+            [dummy_payload] * (padded_frame_count(len(payloads)) - len(payloads))
+        )
+        transit_key = self._column_key(table_name, AGGREGATE_KEY_COLUMN)
+        plaintexts = [
+            len(payload).to_bytes(4, "big")
+            + payload
+            + b"\x00" * (frame_size - len(payload))
+            for payload in payloads
+        ]
+        return self._pae.encrypt_many(transit_key, plaintexts)

@@ -37,6 +37,12 @@ import numpy as np
 __all__ = [
     "INT64_MAX",
     "INT64_MIN",
+    "group_counts",
+    "group_firsts",
+    "group_index",
+    "group_maxs",
+    "group_mins",
+    "group_sums",
     "pack_ordinals",
     "packed_footprint",
     "sorted_bounds",
@@ -116,3 +122,75 @@ def sorted_bounds(packed: np.ndarray, low: int, high: int) -> tuple[int, int]:
     vid_min = int(np.searchsorted(packed, low, side="left"))
     vid_max = int(np.searchsorted(packed, high, side="right")) - 1
     return vid_min, vid_max
+
+
+# ----------------------------------------------------------------------
+# Ordinal-space aggregation (analytics pushdown, PR 9)
+# ----------------------------------------------------------------------
+# GROUP BY over a dictionary-encoded column never has to touch row values:
+# the per-row ValueIDs *are* the group labels, so grouping a million rows is
+# one ``np.unique`` + one ``np.bincount``, and only the distinct group
+# entries (plus distinct measure entries) need a dictionary decryption. The
+# same cost contract as the search kernels applies: callers charge the
+# logical decryptions themselves; nothing here draws randomness.
+
+
+def group_index(group_vids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(distinct_vids, dense_index)`` of a per-row group-ValueID array.
+
+    ``distinct_vids`` is sorted ascending; ``dense_index[i]`` is the
+    position of ``group_vids[i]`` inside ``distinct_vids`` — the dense
+    group label every reduction kernel below keys on.
+    """
+    group_vids = np.asarray(group_vids, dtype=np.int64)
+    return np.unique(group_vids, return_inverse=True)
+
+
+def group_counts(dense_index: np.ndarray, n_groups: int) -> np.ndarray:
+    """COUNT(*) per dense group label: one bincount."""
+    return np.bincount(dense_index, minlength=n_groups).astype(np.int64)
+
+
+def group_sums(
+    dense_index: np.ndarray, n_groups: int, row_values: np.ndarray
+) -> np.ndarray:
+    """SUM(measure) per dense group label, in exact int64 arithmetic.
+
+    ``np.add.at`` rather than ``bincount(weights=...)``: weights go through
+    float64 and silently lose precision past 2**53.
+    """
+    acc = np.zeros(n_groups, dtype=np.int64)
+    np.add.at(acc, dense_index, np.asarray(row_values, dtype=np.int64))
+    return acc
+
+
+def group_mins(
+    dense_index: np.ndarray, n_groups: int, row_values: np.ndarray
+) -> np.ndarray:
+    """MIN(measure) per dense group label."""
+    acc = np.full(n_groups, INT64_MAX, dtype=np.int64)
+    np.minimum.at(acc, dense_index, np.asarray(row_values, dtype=np.int64))
+    return acc
+
+
+def group_maxs(
+    dense_index: np.ndarray, n_groups: int, row_values: np.ndarray
+) -> np.ndarray:
+    """MAX(measure) per dense group label."""
+    acc = np.full(n_groups, INT64_MIN, dtype=np.int64)
+    np.maximum.at(acc, dense_index, np.asarray(row_values, dtype=np.int64))
+    return acc
+
+
+def group_firsts(dense_index: np.ndarray, n_groups: int) -> np.ndarray:
+    """First-occurrence row position per dense group label.
+
+    Lets the enclave emit group frames in first-occurrence (RecordID) order,
+    matching the proxy's insertion-ordered grouping exactly, so the two
+    paths produce identical row orders.
+    """
+    acc = np.full(n_groups, INT64_MAX, dtype=np.int64)
+    np.minimum.at(
+        acc, dense_index, np.arange(len(dense_index), dtype=np.int64)
+    )
+    return acc

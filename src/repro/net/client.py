@@ -376,6 +376,14 @@ class RemoteServer:
     def execute_select(self, plan):
         return self.connection.call("execute_select", plan)
 
+    def execute_select_pushdown(self, plan):
+        """Routed SELECT (analytics pushdown, PR 9): decisions + either
+        padded aggregate frames or rendered ciphertext rows."""
+        return self.connection.call("execute_select_pushdown", plan)
+
+    def explain_pushdown(self, plan) -> tuple:
+        return tuple(self.connection.call("explain_pushdown", plan))
+
     def execute_join_select(self, plan, salt: bytes):
         return self.connection.call("execute_join_select", plan, salt)
 

@@ -48,7 +48,13 @@ from repro.sql.planner import (
     SelectPlan,
 )
 from repro.migrate.plan import MigrationStatus
-from repro.sql.result import ResultColumn, ServerResult
+from repro.sql.result import (
+    AggregateFrames,
+    PushdownSelectResult,
+    ResultColumn,
+    RoutingDecision,
+    ServerResult,
+)
 
 PROTOCOL_VERSION = 1
 MAGIC = b"EDBN"
@@ -189,6 +195,13 @@ _register(
     ("table_name", "column_name", "encrypted", "data", "key_epoch"),
 )
 _register(ServerResult, ("table_name", "record_ids", "columns"))
+
+# Analytics pushdown (PR 9): routing decisions are public plan metadata;
+# aggregate results travel as padded, PAE-encrypted group frames — the
+# server (and hence the wire) sees uniform ciphertext blobs only.
+_register(RoutingDecision, ("clause", "pushed", "reason"))
+_register(AggregateFrames, ("table_name", "group_column", "labels", "frames"))
+_register(PushdownSelectResult, ("decisions", "aggregate", "rows", "ordered"))
 
 # Online rotation progress (repro.migrate): typed frames for the ``migrate``
 # wire verbs — public kinds/epochs/phase metadata only, never ciphertext.

@@ -61,6 +61,9 @@ RPC_METHODS: dict[str, str] = {
     "create_table": "create_table",
     "bulk_load": "bulk_load",
     "execute_select": "execute_select",
+    # Analytics pushdown (PR 9): routed SELECT + its EXPLAIN counterpart.
+    "execute_select_pushdown": "execute_select_pushdown",
+    "explain_pushdown": "explain_pushdown",
     "execute_join_select": "execute_join_select",
     "execute_insert": "execute_insert",
     "execute_delete": "execute_delete",

@@ -304,6 +304,35 @@ class EncDBDBServer:
     def execute_select(self, plan: SelectPlan) -> ServerResult:
         return self.executor.select(plan)
 
+    def execute_select_pushdown(self, plan: SelectPlan):
+        """SELECT through the cost-based analytics pushdown router (PR 9).
+
+        Returns a :class:`~repro.sql.result.PushdownSelectResult`: routing
+        decisions plus either padded aggregate frames or the usual row
+        payload. The plain :meth:`execute_select` path is untouched and
+        remains the correctness oracle.
+        """
+        return self.executor.select_pushdown(plan)
+
+    def explain_pushdown(self, plan) -> tuple:
+        """EXPLAIN hook: the routing decisions the pushdown router would
+        make for this plan (structural facts + static cost estimate)."""
+        from repro.sql.result import RoutingDecision
+
+        if isinstance(plan, JoinSelectPlan):
+            if plan.post.has_aggregates or plan.post.order_by:
+                return (
+                    RoutingDecision(
+                        "aggregate" if plan.post.has_aggregates else "order-by",
+                        False,
+                        "join query: pushdown is single-table, proxy-side",
+                    ),
+                )
+            return ()
+        if not isinstance(plan, SelectPlan):
+            return ()
+        return self.executor.explain_pushdown(plan)
+
     def execute_join_select(self, plan: JoinSelectPlan, salt: bytes) -> ServerResult:
         return self.executor.select_join(plan, salt)
 

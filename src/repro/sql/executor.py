@@ -25,17 +25,26 @@ from repro.runtime import map_on_build_pool
 from repro.sgx.cache import FastPathConfig
 from repro.sgx.enclave import EnclaveHost
 from repro.sql.planner import (
+    AggregatePushdown,
     DeletePlan,
     EncryptedRangeFilter,
     FilterNode,
     FilterPlan,
     JoinSelectPlan,
     MergePlan,
+    OrderPushdown,
     PrefixFilter,
     RangeFilter,
     SelectPlan,
+    pushdown_request,
 )
-from repro.sql.result import ResultColumn, ServerResult
+from repro.sql.result import (
+    AggregateFrames,
+    PushdownSelectResult,
+    ResultColumn,
+    RoutingDecision,
+    ServerResult,
+)
 
 
 @dataclass
@@ -55,6 +64,66 @@ class MergeStats:
     tail_partitions_added: int = 0
     delta_rows_merged: int = 0
     rows_after: int = 0
+
+
+def _replace_decision(
+    decisions: tuple, clause: str, pushed: bool, reason: str
+) -> tuple:
+    return tuple(
+        RoutingDecision(clause, pushed, reason)
+        if decision.clause == clause
+        else decision
+        for decision in decisions
+    )
+
+
+def _padded_frames(real_frames: int) -> int:
+    """Mirror of the enclave's power-of-two frame-count padding (cost gate
+    and EXPLAIN only — the enclave pads for real)."""
+    return 1 << (max(1, real_frames) - 1).bit_length()
+
+
+def _assemble_segments(
+    segment_lists: dict[str, list], row_count: int
+) -> list[dict]:
+    """Zip per-column ordinal segments into ``aggregate_groups`` arguments.
+
+    All columns of a table share one partition layout, so the per-column
+    segment lists from :meth:`EncryptedStoredColumn.ordinal_segments` over
+    the same RecordIDs are row-aligned; a mismatch means a concurrent
+    layout change and aborts the query rather than misgrouping.
+    """
+    if not segment_lists:
+        return [{"group": None, "rows": row_count, "measures": {}}]
+    lengths = {len(segments) for segments in segment_lists.values()}
+    if len(lengths) != 1:
+        raise QueryError("ordinal segments are misaligned across columns")
+    (count,) = lengths
+    assembled = []
+    for index in range(count):
+        group_ref = (
+            segment_lists["__group__"][index]
+            if "__group__" in segment_lists
+            else None
+        )
+        measures = {
+            name: segments[index]
+            for name, segments in segment_lists.items()
+            if name != "__group__"
+        }
+        if group_ref is not None:
+            rows = len(group_ref[1])
+        else:
+            rows = len(next(iter(measures.values()))[1])
+        for name, (_dictionary, vids) in measures.items():
+            if len(vids) != rows:
+                raise QueryError(
+                    f"ordinal segments of {name!r} are misaligned"
+                )
+        assembled.append(
+            {"group": group_ref, "rows": rows, "measures": measures}
+        )
+    return assembled
 
 
 class Executor:
@@ -268,6 +337,213 @@ class Executor:
         ]
         return ResultColumn(
             table.name, name, encrypted=True, data=blobs, key_epoch=key_epoch
+        )
+
+    # ------------------------------------------------------------------
+    # Analytics pushdown (PR 9)
+    # ------------------------------------------------------------------
+    def select_pushdown(self, plan: SelectPlan) -> PushdownSelectResult:
+        """One SELECT through the cost-based pushdown router.
+
+        Filters run exactly as in :meth:`select`; what changes is what ships
+        back. Aggregates/GROUP BY go through the ``aggregate_groups`` ecall
+        and return padded group frames; an eligible ORDER BY + LIMIT sorts
+        the attribute vector in ordinal space and ships only the top rows;
+        everything else — including every structural or cost fallback — is
+        the unchanged row-shipping path, with the decision attached.
+        """
+        table = self._catalog.table(plan.table)
+        decisions, request = pushdown_request(plan, self._catalog)
+        if request is not None and self._host is None:
+            decisions = _replace_decision(
+                decisions, decisions[0].clause, False, "no enclave attached"
+            )
+            request = None
+        if request is None:
+            return PushdownSelectResult(
+                decisions=decisions, rows=self.select(plan)
+            )
+        record_ids = self.filter_record_ids(table, plan.filter)
+        if isinstance(request, AggregatePushdown):
+            return self._select_aggregate_pushdown(
+                plan, table, decisions, request, record_ids
+            )
+        return self._select_order_pushdown(
+            plan, table, decisions, request, record_ids
+        )
+
+    def explain_pushdown(self, plan: SelectPlan) -> tuple:
+        """The routing decisions :meth:`select_pushdown` would make, without
+        executing. The cost gate runs on the table's live row count — the
+        static stand-in for the post-filter cardinality EXPLAIN cannot know."""
+        table = self._catalog.table(plan.table)
+        decisions, request = pushdown_request(plan, self._catalog)
+        if request is not None and self._host is None:
+            return _replace_decision(
+                decisions, decisions[0].clause, False, "no enclave attached"
+            )
+        if isinstance(request, AggregatePushdown):
+            pushed, note = self._aggregate_cost_gate(
+                plan, table, request, table.live_row_count
+            )
+            original = decisions[0].reason
+            reason = f"{original}; {note}" if pushed else note
+            decisions = _replace_decision(decisions, "aggregate", pushed, reason)
+        return decisions
+
+    def _select_aggregate_pushdown(
+        self, plan, table, decisions, request, record_ids
+    ) -> PushdownSelectResult:
+        pushed, note = self._aggregate_cost_gate(
+            plan, table, request, len(record_ids)
+        )
+        if pushed:
+            # The structural check ran before filtering; a rotation may have
+            # started since. Re-check against the live columns — a raced
+            # query falls back to row shipping rather than mixing stores.
+            for name in (request.group_column, *request.measure_columns):
+                if name is None:
+                    continue
+                if getattr(table.column(name), "shadow", None) is not None:
+                    pushed = False
+                    note = f"rotation started on {name!r} mid-query: proxy-side"
+                    break
+        if not pushed:
+            decisions = _replace_decision(decisions, "aggregate", False, note)
+            return PushdownSelectResult(
+                decisions=decisions,
+                rows=self._render_rows(plan, table, record_ids),
+            )
+        decisions = _replace_decision(
+            decisions, "aggregate", True, f"{decisions[0].reason}; {note}"
+        )
+        segment_lists: dict[str, list] = {}
+        if request.group_column is not None:
+            segment_lists["__group__"] = table.column(
+                request.group_column
+            ).ordinal_segments(record_ids)
+        for name in request.measure_columns:
+            segment_lists[name] = table.column(name).ordinal_segments(record_ids)
+        segments = _assemble_segments(segment_lists, len(record_ids))
+        frames = self._host.ecall(
+            "aggregate_groups",
+            table.name,
+            request.specs,
+            segments,
+            group_column=request.group_column,
+        )
+        aggregate = AggregateFrames(
+            table_name=table.name,
+            group_column=request.group_column,
+            labels=tuple(label for _function, _column, label in request.specs),
+            frames=tuple(frames),
+        )
+        return PushdownSelectResult(decisions=decisions, aggregate=aggregate)
+
+    def _select_order_pushdown(
+        self, plan, table, decisions, request: OrderPushdown, record_ids
+    ) -> PushdownSelectResult:
+        column = table.column(request.column)
+        if (
+            getattr(column, "shadow", None) is not None
+            or len(column.partition_builds) != 1
+            or column.delta_blobs
+        ):
+            decisions = _replace_decision(
+                decisions,
+                "order-by",
+                False,
+                "column layout changed mid-query: full sort proxy-side",
+            )
+            return PushdownSelectResult(
+                decisions=decisions,
+                rows=self._render_rows(plan, table, record_ids),
+            )
+        # Single partition and no delta: global RecordIDs are partition-local
+        # positions, and ValueID order is value order (sorted kind). A stable
+        # argsort keeps ties in RecordID order, matching the proxy's stable
+        # re-sort of the shipped rows.
+        vids = column.partition_builds[0].attribute_vector[record_ids]
+        order = np.argsort(-vids if request.descending else vids, kind="stable")
+        keep = record_ids[order][: request.limit]
+        return PushdownSelectResult(
+            decisions=decisions,
+            rows=self._render_rows(plan, table, keep),
+            ordered=True,
+        )
+
+    def _render_rows(self, plan, table, record_ids) -> ServerResult:
+        result = ServerResult(table_name=table.name, record_ids=record_ids)
+        for name in plan.needed_columns:
+            result.columns[name] = self._render_column(table, name, record_ids)
+        return result
+
+    def _aggregate_cost_gate(
+        self, plan, table, request: AggregatePushdown, rows: int
+    ) -> tuple[bool, str]:
+        """Row shipping vs. pushdown, in the cost model's cycle currency.
+
+        Uses only public quantities: the filtered row count, dictionary
+        entry counts (distinct-value upper bounds), and blob sizes. Proxy
+        path ≈ one AES-GCM per row per encrypted result column; pushdown ≈
+        one ecall + one AES-GCM per *distinct* group/measure entry + the
+        padded frame encryptions.
+        """
+        parameters = self._host.cost_model.parameters
+        columns = [
+            name
+            for name in (request.group_column, *request.measure_columns)
+            if name is not None
+        ]
+        blob_bytes = 64
+        distinct = 0
+        for name in columns:
+            column = table.column(name)
+            entries = sum(
+                len(build.dictionary) for build in column.partition_builds
+            ) + len(column.delta_blobs)
+            distinct += min(entries, rows)
+            for build in column.partition_builds:
+                if len(build.dictionary):
+                    blob_bytes = max(blob_bytes, len(build.dictionary.entry(0)))
+                    break
+        per_blob = (
+            parameters.aes_gcm_fixed_cycles
+            + blob_bytes * parameters.aes_gcm_per_byte_cycles
+        )
+        encrypted_needed = sum(
+            1 for name in plan.needed_columns if table.spec(name).is_encrypted
+        )
+        proxy_cost = rows * max(1, encrypted_needed) * per_blob + rows * (
+            parameters.untrusted_load_cycles
+        )
+        if request.group_column is not None:
+            group_column = table.column(request.group_column)
+            group_entries = sum(
+                len(build.dictionary) for build in group_column.partition_builds
+            ) + len(group_column.delta_blobs)
+        else:
+            group_entries = 1
+        frames = _padded_frames(min(group_entries, max(1, rows)))
+        frame_bytes = 64 + 17 * len(request.specs)
+        push_cost = (
+            parameters.ecall_cycles
+            + distinct * per_blob
+            + frames
+            * (
+                parameters.aes_gcm_fixed_cycles
+                + frame_bytes * parameters.aes_gcm_per_byte_cycles
+            )
+        )
+        if push_cost >= proxy_cost:
+            return False, (
+                f"cost: row shipping cheaper (~{proxy_cost} vs ~{push_cost} "
+                f"cycles for {rows} rows, ~{distinct} distinct entries)"
+            )
+        return True, (
+            f"cost: ~{push_cost} vs ~{proxy_cost} cycles "
+            f"({rows} rows -> {frames} padded frames, "
+            f"~{distinct} distinct decryptions)"
         )
 
     def select_join(self, plan: JoinSelectPlan, salt: bytes) -> ServerResult:

@@ -177,6 +177,157 @@ class MergePlan:
     table: str
 
 
+# ----------------------------------------------------------------------
+# Analytics pushdown routing (PR 9)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AggregatePushdown:
+    """Server-side description of an aggregate / GROUP BY pushdown.
+
+    Derived from a :class:`SelectPlan` by :func:`pushdown_request` — never
+    sent by the proxy, so the wire protocol is unchanged. ``specs`` feeds
+    the ``aggregate_groups`` ecall verbatim.
+    """
+
+    specs: tuple[tuple, ...]  # (function, measure column | None, label)
+    group_column: str | None
+    measure_columns: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class OrderPushdown:
+    """Server-side description of an ordinal-order ORDER BY + LIMIT.
+
+    Needs no ecall at all: a sorted-kind dictionary's ValueID order *is*
+    value order (public layout, §4.1 leakage already paid for), so the
+    executor sorts the attribute vector and truncates to the LIMIT.
+    """
+
+    column: str
+    descending: bool
+    limit: int
+
+
+def pushdown_request(
+    plan: SelectPlan, catalog: Catalog
+) -> tuple[tuple, AggregatePushdown | OrderPushdown | None]:
+    """Structural half of the cost-based routing (PR 9).
+
+    Decides, from the plan shape and public column layout alone, whether the
+    SELECT's post-processing *can* move server-side; the executor applies
+    the row-count-dependent cost gate afterwards. Returns ``(decisions,
+    request)`` — :class:`~repro.sql.result.RoutingDecision` per clause, and
+    the pushdown description or ``None`` for the proxy-side reference path.
+    """
+    from repro.sql.result import RoutingDecision
+
+    post = plan.post
+    table = catalog.table(plan.table)
+    if post.has_aggregates:
+        return _aggregate_request(post, table)
+    if post.order_by and post.limit is not None:
+        return _order_request(post, table)
+    if post.order_by:
+        return (
+            RoutingDecision(
+                "order-by", False, "no LIMIT: the full ordered result ships anyway"
+            ),
+        ), None
+    return (
+        RoutingDecision("rows", False, "plain row select: nothing to push"),
+    ), None
+
+
+def _aggregate_request(post: PostProcessing, table):
+    from repro.sql.result import RoutingDecision
+
+    def refuse(reason: str):
+        return (RoutingDecision("aggregate", False, reason),), None
+
+    if len(post.group_by) > 1:
+        return refuse("multi-column GROUP BY needs composite keys: proxy-side")
+    group_column = post.group_by[0] if post.group_by else None
+    if group_column is not None and not table.spec(group_column).is_encrypted:
+        return refuse(
+            f"group column {group_column!r} is plaintext (no ordinal dictionary)"
+        )
+    specs: list[tuple] = []
+    measure_columns: list[str] = []
+    for item in post.items:
+        if not isinstance(item, Aggregate):
+            continue
+        if item.function == "COUNT":
+            specs.append(("COUNT", None, item.label))
+            continue
+        spec = table.spec(item.column)
+        if not spec.is_encrypted:
+            return refuse(f"measure column {item.column!r} is plaintext")
+        if not isinstance(spec.value_type, IntegerType):
+            return refuse(
+                f"{item.label}: only INTEGER measures have mergeable int64 states"
+            )
+        specs.append((item.function, item.column, item.label))
+        if item.column not in measure_columns:
+            measure_columns.append(item.column)
+    for name in (group_column, *measure_columns):
+        if name is None:
+            continue
+        if getattr(table.column(name), "shadow", None) is not None:
+            return refuse(
+                f"rotation in flight on {name!r}: epoch-mixed stores, proxy-side"
+            )
+    target = f"GROUP BY {group_column}" if group_column else "global"
+    return (
+        RoutingDecision(
+            "aggregate",
+            True,
+            f"ordinal-space {target}, {len(specs)} aggregate(s) in one ecall",
+        ),
+    ), AggregatePushdown(tuple(specs), group_column, tuple(measure_columns))
+
+
+def _order_request(post: PostProcessing, table):
+    from repro.encdict.options import OrderOption
+    from repro.sql.result import RoutingDecision
+
+    def refuse(reason: str):
+        return (RoutingDecision("order-by", False, reason),), None
+
+    if post.distinct:
+        return refuse("DISTINCT dedupes before LIMIT: truncation needs all rows")
+    if len(post.order_by) != 1:
+        return refuse("multi-column ORDER BY is proxy-side")
+    order = post.order_by[0]
+    spec = table.spec(order.column)
+    if not spec.is_encrypted:
+        return refuse(f"order column {order.column!r} is plaintext")
+    if spec.protection.order is not OrderOption.SORTED:
+        return refuse(
+            f"{spec.protection.name} dictionary is not ordinal-sorted: proxy-side"
+        )
+    column = table.column(order.column)
+    if getattr(column, "shadow", None) is not None:
+        return refuse(f"rotation in flight on {order.column!r}: proxy-side")
+    if len(getattr(column, "partition_builds", ())) != 1:
+        return refuse(
+            f"{len(column.partition_builds)} partitions: ordinals are "
+            "partition-local, proxy-side"
+        )
+    if getattr(column, "delta_blobs", None):
+        return refuse("delta rows are unsorted (ED9): full sort proxy-side")
+    direction = "DESC" if order.descending else "ASC"
+    return (
+        RoutingDecision(
+            "order-by",
+            True,
+            f"ordinal-order {order.column} {direction} LIMIT {post.limit} "
+            "(sorted dictionary, no ecall)",
+        ),
+    ), OrderPushdown(order.column, order.descending, int(post.limit))
+
+
 class Planner:
     """Validates statements against the catalog and emits plans."""
 

@@ -294,6 +294,23 @@ def cluster_routing_lines(plan, shard_map) -> list[str]:
     return lines
 
 
+def pushdown_lines(decisions) -> list[str]:
+    """EXPLAIN annotation: per-clause analytics-pushdown routing (PR 9).
+
+    ``decisions`` is the :class:`~repro.sql.result.RoutingDecision` tuple an
+    ``explain_pushdown`` hook returned. Each line names the clause, where it
+    runs (enclave or proxy), and why — including the cost-model estimate or
+    the structural reason a clause fell back to proxy-side evaluation.
+    """
+    lines: list[str] = []
+    for decision in decisions or ():
+        where = "enclave" if decision.pushed else "proxy"
+        lines.append(f"  {decision.clause} -> {where}: {decision.reason}")
+    if lines:
+        lines.insert(0, "pushdown:")
+    return lines
+
+
 def migration_lines(statuses) -> list[str]:
     """EXPLAIN annotation: online rotations in flight on the plan's tables.
 

@@ -44,6 +44,57 @@ class ServerResult:
         return len(self.record_ids)
 
 
+@dataclass(frozen=True)
+class RoutingDecision:
+    """One cost-based pushdown routing decision (analytics pushdown, PR 9).
+
+    The server records, per post-processing clause, whether the clause was
+    pushed into the enclave and why (or why not) — decisions travel back
+    with the result and render in EXPLAIN. Reasons are structural/cost facts
+    only (kinds, partition counts, estimated cycles), never values.
+    """
+
+    clause: str
+    pushed: bool
+    reason: str
+
+
+@dataclass(frozen=True)
+class AggregateFrames:
+    """Pushed-down aggregation output: padded, PAE-encrypted group frames.
+
+    Each frame seals one group's key and aggregate states (AVG as a
+    sum+count pair) under the table's aggregate transit key. All frames of
+    one response share a single byte length and the frame *count* is padded
+    to the next power of two with indistinguishable dummy frames, so the
+    wire reveals only an upper bound on the group cardinality — never row
+    sets (DESIGN.md §14).
+    """
+
+    table_name: str
+    #: ``None`` for a global (ungrouped) aggregate.
+    group_column: str | None
+    #: Aggregate output labels, in per-frame state order.
+    labels: tuple[str, ...]
+    frames: tuple[bytes, ...]
+
+
+@dataclass(frozen=True)
+class PushdownSelectResult:
+    """What ``execute_select_pushdown`` returns: decisions + one payload.
+
+    Exactly one of ``aggregate`` / ``rows`` is set. ``ordered`` marks a row
+    payload that was already ordinal-ordered and LIMIT-truncated server-side
+    (the proxy still re-sorts and re-limits the survivors — both are
+    idempotent on an already-ordered prefix).
+    """
+
+    decisions: tuple[RoutingDecision, ...]
+    aggregate: AggregateFrames | None = None
+    rows: ServerResult | None = None
+    ordered: bool = False
+
+
 @dataclass
 class QueryResult:
     """What the application finally receives from the proxy."""

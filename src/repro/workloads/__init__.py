@@ -18,6 +18,13 @@ from repro.workloads.generator import (
 )
 from repro.workloads.queries import RangeQuery, random_range_queries
 from repro.workloads.datasets import sample_like
+from repro.workloads.tpch import (
+    LINEITEM_DDL,
+    WorkloadQuery,
+    generate_lineitem,
+    tpch_lite_mix,
+)
+from repro.workloads.evaluate import QueryEvaluation, evaluate_mix
 
 __all__ = [
     "BwColumnSpec",
@@ -27,4 +34,10 @@ __all__ = [
     "RangeQuery",
     "random_range_queries",
     "sample_like",
+    "LINEITEM_DDL",
+    "WorkloadQuery",
+    "generate_lineitem",
+    "tpch_lite_mix",
+    "QueryEvaluation",
+    "evaluate_mix",
 ]

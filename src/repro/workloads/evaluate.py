@@ -1,0 +1,93 @@
+"""Evaluation harness for the analytics-pushdown workload (PR 9).
+
+Runs a query mix twice — once through an engine's proxy-side reference
+path and once through its pushdown path — and reports, per query, whether
+the results agree, the best-of timings, and the routing the engine chose.
+The engine is *injected* as plain callables: this module is benchmark
+infrastructure on the untrusted side and therefore never imports the
+trusted client, holds no keys, and works equally against an in-process
+system, a TCP deployment, or a cluster.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.workloads.tpch import WorkloadQuery
+
+
+@dataclass(frozen=True)
+class QueryEvaluation:
+    """Outcome of one mix query under both execution paths."""
+
+    query: WorkloadQuery
+    equivalent: bool
+    reference_seconds: float
+    pushdown_seconds: float
+    routing: tuple[str, ...]
+
+    @property
+    def speedup(self) -> float:
+        if self.pushdown_seconds <= 0.0:
+            return float("inf")
+        return self.reference_seconds / self.pushdown_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.query.name,
+            "sql": self.query.sql,
+            "equivalent": self.equivalent,
+            "reference_seconds": self.reference_seconds,
+            "pushdown_seconds": self.pushdown_seconds,
+            "speedup": self.speedup,
+            "routing": list(self.routing),
+        }
+
+
+def _best_of(run: Callable[[], Any], repeats: int) -> tuple[float, Any]:
+    """Minimum wall time over ``repeats`` runs, plus the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        result = run()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def evaluate_mix(
+    queries: Sequence[WorkloadQuery],
+    *,
+    reference: Callable[[str], list],
+    pushdown: Callable[[str], list],
+    routing: Callable[[str], Sequence[str]] | None = None,
+    repeats: int = 3,
+    comparator: Callable[[list, list], bool] | None = None,
+) -> list[QueryEvaluation]:
+    """Run ``queries`` through both paths and compare.
+
+    ``reference`` and ``pushdown`` each take SQL text and return the
+    query's result rows; ``routing`` (optional) returns the engine's
+    routing-decision lines for the query after the pushdown run.
+    ``comparator`` overrides strict row-list equality — e.g. a semantic
+    comparator for ORDER BY/LIMIT queries whose tie-breaks may legitimately
+    differ (DESIGN.md §14).
+    """
+    compare = comparator if comparator is not None else (lambda a, b: a == b)
+    evaluations = []
+    for query in queries:
+        ref_seconds, ref_rows = _best_of(lambda: reference(query.sql), repeats)
+        push_seconds, push_rows = _best_of(lambda: pushdown(query.sql), repeats)
+        lines = tuple(routing(query.sql)) if routing is not None else ()
+        evaluations.append(
+            QueryEvaluation(
+                query=query,
+                equivalent=compare(ref_rows, push_rows),
+                reference_seconds=ref_seconds,
+                pushdown_seconds=push_seconds,
+                routing=lines,
+            )
+        )
+    return evaluations

@@ -1,0 +1,106 @@
+"""A TPC-H-lite analytics workload for the pushdown evaluation (PR 9).
+
+TPC-H proper needs eight tables and decimal arithmetic; the pushdown
+pipeline only needs its *shape* — a wide fact table whose queries are
+dominated by GROUP BY/aggregate scans (Q1's pricing summary) and top-N
+orderings. This module generates a single ``lineitem``-like fact table at
+any row count, deterministic in the seed, with the cardinality profile the
+routing layer cares about:
+
+- ``returnflag`` — the classic low-cardinality group column (Q1 groups by
+  return flag / line status). ED1: one dictionary entry per distinct value,
+  so a pushed-down GROUP BY decrypts ~3 entries instead of ~N rows.
+- ``price`` — the aggregated measure, also ED1 (every occurrence of a value
+  shares one entry; the decrypt-once-per-distinct win).
+- ``quantity`` — ED7 (sorted, duplicated entries): frequency-hiding makes
+  per-row entries, so aggregating it is deliberately *unattractive* to the
+  cost model, while ORDER BY/LIMIT still pushes (ordinal order is public).
+- ``shipday`` — an integer "date" used for range predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: The fact-table DDL the workload runs against. Kinds are chosen per the
+#: cardinality profile above (module docstring).
+LINEITEM_DDL = (
+    "CREATE TABLE lineitem ("
+    "returnflag ED1 VARCHAR(2), "
+    "quantity ED7 INTEGER, "
+    "price ED1 INTEGER, "
+    "shipday ED1 INTEGER)"
+)
+
+RETURN_FLAGS = ("A", "N", "R")
+
+
+def generate_lineitem(
+    rows: int,
+    *,
+    seed: int = 2026,
+    distinct_prices: int = 400,
+    max_quantity: int = 50,
+    days: int = 2500,
+) -> dict[str, list]:
+    """Column data for ``rows`` lineitem rows, deterministic in ``seed``."""
+    if rows < 1:
+        raise ValueError("rows must be >= 1")
+    rng = np.random.default_rng(seed)
+    flags = rng.integers(0, len(RETURN_FLAGS), rows)
+    return {
+        "returnflag": [RETURN_FLAGS[i] for i in flags],
+        "quantity": rng.integers(1, max_quantity + 1, rows).tolist(),
+        "price": (rng.integers(0, distinct_prices, rows) * 25 + 100).tolist(),
+        "shipday": rng.integers(1, days + 1, rows).tolist(),
+    }
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One named query of the analytics mix."""
+
+    name: str
+    sql: str
+
+
+def tpch_lite_mix() -> tuple[WorkloadQuery, ...]:
+    """The TPC-H-lite query mix: every routing outcome is represented.
+
+    ``pricing-summary`` and ``shipped-revenue`` are enclave-pushable
+    aggregations; ``flag-volume`` adds a filter; ``top-quantities`` is an
+    ordinal-order ORDER BY/LIMIT; ``quantity-stats`` aggregates the
+    frequency-hiding ED7 column (the cost gate should refuse);
+    ``detail-scan`` is a plain row select (nothing to push).
+    """
+    return (
+        WorkloadQuery(
+            "pricing-summary",
+            "SELECT returnflag, COUNT(*), SUM(price), AVG(price), "
+            "MIN(price), MAX(price) FROM lineitem GROUP BY returnflag",
+        ),
+        WorkloadQuery(
+            "shipped-revenue",
+            "SELECT COUNT(*), SUM(price), MIN(price), MAX(price) "
+            "FROM lineitem WHERE shipday >= 2000",
+        ),
+        WorkloadQuery(
+            "flag-volume",
+            "SELECT returnflag, COUNT(*), SUM(price) FROM lineitem "
+            "WHERE price BETWEEN 1000 AND 5000 GROUP BY returnflag",
+        ),
+        WorkloadQuery(
+            "top-quantities",
+            "SELECT quantity FROM lineitem ORDER BY quantity DESC LIMIT 10",
+        ),
+        WorkloadQuery(
+            "quantity-stats",
+            "SELECT returnflag, SUM(quantity) FROM lineitem GROUP BY returnflag",
+        ),
+        WorkloadQuery(
+            "detail-scan",
+            "SELECT returnflag, price FROM lineitem WHERE shipday <= 25",
+        ),
+    )

@@ -1,0 +1,72 @@
+"""``scripts/bench_summary.py`` must fail loudly (PR 9): a malformed or
+required-but-missing benchmark result aborts the summary instead of
+silently publishing a partial document a regression could hide in."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = (
+    Path(__file__).resolve().parents[2] / "scripts" / "bench_summary.py"
+)
+_spec = importlib.util.spec_from_file_location("bench_summary", _SCRIPT)
+bench_summary = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_summary)
+
+
+def _write(results: Path, name: str, payload) -> None:
+    results.mkdir(parents=True, exist_ok=True)
+    (results / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+def test_summary_combines_all_results(tmp_path):
+    results = tmp_path / "results"
+    _write(results, "net", {"rtt": 1})
+    _write(results, "workloads", {"speedup": 118.5})
+    output = tmp_path / "BENCH_summary.json"
+    code = bench_summary.main(
+        ["bench_summary.py", str(results), str(output), "--require",
+         "net,workloads"]
+    )
+    assert code == 0
+    summary = json.loads(output.read_text())
+    assert summary == {"net": {"rtt": 1}, "workloads": {"speedup": 118.5}}
+
+
+def test_missing_required_result_aborts(tmp_path):
+    results = tmp_path / "results"
+    _write(results, "net", {"rtt": 1})
+    with pytest.raises(SystemExit, match="BENCH_workloads.json"):
+        bench_summary.main(
+            ["bench_summary.py", str(results), "--require=net,workloads"]
+        )
+    assert not (results / "BENCH_summary.json").exists()
+
+
+def test_malformed_json_aborts(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    (results / "BENCH_broken.json").write_text("{not json")
+    with pytest.raises(SystemExit, match="invalid JSON"):
+        bench_summary.main(["bench_summary.py", str(results)])
+
+
+def test_empty_or_missing_results_dir_aborts(tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    with pytest.raises(SystemExit, match="no BENCH_"):
+        bench_summary.main(["bench_summary.py", str(empty)])
+    with pytest.raises(SystemExit, match="not a directory"):
+        bench_summary.main(["bench_summary.py", str(tmp_path / "missing")])
+
+
+def test_prior_summary_is_not_recursively_included(tmp_path):
+    results = tmp_path / "results"
+    _write(results, "net", {"rtt": 1})
+    _write(results, "summary", {"stale": True})
+    summary = bench_summary.summarize(results)
+    assert "summary" not in summary and summary == {"net": {"rtt": 1}}

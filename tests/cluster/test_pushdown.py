@@ -1,0 +1,105 @@
+"""Cluster analytics pushdown (PR 9): partial aggregates merge across
+shards, and disagreeing shard cost gates degrade to row shipping — never
+to a refusal."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster import ClusterSystem
+
+from tests.cluster.conftest import FAST_RETRY, live_cluster
+
+GROUPS = ("ga", "gb", "gc", "gd")
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    with live_cluster(2) as handles:
+        with ClusterSystem.connect(
+            handles.shard_map, seed=17, retry=FAST_RETRY
+        ) as system:
+            rng = random.Random("cluster-pushdown")
+            system.execute(
+                "CREATE TABLE t (g ED1 VARCHAR(4), m ED1 INTEGER, "
+                "v ED1 INTEGER)"
+            )
+            rows = 1200
+            system.bulk_load(
+                "t",
+                {
+                    "g": [rng.choice(GROUPS) for _ in range(rows)],
+                    "m": [rng.randrange(0, 40) for _ in range(rows)],
+                    # strictly increasing: the row span maps to a value
+                    # range, so a filter can hit exactly one shard
+                    "v": list(range(rows)),
+                },
+                partition_rows=300,  # 4 partitions -> spans 2/2
+            )
+            yield system
+
+
+def _both(system, sql: str):
+    proxy = system.proxy
+    proxy.enable_pushdown(False)
+    reference = system.query(sql).rows
+    proxy.enable_pushdown(True)
+    try:
+        pushed = system.query(sql).rows
+        decisions = proxy.last_pushdown or ()
+    finally:
+        proxy.enable_pushdown(False)
+    return reference, pushed, decisions
+
+
+def _cluster_decision(decisions):
+    return next((d for d in decisions if d.clause == "cluster"), None)
+
+
+def test_cross_shard_partial_aggregates_merge(cluster):
+    sql = (
+        "SELECT g, COUNT(*), SUM(m), AVG(m), MIN(m), MAX(m) FROM t GROUP BY g"
+    )
+    reference, pushed, decisions = _both(cluster, sql)
+    assert sorted(pushed) == sorted(reference)
+    gather = _cluster_decision(decisions)
+    assert gather is not None and gather.pushed
+    assert "scatter over 2 shard(s)" in gather.reason
+    assert any(d.clause == "aggregate" and d.pushed for d in decisions)
+
+
+def test_cross_shard_global_aggregate(cluster):
+    reference, pushed, decisions = _both(
+        cluster, "SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM t"
+    )
+    assert pushed == reference == [(1200, sum(range(1200)), 0, 1199)]
+    gather = _cluster_decision(decisions)
+    assert gather is not None and gather.pushed
+
+
+def test_disagreeing_shards_fall_back_to_row_shipping(cluster):
+    """``v <= 500`` matches rows on shard 0 only; shard 0's gate pushes,
+    shard 1 sees zero matching rows and routes proxy-side. The router must
+    re-issue as row shipping (EXPLAIN-noted), not refuse the query."""
+    sql = "SELECT g, COUNT(*), SUM(m) FROM t WHERE v <= 500 GROUP BY g"
+    reference, pushed, decisions = _both(cluster, sql)
+    assert sorted(pushed) == sorted(reference)
+    gather = _cluster_decision(decisions)
+    assert gather is not None and not gather.pushed
+    assert "pushdown-fallback" in gather.reason
+    # After the fallback every clause decision reads as proxy-side.
+    assert all(not d.pushed for d in decisions)
+
+
+def test_cluster_explain_notes_scatter(cluster):
+    proxy = cluster.proxy
+    proxy.enable_pushdown()
+    try:
+        text = cluster.explain("SELECT g, COUNT(*) FROM t GROUP BY g")
+    finally:
+        proxy.enable_pushdown(False)
+    assert "pushdown:" in text
+    assert "aggregate -> enclave" in text
+    assert "cluster ->" in text and "scatter over 2 shard(s)" in text

@@ -1,0 +1,106 @@
+"""Analytics pushdown over the wire (PR 9): codec round trips for the new
+result types and a live TCP session exercising the pushed-down path
+end to end against the proxy-side reference."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.client.session import EncDBDBSystem
+from repro.net.protocol import decode_payload, encode_payload
+from repro.sql.result import (
+    AggregateFrames,
+    PushdownSelectResult,
+    RoutingDecision,
+)
+
+
+def roundtrip(value):
+    return decode_payload(encode_payload(value))
+
+
+# ----------------------------------------------------------------------
+# Codec round trips (no sockets)
+# ----------------------------------------------------------------------
+
+
+def test_routing_decision_roundtrip():
+    decision = RoutingDecision("aggregate", True, "cost: ~1 vs ~2 cycles")
+    decoded = roundtrip(decision)
+    assert decoded == decision and isinstance(decoded, RoutingDecision)
+
+
+def test_aggregate_frames_roundtrip():
+    frames = AggregateFrames(
+        table_name="lineitem",
+        group_column="returnflag",
+        labels=("count(*)", "sum(price)"),
+        frames=[b"\x01frame-a", b"\x02frame-b"],
+    )
+    decoded = roundtrip(frames)
+    assert decoded.table_name == "lineitem"
+    assert decoded.group_column == "returnflag"
+    assert tuple(decoded.labels) == frames.labels
+    assert list(decoded.frames) == list(frames.frames)
+
+
+def test_pushdown_select_result_roundtrip():
+    result = PushdownSelectResult(
+        decisions=(
+            RoutingDecision("aggregate", True, "pushed"),
+            RoutingDecision("order-by", False, "no LIMIT"),
+        ),
+        aggregate=AggregateFrames("t", None, ("count(*)",), [b"f"]),
+        rows=None,
+        ordered=False,
+    )
+    decoded = roundtrip(result)
+    assert tuple(decoded.decisions) == tuple(result.decisions)
+    assert decoded.aggregate.table_name == "t"
+    assert decoded.rows is None and decoded.ordered is False
+
+
+# ----------------------------------------------------------------------
+# Live TCP session
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def remote_system(net_server):
+    with EncDBDBSystem.connect("127.0.0.1", net_server.port, seed=31) as system:
+        yield system
+
+
+def test_remote_pushdown_equivalence(remote_system):
+    """The pushed-down aggregate pipeline works across a real socket: the
+    RPC layer carries the plan out and the padded frames back, and the
+    proxy merge produces exactly the reference rows."""
+    rng = random.Random("remote-pushdown")
+    system = remote_system
+    system.execute("CREATE TABLE t (g ED1 VARCHAR(8), m ED1 INTEGER)")
+    groups = ("x", "y", "z")
+    system.bulk_load(
+        "t",
+        {
+            "g": [rng.choice(groups) for _ in range(180)],
+            "m": [rng.randrange(0, 30) for _ in range(180)],
+        },
+    )
+    sql = "SELECT g, COUNT(*), SUM(m), AVG(m), MIN(m), MAX(m) FROM t GROUP BY g"
+    reference = system.query(sql).rows
+    system.proxy.enable_pushdown()
+    pushed = system.query(sql).rows
+    decisions = system.proxy.last_pushdown
+    assert sorted(pushed) == sorted(reference)
+    assert decisions and any(
+        d.clause == "aggregate" and d.pushed for d in decisions
+    )
+
+    explained = system.proxy.explain(sql)
+    assert "pushdown:" in explained and "aggregate -> enclave" in explained
+
+    ordered = system.query("SELECT m FROM t ORDER BY m DESC LIMIT 4").rows
+    system.proxy.enable_pushdown(False)
+    assert ordered == system.query("SELECT m FROM t ORDER BY m DESC LIMIT 4").rows

@@ -1,0 +1,253 @@
+"""End-to-end analytics pushdown (PR 9): the pushed-down pipeline must be
+invisible to clients except for speed.
+
+Every test compares the proxy-side reference path (decrypt all rows, then
+aggregate/sort at the proxy) against the pushed-down path over the *same*
+live system, across all nine ED kinds, multiple partitions, delta rows,
+and mid-migration columns — plus a randomized property test over query
+shapes with a tie-aware comparator for ORDER BY.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.client.session import EncDBDBSystem
+from repro.encdict.options import ALL_KINDS, OrderOption
+
+GROUP_VALUES = ("alfa", "bravo", "carol", "delta", "echo")
+
+
+def _seed(tag: str) -> bytes:
+    return f"pushdown-{tag}".encode()
+
+
+def _facts(rng: random.Random, rows: int):
+    return {
+        "g": [rng.choice(GROUP_VALUES) for _ in range(rows)],
+        "m": [rng.randrange(0, 50) for _ in range(rows)],
+        "d": [rng.randrange(0, 100) for _ in range(rows)],
+    }
+
+
+def _both(system, sql: str):
+    """(reference rows, pushed rows, routing decisions) for one query."""
+    proxy = system.proxy
+    proxy.enable_pushdown(False)
+    reference = system.query(sql).rows
+    proxy.enable_pushdown(True)
+    try:
+        pushed = system.query(sql).rows
+        decisions = proxy.last_pushdown or ()
+    finally:
+        proxy.enable_pushdown(False)
+    return reference, pushed, decisions
+
+
+def _decision(decisions, clause: str):
+    for decision in decisions:
+        if decision.clause == clause:
+            return decision
+    raise AssertionError(f"no {clause!r} decision in {decisions!r}")
+
+
+def test_pushdown_is_off_by_default():
+    system = EncDBDBSystem.create(seed=_seed("default"))
+    system.execute("CREATE TABLE t (g ED1 VARCHAR(8), m ED1 INTEGER)")
+    system.execute("INSERT INTO t VALUES ('a', 1)")
+    assert system.proxy.pushdown_enabled is False
+    assert system.query("SELECT COUNT(*) FROM t").rows == [(1,)]
+    assert system.proxy.last_pushdown is None
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda kind: kind.name)
+def test_groupby_equivalence_every_kind(kind):
+    """Grouped aggregates agree with the reference on every ED kind, over
+    three bulk-loaded partitions plus freshly inserted delta rows."""
+    rng = random.Random(f"kinds-{kind.name}")
+    system = EncDBDBSystem.create(seed=_seed(f"kind-{kind.name}"))
+    system.execute(
+        f"CREATE TABLE t (g {kind.name} VARCHAR(8), m {kind.name} INTEGER, "
+        "d ED1 INTEGER)"
+    )
+    system.bulk_load("t", _facts(rng, 240), partition_rows=100)
+    for _ in range(6):  # delta rows on top of the packed partitions
+        system.execute(
+            "INSERT INTO t VALUES "
+            f"('{rng.choice(GROUP_VALUES)}', {rng.randrange(0, 50)}, "
+            f"{rng.randrange(0, 100)})"
+        )
+    sql = (
+        "SELECT g, COUNT(*), SUM(m), AVG(m), MIN(m), MAX(m) FROM t GROUP BY g"
+    )
+    reference, pushed, decisions = _both(system, sql)
+    assert sorted(pushed) == sorted(reference)
+    # The router must always *decide* — pushing or refusing with a reason.
+    assert _decision(decisions, "aggregate").reason
+
+    filtered = "SELECT g, SUM(m) FROM t WHERE d >= 40 GROUP BY g"
+    reference, pushed, _decisions = _both(system, filtered)
+    assert sorted(pushed) == sorted(reference)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS, ids=lambda kind: kind.name)
+def test_orderby_equivalence_every_kind(kind):
+    """ORDER BY ... LIMIT agrees on every kind; the ordinal-order shortcut
+    may engage only for sorted dictionaries (ED1/ED4/ED7)."""
+    rng = random.Random(f"order-{kind.name}")
+    values = rng.sample(range(10_000), 40)  # distinct: total order is unique
+    system = EncDBDBSystem.create(seed=_seed(f"order-{kind.name}"))
+    system.execute(f"CREATE TABLE t (v {kind.name} INTEGER)")
+    system.bulk_load("t", {"v": values})
+    for descending in (False, True):
+        direction = "DESC" if descending else "ASC"
+        sql = f"SELECT v FROM t ORDER BY v {direction} LIMIT 7"
+        reference, pushed, decisions = _both(system, sql)
+        expected = [(v,) for v in sorted(values, reverse=descending)[:7]]
+        assert pushed == reference == expected
+        decision = _decision(decisions, "order-by")
+        assert decision.pushed == (kind.order is OrderOption.SORTED), (
+            decision.reason
+        )
+
+
+def test_orderby_refuses_delta_and_multi_partition():
+    system = EncDBDBSystem.create(seed=_seed("order-refuse"))
+    system.execute("CREATE TABLE t (v ED1 INTEGER)")
+    system.bulk_load("t", {"v": list(range(40))}, partition_rows=20)
+    sql = "SELECT v FROM t ORDER BY v LIMIT 5"
+    reference, pushed, decisions = _both(system, sql)
+    assert pushed == reference == [(i,) for i in range(5)]
+    decision = _decision(decisions, "order-by")
+    assert not decision.pushed and "partition" in decision.reason
+
+    system.execute("INSERT INTO t VALUES (100)")
+    single = EncDBDBSystem.create(seed=_seed("order-delta"))
+    single.execute("CREATE TABLE t (v ED1 INTEGER)")
+    single.bulk_load("t", {"v": list(range(40))})
+    single.execute("INSERT INTO t VALUES (-5)")
+    reference, pushed, decisions = _both(single, sql)
+    assert pushed == reference == [(-5,), (0,), (1,), (2,), (3,)]
+    assert not _decision(decisions, "order-by").pushed
+
+
+def test_mid_migration_refusal_then_recovery():
+    """A rotation in flight must route aggregates back to the proxy (the
+    shadow store is epoch-mixed) — and push again once it is adopted."""
+    rng = random.Random("migrate")
+    system = EncDBDBSystem.create(seed=_seed("migrate"))
+    system.execute("CREATE TABLE t (g ED1 VARCHAR(8), m ED1 INTEGER)")
+    system.bulk_load(
+        "t", {k: v for k, v in _facts(rng, 200).items() if k != "d"}
+    )
+    sql = "SELECT g, COUNT(*), SUM(m) FROM t GROUP BY g"
+    reference, pushed, decisions = _both(system, sql)
+    assert sorted(pushed) == sorted(reference)
+    assert _decision(decisions, "aggregate").pushed
+
+    system.server.migrate_start("t", "g", new_kind="ED2")
+    system.server.migrate_step("t", "g", 1)  # open-shadow: dual version live
+    mid_reference, mid_pushed, decisions = _both(system, sql)
+    assert sorted(mid_pushed) == sorted(mid_reference) == sorted(reference)
+    decision = _decision(decisions, "aggregate")
+    assert not decision.pushed and "rotation in flight" in decision.reason
+
+    system.server.migrate_run("t", "g")
+    reference, pushed, decisions = _both(system, sql)
+    assert sorted(pushed) == sorted(reference)
+    assert _decision(decisions, "aggregate").pushed
+
+
+def test_cost_gate_refuses_tiny_tables():
+    system = EncDBDBSystem.create(seed=_seed("tiny"))
+    system.execute("CREATE TABLE t (g ED1 VARCHAR(8), m ED1 INTEGER)")
+    for i in range(4):
+        system.execute(f"INSERT INTO t VALUES ('g{i % 2}', {i})")
+    reference, pushed, decisions = _both(
+        system, "SELECT g, SUM(m) FROM t GROUP BY g"
+    )
+    assert sorted(pushed) == sorted(reference)
+    decision = _decision(decisions, "aggregate")
+    assert not decision.pushed and decision.reason.startswith("cost:")
+
+
+def test_explain_names_routing_for_aggregates_and_order():
+    rng = random.Random("explain")
+    system = EncDBDBSystem.create(seed=_seed("explain"))
+    system.execute(
+        "CREATE TABLE t (g ED1 VARCHAR(8), m ED1 INTEGER, d ED1 INTEGER)"
+    )
+    system.bulk_load("t", _facts(rng, 300))
+    proxy = system.proxy
+    assert "pushdown:" not in proxy.explain(
+        "SELECT g, COUNT(*) FROM t GROUP BY g"
+    )  # routing lines appear only once the client opted in
+    proxy.enable_pushdown()
+    try:
+        grouped = proxy.explain("SELECT g, COUNT(*) FROM t GROUP BY g")
+        assert "pushdown:" in grouped and "aggregate -> enclave" in grouped
+        ordered = proxy.explain("SELECT m FROM t ORDER BY m LIMIT 3")
+        assert "order-by -> enclave" in ordered
+        plain = proxy.explain("SELECT g FROM t WHERE d >= 10")
+        assert "rows -> proxy" in plain
+    finally:
+        proxy.enable_pushdown(False)
+
+
+def _random_aggregate_sql(rng: random.Random) -> str:
+    functions = rng.sample(
+        ["COUNT(*)", "SUM(m)", "AVG(m)", "MIN(m)", "MAX(m)"],
+        rng.randrange(1, 4),
+    )
+    where = rng.choice(
+        ["", f" WHERE d >= {rng.randrange(0, 100)}",
+         f" WHERE d <= {rng.randrange(0, 100)}"]
+    )
+    if rng.random() < 0.6:
+        return (
+            f"SELECT g, {', '.join(functions)} FROM facts{where} GROUP BY g"
+        )
+    return f"SELECT {', '.join(functions)} FROM facts{where}"
+
+
+def test_property_random_queries_agree():
+    """Randomized query shapes: pushed-down results must be semantically
+    identical to the reference — exact multisets for aggregates, and for
+    ORDER BY a tie-aware check (same multiset, same key sequence)."""
+    rng = random.Random(2026)
+    system = EncDBDBSystem.create(seed=_seed("property"))
+    system.execute(
+        "CREATE TABLE facts (g ED4 VARCHAR(8), m ED1 INTEGER, d ED1 INTEGER)"
+    )
+    system.bulk_load("facts", _facts(rng, 220), partition_rows=90)
+    for _ in range(5):
+        system.execute(
+            "INSERT INTO facts VALUES "
+            f"('{rng.choice(GROUP_VALUES)}', {rng.randrange(0, 50)}, "
+            f"{rng.randrange(0, 100)})"
+        )
+    system.execute("CREATE TABLE ordered (v ED7 INTEGER, w ED1 INTEGER)")
+    ordered_values = [rng.randrange(0, 40) for _ in range(120)]  # with ties
+    system.bulk_load(
+        "ordered",
+        {"v": ordered_values, "w": [i for i in range(120)]},
+    )
+
+    for _ in range(12):
+        sql = _random_aggregate_sql(rng)
+        reference, pushed, _decisions = _both(system, sql)
+        assert sorted(pushed) == sorted(reference), sql
+
+    for _ in range(8):
+        limit = rng.randrange(1, 15)
+        direction = rng.choice(["ASC", "DESC"])
+        sql = f"SELECT v FROM ordered ORDER BY v {direction} LIMIT {limit}"
+        reference, pushed, _decisions = _both(system, sql)
+        # Ties make row identity ambiguous at the LIMIT boundary, but the
+        # projected key sequence (and thus the multiset) is fully
+        # determined — both paths must produce it exactly.
+        assert pushed == reference, sql
+        keys = [row[0] for row in pushed]
+        assert keys == sorted(keys, reverse=direction == "DESC"), sql

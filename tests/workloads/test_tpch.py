@@ -1,0 +1,131 @@
+"""TPC-H-lite workload generator and evaluation harness (PR 9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sql.parser import parse
+from repro.workloads import (
+    LINEITEM_DDL,
+    QueryEvaluation,
+    WorkloadQuery,
+    evaluate_mix,
+    generate_lineitem,
+    tpch_lite_mix,
+)
+from repro.workloads.tpch import RETURN_FLAGS
+
+
+def test_generator_is_deterministic_per_seed():
+    first = generate_lineitem(500, seed=7)
+    second = generate_lineitem(500, seed=7)
+    other = generate_lineitem(500, seed=8)
+    assert set(first) == {"returnflag", "quantity", "price", "shipday"}
+    for name in first:
+        assert list(first[name]) == list(second[name])
+    assert any(
+        list(first[name]) != list(other[name]) for name in first
+    )
+
+
+def test_generator_shape_and_domains():
+    columns = generate_lineitem(1000)
+    assert all(len(values) == 1000 for values in columns.values())
+    assert set(columns["returnflag"]) <= set(RETURN_FLAGS)
+    quantity = np.asarray(columns["quantity"])
+    assert quantity.min() >= 1 and quantity.max() <= 50
+    price = np.asarray(columns["price"])
+    assert price.min() >= 100  # low-cardinality price points
+    assert len(np.unique(price)) <= 400
+
+
+def test_ddl_parses_and_matches_generated_columns():
+    statement = parse(LINEITEM_DDL)
+    names = [spec.name for spec in statement.columns]
+    assert names == ["returnflag", "quantity", "price", "shipday"]
+    assert set(generate_lineitem(10)) == set(names)
+
+
+def test_mix_covers_the_routing_surface():
+    mix = tpch_lite_mix()
+    assert all(isinstance(query, WorkloadQuery) for query in mix)
+    names = [query.name for query in mix]
+    assert len(names) == len(set(names)) == 6
+    sqls = " | ".join(query.sql for query in mix)
+    assert "GROUP BY" in sqls and "ORDER BY" in sqls and "WHERE" in sqls
+    for query in mix:
+        parse(query.sql)  # every query must be valid repro SQL
+
+
+def test_evaluate_mix_with_injected_engines():
+    queries = (
+        WorkloadQuery("q1", "SELECT 1"),
+        WorkloadQuery("q2", "SELECT 2"),
+    )
+    answers = {"SELECT 1": [(1,)], "SELECT 2": [(2,)]}
+    calls = {"reference": 0, "pushdown": 0}
+
+    def reference(sql):
+        calls["reference"] += 1
+        return answers[sql]
+
+    def pushdown(sql):
+        calls["pushdown"] += 1
+        return list(answers[sql])
+
+    evaluations = evaluate_mix(
+        queries,
+        reference=reference,
+        pushdown=pushdown,
+        routing=lambda sql: [f"rows -> proxy: {sql}"],
+        repeats=2,
+    )
+    assert [e.query.name for e in evaluations] == ["q1", "q2"]
+    assert all(e.equivalent for e in evaluations)
+    assert calls == {"reference": 4, "pushdown": 4}  # repeats honoured
+    for evaluation in evaluations:
+        assert evaluation.reference_seconds >= 0
+        assert evaluation.routing == (
+            f"rows -> proxy: {evaluation.query.sql}",
+        )
+        payload = evaluation.to_dict()
+        assert payload["name"] == evaluation.query.name
+        assert payload["equivalent"] is True
+    assert evaluations[0].speedup > 0
+
+
+def test_evaluate_mix_flags_divergence_and_honours_comparator():
+    query = WorkloadQuery("diverge", "SELECT x")
+
+    def reference(sql):
+        return [(1,), (2,)]
+
+    def pushdown(sql):
+        return [(2,), (1,)]
+
+    strict = evaluate_mix(
+        (query,), reference=reference, pushdown=pushdown, repeats=1
+    )
+    assert not strict[0].equivalent
+
+    loose = evaluate_mix(
+        (query,),
+        reference=reference,
+        pushdown=pushdown,
+        repeats=1,
+        comparator=lambda a, b: sorted(a) == sorted(b),
+    )
+    assert loose[0].equivalent
+
+
+def test_query_evaluation_speedup():
+    evaluation = QueryEvaluation(
+        query=WorkloadQuery("q", "SELECT 1"),
+        equivalent=True,
+        reference_seconds=1.0,
+        pushdown_seconds=0.25,
+        routing=("aggregate -> enclave: pushed",),
+    )
+    assert evaluation.speedup == pytest.approx(4.0)
+    assert evaluation.to_dict()["speedup"] == pytest.approx(4.0)
