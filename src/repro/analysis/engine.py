@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable
 
-from repro.analysis import boundary, cryptolint, locks
+from repro.analysis import boundary, cryptolint, leakage, locks, taint
 from repro.analysis.astutil import iter_comments
 from repro.analysis.findings import FileReport, Finding
 from repro.analysis.suppressions import (
@@ -127,6 +127,8 @@ def analyze_source(source: str, *, module: str, path: str) -> list[Finding]:
     findings.extend(boundary.check(tree, module=module, path=path))
     findings.extend(cryptolint.check(tree, module=module, path=path))
     findings.extend(locks.check(tree, module=module, path=path, source=source))
+    findings.extend(taint.check(tree, module=module, path=path))
+    findings.extend(leakage.check(tree, module=module, path=path))
     apply_suppressions(findings, index)
     findings.extend(index.findings)
     findings.sort(key=lambda finding: (finding.line, finding.rule))

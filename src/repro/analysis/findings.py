@@ -43,6 +43,23 @@ RULE_UNGUARDED_MUTATION = "unguarded-mutation"
 #: defines, or is syntactically unusable.
 RULE_BAD_ANNOTATION = "bad-annotation"
 
+# --- Plaintext-taint pass (PR 10) ----------------------------------------
+#: A plaintext- or key-derived value (PAE decrypt output, unsealed SKDB,
+#: DRBG seed, secure-channel payload) reaches an untrusted sink — wire
+#: frames, log/exception strings, EXPLAIN lines, bench payloads — without a
+#: sanctioned sanitizer (PAE encrypt, sealing, digests, redaction).
+RULE_PLAINTEXT_TAINT = "plaintext-taint"
+
+# --- Leakage-contract pass (PR 10) ---------------------------------------
+#: An ``@ecall`` entry point or wire verb without a declared leakage
+#: contract in :data:`repro.analysis.leakage.ECALL_CONTRACTS` /
+#: :data:`~repro.analysis.leakage.VERB_CONTRACTS`.
+RULE_UNDECLARED_CONTRACT = "undeclared-contract"
+#: A response-constructing site whose declared shaping helpers (padding,
+#: uniform frame sizing, ordinal-bound clamping, redaction) never appear in
+#: its body — the contract is declared but not provably applied.
+RULE_UNSHAPED_RESPONSE = "unshaped-response"
+
 # --- Suppression mechanism -----------------------------------------------
 #: A ``lint: allow(...)`` comment without the mandatory justification, or
 #: one that is malformed. Never suppressible itself.
@@ -58,6 +75,9 @@ ALL_RULES: tuple[str, ...] = (
     RULE_UNSAFE_SERIALIZATION,
     RULE_UNGUARDED_MUTATION,
     RULE_BAD_ANNOTATION,
+    RULE_PLAINTEXT_TAINT,
+    RULE_UNDECLARED_CONTRACT,
+    RULE_UNSHAPED_RESPONSE,
     RULE_BAD_SUPPRESSION,
 )
 

@@ -53,7 +53,10 @@ MODULE_TRUST: dict[str, str] = {
     # relay the enclave-to-enclave key replication, but never key material
     # in the clear. The shard map is pure topology data (endpoints and
     # partition ranges), importable from anywhere.
-    "repro.cluster": TRUST_OWNER,
+    "repro.cluster": TRUST_OWNER,  # package facade
+    "repro.cluster.coordinator": TRUST_OWNER,
+    "repro.cluster.router": TRUST_OWNER,
+    "repro.cluster.loadgen": TRUST_OWNER,
     "repro.cluster.shardmap": TRUST_PUBLIC,
     "repro.crypto": TRUST_CRYPTO,
     "repro.sgx": TRUST_ENCLAVE,
@@ -76,7 +79,9 @@ MODULE_TRUST: dict[str, str] = {
     # it schedules shadow rebuilds and swaps ciphertext partitions, but all
     # re-encryption happens inside the enclave via the rotate_* ecalls, so
     # the module never names key material.
-    "repro.migrate": TRUST_UNTRUSTED,
+    "repro.migrate": TRUST_UNTRUSTED,  # package facade
+    "repro.migrate.plan": TRUST_UNTRUSTED,
+    "repro.migrate.runner": TRUST_UNTRUSTED,
     "repro.sql": TRUST_UNTRUSTED,
     "repro.server": TRUST_UNTRUSTED,
     "repro.net": TRUST_OWNER,  # package facade re-exporting client helpers
@@ -85,7 +90,14 @@ MODULE_TRUST: dict[str, str] = {
     "repro.net.errors": TRUST_UNTRUSTED,
     "repro.net.client": TRUST_OWNER,
     "repro.security": TRUST_UNTRUSTED,
-    "repro.workloads": TRUST_UNTRUSTED,
+    # Benchmark workloads run against the *public* query API but execute on
+    # provider hardware in the evaluation topology; held to untrusted rules.
+    "repro.workloads": TRUST_UNTRUSTED,  # package facade
+    "repro.workloads.datasets": TRUST_UNTRUSTED,
+    "repro.workloads.evaluate": TRUST_UNTRUSTED,
+    "repro.workloads.generator": TRUST_UNTRUSTED,
+    "repro.workloads.queries": TRUST_UNTRUSTED,
+    "repro.workloads.tpch": TRUST_UNTRUSTED,
     "repro.bench": TRUST_UNTRUSTED,
 }
 

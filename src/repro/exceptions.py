@@ -77,3 +77,9 @@ class SqlSyntaxError(QueryError):
 
 class PlanError(QueryError):
     """The planner could not produce an executable plan for a valid AST."""
+
+
+class MigrationError(QueryError):
+    """An online rotation could not be planned, advanced, or rolled back
+    (bad target kind/epoch, a rotation already in flight, verification
+    mismatch, rollback of a finalized migration)."""

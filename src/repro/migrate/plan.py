@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.exceptions import QueryError
+from repro.exceptions import MigrationError
 
 PHASES = ("prep", "backfill", "tighten", "finalize")
 
@@ -53,9 +53,9 @@ class MigrationStep:
 
     def __post_init__(self) -> None:
         if self.phase not in PHASES:
-            raise QueryError(f"unknown migration phase {self.phase!r}")
+            raise MigrationError(f"unknown migration phase {self.phase!r}")
         if self.action not in ACTIONS:
-            raise QueryError(f"unknown migration action {self.action!r}")
+            raise MigrationError(f"unknown migration action {self.action!r}")
 
 
 @dataclass(frozen=True)
@@ -89,14 +89,14 @@ class MigrationPlan:
     ) -> "MigrationPlan":
         """Decompose a rotation target into the phased step sequence."""
         if new_kind == old_kind and new_key_epoch == old_key_epoch:
-            raise QueryError(
+            raise MigrationError(
                 f"{table}.{column} is already {new_kind} at key epoch "
                 f"{new_key_epoch}; nothing to migrate"
             )
         if new_key_epoch < old_key_epoch:
-            raise QueryError("key epochs only move forward")
+            raise MigrationError("key epochs only move forward")
         if partition_count < 1:
-            raise QueryError(f"{table}.{column} has no main partitions to rotate")
+            raise MigrationError(f"{table}.{column} has no main partitions to rotate")
         steps: list[MigrationStep] = []
 
         def add(phase: str, action: str, partition_index: int = -1) -> None:

@@ -24,7 +24,7 @@ import threading
 
 from repro.crypto.drbg import HmacDrbg
 from repro.encdict.options import kind_by_name
-from repro.exceptions import EncDBDBError, QueryError
+from repro.exceptions import EncDBDBError, MigrationError
 from repro.migrate.plan import MigrationPlan, MigrationStatus, MigrationStep
 from repro.sgx.enclave import EnclaveHost
 
@@ -65,8 +65,14 @@ class MigrationJob:
                 try:
                     self._execute(step)
                 except EncDBDBError as exc:
+                    # Deferred import: repro.net.protocol imports this
+                    # package, so the top level cannot.
+                    from repro.net.errors import scrub_message
+
                     self.state = "failed"
-                    self.error = f"{step.phase}/{step.action}: {exc}"
+                    # The error string crosses the wire inside typed
+                    # MigrationStatus frames; scrub it like any error frame.
+                    self.error = scrub_message(f"{step.phase}/{step.action}: {exc}")
                     break
                 self.position += 1
                 if self.position == len(self.plan.steps):
@@ -89,7 +95,7 @@ class MigrationJob:
         """
         with self._lock:
             if self.state == "done":
-                raise QueryError(
+                raise MigrationError(
                     f"migration {self.migration_id} is finalized; "
                     "start a reverse migration instead"
                 )
@@ -170,11 +176,11 @@ class MigrationJob:
         column = self._column()
         shadow = column.shadow
         if shadow is None:
-            raise QueryError("verify without an open shadow")
+            raise MigrationError("verify without an open shadow")
         old = column.partition_builds[step.partition_index]
         new = shadow.builds[step.partition_index]
         if new is None:
-            raise QueryError(
+            raise MigrationError(
                 f"partition {step.partition_index} has no shadow build to verify"
             )
         salt = self._salt_rng.random_bytes(32)
@@ -184,7 +190,7 @@ class MigrationJob:
         av_new = new.attribute_vector
         for row in range(len(av_old)):
             if tokens_old[int(av_old[row])] != tokens_new[int(av_new[row])]:
-                raise QueryError(
+                raise MigrationError(
                     f"partition {step.partition_index} row {row}: rotated "
                     "value does not match the original"
                 )
@@ -251,7 +257,7 @@ class MigrationJob:
             column.clear_shadow()
 
     def _undo_adopt(self, step: MigrationStep) -> None:
-        raise QueryError("a finalized migration cannot be rolled back")
+        raise MigrationError("a finalized migration cannot be rolled back")
 
 
 class MigrationManager:
@@ -283,7 +289,7 @@ class MigrationManager:
         table = self._catalog.table(table_name)
         spec = table.spec(column_name)
         if not spec.is_encrypted:
-            raise QueryError(
+            raise MigrationError(
                 f"{table_name}.{column_name} is plaintext; nothing to rotate"
             )
         column = table.column(column_name)
@@ -302,7 +308,7 @@ class MigrationManager:
         with self._lock:
             key = (table_name, column_name)
             if key in self._jobs:
-                raise QueryError(
+                raise MigrationError(
                     f"{table_name}.{column_name} already has migration "
                     f"{self._jobs[key].migration_id} in flight"
                 )
@@ -317,7 +323,7 @@ class MigrationManager:
         with self._lock:
             job = self._jobs.get((table_name, column_name))
         if job is None:
-            raise QueryError(
+            raise MigrationError(
                 f"{table_name}.{column_name} has no migration in flight"
             )
         return job

@@ -41,9 +41,11 @@ WIRE_SAFE_EXCEPTIONS: dict[str, type[EncDBDBError]] = {
         exceptions.QueryError,
         exceptions.SqlSyntaxError,
         exceptions.PlanError,
+        exceptions.MigrationError,
         exceptions.NetworkError,
         exceptions.ProtocolError,
         exceptions.ServerBusyError,
+        exceptions.ClusterError,
     )
 }
 

@@ -1,0 +1,21 @@
+# lint-module: repro.sgx.evil_enclave
+"""Known-bad fixture: enclave entry points violating leakage contracts.
+
+Never imported at runtime — the linter self-tests assert the leakage pass
+reports an @ecall with no declared contract and a declared contract whose
+shaping helper is never applied.
+"""
+
+
+def ecall(fn):
+    return fn
+
+
+class EvilEnclave:
+    @ecall
+    def leak_all(self):  # no entry in ECALL_CONTRACTS
+        return list(self._protected_rows)
+
+    @ecall
+    def seal_master_key(self):  # contract demands seal(); body never seals
+        return bytes(self._key_material)

@@ -1,0 +1,36 @@
+# lint-module: repro.server.evil_taint
+"""Known-bad fixture: plaintext taint reaching observable sinks.
+
+Never imported at runtime — the linter self-tests analyze this file
+statically and assert each seeded violation is reported.
+"""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def decrypt_row(pae, key, blob):
+    # A module-local helper whose summary must say "returns taint".
+    return pae.decrypt(key, blob)
+
+
+def render(value):
+    # A module-local helper whose summary must say "argument reaches a sink".
+    print("row:", value)
+
+
+def handle(pae, key, blob, sock, logger=logger):
+    plain = pae.decrypt(key, blob)
+    print(plain)  # direct print sink
+    logger.info("loaded %s", plain)  # log sink
+    row = decrypt_row(pae, key, blob)  # interprocedural source
+    sock.sendall(row)  # wire sink via helper-returned taint
+    render(row)  # tainted argument into a sinking helper
+    if not plain:
+        raise ValueError(f"empty row {plain!r}")  # exception-message sink
+    return encode_payload({"v": plain})  # wire-encoder sink
+
+
+def encode_payload(payload):
+    return payload

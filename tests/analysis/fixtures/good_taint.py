@@ -1,0 +1,27 @@
+# lint-module: repro.server.good_taint
+"""Known-good fixture: every plaintext flow is sanitized or size-only.
+
+Never imported at runtime — the linter self-tests assert the taint pass
+stays silent on sanctioned patterns: encrypt-before-wire, digests,
+length/boolean projections, and ordinal comparisons (the declared search
+leakage).
+"""
+
+
+def reseal(pae, key, blob, sock):
+    plain = pae.decrypt(key, blob)
+    sock.sendall(pae.encrypt(key, plain))  # sanitized: AE before the wire
+    print(len(plain))  # size-only projection
+    return bool(plain)
+
+
+def fingerprint(hasher, pae, key, blob):
+    plain = pae.decrypt(key, blob)
+    mac = hasher(plain)
+    return mac.digest()  # fixed-width digest launders taint
+
+
+def position(pae, key, blob, bound):
+    plain = pae.decrypt(key, blob)
+    # Comparison results are the per-kind declared ordinal leakage.
+    return plain <= bound

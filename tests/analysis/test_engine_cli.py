@@ -27,7 +27,13 @@ def test_lint_module_directive_wins():
 
 
 def test_cli_exits_nonzero_on_each_bad_fixture(capsys):
-    for fixture in ("bad_boundary.py", "bad_crypto.py", "bad_locks.py"):
+    for fixture in (
+        "bad_boundary.py",
+        "bad_crypto.py",
+        "bad_locks.py",
+        "bad_taint.py",
+        "bad_leakage.py",
+    ):
         code = main([str(FIXTURES / fixture), "--root", str(SRC_ROOT)])
         out = capsys.readouterr().out
         assert code == 1, fixture
@@ -47,7 +53,7 @@ def test_cli_json_schema(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert code == 1
     assert payload["version"] == 1
-    assert payload["files_analyzed"] == 4
+    assert payload["files_analyzed"] == 7
     summary = payload["summary"]
     assert summary["total"] == summary["active"] + summary["suppressed"]
     assert summary["active"] > 0

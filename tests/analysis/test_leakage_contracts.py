@@ -1,0 +1,36 @@
+"""The leakage-contract registries stay in sync with the runtime.
+
+:mod:`repro.analysis.leakage` declares, as data, what every ecall and every
+wire verb may reveal. These tests pin that data against the live surfaces
+from both directions: an ecall/verb without a contract cannot ship, and a
+contract for a retired entry point cannot linger.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.leakage import ECALL_CONTRACTS, VERB_CONTRACTS
+from repro.analysis.trustmap import REGISTERED_ECALLS
+from repro.encdict.enclave_app import EncDBDBEnclave
+from repro.net.server import RPC_METHODS
+
+
+def test_every_registered_ecall_has_a_contract():
+    assert set(ECALL_CONTRACTS) == set(REGISTERED_ECALLS)
+
+
+def test_contracts_cover_the_live_enclave_surface():
+    assert set(ECALL_CONTRACTS) == set(EncDBDBEnclave().ecall_names())
+
+
+def test_every_wire_verb_has_a_contract():
+    assert set(VERB_CONTRACTS) == set(RPC_METHODS)
+
+
+def test_contracts_declare_observables_and_kind():
+    for registry, kind in ((ECALL_CONTRACTS, "ecall"), (VERB_CONTRACTS, "verb")):
+        for name, contract in registry.items():
+            assert contract.name == name
+            assert contract.kind == kind
+            # Every contract states *what* the provider observes — an empty
+            # observables string would be a contract in name only.
+            assert contract.observables.strip()

@@ -1,0 +1,123 @@
+"""Taint and leakage-contract passes: seeded fixtures and suppressions."""
+
+from __future__ import annotations
+
+from repro.analysis.engine import analyze_source
+from repro.analysis.findings import (
+    RULE_BAD_SUPPRESSION,
+    RULE_PLAINTEXT_TAINT,
+    RULE_UNDECLARED_CONTRACT,
+    RULE_UNSHAPED_RESPONSE,
+)
+
+
+def _active(findings, rule):
+    findings = getattr(findings, "findings", findings)
+    return [f for f in findings if f.rule == rule and not f.suppressed]
+
+
+# ----------------------------------------------------------------------
+# Fixture coverage
+# ----------------------------------------------------------------------
+
+
+def test_bad_taint_fixture_is_fully_reported(analyze_fixture):
+    report = analyze_fixture("bad_taint.py")
+    assert report.module == "repro.server.evil_taint"
+    messages = [f.message for f in _active(report, RULE_PLAINTEXT_TAINT)]
+    joined = "\n".join(messages)
+    assert "print() output" in joined
+    assert "log call .info()" in joined
+    assert "wire sink sendall()" in joined
+    assert "wire sink encode_payload()" in joined
+    assert "exception message" in joined
+    assert "flows into render()" in joined
+    assert len(messages) >= 6
+
+
+def test_good_taint_fixture_is_clean(analyze_fixture):
+    report = analyze_fixture("good_taint.py")
+    assert _active(report, RULE_PLAINTEXT_TAINT) == []
+
+
+def test_bad_leakage_fixture_is_fully_reported(analyze_fixture):
+    report = analyze_fixture("bad_leakage.py")
+    assert report.module == "repro.sgx.evil_enclave"
+    undeclared = _active(report, RULE_UNDECLARED_CONTRACT)
+    assert [f.symbol for f in undeclared] == ["leak_all"]
+    unshaped = _active(report, RULE_UNSHAPED_RESPONSE)
+    assert [f.symbol for f in unshaped] == ["seal"]
+
+
+def test_enclave_ecall_returning_taint_is_reported():
+    source = (
+        "def ecall(fn):\n"
+        "    return fn\n"
+        "class E:\n"
+        "    @ecall\n"
+        "    def dict_search(self, pae, key, blob):\n"
+        "        return pae.decrypt(key, blob)\n"
+    )
+    findings = analyze_source(source, module="repro.sgx.x", path="x.py")
+    taints = _active(findings, RULE_PLAINTEXT_TAINT)
+    assert len(taints) == 1
+    assert "across the enclave boundary" in taints[0].message
+
+
+# ----------------------------------------------------------------------
+# Suppressions for the three PR-10 rules
+# ----------------------------------------------------------------------
+
+
+def test_plaintext_taint_suppression_with_justification():
+    source = (
+        "def show(pae, key, blob):\n"
+        "    plain = pae.decrypt(key, blob)\n"
+        "    print(plain)  # lint: allow(plaintext-taint)"
+        ' justification="debug harness output, never deployed"\n'
+    )
+    findings = analyze_source(source, module="repro.sql.x", path="x.py")
+    assert [f.rule for f in findings] == [RULE_PLAINTEXT_TAINT]
+    assert findings[0].suppressed
+    assert "debug harness" in findings[0].justification
+
+
+def test_undeclared_contract_suppression_with_justification():
+    source = (
+        "def ecall(fn):\n"
+        "    return fn\n"
+        "@ecall\n"
+        "# lint: allow(undeclared-contract)"
+        ' justification="prototype entry point behind a feature gate"\n'
+        "def probe():\n"
+        "    return 1\n"
+    )
+    findings = analyze_source(source, module="repro.sgx.x", path="x.py")
+    contract = [f for f in findings if f.rule == RULE_UNDECLARED_CONTRACT]
+    assert len(contract) == 1 and contract[0].suppressed
+
+
+def test_unshaped_response_suppression_with_justification():
+    source = (
+        "def ecall(fn):\n"
+        "    return fn\n"
+        "@ecall\n"
+        "# lint: allow(unshaped-response)"
+        ' justification="sealing delegated to a verified helper"\n'
+        "def seal_master_key():\n"
+        "    return 1\n"
+    )
+    findings = analyze_source(source, module="repro.sgx.x", path="x.py")
+    unshaped = [f for f in findings if f.rule == RULE_UNSHAPED_RESPONSE]
+    assert len(unshaped) == 1 and unshaped[0].suppressed
+
+
+def test_new_rule_suppression_without_justification_is_bad():
+    source = (
+        "def show(pae, key, blob):\n"
+        "    plain = pae.decrypt(key, blob)\n"
+        "    print(plain)  # lint: allow(plaintext-taint)\n"
+    )
+    findings = analyze_source(source, module="repro.sql.x", path="x.py")
+    by_rule = {f.rule: f.suppressed for f in findings}
+    assert by_rule == {RULE_PLAINTEXT_TAINT: False, RULE_BAD_SUPPRESSION: False}

@@ -1,0 +1,89 @@
+"""Trustmap drift gate: the trust map keeps pace with the source tree.
+
+``trust_level`` fails closed — an unmapped module lands in ``untrusted`` —
+which is safe but silent: a new owner- or enclave-side package would be
+linted under the wrong rules without anyone noticing. This gate makes the
+drift loud: every top-level package under ``src/repro`` must carry an
+explicit :data:`~repro.analysis.trustmap.MODULE_TRUST` entry, and every
+module of the newer subsystems (cluster, migrate, workloads) must resolve
+through an explicit entry rather than the fail-closed default.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import trustmap
+
+SRC_ROOT = Path(trustmap.__file__).resolve().parents[1]
+
+#: Subsystems added after the original map whose *every* module must be
+#: individually classified (package-prefix inheritance is not enough: these
+#: mix owner-side drivers with untrusted schedulers and public data).
+PER_MODULE_PACKAGES = ("cluster", "migrate", "workloads")
+
+
+def _top_level_names() -> set[str]:
+    names = set()
+    for entry in SRC_ROOT.iterdir():
+        if entry.name.startswith(("_", ".")) or entry.name == "__pycache__":
+            continue
+        if entry.is_dir() and (entry / "__init__.py").exists():
+            names.add(f"repro.{entry.name}")
+        elif entry.suffix == ".py":
+            names.add(f"repro.{entry.stem}")
+    return names
+
+
+def _package_modules(package: str) -> set[str]:
+    return {
+        f"repro.{package}.{path.stem}"
+        for path in (SRC_ROOT / package).glob("*.py")
+        if path.stem != "__init__"
+    }
+
+
+def test_every_top_level_package_is_explicitly_mapped():
+    unmapped = sorted(_top_level_names() - set(trustmap.MODULE_TRUST))
+    assert not unmapped, (
+        f"top-level packages missing an explicit MODULE_TRUST entry: "
+        f"{unmapped} — classify them in repro.analysis.trustmap"
+    )
+
+
+def test_newer_subsystems_are_mapped_per_module():
+    missing = sorted(
+        module
+        for package in PER_MODULE_PACKAGES
+        for module in _package_modules(package)
+        if module not in trustmap.MODULE_TRUST
+    )
+    assert not missing, (
+        f"modules relying on package-prefix trust inheritance: {missing} — "
+        "add explicit MODULE_TRUST entries"
+    )
+
+
+def test_mapped_modules_exist_on_disk():
+    """The reverse direction: no stale entries for deleted modules."""
+    stale = []
+    for module in trustmap.MODULE_TRUST:
+        relative = Path(*module.split(".")[1:]) if module != "repro" else Path()
+        candidates = (
+            SRC_ROOT / relative.parent / (relative.name + ".py")
+            if relative.name
+            else SRC_ROOT / "__init__.py",
+            SRC_ROOT / relative / "__init__.py",
+        )
+        if not any(path.exists() for path in candidates):
+            stale.append(module)
+    assert not stale, f"MODULE_TRUST entries with no source file: {stale}"
+
+
+def test_prefix_fallback_never_decides_a_real_module():
+    """trust_level() resolves every real module via an explicit prefix at
+    package depth or deeper — the fail-closed default is for *drift*, not
+    for anything currently in the tree."""
+    for package in PER_MODULE_PACKAGES:
+        for module in _package_modules(package):
+            assert trustmap.trust_level(module) == trustmap.MODULE_TRUST[module]

@@ -1,0 +1,60 @@
+"""Scatter-gather leaves the leakage contract intact (DESIGN.md §15).
+
+The same paired-dataset discipline as ``tests/security/test_leak_oracle.py``
+applied to the cluster path: a value-shift pair (identical histogram and
+order, every value and query bound displaced by a constant) must produce
+the *same multiset* of provider-observable events — ecall shapes on every
+shard plus wire-frame byte sizes — across a live two-shard scatter-gather
+deployment. Event order is compared as a sorted multiset because scatter
+fan-out interleaves server threads nondeterministically.
+
+One kind per repetition option keeps the topology cost bounded: ED1
+(revealing/sorted), ED5 (smoothing/rotated), ED9 (hiding/unsorted) cover
+the leakage lattice's diagonal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.leakoracle import capture_trace
+from repro.cluster import ClusterSystem
+
+from tests.cluster.conftest import FAST_RETRY, live_cluster
+
+KINDS = ("ED1", "ED5", "ED9")
+VALUES = [110 + 5 * (i % 12) for i in range(24)]
+PARTITION_ROWS = 6  # 4 partitions -> 2 spans on a 2-shard cluster
+
+
+def run_cluster_workload(kind: str, shift: int = 0):
+    with capture_trace() as trace:
+        with live_cluster(2) as handles:
+            with ClusterSystem.connect(
+                handles.shard_map, seed=11, retry=FAST_RETRY
+            ) as system:
+                system.execute(
+                    f"CREATE TABLE t (v {kind} INTEGER BSMAX 4)"
+                )
+                system.bulk_load(
+                    "t",
+                    {"v": [value + shift for value in VALUES]},
+                    partition_rows=PARTITION_ROWS,
+                )
+                system.query(
+                    f"SELECT v FROM t WHERE v >= {120 + shift} "
+                    f"AND v <= {140 + shift}"
+                )
+                system.query(f"SELECT v FROM t WHERE v > {1000 + shift}")
+    return trace
+
+
+def as_multiset(trace):
+    return sorted((e.channel, e.name, repr(e.shape)) for e in trace)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_cluster_value_shift_pair_is_trace_identical(kind):
+    baseline = as_multiset(run_cluster_workload(kind))
+    shifted = as_multiset(run_cluster_workload(kind, shift=1000))
+    assert baseline == shifted

@@ -33,6 +33,30 @@ def _race_detector():
         detector.report.assert_clean()
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _leak_oracle():
+    """Opt-in runtime leakage oracle (``ENCDBDB_LEAK_CHECK=1``).
+
+    Instruments the enclave dispatcher and the wire frame encoder for the
+    whole session: every ecall and outbound frame is shape-traced, the
+    eager shaping invariants (padded ranges, power-of-two uniform group
+    frames, size-invariant key flips, scrubbed error frames) are checked
+    as events arrive, and any violation fails the run at teardown.
+    """
+    if os.environ.get("ENCDBDB_LEAK_CHECK") != "1":
+        yield None
+        return
+    from repro.analysis.leakoracle import LeakOracle
+
+    oracle = LeakOracle()
+    oracle.instrument_default()
+    try:
+        yield oracle
+    finally:
+        oracle.restore()
+        oracle.report.assert_clean()
+
+
 @pytest.fixture
 def rng() -> HmacDrbg:
     """A deterministic RNG; every test run sees the same stream."""

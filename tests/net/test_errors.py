@@ -139,6 +139,108 @@ def test_provision_outside_attestation_rejected(net_server):
         conn.close()
 
 
+# ----------------------------------------------------------------------
+# Post-PR2 verbs: migration, pushdown, cluster key relay
+# ----------------------------------------------------------------------
+
+
+def test_migration_and_cluster_errors_are_wire_safe():
+    """The typed errors of the newer verb families round-trip by name."""
+    from repro.exceptions import ClusterError, MigrationError
+    from repro.net.errors import WIRE_SAFE_EXCEPTIONS, raise_wire_error
+
+    assert WIRE_SAFE_EXCEPTIONS["MigrationError"] is MigrationError
+    assert WIRE_SAFE_EXCEPTIONS["ClusterError"] is ClusterError
+    with pytest.raises(MigrationError, match="in flight"):
+        raise_wire_error("MigrationError", "t.v has no migration in flight")
+    with pytest.raises(ClusterError, match="endpoint"):
+        raise_wire_error("ClusterError", "every endpoint failed")
+
+
+def test_migrate_verbs_fail_typed_with_clean_frames(net_server):
+    """Migration verbs against missing state produce typed, scrubbed error
+    frames — never tracebacks or file paths."""
+    from repro.exceptions import MigrationError
+
+    frames = []
+    conn = NetConnection(
+        "127.0.0.1",
+        net_server.port,
+        tap=lambda d, t, p: frames.append((d, t, p)),
+    )
+    try:
+        with pytest.raises(CatalogError):
+            conn.call("migrate_start", "missing_table", "v")
+        with pytest.raises(MigrationError, match="no migration in flight"):
+            conn.call("migrate_step", "missing_table", "v")
+        with pytest.raises(MigrationError, match="no migration in flight"):
+            conn.call("migrate_rollback", "missing_table", "v")
+    finally:
+        conn.close()
+    error_frames = [p for d, t, p in frames if t is FrameType.ERROR]
+    assert len(error_frames) == 3
+    for payload in error_frames:
+        assert b"Traceback" not in payload
+        assert b"/root" not in payload and b"site-packages" not in payload
+
+
+def test_pushdown_verbs_redact_internal_failures(net_server):
+    """Garbage pushdown plans explode server-side with non-EncDBDB errors;
+    the client must only ever see the generic redacted message."""
+    conn = NetConnection("127.0.0.1", net_server.port)
+    try:
+        with pytest.raises(EncDBDBError) as excinfo:
+            conn.call("execute_select_pushdown", None)
+        assert str(excinfo.value) == REDACTED_MESSAGE
+        assert excinfo.type is EncDBDBError
+        # explain is advisory: a non-plan degrades to "no decisions" rather
+        # than an error, revealing nothing.
+        assert conn.call("explain_pushdown", None) == ()
+    finally:
+        conn.close()
+
+
+def test_replicate_key_relay_failure_is_typed_and_scrubbed(net_server):
+    """A bogus replication offer fails without echoing key-sized blobs."""
+    frames = []
+    conn = NetConnection(
+        "127.0.0.1",
+        net_server.port,
+        tap=lambda d, t, p: frames.append((d, t, p)),
+    )
+    try:
+        with pytest.raises(EncDBDBError):
+            conn.call("enclave_replicate_key", 12345)
+    finally:
+        conn.close()
+    error_frames = [p for d, t, p in frames if t is FrameType.ERROR]
+    assert error_frames, "no error frame observed"
+    for payload in error_frames:
+        assert b"Traceback" not in payload
+        assert b"/root" not in payload and b"site-packages" not in payload
+
+
+def test_failed_migration_status_error_is_scrubbed(monkeypatch):
+    """MigrationStatus.error crosses the wire in typed frames; a failing
+    step whose exception embeds raw bytes must arrive scrubbed."""
+    from repro.exceptions import CryptoError
+    from repro.migrate.runner import MigrationJob
+
+    system = EncDBDBSystem.create(seed=3)
+    system.execute("CREATE TABLE m (v ED1 INTEGER)")
+    system.bulk_load("m", {"v": [1, 2, 3, 4]})
+
+    def explode(self, step):
+        raise CryptoError(f"bad blob {b'secret-key-material'!r} rejected")
+
+    monkeypatch.setattr(MigrationJob, "_execute", explode)
+    system.server.migrate_start("m", "v", rotate_key=True)
+    status = system.server.migrate_step("m", "v")
+    assert status.state == "failed"
+    assert "secret-key-material" not in status.error
+    assert "<bytes>" in status.error
+
+
 def test_malformed_frames_get_protocol_errors(net_server):
     import socket
 
